@@ -1,0 +1,76 @@
+// Ablation bench for the design choices DESIGN.md calls out:
+//  (a) communication analysis (§3.2.3 future work: "composition of smaller
+//      messages instead of sending the whole state will be implemented in
+//      the future") — send only the states each worker's tasks read,
+//  (b) static LPT from instruction counts vs semi-dynamic measured-time
+//      LPT (schedule quality on the virtual machine),
+//  (c) task splitting of large equations (granularity knob of §3.2).
+#include <cstdio>
+
+#include "omx/models/bearing2d.hpp"
+#include "omx/pipeline/pipeline.hpp"
+#include "omx/runtime/simulated_machine.hpp"
+
+int main() {
+  using namespace omx;
+  models::BearingConfig cfg;
+  pipeline::CompiledModel cm = pipeline::compile_model(
+      [&](expr::Context& ctx) { return models::build_bearing(ctx, cfg); });
+
+  // (a) communication analysis on the high-latency machine.
+  std::printf("(a) communication analysis (Parsytec GC/PP, full state vs"
+              " needed states)\n");
+  std::printf("%-8s %-16s %-16s %-9s\n", "workers", "broadcast [1/s]",
+              "analyzed [1/s]", "bytes cut");
+  const auto mm = runtime::MachineModel::parsytec_gcpp();
+  runtime::SimulatedMachine all(cm.parallel_program, mm, false);
+  runtime::SimulatedMachine needed(cm.parallel_program, mm, true);
+  for (std::size_t w : {2, 4, 8, 16}) {
+    const auto sched = sched::lpt_schedule(all.task_costs(), w);
+    const auto ta = all.time_parallel_call(sched);
+    const auto tn = needed.time_parallel_call(sched);
+    std::printf("%-8zu %-16.0f %-16.0f %6.1f %%\n", w,
+                ta.calls_per_second(), tn.calls_per_second(),
+                100.0 * (1.0 - static_cast<double>(tn.bytes) /
+                                   static_cast<double>(ta.bytes)));
+  }
+
+  // (b) schedule quality: static (instruction-count) LPT is already a good
+  // predictor here because the tape has no branches; the interesting
+  // number is the LPT makespan vs the lower bound.
+  std::printf("\n(b) LPT schedule quality (instruction-count weights)\n");
+  std::printf("%-8s %-12s %-12s %-10s\n", "workers", "makespan",
+              "lower bound", "ratio");
+  const auto costs = all.task_costs();
+  for (std::size_t w : {2, 4, 8, 16}) {
+    const auto sched = sched::lpt_schedule(costs, w);
+    const double ms = sched::makespan(costs, sched);
+    const double lb = sched::makespan_lower_bound(costs, w);
+    std::printf("%-8zu %-12.3e %-12.3e %8.3f\n", w, ms, lb, ms / lb);
+  }
+
+  // (c) task splitting: large equations (the inner-ring force sums) are
+  // split into partial sums, improving balance at high worker counts.
+  std::printf("\n(c) task splitting (max_ops_per_task)\n");
+  std::printf("%-12s %-8s %-20s %-20s\n", "max_ops", "tasks",
+              "sparc 16w [1/s]", "parsytec 4w [1/s]");
+  for (std::size_t max_ops : {0, 200, 100, 50}) {
+    pipeline::CompileOptions copts;
+    copts.tasks.max_ops_per_task = max_ops;
+    pipeline::CompiledModel split = pipeline::compile_model(
+        [&](expr::Context& ctx) { return models::build_bearing(ctx, cfg); },
+        copts);
+    runtime::SimulatedMachine s_sp(split.parallel_program,
+                                   runtime::MachineModel::sparc_center_2000());
+    runtime::SimulatedMachine s_pa(split.parallel_program,
+                                   runtime::MachineModel::parsytec_gcpp());
+    const auto c2 = s_sp.task_costs();
+    std::printf("%-12zu %-8zu %-20.0f %-20.0f\n", max_ops,
+                split.plan.tasks.size(),
+                s_sp.time_parallel_call(sched::lpt_schedule(c2, 16))
+                    .calls_per_second(),
+                s_pa.time_parallel_call(sched::lpt_schedule(c2, 4))
+                    .calls_per_second());
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 11 reproduction: the three code forms for x' = y, y' = -x —
+// normal form, type-annotated prefix intermediate form, and generated
+// SPMD parallel Fortran 90 with one case per worker/task.
+#include <cstdio>
+
+#include "omx/codegen/fortran.hpp"
+#include "omx/expr/printer.hpp"
+#include "omx/models/oscillator.hpp"
+#include "omx/pipeline/pipeline.hpp"
+
+int main() {
+  using namespace omx;
+  pipeline::CompileOptions copts;
+  copts.tasks.min_ops_per_task = 0;  // one task per equation, as in Fig 11
+  pipeline::CompiledModel cm =
+      pipeline::compile_model(models::build_oscillator, copts);
+  expr::Context& ctx = *cm.ctx;
+
+  std::printf("Figure 11 — normal form:\n{ ");
+  for (std::size_t i = 0; i < cm.n(); ++i) {
+    const auto& s = cm.flat->states()[i];
+    std::printf("%s%s'[t] == %s", i ? ", " : "",
+                ctx.names.name(s.name).c_str(),
+                expr::to_infix(ctx.pool, ctx.names, s.rhs).c_str());
+  }
+  std::printf(" }\n\n");
+
+  std::printf("Prefix form with type annotations:\nList[\n");
+  expr::FullFormOptions ff;
+  ff.annotate_types = true;
+  for (const auto& s : cm.flat->states()) {
+    std::printf("  Equal[Derivative[1][om$Type[%s, om$Real]][t],\n"
+                "        %s],\n",
+                ctx.names.name(s.name).c_str(),
+                expr::to_fullform(ctx.pool, ctx.names, s.rhs, ff).c_str());
+  }
+  std::printf("]\n\n");
+
+  codegen::EmitOptions eopts;
+  eopts.with_helpers = false;
+  const codegen::EmitResult f90 =
+      codegen::emit_fortran_parallel(*cm.flat, cm.plan, eopts);
+  std::printf("Generated parallel Fortran 90 (%zu lines, %zu declaration"
+              " lines):\n%s\n", f90.total_lines, f90.decl_lines,
+              f90.code.c_str());
+
+  std::printf("paper vs measured:\n");
+  std::printf("  one select-case branch per equation task: paper yes  "
+              "measured %zu tasks [%s]\n", cm.plan.tasks.size(),
+              cm.plan.tasks.size() == 2 ? "MATCH" : "MISMATCH");
+  std::printf("  derivatives replaced by <var>dot assignments: %s\n",
+              f90.code.find("dot = ") != std::string::npos ? "MATCH"
+                                                           : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 3 reproduction: dependency graph and strongly connected
+// components for the hydroelectric power plant model.
+//
+// The paper's figure shows a collection of SCCs of mixed sizes (per-gate
+// controller loops like "G1'IPart", "Gate'Angle", per-group throttles,
+// "Dam'SurfaceLevel", "Regulator'IPart") connected by producer->consumer
+// edges — i.e. several independent subsystems plus a pipeline. The claims
+// under test: the model partitions into many SCCs, gate subsystems are
+// mutually independent (parallel width >= number of gates), and
+// downstream dam/turbine/regulator equations form pipeline stages.
+#include <cstdio>
+
+#include "omx/analysis/partition.hpp"
+#include "omx/models/hydro.hpp"
+#include "omx/pipeline/pipeline.hpp"
+
+int main() {
+  using namespace omx;
+  pipeline::CompiledModel cm = pipeline::compile_model(models::build_hydro);
+
+  std::printf("Figure 3: hydroelectric power plant dependency analysis\n");
+  std::printf("states: %zu   algebraics: %zu\n\n", cm.n(),
+              cm.flat->num_algebraics());
+  std::printf("%s\n",
+              analysis::format_partition_report(*cm.flat, cm.partition)
+                  .c_str());
+
+  const auto& p = cm.partition;
+  std::printf("paper vs measured:\n");
+  std::printf("  multiple SCCs:            paper yes (Fig 3)   measured %zu"
+              " SCCs\n", p.num_subsystems());
+  std::printf("  gates independent:        paper 6 groups      measured"
+              " parallel width %zu\n", p.max_parallel_width());
+  std::printf("  pipeline to dam/reg:      paper yes           measured"
+              " depth %u\n", p.pipeline_depth());
+  std::printf("  'partitions reasonably':  paper yes (sec 6)   measured %s\n",
+              p.num_subsystems() >= 10 ? "yes" : "NO");
+  return 0;
+}

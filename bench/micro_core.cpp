@@ -1,0 +1,121 @@
+// Microbenchmarks of the symbolic/compilation core (google-benchmark):
+// expression construction, differentiation, simplification, CSE, tape
+// compilation and VM execution throughput.
+#include <benchmark/benchmark.h>
+
+#include "omx/codegen/cse.hpp"
+#include "omx/codegen/tape.hpp"
+#include "omx/expr/derivative.hpp"
+#include "omx/expr/simplify.hpp"
+#include "omx/model/flatten.hpp"
+#include "omx/models/bearing2d.hpp"
+#include "omx/vm/interp.hpp"
+
+namespace {
+
+using namespace omx;
+
+model::FlatSystem make_bearing(expr::Context& ctx, int rollers) {
+  models::BearingConfig cfg;
+  cfg.n_rollers = rollers;
+  return model::flatten(models::build_bearing(ctx, cfg));
+}
+
+void BM_BuildBearingModel(benchmark::State& state) {
+  const int rollers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    expr::Context ctx;
+    model::FlatSystem f = make_bearing(ctx, rollers);
+    benchmark::DoNotOptimize(f.num_states());
+  }
+}
+BENCHMARK(BM_BuildBearingModel)->Arg(4)->Arg(10)->Arg(20);
+
+void BM_Differentiate(benchmark::State& state) {
+  expr::Context ctx;
+  model::FlatSystem f = make_bearing(ctx, 4);
+  const expr::ExprId rhs =
+      codegen::inline_algebraics(f, f.states()[2].rhs);
+  const SymbolId x = f.states()[0].name;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr::differentiate(ctx.pool, rhs, x));
+  }
+}
+BENCHMARK(BM_Differentiate);
+
+void BM_Simplify(benchmark::State& state) {
+  expr::Context ctx;
+  model::FlatSystem f = make_bearing(ctx, 4);
+  const expr::ExprId rhs =
+      codegen::inline_algebraics(f, f.states()[2].rhs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr::simplify(ctx.pool, rhs));
+  }
+}
+BENCHMARK(BM_Simplify);
+
+void BM_Cse(benchmark::State& state) {
+  expr::Context ctx;
+  model::FlatSystem f = make_bearing(ctx, 10);
+  std::vector<expr::ExprId> roots;
+  for (const auto& s : f.states()) {
+    roots.push_back(codegen::inline_algebraics(f, s.rhs));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    codegen::CseOptions opts;
+    opts.temp_prefix = "b" + std::to_string(i++) + "$";
+    benchmark::DoNotOptimize(
+        codegen::eliminate_common_subexpressions(ctx, roots, opts));
+  }
+}
+BENCHMARK(BM_Cse);
+
+void BM_CompileTape(benchmark::State& state) {
+  expr::Context ctx;
+  model::FlatSystem f = make_bearing(ctx, 10);
+  const auto set = codegen::build_assignments(f);
+  const auto plan = codegen::plan_tasks(f, set, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codegen::compile_parallel_tape(f, plan));
+  }
+}
+BENCHMARK(BM_CompileTape);
+
+void BM_VmRhs(benchmark::State& state) {
+  const int rollers = static_cast<int>(state.range(0));
+  expr::Context ctx;
+  model::FlatSystem f = make_bearing(ctx, rollers);
+  const auto set = codegen::build_assignments(f);
+  const vm::Program prog = codegen::compile_serial_tape(f, set);
+  vm::Workspace ws(prog);
+  std::vector<double> y(f.num_states()), ydot(f.num_states());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = f.states()[i].start;
+  }
+  for (auto _ : state) {
+    vm::eval_rhs_serial(prog, 0.0, y, ydot, ws);
+    benchmark::DoNotOptimize(ydot[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(prog.total_ops()));
+}
+BENCHMARK(BM_VmRhs)->Arg(4)->Arg(10)->Arg(40);
+
+void BM_ReferenceRhs(benchmark::State& state) {
+  expr::Context ctx;
+  model::FlatSystem f = make_bearing(ctx, 4);
+  std::vector<double> y(f.num_states()), ydot(f.num_states());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = f.states()[i].start;
+  }
+  for (auto _ : state) {
+    f.eval_rhs(0.0, y, ydot);
+    benchmark::DoNotOptimize(ydot[0]);
+  }
+}
+BENCHMARK(BM_ReferenceRhs);
+
+}  // namespace
+
+BENCHMARK_MAIN();

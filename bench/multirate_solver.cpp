@@ -1,0 +1,97 @@
+// §2.1/§2.3 executed at the library level: solve_partitioned() runs one
+// adaptive solver per SCC subsystem in condensation order ("pipe-line
+// parallelism between the solution of equation systems: values produced
+// from the solution of one system are continuously passed as input for
+// the solution of another system").
+//
+// Workload: the hydro plant — fast gate servo loops upstream, slow dam /
+// turbine / regulator dynamics downstream. Reports per-subsystem step
+// sizes (the §2.3 claim "the average step size may increase") and the
+// total-work comparison against the monolithic solve.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "omx/analysis/subsystem_solver.hpp"
+#include "omx/model/flatten.hpp"
+#include "omx/models/hydro.hpp"
+#include "omx/ode/dopri5.hpp"
+
+int main() {
+  using namespace omx;
+  expr::Context ctx;
+  model::FlatSystem flat = model::flatten(models::build_hydro(ctx));
+  const auto deps = analysis::analyze_dependencies(flat);
+  const auto part = analysis::partition_by_scc(flat, deps);
+
+  const double t0 = 0.0, tend = 120.0;
+  analysis::PartitionedSolveOptions opts;
+  opts.tol.rtol = 1e-7;
+  opts.tol.atol = 1e-9;
+  const auto ps = analysis::solve_partitioned(flat, part, t0, tend, opts);
+
+  // Monolithic reference.
+  ode::Problem mono;
+  mono.n = flat.num_states();
+  mono.rhs = [&flat](double t, std::span<const double> y,
+                     std::span<double> f) { flat.eval_rhs(t, y, f); };
+  mono.t0 = t0;
+  mono.tend = tend;
+  for (const auto& s : flat.states()) {
+    mono.y0.push_back(s.start);
+  }
+  ode::Dopri5Options mo;
+  mo.tol = opts.tol;
+  mo.record_every = 1u << 30;
+  const ode::Solution ms = ode::dopri5(mono, mo);
+
+  std::printf("Partitioned (multirate) solve of the hydro plant, t in"
+              " [0, %g]\n\n", tend);
+  std::printf("%-40s %10s %12s\n", "subsystem (first member)", "steps",
+              "avg step");
+  for (std::size_t c = 0; c < part.num_subsystems(); ++c) {
+    const int first = part.subsystems[c].states[0];
+    std::printf("%-40s %10llu %12.4f\n",
+                flat.state_name(static_cast<std::size_t>(first)).c_str(),
+                static_cast<unsigned long long>(
+                    ps.per_subsystem[c].stats.steps),
+                ps.average_step(c, t0, tend));
+  }
+  std::printf("\nmonolithic: %llu steps, avg step %.4f, %llu RHS"
+              " evaluations of all %zu states\n",
+              static_cast<unsigned long long>(ms.stats.steps),
+              tend / static_cast<double>(ms.stats.steps),
+              static_cast<unsigned long long>(ms.stats.rhs_calls),
+              flat.num_states());
+
+  // Work comparison in state-evaluations: the monolithic solver evaluates
+  // every equation at the GLOBAL (smallest) step; each subsystem solver
+  // only evaluates its own equations at its own pace.
+  const std::uint64_t mono_work = ms.stats.rhs_calls * flat.num_states();
+  std::uint64_t split_work = 0;
+  for (std::size_t c = 0; c < part.num_subsystems(); ++c) {
+    split_work += ps.per_subsystem[c].stats.rhs_calls *
+                  part.subsystems[c].states.size();
+  }
+  std::printf("work (rhs calls x states): monolithic %llu vs partitioned"
+              " %llu  (%.2fx less)\n",
+              static_cast<unsigned long long>(mono_work),
+              static_cast<unsigned long long>(split_work),
+              static_cast<double>(mono_work) /
+                  static_cast<double>(split_work));
+
+  // Verify agreement.
+  double max_rel = 0.0;
+  for (std::size_t i = 0; i < flat.num_states(); ++i) {
+    const double a = ps.final_state[i];
+    const double b = ms.final_state()[i];
+    max_rel = std::max(max_rel,
+                       std::fabs(a - b) / std::max(1.0, std::fabs(b)));
+  }
+  std::printf("max relative deviation from monolithic solve: %.2e\n",
+              max_rel);
+  std::printf("\npaper (sec 2.3): independent step sizes / fewer"
+              " equations per solver  ->  %s\n",
+              split_work < mono_work ? "reproduced" : "NOT reproduced");
+  return 0;
+}

@@ -1,0 +1,157 @@
+// §2.3 reproduction: the benefits of partitioning an ODE system into
+// independent subsystems, as the paper enumerates:
+//  1. "The ODE-solver can, for each ODE system, choose its own step size
+//     independently ... the average step size may increase."
+//  2. "The ODE-solver's internal computation time decreases due to fewer
+//     state variables."
+//  3. "If the solver uses an implicit method we can get quadratic speedup
+//     thanks to a smaller Jacobian matrix."
+//
+// Workload: K independent stiff subsystems with time scales spread over
+// two orders of magnitude (a multirate problem). Solved (a) as one
+// monolithic system, (b) as K independent systems (legal because the
+// dependency analysis proves independence).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "omx/analysis/partition.hpp"
+#include "omx/model/flatten.hpp"
+#include "omx/ode/bdf.hpp"
+#include "omx/ode/dopri5.hpp"
+#include "omx/parser/parser.hpp"
+
+namespace {
+
+// K stiff 2-state relaxation oscillators with rates lambda_k.
+omx::ode::Problem subsystem(double lambda, double tend) {
+  omx::ode::Problem p;
+  p.n = 2;
+  p.rhs = [lambda](double t, std::span<const double> y,
+                   std::span<double> f) {
+    f[0] = y[1];
+    f[1] = -lambda * (y[0] - std::cos(0.3 * t)) - 2.0 * std::sqrt(lambda) *
+           y[1];
+  };
+  p.t0 = 0.0;
+  p.tend = tend;
+  p.y0 = {1.0, 0.0};
+  return p;
+}
+
+omx::ode::Problem monolithic(const std::vector<double>& lambdas,
+                             double tend) {
+  omx::ode::Problem p;
+  p.n = 2 * lambdas.size();
+  p.rhs = [lambdas](double t, std::span<const double> y,
+                    std::span<double> f) {
+    for (std::size_t k = 0; k < lambdas.size(); ++k) {
+      const double l = lambdas[k];
+      f[2 * k] = y[2 * k + 1];
+      f[2 * k + 1] = -l * (y[2 * k] - std::cos(0.3 * t)) -
+                     2.0 * std::sqrt(l) * y[2 * k + 1];
+    }
+  };
+  p.t0 = 0.0;
+  p.tend = tend;
+  p.y0.assign(p.n, 0.0);
+  for (std::size_t k = 0; k < lambdas.size(); ++k) {
+    p.y0[2 * k] = 1.0;
+  }
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  using namespace omx;
+  const std::vector<double> lambdas{1.0, 10.0, 100.0, 1000.0, 10000.0};
+  const double tend = 5.0;
+
+  // First show the dependency analysis *proving* the split is legal,
+  // using the modeling pipeline on an equivalent model.
+  {
+    expr::Context ctx;
+    std::string src = "model Multirate\n  class Sub(lambda)\n"
+                      "    var x start 1, v start 0;\n"
+                      "    eq der(x) == v;\n"
+                      "    eq der(v) == -lambda*(x - cos(0.3*time))"
+                      " - 2*sqrt(lambda)*v;\n  end\n";
+    src += "  instance s[1..5] : Sub(10^(index - 1));\nend\n";
+    model::FlatSystem flat =
+        model::flatten(parser::parse_model(src, ctx));
+    const auto deps = analysis::analyze_dependencies(flat);
+    const auto part = analysis::partition_by_scc(flat, deps);
+    std::printf("dependency analysis: %zu states partition into %zu"
+                " independent subsystems (width %zu)\n\n",
+                flat.num_states(), part.num_subsystems(),
+                part.max_parallel_width());
+  }
+
+  // (1)+(2): explicit adaptive solve, monolithic vs partitioned.
+  ode::Dopri5Options dopts;
+  dopts.tol.rtol = 1e-7;
+  dopts.tol.atol = 1e-9;
+  dopts.record_every = 1u << 30;  // keep memory flat
+
+  const ode::Solution mono = ode::dopri5(monolithic(lambdas, tend), dopts);
+  std::uint64_t split_steps_max = 0;
+  std::uint64_t split_rhs_weighted = 0;  // sum over subsystems of calls*n_k
+  double avg_h_split = 0.0;
+  for (double l : lambdas) {
+    const ode::Solution s = ode::dopri5(subsystem(l, tend), dopts);
+    split_steps_max = std::max(split_steps_max, s.stats.steps);
+    split_rhs_weighted += s.stats.rhs_calls * 2;
+    avg_h_split += tend / static_cast<double>(s.stats.steps);
+  }
+  avg_h_split /= static_cast<double>(lambdas.size());
+  const double avg_h_mono = tend / static_cast<double>(mono.stats.steps);
+  // Monolithic RHS work: calls * n states; split work: per-subsystem.
+  const std::uint64_t mono_rhs_weighted = mono.stats.rhs_calls * 10;
+
+  std::printf("explicit adaptive (DOPRI5), 5 subsystems with lambda ="
+              " 1..1e4:\n");
+  std::printf("  %-40s %12.3e\n", "monolithic average step", avg_h_mono);
+  std::printf("  %-40s %12.3e  (%.1fx larger) [paper: increases]\n",
+              "partitioned average step", avg_h_split,
+              avg_h_split / avg_h_mono);
+  std::printf("  %-40s %12llu\n", "monolithic RHS work (calls x states)",
+              static_cast<unsigned long long>(mono_rhs_weighted));
+  std::printf("  %-40s %12llu  (%.1fx less) [paper: decreases]\n\n",
+              "partitioned RHS work",
+              static_cast<unsigned long long>(split_rhs_weighted),
+              static_cast<double>(mono_rhs_weighted) /
+                  static_cast<double>(split_rhs_weighted));
+
+  // (3): implicit method Jacobian cost. Dense LU is O(n^3); factoring K
+  // small Jacobians instead of one big one wins K^2.
+  ode::BdfOptions bopts;
+  bopts.tol.rtol = 1e-6;
+  bopts.tol.atol = 1e-8;
+  bopts.max_order = 2;
+  const ode::Solution bmono = ode::bdf(monolithic(lambdas, tend), bopts);
+  std::uint64_t bsplit_rhs = 0, bsplit_jac = 0;
+  for (double l : lambdas) {
+    const ode::Solution s = ode::bdf(subsystem(l, tend), bopts);
+    bsplit_rhs += s.stats.rhs_calls;
+    bsplit_jac += s.stats.jac_calls;
+  }
+  const double n_big = 10.0, n_small = 2.0, k = 5.0;
+  std::printf("implicit (BDF2) Jacobian economics:\n");
+  std::printf("  %-40s %12llu (n=10 each: %g flops/LU)\n",
+              "monolithic jac evals",
+              static_cast<unsigned long long>(bmono.stats.jac_calls),
+              n_big * n_big * n_big / 3.0);
+  std::printf("  %-40s %12llu (n=2 each: %g flops/LU)\n",
+              "partitioned jac evals",
+              static_cast<unsigned long long>(bsplit_jac),
+              k * n_small * n_small * n_small / 3.0);
+  std::printf("  per-factorization speedup: %.0fx  [paper: 'quadratic"
+              " speedup' ~ K^2 = %.0fx]\n",
+              (n_big * n_big * n_big) / (k * n_small * n_small * n_small),
+              k * k);
+  std::printf("  monolithic/partitioned BDF RHS calls: %llu / %llu\n",
+              static_cast<unsigned long long>(bmono.stats.rhs_calls),
+              static_cast<unsigned long long>(bsplit_rhs));
+  return 0;
+}

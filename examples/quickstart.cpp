@@ -1,0 +1,75 @@
+// Quickstart: the paper's Figure 11 pipeline end-to-end on the harmonic
+// oscillator x' = y, y' = -x.
+//
+//   model text -> parse -> flatten -> dependency analysis -> task plan
+//   -> generated Fortran 90 / C++ -> compiled tape -> numerical solution.
+#include <cmath>
+#include <cstdio>
+
+#include "omx/analysis/partition.hpp"
+#include "omx/codegen/cpp_emit.hpp"
+#include "omx/codegen/fortran.hpp"
+#include "omx/expr/printer.hpp"
+#include "omx/models/oscillator.hpp"
+#include "omx/ode/dopri5.hpp"
+#include "omx/pipeline/pipeline.hpp"
+
+int main() {
+  using namespace omx;
+
+  std::printf("== OMX quickstart: Figure 11 pipeline ==\n\n");
+  std::printf("--- model source ---\n%s\n",
+              models::oscillator_source().c_str());
+
+  pipeline::CompileOptions copts;
+  copts.tasks.min_ops_per_task = 0;  // keep x' and y' as separate tasks
+  pipeline::CompiledModel cm =
+      pipeline::compile_model(models::build_oscillator, copts);
+
+  // Normal form and annotated prefix form (Figure 11, top).
+  std::printf("--- normal form / annotated prefix intermediate form ---\n");
+  expr::Context& ctx = *cm.ctx;
+  for (const model::FlatState& s : cm.flat->states()) {
+    const std::string name = ctx.names.name(s.name);
+    std::printf("%s'[t] == %s\n", name.c_str(),
+                expr::to_infix(ctx.pool, ctx.names, s.rhs).c_str());
+  }
+  expr::FullFormOptions ff;
+  ff.annotate_types = true;
+  for (const model::FlatState& s : cm.flat->states()) {
+    std::printf("Equal[Derivative[1][om$Type[%s, om$Real]][t], %s]\n",
+                ctx.names.name(s.name).c_str(),
+                expr::to_fullform(ctx.pool, ctx.names, s.rhs, ff).c_str());
+  }
+
+  // Dependency analysis (both equations form one SCC: x <-> y).
+  std::printf("\n--- SCC partition ---\n%s",
+              analysis::format_partition_report(*cm.flat, cm.partition)
+                  .c_str());
+
+  // Generated code (Figure 11, bottom).
+  const codegen::EmitResult f90 =
+      codegen::emit_fortran_parallel(*cm.flat, cm.plan, {1, false});
+  std::printf("\n--- generated parallel Fortran 90 ---\n%s\n",
+              f90.code.c_str());
+  const codegen::EmitResult cxx =
+      codegen::emit_cpp_parallel(*cm.flat, cm.plan, {1, false});
+  std::printf("--- generated parallel C++ ---\n%s\n", cxx.code.c_str());
+
+  // Solve with the compiled serial tape and compare against cos/sin.
+  ode::Problem prob = cm.make_problem(cm.serial_rhs(), 0.0, 10.0);
+  ode::Dopri5Options d5;
+  d5.tol.rtol = 1e-10;
+  d5.tol.atol = 1e-12;
+  const ode::Solution sol = ode::dopri5(prob, d5);
+  const auto yf = sol.final_state();
+  std::printf("--- solution at t = 10 ---\n");
+  std::printf("x = %+.12f   (exact cos(10) = %+.12f)\n", yf[0],
+              std::cos(10.0));
+  std::printf("y = %+.12f   (exact -sin(10) = %+.12f)\n", yf[1],
+              -std::sin(10.0));
+  std::printf("steps = %llu, rhs calls = %llu\n",
+              static_cast<unsigned long long>(sol.stats.steps),
+              static_cast<unsigned long long>(sol.stats.rhs_calls));
+  return 0;
+}

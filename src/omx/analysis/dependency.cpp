@@ -1,0 +1,82 @@
+#include "omx/analysis/dependency.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace omx::analysis {
+
+DependencyInfo analyze_dependencies(const model::FlatSystem& flat) {
+  OMX_REQUIRE(flat.finalized(), "flat system must be finalized");
+  expr::Context& ctx = flat.ctx();
+  const std::size_t n = flat.num_states();
+
+  // 1. For each algebraic variable (already topologically ordered), the
+  //    set of states it transitively depends on.
+  std::unordered_map<SymbolId, std::vector<int>> alg_state_deps;
+  std::unordered_map<SymbolId, bool> alg_uses_time;
+  for (const model::FlatAlgebraic& al : flat.algebraics()) {
+    std::vector<int> states;
+    bool uses_time = false;
+    std::vector<SymbolId> syms;
+    ctx.pool.free_syms(al.rhs, syms);
+    for (SymbolId s : syms) {
+      if (s == flat.time_symbol()) {
+        uses_time = true;
+      } else if (int idx = flat.state_index(s); idx >= 0) {
+        states.push_back(idx);
+      } else if (auto it = alg_state_deps.find(s);
+                 it != alg_state_deps.end()) {
+        states.insert(states.end(), it->second.begin(), it->second.end());
+        uses_time = uses_time || alg_uses_time[s];
+      }
+      // parameters contribute nothing
+    }
+    std::sort(states.begin(), states.end());
+    states.erase(std::unique(states.begin(), states.end()), states.end());
+    alg_state_deps.emplace(al.name, std::move(states));
+    alg_uses_time.emplace(al.name, uses_time);
+  }
+
+  DependencyInfo info;
+  info.deps.resize(n);
+  info.uses_time.assign(n, false);
+  info.eq_graph = graph::Digraph(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<int>& deps = info.deps[i];
+    std::vector<SymbolId> syms;
+    ctx.pool.free_syms(flat.states()[i].rhs, syms);
+    for (SymbolId s : syms) {
+      if (s == flat.time_symbol()) {
+        info.uses_time[i] = true;
+      } else if (int idx = flat.state_index(s); idx >= 0) {
+        deps.push_back(idx);
+      } else if (auto it = alg_state_deps.find(s);
+                 it != alg_state_deps.end()) {
+        deps.insert(deps.end(), it->second.begin(), it->second.end());
+        info.uses_time[i] = info.uses_time[i] || alg_uses_time[s];
+      }
+    }
+    std::sort(deps.begin(), deps.end());
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+    for (int j : deps) {
+      info.eq_graph.add_edge(static_cast<graph::NodeId>(j),
+                             static_cast<graph::NodeId>(i));
+    }
+  }
+  return info;
+}
+
+std::vector<std::vector<bool>> jacobian_sparsity(const DependencyInfo& info,
+                                                 std::size_t n) {
+  OMX_REQUIRE(info.deps.size() == n, "dependency info size mismatch");
+  std::vector<std::vector<bool>> mask(n, std::vector<bool>(n, false));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int j : info.deps[i]) {
+      mask[i][static_cast<std::size_t>(j)] = true;
+    }
+  }
+  return mask;
+}
+
+}  // namespace omx::analysis

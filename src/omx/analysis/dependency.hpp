@@ -1,0 +1,36 @@
+// Equation dependency extraction (§2.1 of the paper).
+//
+// For a flat system of explicit ODEs der(x_i) = f_i(x, a, t), equation i
+// depends on equation j iff f_i references state x_j — directly or through
+// a chain of algebraic (auxiliary) assignments. The resulting directed
+// graph is the input to SCC partitioning and to the Jacobian sparsity
+// analysis.
+#pragma once
+
+#include "omx/graph/digraph.hpp"
+#include "omx/model/flat_system.hpp"
+
+namespace omx::analysis {
+
+struct DependencyInfo {
+  /// deps[i] = sorted list of state indices that RHS i (transitively)
+  /// reads.
+  std::vector<std::vector<int>> deps;
+
+  /// Node i = state equation i. Edge j -> i iff equation i depends on
+  /// state j ("producer -> consumer"): a topological order of the
+  /// condensation then solves producers before consumers.
+  graph::Digraph eq_graph;
+
+  /// True if RHS i references the free variable (time) directly.
+  std::vector<bool> uses_time;
+};
+
+DependencyInfo analyze_dependencies(const model::FlatSystem& flat);
+
+/// Jacobian sparsity: entry (i, j) is true iff d f_i / d x_j can be
+/// structurally nonzero. Same information as `deps` in matrix form.
+std::vector<std::vector<bool>> jacobian_sparsity(const DependencyInfo& info,
+                                                 std::size_t n);
+
+}  // namespace omx::analysis

@@ -1,0 +1,90 @@
+#include "omx/analysis/partition.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace omx::analysis {
+
+std::size_t Partition::largest() const {
+  std::size_t m = 0;
+  for (const Subsystem& s : subsystems) {
+    m = std::max(m, s.states.size());
+  }
+  return m;
+}
+
+std::size_t Partition::num_trivial() const {
+  return static_cast<std::size_t>(
+      std::count_if(subsystems.begin(), subsystems.end(),
+                    [](const Subsystem& s) { return s.trivial; }));
+}
+
+std::size_t Partition::max_parallel_width() const {
+  std::vector<std::size_t> width(num_levels + 1, 0);
+  for (const Subsystem& s : subsystems) {
+    ++width[s.level];
+  }
+  std::size_t m = 0;
+  for (std::size_t w : width) {
+    m = std::max(m, w);
+  }
+  return m;
+}
+
+Partition partition_by_scc(const model::FlatSystem& flat,
+                           const DependencyInfo& info) {
+  Partition p;
+  p.scc = graph::strongly_connected_components(info.eq_graph);
+  p.condensation = graph::condensation(info.eq_graph, p.scc);
+
+  const auto levels = p.condensation.levels();
+  p.num_levels = levels.empty()
+                     ? 0
+                     : *std::max_element(levels.begin(), levels.end()) + 1;
+
+  p.subsystems.resize(p.scc.num_components());
+  for (std::uint32_t c = 0; c < p.scc.num_components(); ++c) {
+    Subsystem& s = p.subsystems[c];
+    s.states.assign(p.scc.members[c].begin(), p.scc.members[c].end());
+    s.level = levels[c];
+    s.trivial = p.scc.is_trivial(c, info.eq_graph);
+  }
+  (void)flat;
+  return p;
+}
+
+std::string format_partition_report(const model::FlatSystem& flat,
+                                    const Partition& p) {
+  std::ostringstream os;
+  os << "equations: " << flat.num_states()
+     << "  SCCs: " << p.num_subsystems()
+     << "  largest: " << p.largest()
+     << "  trivial: " << p.num_trivial()
+     << "  levels: " << p.num_levels
+     << "  max parallel width: " << p.max_parallel_width() << "\n";
+  // Components are reported in solve order (level ascending).
+  std::vector<std::size_t> order(p.num_subsystems());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return p.subsystems[a].level < p.subsystems[b].level;
+  });
+  for (std::size_t c : order) {
+    const Subsystem& s = p.subsystems[c];
+    os << "  SCC " << c << " (x " << s.states.size() << ", level " << s.level
+       << (s.trivial ? ", trivial" : "") << "):";
+    const std::size_t show = std::min<std::size_t>(s.states.size(), 6);
+    for (std::size_t k = 0; k < show; ++k) {
+      os << " " << flat.state_name(static_cast<std::size_t>(s.states[k]));
+    }
+    if (s.states.size() > show) {
+      os << " ... (+" << (s.states.size() - show) << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace omx::analysis

@@ -1,0 +1,47 @@
+// Equation-system-level parallelism (§2.1, §2.5): partition the ODE system
+// into strongly connected components ("subsystems"), build the reduced
+// acyclic graph, and schedule subsystems into parallel levels / pipeline
+// stages.
+#pragma once
+
+#include <string>
+
+#include "omx/analysis/dependency.hpp"
+#include "omx/graph/scc.hpp"
+
+namespace omx::analysis {
+
+struct Subsystem {
+  std::vector<int> states;  // indices into FlatSystem::states()
+  std::uint32_t level = 0;  // topological level in the condensation
+  bool trivial = false;     // single equation with no self-dependency
+};
+
+struct Partition {
+  graph::SccResult scc;
+  graph::Digraph condensation;
+  std::vector<Subsystem> subsystems;   // one per SCC
+  std::uint32_t num_levels = 0;
+
+  std::size_t num_subsystems() const { return subsystems.size(); }
+  std::size_t largest() const;
+  std::size_t num_trivial() const;
+
+  /// Longest producer->consumer chain in the condensation — the available
+  /// pipeline depth (§2.1 "pipe-line parallelism").
+  std::uint32_t pipeline_depth() const { return num_levels; }
+
+  /// Maximum number of subsystems on one level — the available subsystem
+  /// parallelism.
+  std::size_t max_parallel_width() const;
+};
+
+Partition partition_by_scc(const model::FlatSystem& flat,
+                           const DependencyInfo& info);
+
+/// Human-readable report in the spirit of Figures 3 and 6: one line per
+/// SCC with its size, level and member equations.
+std::string format_partition_report(const model::FlatSystem& flat,
+                                    const Partition& p);
+
+}  // namespace omx::analysis

@@ -1,0 +1,45 @@
+#include "omx/codegen/assignments.hpp"
+
+#include "omx/expr/simplify.hpp"
+
+namespace omx::codegen {
+
+AssignmentSet build_assignments(const model::FlatSystem& flat,
+                                const TransformOptions& opts) {
+  OMX_REQUIRE(flat.finalized(), "flat system must be finalized");
+  expr::Context& ctx = flat.ctx();
+  AssignmentSet out;
+
+  auto transform = [&](expr::ExprId e) {
+    return opts.simplify ? expr::simplify(ctx.pool, e) : e;
+  };
+
+  for (std::size_t j = 0; j < flat.algebraics().size(); ++j) {
+    const model::FlatAlgebraic& al = flat.algebraics()[j];
+    out.algebraics.push_back(Assignment{Assignment::Kind::kAlgebraic,
+                                        static_cast<int>(j), al.name,
+                                        transform(al.rhs)});
+  }
+  for (std::size_t i = 0; i < flat.num_states(); ++i) {
+    const model::FlatState& st = flat.states()[i];
+    out.states.push_back(Assignment{Assignment::Kind::kStateDer,
+                                    static_cast<int>(i), st.name,
+                                    transform(st.rhs)});
+  }
+  return out;
+}
+
+expr::ExprId inline_algebraics(const model::FlatSystem& flat,
+                               expr::ExprId e) {
+  expr::Context& ctx = flat.ctx();
+  // Substitute repeatedly: the algebraics are acyclic and topologically
+  // ordered, so substituting in reverse order resolves chains in one sweep.
+  expr::ExprId cur = e;
+  for (std::size_t j = flat.algebraics().size(); j-- > 0;) {
+    const model::FlatAlgebraic& al = flat.algebraics()[j];
+    cur = ctx.pool.substitute(cur, al.name, al.rhs);
+  }
+  return cur;
+}
+
+}  // namespace omx::codegen

@@ -1,0 +1,40 @@
+// Expression transformer (§3.1, Figure 9): turns the flat equation system
+// into the list of assignments that "really needs to be computed by the
+// generated code" — derivatives removed, equations replaced by assignments
+// whose right-hand sides are the equation right-hand sides.
+#pragma once
+
+#include "omx/model/flat_system.hpp"
+
+namespace omx::codegen {
+
+struct Assignment {
+  enum class Kind { kAlgebraic, kStateDer };
+  Kind kind = Kind::kStateDer;
+  int index = 0;  // algebraic index or state index
+  SymbolId target = kInvalidSymbol;
+  expr::ExprId rhs = expr::kNoExpr;
+};
+
+struct AssignmentSet {
+  /// Auxiliary assignments in dependency order.
+  std::vector<Assignment> algebraics;
+  /// One per state: <name>dot = rhs.
+  std::vector<Assignment> states;
+};
+
+struct TransformOptions {
+  /// Run algebraic simplification over every RHS first.
+  bool simplify = true;
+};
+
+AssignmentSet build_assignments(const model::FlatSystem& flat,
+                                const TransformOptions& opts = {});
+
+/// Rewrites `e` with every algebraic variable replaced by its defining
+/// expression, recursively. Used when compiling self-contained parallel
+/// tasks (no values are shared between tasks in the distributed version).
+expr::ExprId inline_algebraics(const model::FlatSystem& flat,
+                               expr::ExprId e);
+
+}  // namespace omx::codegen

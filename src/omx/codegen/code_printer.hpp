@@ -1,0 +1,21 @@
+// Language-specific expression rendering shared by the Fortran 90 and C++
+// emitters. Symbols are printed verbatim (the emitters pre-substitute
+// sanitized local names), so the only language differences are operator
+// spelling (** vs std::pow) and intrinsic names.
+#pragma once
+
+#include <string>
+
+#include "omx/expr/pool.hpp"
+
+namespace omx::codegen {
+
+enum class Lang { kFortran90, kCxx };
+
+std::string to_code(const expr::Pool& pool, const Interner& names,
+                    expr::ExprId id, Lang lang);
+
+/// Makes a flat model name a legal identifier: "w[3].c.fn" -> "w_3__c_fn".
+std::string sanitize_identifier(const std::string& name);
+
+}  // namespace omx::codegen

@@ -1,0 +1,19 @@
+// C++ code generation — the second target language of the ObjectMath 4.0
+// code generator (Figure 8). Same task structure as the Fortran emitter:
+// parallel `rhs(worker_id, t, yin, yout)` with a switch per task, or a
+// serial globally-CSE'd body.
+#pragma once
+
+#include "omx/codegen/fortran.hpp"  // EmitResult, EmitOptions
+
+namespace omx::codegen {
+
+EmitResult emit_cpp_parallel(const model::FlatSystem& flat,
+                             const TaskPlan& plan,
+                             const EmitOptions& opts = {});
+
+EmitResult emit_cpp_serial(const model::FlatSystem& flat,
+                           const AssignmentSet& set,
+                           const EmitOptions& opts = {});
+
+}  // namespace omx::codegen

@@ -1,0 +1,145 @@
+#include "omx/codegen/cse.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace omx::codegen {
+
+namespace {
+
+bool is_leaf(const expr::Node& n) {
+  return n.op == expr::Op::kConst || n.op == expr::Op::kSym;
+}
+
+bool binary(const expr::Node& n) {
+  switch (n.op) {
+    case expr::Op::kAdd:
+    case expr::Op::kSub:
+    case expr::Op::kMul:
+    case expr::Op::kDiv:
+    case expr::Op::kPow:
+    case expr::Op::kCall2:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+CseResult eliminate_common_subexpressions(
+    expr::Context& ctx, const std::vector<expr::ExprId>& roots,
+    const CseOptions& opts) {
+  expr::Pool& pool = ctx.pool;
+
+  // 1. Collect the reachable nodes and reference counts within this unit.
+  //    Each root contributes one reference (it is used by its assignment).
+  std::unordered_map<expr::ExprId, std::size_t> refs;
+  std::vector<expr::ExprId> reach;
+  {
+    std::unordered_set<expr::ExprId> visited;
+    std::vector<expr::ExprId> stack;
+    for (expr::ExprId r : roots) {
+      ++refs[r];
+      stack.push_back(r);
+    }
+    while (!stack.empty()) {
+      const expr::ExprId cur = stack.back();
+      stack.pop_back();
+      if (!visited.insert(cur).second) {
+        continue;
+      }
+      reach.push_back(cur);
+      const expr::Node& n = pool.node(cur);
+      if (is_leaf(n)) {
+        continue;
+      }
+      ++refs[n.a];
+      stack.push_back(n.a);
+      if (binary(n)) {
+        ++refs[n.b];
+        stack.push_back(n.b);
+      }
+    }
+  }
+  // Hash-consing guarantees children have smaller ids than parents, so
+  // ascending id order is a valid children-first (topological) order.
+  std::sort(reach.begin(), reach.end());
+
+  // 2. DAG op count per node, for the min_ops threshold.
+  std::unordered_map<expr::ExprId, std::size_t> ops;
+  for (expr::ExprId id : reach) {
+    const expr::Node& n = pool.node(id);
+    if (is_leaf(n)) {
+      ops[id] = 0;
+      continue;
+    }
+    std::size_t c = 1 + ops[n.a];
+    if (binary(n)) {
+      c += ops[n.b];
+    }
+    ops[id] = c;
+  }
+
+  // 3. Rebuild children-first; extracted nodes become temp bindings, and
+  //    parents are rebuilt against the replacements.
+  CseResult result;
+  std::unordered_map<expr::ExprId, expr::ExprId> rep;
+  std::size_t next_temp = 0;
+  for (expr::ExprId id : reach) {
+    const expr::Node n = pool.node(id);  // copy: pool may grow below
+    if (is_leaf(n)) {
+      continue;
+    }
+    const expr::ExprId a = rep.count(n.a) ? rep.at(n.a) : n.a;
+    const expr::ExprId b =
+        binary(n) && rep.count(n.b) ? rep.at(n.b) : n.b;
+    expr::ExprId rebuilt = id;
+    if (a != n.a || (binary(n) && b != n.b)) {
+      switch (n.op) {
+        case expr::Op::kAdd: rebuilt = pool.add(a, b); break;
+        case expr::Op::kSub: rebuilt = pool.sub(a, b); break;
+        case expr::Op::kMul: rebuilt = pool.mul(a, b); break;
+        case expr::Op::kDiv: rebuilt = pool.div(a, b); break;
+        case expr::Op::kPow: rebuilt = pool.pow(a, b); break;
+        case expr::Op::kNeg: rebuilt = pool.neg(a); break;
+        case expr::Op::kCall1:
+          rebuilt = pool.call(static_cast<expr::Func1>(n.fn), a);
+          break;
+        case expr::Op::kCall2:
+          rebuilt = pool.call(static_cast<expr::Func2>(n.fn), a, b);
+          break;
+        default:
+          OMX_REQUIRE(false, "unexpected op in CSE rebuild");
+      }
+    }
+    if (refs[id] >= 2 && ops[id] >= opts.min_ops) {
+      const SymbolId temp =
+          ctx.symbol(opts.temp_prefix + std::to_string(next_temp++));
+      result.bindings.push_back(CseBinding{temp, rebuilt});
+      rep[id] = pool.sym(temp);
+    } else if (rebuilt != id) {
+      rep[id] = rebuilt;
+    }
+  }
+
+  result.roots.reserve(roots.size());
+  for (expr::ExprId r : roots) {
+    result.roots.push_back(rep.count(r) ? rep.at(r) : r);
+  }
+  return result;
+}
+
+std::size_t cse_op_count(const expr::Pool& pool, const CseResult& r) {
+  std::size_t total = 0;
+  for (const CseBinding& b : r.bindings) {
+    total += pool.tree_op_count(b.value);
+  }
+  for (expr::ExprId root : r.roots) {
+    total += pool.tree_op_count(root);
+  }
+  return total;
+}
+
+}  // namespace omx::codegen

@@ -1,0 +1,52 @@
+// Common subexpression elimination (§3.3).
+//
+// Because expressions are hash-consed, a "common subexpression" is simply
+// a non-leaf node referenced from more than one parent across the roots of
+// one compilation unit. CSE extracts such nodes as ordered temporary
+// bindings and rewrites the roots to reference them.
+//
+// Two granularities matter for the paper's measurements:
+//  * per-task CSE (parallel code):  each task is its own unit, nothing is
+//    shared between tasks — more total temporaries, more code;
+//  * global CSE (serial code): one unit for the whole system — large
+//    subexpressions shared between different equations collapse, yielding
+//    the substantially smaller serial code reported in §3.3.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "omx/expr/context.hpp"
+
+namespace omx::codegen {
+
+struct CseBinding {
+  SymbolId temp = kInvalidSymbol;  // generated name, e.g. "t$17"
+  expr::ExprId value = expr::kNoExpr;  // may reference earlier temps
+};
+
+struct CseResult {
+  std::vector<CseBinding> bindings;  // in dependency order
+  std::vector<expr::ExprId> roots;   // rewritten roots
+
+  std::size_t num_shared() const { return bindings.size(); }
+};
+
+struct CseOptions {
+  /// Only extract shared nodes whose DAG op count is at least this.
+  std::size_t min_ops = 1;
+  /// Prefix for generated temporary names.
+  std::string temp_prefix = "t$";
+};
+
+/// Runs CSE over one compilation unit (`roots`).
+CseResult eliminate_common_subexpressions(expr::Context& ctx,
+                                          const std::vector<expr::ExprId>& roots,
+                                          const CseOptions& opts = {});
+
+/// Number of arithmetic operations a straight-line emission of the unit
+/// would contain after CSE (bindings + rewritten roots, each counted as a
+/// tree — there is no sharing left inside them by construction).
+std::size_t cse_op_count(const expr::Pool& pool, const CseResult& r);
+
+}  // namespace omx::codegen

@@ -1,0 +1,41 @@
+// Shared machinery for the text emitters (Fortran 90 and C++): local-name
+// planning (state aliases, parameter constants, sanitized temps) and the
+// per-unit CSE preparation step.
+#pragma once
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "omx/codegen/cse.hpp"
+#include "omx/codegen/tasks.hpp"
+
+namespace omx::codegen {
+
+/// Symbol -> local-alias substitution for one emission unit, plus what the
+/// unit referenced (drives declaration emission).
+struct RenamePlan {
+  std::unordered_map<SymbolId, expr::ExprId> map;
+  std::vector<std::pair<std::string, int>> state_aliases;    // alias, index
+  std::vector<std::pair<std::string, double>> param_consts;  // alias, value
+  std::set<std::string> locals;  // all alias names introduced
+};
+
+RenamePlan plan_renames(const model::FlatSystem& flat,
+                        const std::vector<expr::ExprId>& exprs);
+
+struct UnitEmission {
+  RenamePlan renames;
+  CseResult cse;
+  std::vector<TaskUnit> units;  // parallel mode only
+};
+
+UnitEmission prepare_unit(const model::FlatSystem& flat,
+                          const std::vector<expr::ExprId>& roots,
+                          const std::string& temp_prefix,
+                          std::size_t cse_min_ops);
+
+expr::ExprId apply_renames(expr::Context& ctx, const RenamePlan& plan,
+                           expr::ExprId e);
+
+}  // namespace omx::codegen

@@ -1,0 +1,41 @@
+// Fortran 90 code generation (§3.2, §3.3, Figure 11).
+//
+// The parallel emitter produces the paper's SPMD shape: one subroutine
+//   RHS(workerid, yin, yout)
+// with a select case (workerid) branch per task; every task body loads its
+// state aliases from yin, computes its task-local CSE temporaries and
+// writes yout entries. The serial emitter folds the whole system into one
+// straight-line body with globally shared CSE temporaries (the much
+// smaller code §3.3 reports).
+#pragma once
+
+#include <string>
+
+#include "omx/codegen/cse.hpp"
+#include "omx/codegen/tasks.hpp"
+
+namespace omx::codegen {
+
+struct EmitResult {
+  std::string code;
+  std::size_t total_lines = 0;
+  std::size_t decl_lines = 0;
+  std::size_t num_cse_temps = 0;
+};
+
+struct EmitOptions {
+  /// CSE extraction threshold (ops); 1 extracts every shared node.
+  std::size_t cse_min_ops = 1;
+  /// Emit the INIT / parameter-reading helper subroutines as well.
+  bool with_helpers = true;
+};
+
+EmitResult emit_fortran_parallel(const model::FlatSystem& flat,
+                                 const TaskPlan& plan,
+                                 const EmitOptions& opts = {});
+
+EmitResult emit_fortran_serial(const model::FlatSystem& flat,
+                               const AssignmentSet& set,
+                               const EmitOptions& opts = {});
+
+}  // namespace omx::codegen

@@ -1,0 +1,28 @@
+// Tape compilation: lowers a task plan (parallel) or an assignment set
+// (serial, global CSE) into an executable vm::Program.
+//
+// Parallel program: one vm task per TaskSpec; every task is self-contained
+// (its own temporaries; within-task sharing falls out of the DAG memo).
+// Serial program: one single task computing algebraics then all states,
+// with the memo shared across the whole system — the executable analogue
+// of the globally CSE'd serial Fortran of §3.3.
+#pragma once
+
+#include "omx/codegen/tasks.hpp"
+#include "omx/vm/program.hpp"
+
+namespace omx::codegen {
+
+/// Compiles the parallel task plan. Parameters are folded to constants.
+vm::Program compile_parallel_tape(const model::FlatSystem& flat,
+                                  const TaskPlan& plan);
+
+/// Compiles the whole system as one task with global sharing.
+vm::Program compile_serial_tape(const model::FlatSystem& flat,
+                                const AssignmentSet& set);
+
+/// Compiles the analytic Jacobian J(i,j) = d f_i / d x_j as a program with
+/// n*n output slots (slot i*n+j). Row-major. Used by the implicit solvers.
+vm::Program compile_jacobian_tape(const model::FlatSystem& flat);
+
+}  // namespace omx::codegen

@@ -1,0 +1,53 @@
+// Task partitioning (§3.2): "groups all small assignments into one task
+// and splits large assignments obtained from the equations into several
+// tasks".
+//
+// A task is the unit of scheduling for the supervisor/worker runtime.
+// Parallel tasks are self-contained: algebraic variables are inlined so
+// no values flow between tasks (the code generator "shares no
+// subexpressions between the tasks", §3.2/§3.3).
+//
+// Splitting: when an inlined right-hand side exceeds `max_ops_per_task`
+// and its top is an addition/subtraction chain, the chain is divided into
+// partial sums computed by separate tasks; the runtime accumulates the
+// partial contributions into ydot[state] (addition is the combine step).
+#pragma once
+
+#include <string>
+
+#include "omx/codegen/assignments.hpp"
+
+namespace omx::codegen {
+
+struct TaskUnit {
+  int state = 0;          // ydot slot this unit contributes to
+  int part = 0;           // partial-sum index (0-based)
+  int num_parts = 1;      // 1 = the whole right-hand side
+  expr::ExprId rhs = expr::kNoExpr;  // algebraics inlined
+};
+
+struct TaskSpec {
+  std::string label;
+  std::vector<TaskUnit> units;
+  std::size_t est_ops = 0;  // DAG op count (task-local CSE assumed)
+};
+
+struct TaskPlanOptions {
+  /// Grouping threshold: consecutive small assignments are packed into one
+  /// task until it reaches at least this many ops.
+  std::size_t min_ops_per_task = 16;
+  /// Splitting threshold; 0 disables splitting.
+  std::size_t max_ops_per_task = 0;
+};
+
+struct TaskPlan {
+  std::vector<TaskSpec> tasks;
+  TaskPlanOptions options;
+
+  std::size_t num_split_units() const;
+};
+
+TaskPlan plan_tasks(const model::FlatSystem& flat, const AssignmentSet& set,
+                    const TaskPlanOptions& opts = {});
+
+}  // namespace omx::codegen

@@ -1,0 +1,100 @@
+// Ergonomic expression-building layer: a small value type `Ex` that carries
+// (pool, id) and overloads the usual operators, so model code reads like
+// the mathematics it encodes:
+//
+//   Ex delta = r - sqrt(dx * dx + dy * dy);
+//   Ex force = k * pow(max(delta, Ex::lit(ctx, 0.0)), 1.5);
+#pragma once
+
+#include "omx/expr/pool.hpp"
+
+namespace omx::expr {
+
+class Ex {
+ public:
+  Ex() : pool_(nullptr), id_(kNoExpr) {}
+  Ex(Pool& pool, ExprId id) : pool_(&pool), id_(id) {}
+
+  static Ex lit(Pool& pool, double v) { return {pool, pool.constant(v)}; }
+  static Ex symbol(Pool& pool, SymbolId s) { return {pool, pool.sym(s)}; }
+
+  ExprId id() const { return id_; }
+  Pool& pool() const {
+    OMX_REQUIRE(pool_ != nullptr, "empty Ex");
+    return *pool_;
+  }
+  bool valid() const { return pool_ != nullptr && id_ != kNoExpr; }
+
+ private:
+  Pool* pool_;
+  ExprId id_;
+};
+
+namespace detail {
+inline Pool& same_pool(const Ex& a, const Ex& b) {
+  OMX_REQUIRE(&a.pool() == &b.pool(), "mixing expressions from two pools");
+  return a.pool();
+}
+}  // namespace detail
+
+inline Ex operator+(Ex a, Ex b) {
+  Pool& p = detail::same_pool(a, b);
+  return {p, p.add(a.id(), b.id())};
+}
+inline Ex operator-(Ex a, Ex b) {
+  Pool& p = detail::same_pool(a, b);
+  return {p, p.sub(a.id(), b.id())};
+}
+inline Ex operator*(Ex a, Ex b) {
+  Pool& p = detail::same_pool(a, b);
+  return {p, p.mul(a.id(), b.id())};
+}
+inline Ex operator/(Ex a, Ex b) {
+  Pool& p = detail::same_pool(a, b);
+  return {p, p.div(a.id(), b.id())};
+}
+inline Ex operator-(Ex a) { return {a.pool(), a.pool().neg(a.id())}; }
+
+inline Ex operator+(Ex a, double b) { return a + Ex::lit(a.pool(), b); }
+inline Ex operator+(double a, Ex b) { return Ex::lit(b.pool(), a) + b; }
+inline Ex operator-(Ex a, double b) { return a - Ex::lit(a.pool(), b); }
+inline Ex operator-(double a, Ex b) { return Ex::lit(b.pool(), a) - b; }
+inline Ex operator*(Ex a, double b) { return a * Ex::lit(a.pool(), b); }
+inline Ex operator*(double a, Ex b) { return Ex::lit(b.pool(), a) * b; }
+inline Ex operator/(Ex a, double b) { return a / Ex::lit(a.pool(), b); }
+inline Ex operator/(double a, Ex b) { return Ex::lit(b.pool(), a) / b; }
+
+inline Ex pow(Ex a, Ex b) {
+  Pool& p = detail::same_pool(a, b);
+  return {p, p.pow(a.id(), b.id())};
+}
+inline Ex pow(Ex a, double b) { return pow(a, Ex::lit(a.pool(), b)); }
+
+inline Ex call(Func1 f, Ex a) { return {a.pool(), a.pool().call(f, a.id())}; }
+inline Ex call(Func2 f, Ex a, Ex b) {
+  Pool& p = detail::same_pool(a, b);
+  return {p, p.call(f, a.id(), b.id())};
+}
+
+inline Ex sin(Ex a) { return call(Func1::kSin, a); }
+inline Ex cos(Ex a) { return call(Func1::kCos, a); }
+inline Ex tan(Ex a) { return call(Func1::kTan, a); }
+inline Ex asin(Ex a) { return call(Func1::kAsin, a); }
+inline Ex acos(Ex a) { return call(Func1::kAcos, a); }
+inline Ex atan(Ex a) { return call(Func1::kAtan, a); }
+inline Ex sinh(Ex a) { return call(Func1::kSinh, a); }
+inline Ex cosh(Ex a) { return call(Func1::kCosh, a); }
+inline Ex tanh(Ex a) { return call(Func1::kTanh, a); }
+inline Ex exp(Ex a) { return call(Func1::kExp, a); }
+inline Ex log(Ex a) { return call(Func1::kLog, a); }
+inline Ex sqrt(Ex a) { return call(Func1::kSqrt, a); }
+inline Ex abs(Ex a) { return call(Func1::kAbs, a); }
+inline Ex sign(Ex a) { return call(Func1::kSign, a); }
+inline Ex atan2(Ex a, Ex b) { return call(Func2::kAtan2, a, b); }
+inline Ex min(Ex a, Ex b) { return call(Func2::kMin, a, b); }
+inline Ex max(Ex a, Ex b) { return call(Func2::kMax, a, b); }
+inline Ex hypot(Ex a, Ex b) { return call(Func2::kHypot, a, b); }
+inline Ex min(Ex a, double b) { return min(a, Ex::lit(a.pool(), b)); }
+inline Ex max(Ex a, double b) { return max(a, Ex::lit(a.pool(), b)); }
+
+}  // namespace omx::expr

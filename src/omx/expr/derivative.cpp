@@ -1,0 +1,170 @@
+#include "omx/expr/derivative.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+namespace omx::expr {
+
+namespace {
+
+class Differ {
+ public:
+  Differ(Pool& pool, SymbolId sym) : p_(pool), sym_(sym) {}
+
+  ExprId run(ExprId id) {
+    if (auto it = memo_.find(id); it != memo_.end()) {
+      return it->second;
+    }
+    const Node n = p_.node(id);  // copy, pool may grow
+    ExprId r = kNoExpr;
+    switch (n.op) {
+      case Op::kConst:
+        r = zero();
+        break;
+      case Op::kSym:
+        r = (static_cast<SymbolId>(n.a) == sym_) ? one() : zero();
+        break;
+      case Op::kAdd:
+        r = p_.add(run(n.a), run(n.b));
+        break;
+      case Op::kSub:
+        r = p_.sub(run(n.a), run(n.b));
+        break;
+      case Op::kMul:
+        // (uv)' = u'v + uv'
+        r = p_.add(p_.mul(run(n.a), n.b), p_.mul(n.a, run(n.b)));
+        break;
+      case Op::kDiv:
+        // (u/v)' = (u'v - uv') / v^2
+        r = p_.div(p_.sub(p_.mul(run(n.a), n.b), p_.mul(n.a, run(n.b))),
+                   p_.mul(n.b, n.b));
+        break;
+      case Op::kPow:
+        r = diff_pow(n.a, n.b);
+        break;
+      case Op::kNeg:
+        r = p_.neg(run(n.a));
+        break;
+      case Op::kCall1:
+        r = p_.mul(d_func1(static_cast<Func1>(n.fn), n.a), run(n.a));
+        break;
+      case Op::kCall2:
+        r = diff_func2(static_cast<Func2>(n.fn), n.a, n.b);
+        break;
+      case Op::kDer:
+        throw omx::Error("differentiate: der() is not a value");
+    }
+    memo_[id] = r;
+    return r;
+  }
+
+ private:
+  ExprId zero() { return p_.constant(0.0); }
+  ExprId one() { return p_.constant(1.0); }
+
+  ExprId diff_pow(ExprId base, ExprId expo) {
+    const Node& e = p_.node(expo);
+    if (e.op == Op::kConst) {
+      // (u^c)' = c * u^(c-1) * u'
+      const double c = p_.const_value(expo);
+      return p_.mul(p_.mul(p_.constant(c), p_.pow(base, p_.constant(c - 1.0))),
+                    run(base));
+    }
+    // General case: u^v = exp(v log u);  (u^v)' = u^v (v' log u + v u'/u).
+    const ExprId uv = p_.pow(base, expo);
+    const ExprId term1 = p_.mul(run(expo), p_.call(Func1::kLog, base));
+    const ExprId term2 = p_.div(p_.mul(expo, run(base)), base);
+    return p_.mul(uv, p_.add(term1, term2));
+  }
+
+  /// d f(u) / du (the outer derivative; the chain-rule factor u' is applied
+  /// by the caller).
+  ExprId d_func1(Func1 f, ExprId u) {
+    switch (f) {
+      case Func1::kSin:
+        return p_.call(Func1::kCos, u);
+      case Func1::kCos:
+        return p_.neg(p_.call(Func1::kSin, u));
+      case Func1::kTan: {
+        const ExprId c = p_.call(Func1::kCos, u);
+        return p_.div(one(), p_.mul(c, c));
+      }
+      case Func1::kAsin:
+        return p_.div(one(),
+                      p_.call(Func1::kSqrt,
+                              p_.sub(one(), p_.mul(u, u))));
+      case Func1::kAcos:
+        return p_.neg(p_.div(one(), p_.call(Func1::kSqrt,
+                                            p_.sub(one(), p_.mul(u, u)))));
+      case Func1::kAtan:
+        return p_.div(one(), p_.add(one(), p_.mul(u, u)));
+      case Func1::kSinh:
+        return p_.call(Func1::kCosh, u);
+      case Func1::kCosh:
+        return p_.call(Func1::kSinh, u);
+      case Func1::kTanh: {
+        const ExprId t = p_.call(Func1::kTanh, u);
+        return p_.sub(one(), p_.mul(t, t));
+      }
+      case Func1::kExp:
+        return p_.call(Func1::kExp, u);
+      case Func1::kLog:
+        return p_.div(one(), u);
+      case Func1::kSqrt:
+        return p_.div(one(), p_.mul(p_.constant(2.0),
+                                    p_.call(Func1::kSqrt, u)));
+      case Func1::kAbs:
+        return p_.call(Func1::kSign, u);
+      case Func1::kSign:
+        return zero();
+    }
+    OMX_REQUIRE(false, "unknown Func1");
+    return kNoExpr;
+  }
+
+  ExprId diff_func2(Func2 f, ExprId a, ExprId b) {
+    switch (f) {
+      case Func2::kAtan2: {
+        // d atan2(y, x) = (y' x - y x') / (x^2 + y^2)
+        const ExprId denom = p_.add(p_.mul(b, b), p_.mul(a, a));
+        return p_.div(p_.sub(p_.mul(run(a), b), p_.mul(a, run(b))), denom);
+      }
+      case Func2::kMin: {
+        // min(a,b) = (a + b - |a-b|)/2
+        return half_abs_identity(a, b, /*plus=*/false);
+      }
+      case Func2::kMax: {
+        return half_abs_identity(a, b, /*plus=*/true);
+      }
+      case Func2::kHypot: {
+        // d hypot(a,b) = (a a' + b b') / hypot(a,b)
+        const ExprId h = p_.call(Func2::kHypot, a, b);
+        return p_.div(p_.add(p_.mul(a, run(a)), p_.mul(b, run(b))), h);
+      }
+    }
+    OMX_REQUIRE(false, "unknown Func2");
+    return kNoExpr;
+  }
+
+  ExprId half_abs_identity(ExprId a, ExprId b, bool plus) {
+    const ExprId da = run(a);
+    const ExprId db = run(b);
+    const ExprId sgn = p_.call(Func1::kSign, p_.sub(a, b));
+    const ExprId sum = p_.add(da, db);
+    const ExprId diff = p_.mul(sgn, p_.sub(da, db));
+    const ExprId numer = plus ? p_.add(sum, diff) : p_.sub(sum, diff);
+    return p_.div(numer, p_.constant(2.0));
+  }
+
+  Pool& p_;
+  SymbolId sym_;
+  std::unordered_map<ExprId, ExprId> memo_;
+};
+
+}  // namespace
+
+ExprId differentiate(Pool& pool, ExprId id, SymbolId sym) {
+  return Differ(pool, sym).run(id);
+}
+
+}  // namespace omx::expr

@@ -1,0 +1,22 @@
+// Symbolic differentiation: d expr / d symbol.
+//
+// Used to generate analytic Jacobians for the implicit (BDF) solvers —
+// the paper notes that supplying the solver with a generated Jacobian
+// function "might reduce computation time drastically" (§3.2.1).
+#pragma once
+
+#include "omx/expr/pool.hpp"
+
+namespace omx::expr {
+
+/// Returns d(id)/d(sym) as a new expression in `pool`.
+///
+/// Differentiable everywhere except:
+///  * abs  -> sign (subgradient at 0),
+///  * sign -> 0 (distributional spike ignored),
+///  * min/max -> via the identities min(a,b) = (a+b-|a-b|)/2,
+///    max(a,b) = (a+b+|a-b|)/2.
+/// kDer nodes are rejected.
+ExprId differentiate(Pool& pool, ExprId id, SymbolId sym);
+
+}  // namespace omx::expr

@@ -1,0 +1,101 @@
+#include "omx/expr/eval.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace omx::expr {
+
+double Env::get(SymbolId s) const {
+  auto it = values_.find(s);
+  if (it == values_.end()) {
+    throw omx::Error("evaluation: unbound symbol id " + std::to_string(s));
+  }
+  return it->second;
+}
+
+double apply_func1(Func1 f, double a) {
+  switch (f) {
+    case Func1::kSin: return std::sin(a);
+    case Func1::kCos: return std::cos(a);
+    case Func1::kTan: return std::tan(a);
+    case Func1::kAsin: return std::asin(a);
+    case Func1::kAcos: return std::acos(a);
+    case Func1::kAtan: return std::atan(a);
+    case Func1::kSinh: return std::sinh(a);
+    case Func1::kCosh: return std::cosh(a);
+    case Func1::kTanh: return std::tanh(a);
+    case Func1::kExp: return std::exp(a);
+    case Func1::kLog: return std::log(a);
+    case Func1::kSqrt: return std::sqrt(a);
+    case Func1::kAbs: return std::fabs(a);
+    case Func1::kSign: return a > 0.0 ? 1.0 : (a < 0.0 ? -1.0 : 0.0);
+  }
+  OMX_REQUIRE(false, "unknown Func1");
+  return 0.0;
+}
+
+double apply_func2(Func2 f, double a, double b) {
+  switch (f) {
+    case Func2::kAtan2: return std::atan2(a, b);
+    case Func2::kMin: return std::fmin(a, b);
+    case Func2::kMax: return std::fmax(a, b);
+    case Func2::kHypot: return std::hypot(a, b);
+  }
+  OMX_REQUIRE(false, "unknown Func2");
+  return 0.0;
+}
+
+double eval(const Pool& pool, ExprId id, const Env& env) {
+  // Iterative post-order with a per-call memo (the DAG can be deep).
+  std::unordered_map<ExprId, double> memo;
+  std::vector<std::pair<ExprId, bool>> stack{{id, false}};
+  while (!stack.empty()) {
+    auto [cur, ready] = stack.back();
+    stack.pop_back();
+    if (memo.count(cur)) {
+      continue;
+    }
+    const Node& n = pool.node(cur);
+    switch (n.op) {
+      case Op::kConst:
+        memo[cur] = pool.const_value(cur);
+        continue;
+      case Op::kSym:
+        memo[cur] = env.get(static_cast<SymbolId>(n.a));
+        continue;
+      case Op::kDer:
+        throw omx::Error("evaluation: der() is not a value");
+      default:
+        break;
+    }
+    const bool binary = n.op == Op::kAdd || n.op == Op::kSub ||
+                        n.op == Op::kMul || n.op == Op::kDiv ||
+                        n.op == Op::kPow || n.op == Op::kCall2;
+    if (!ready) {
+      stack.push_back({cur, true});
+      stack.push_back({n.a, false});
+      if (binary) {
+        stack.push_back({n.b, false});
+      }
+      continue;
+    }
+    const double a = memo.at(n.a);
+    const double b = binary ? memo.at(n.b) : 0.0;
+    double r = 0.0;
+    switch (n.op) {
+      case Op::kAdd: r = a + b; break;
+      case Op::kSub: r = a - b; break;
+      case Op::kMul: r = a * b; break;
+      case Op::kDiv: r = a / b; break;
+      case Op::kPow: r = std::pow(a, b); break;
+      case Op::kNeg: r = -a; break;
+      case Op::kCall1: r = apply_func1(static_cast<Func1>(n.fn), a); break;
+      case Op::kCall2: r = apply_func2(static_cast<Func2>(n.fn), a, b); break;
+      default: OMX_REQUIRE(false, "unreachable eval op");
+    }
+    memo[cur] = r;
+  }
+  return memo.at(id);
+}
+
+}  // namespace omx::expr

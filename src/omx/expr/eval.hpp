@@ -1,0 +1,37 @@
+// Direct (tree-walking) evaluation of expressions. This is the reference
+// semantics against which the bytecode VM and the generated code are tested;
+// production execution goes through omx::vm.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "omx/expr/pool.hpp"
+
+namespace omx::expr {
+
+/// Symbol binding environment for evaluation.
+class Env {
+ public:
+  void set(SymbolId s, double v) { values_[s] = v; }
+
+  /// Returns the value bound to `s`; throws omx::Error if unbound.
+  double get(SymbolId s) const;
+
+  bool has(SymbolId s) const { return values_.count(s) != 0; }
+
+ private:
+  std::unordered_map<SymbolId, double> values_;
+};
+
+/// Evaluates `id` under `env`. kDer nodes are rejected (they only appear on
+/// equation left-hand sides, never inside values).
+double eval(const Pool& pool, ExprId id, const Env& env);
+
+/// Applies a Func1 to a value (shared by evaluator, VM and constant folding).
+double apply_func1(Func1 f, double a);
+
+/// Applies a Func2 to two values.
+double apply_func2(Func2 f, double a, double b);
+
+}  // namespace omx::expr

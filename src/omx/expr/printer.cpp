@@ -1,0 +1,222 @@
+#include "omx/expr/printer.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace omx::expr {
+
+namespace {
+
+// Precedence levels for minimal parenthesization.
+// add/sub: 1, mul/div: 2, unary minus: 3, pow: 4, atoms/calls: 5.
+int precedence(const Node& n) {
+  switch (n.op) {
+    case Op::kAdd:
+    case Op::kSub:
+      return 1;
+    case Op::kMul:
+    case Op::kDiv:
+      return 2;
+    case Op::kNeg:
+      return 3;
+    case Op::kPow:
+      return 4;
+    default:
+      return 5;
+  }
+}
+
+void format_number(std::ostringstream& os, double v) {
+  // Shortest round-trip-ish: default 12 significant digits suffices for
+  // human-facing output; generated code uses the same formatting.
+  std::ostringstream tmp;
+  tmp.precision(12);
+  tmp << v;
+  os << tmp.str();
+}
+
+class InfixPrinter {
+ public:
+  InfixPrinter(const Pool& p, const Interner& names) : p_(p), names_(names) {}
+
+  void print(std::ostringstream& os, ExprId id, int parent_prec,
+             bool right_side) {
+    const Node& n = p_.node(id);
+    const int prec = precedence(n);
+    // pow is right-associative; add/sub/mul/div left-associative.
+    const bool needs_parens =
+        prec < parent_prec ||
+        (prec == parent_prec && right_side && prec != 4 && prec != 5);
+    switch (n.op) {
+      case Op::kConst:
+        if (p_.const_value(id) < 0.0) {
+          os << '(';
+          format_number(os, p_.const_value(id));
+          os << ')';
+        } else {
+          format_number(os, p_.const_value(id));
+        }
+        return;
+      case Op::kSym:
+        os << names_.name(static_cast<SymbolId>(n.a));
+        return;
+      case Op::kDer:
+        os << names_.name(static_cast<SymbolId>(p_.node(n.a).a)) << "'";
+        return;
+      case Op::kCall1:
+        os << func1_name(static_cast<Func1>(n.fn)) << '(';
+        print(os, n.a, 0, false);
+        os << ')';
+        return;
+      case Op::kCall2:
+        os << func2_name(static_cast<Func2>(n.fn)) << '(';
+        print(os, n.a, 0, false);
+        os << ", ";
+        print(os, n.b, 0, false);
+        os << ')';
+        return;
+      default:
+        break;
+    }
+    if (needs_parens) os << '(';
+    switch (n.op) {
+      case Op::kAdd:
+        print(os, n.a, 1, false);
+        os << " + ";
+        print(os, n.b, 1, true);
+        break;
+      case Op::kSub:
+        print(os, n.a, 1, false);
+        os << " - ";
+        print(os, n.b, 1, true);
+        break;
+      case Op::kMul:
+        print(os, n.a, 2, false);
+        os << "*";
+        print(os, n.b, 2, true);
+        break;
+      case Op::kDiv:
+        print(os, n.a, 2, false);
+        os << "/";
+        print(os, n.b, 2, true);
+        break;
+      case Op::kPow:
+        print(os, n.a, 5, false);  // force parens on compound bases
+        os << "^";
+        print(os, n.b, 4, true);
+        break;
+      case Op::kNeg:
+        os << "-";
+        print(os, n.a, 3, true);
+        break;
+      default:
+        OMX_REQUIRE(false, "unreachable print op");
+    }
+    if (needs_parens) os << ')';
+  }
+
+ private:
+  const Pool& p_;
+  const Interner& names_;
+};
+
+class FullFormPrinter {
+ public:
+  FullFormPrinter(const Pool& p, const Interner& names,
+                  const FullFormOptions& opts)
+      : p_(p), names_(names), opts_(opts) {}
+
+  void print(std::ostringstream& os, ExprId id) {
+    const Node& n = p_.node(id);
+    switch (n.op) {
+      case Op::kConst:
+        format_number(os, p_.const_value(id));
+        return;
+      case Op::kSym: {
+        const auto& nm = names_.name(static_cast<SymbolId>(n.a));
+        if (opts_.annotate_types) {
+          os << "om$Type[" << nm << ", om$Real]";
+        } else {
+          os << nm;
+        }
+        return;
+      }
+      case Op::kDer:
+        os << "Derivative[1][";
+        print(os, n.a);
+        os << "]";
+        return;
+      case Op::kAdd:
+        binary(os, "Plus", n);
+        return;
+      case Op::kSub:
+        // Mathematica has no Subtract in FullForm; ObjectMath's intermediate
+        // form keeps it explicit for readability.
+        binary(os, "Subtract", n);
+        return;
+      case Op::kMul:
+        binary(os, "Times", n);
+        return;
+      case Op::kDiv:
+        binary(os, "Divide", n);
+        return;
+      case Op::kPow:
+        binary(os, "Power", n);
+        return;
+      case Op::kNeg:
+        os << "Minus[";
+        print(os, n.a);
+        os << "]";
+        return;
+      case Op::kCall1: {
+        std::string head = func1_name(static_cast<Func1>(n.fn));
+        head[0] = static_cast<char>(std::toupper(head[0]));
+        os << head << "[";
+        print(os, n.a);
+        os << "]";
+        return;
+      }
+      case Op::kCall2: {
+        std::string head = func2_name(static_cast<Func2>(n.fn));
+        head[0] = static_cast<char>(std::toupper(head[0]));
+        os << head << "[";
+        print(os, n.a);
+        os << ", ";
+        print(os, n.b);
+        os << "]";
+        return;
+      }
+    }
+    OMX_REQUIRE(false, "unreachable fullform op");
+  }
+
+ private:
+  void binary(std::ostringstream& os, const char* head, const Node& n) {
+    os << head << "[";
+    print(os, n.a);
+    os << ", ";
+    print(os, n.b);
+    os << "]";
+  }
+
+  const Pool& p_;
+  const Interner& names_;
+  const FullFormOptions& opts_;
+};
+
+}  // namespace
+
+std::string to_infix(const Pool& pool, const Interner& names, ExprId id) {
+  std::ostringstream os;
+  InfixPrinter(pool, names).print(os, id, 0, false);
+  return os.str();
+}
+
+std::string to_fullform(const Pool& pool, const Interner& names, ExprId id,
+                        const FullFormOptions& opts) {
+  std::ostringstream os;
+  FullFormPrinter(pool, names, opts).print(os, id);
+  return os.str();
+}
+
+}  // namespace omx::expr

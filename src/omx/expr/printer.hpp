@@ -1,0 +1,26 @@
+// Expression printing in the two styles the paper shows (Figure 11):
+//  * infix "normal form":        x'[t] == y[t]
+//  * Mathematica-like prefix "FullForm", optionally with om$Type
+//    annotations: Equal[Derivative[1][om$Type[x, om$Real]][t], ...]
+#pragma once
+
+#include <string>
+
+#include "omx/expr/pool.hpp"
+
+namespace omx::expr {
+
+/// Infix rendering with minimal parentheses.
+std::string to_infix(const Pool& pool, const Interner& names, ExprId id);
+
+struct FullFormOptions {
+  /// Wrap every symbol in om$Type[sym, om$Real] as ObjectMath 4.0's
+  /// type-annotated intermediate form does.
+  bool annotate_types = false;
+};
+
+/// Prefix (FullForm) rendering: Plus[Times[x, y], Minus[z]] ...
+std::string to_fullform(const Pool& pool, const Interner& names, ExprId id,
+                        const FullFormOptions& opts = {});
+
+}  // namespace omx::expr

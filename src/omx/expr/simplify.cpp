@@ -1,0 +1,179 @@
+#include "omx/expr/simplify.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "omx/expr/eval.hpp"
+
+namespace omx::expr {
+
+namespace {
+
+class Simplifier {
+ public:
+  explicit Simplifier(Pool& pool) : p_(pool) {}
+
+  ExprId run(ExprId id) {
+    if (auto it = memo_.find(id); it != memo_.end()) {
+      return it->second;
+    }
+    const Node n = p_.node(id);  // copy, pool may grow
+    ExprId r;
+    switch (n.op) {
+      case Op::kConst:
+      case Op::kSym:
+      case Op::kDer:
+        r = id;
+        break;
+      case Op::kAdd:
+        r = mk_add(run(n.a), run(n.b));
+        break;
+      case Op::kSub:
+        r = mk_sub(run(n.a), run(n.b));
+        break;
+      case Op::kMul:
+        r = mk_mul(run(n.a), run(n.b));
+        break;
+      case Op::kDiv:
+        r = mk_div(run(n.a), run(n.b));
+        break;
+      case Op::kPow:
+        r = mk_pow(run(n.a), run(n.b));
+        break;
+      case Op::kNeg:
+        r = mk_neg(run(n.a));
+        break;
+      case Op::kCall1:
+        r = mk_call1(static_cast<Func1>(n.fn), run(n.a));
+        break;
+      case Op::kCall2:
+        r = mk_call2(static_cast<Func2>(n.fn), run(n.a), run(n.b));
+        break;
+      default:
+        OMX_REQUIRE(false, "unreachable");
+        r = id;
+    }
+    memo_[id] = r;
+    return r;
+  }
+
+ private:
+  bool cst(ExprId e, double& out) const {
+    if (p_.node(e).op == Op::kConst) {
+      out = p_.const_value(e);
+      return true;
+    }
+    return false;
+  }
+
+  ExprId mk_add(ExprId a, ExprId b) {
+    double ca, cb;
+    const bool ka = cst(a, ca), kb = cst(b, cb);
+    if (ka && kb) return p_.constant(ca + cb);
+    if (ka && ca == 0.0) return b;
+    if (kb && cb == 0.0) return a;
+    // x + (-y) -> x - y
+    if (p_.node(b).op == Op::kNeg) return mk_sub(a, p_.node(b).a);
+    if (p_.node(a).op == Op::kNeg) return mk_sub(b, p_.node(a).a);
+    return p_.add(a, b);
+  }
+
+  ExprId mk_sub(ExprId a, ExprId b) {
+    double ca, cb;
+    const bool ka = cst(a, ca), kb = cst(b, cb);
+    if (ka && kb) return p_.constant(ca - cb);
+    if (kb && cb == 0.0) return a;
+    if (ka && ca == 0.0) return mk_neg(b);
+    if (a == b) return p_.constant(0.0);
+    // x - (-y) -> x + y
+    if (p_.node(b).op == Op::kNeg) return mk_add(a, p_.node(b).a);
+    return p_.sub(a, b);
+  }
+
+  ExprId mk_mul(ExprId a, ExprId b) {
+    double ca, cb;
+    const bool ka = cst(a, ca), kb = cst(b, cb);
+    if (ka && kb) return p_.constant(ca * cb);
+    if ((ka && ca == 0.0) || (kb && cb == 0.0)) return p_.constant(0.0);
+    if (ka && ca == 1.0) return b;
+    if (kb && cb == 1.0) return a;
+    if (ka && ca == -1.0) return mk_neg(b);
+    if (kb && cb == -1.0) return mk_neg(a);
+    // (-x) * (-y) -> x * y
+    if (p_.node(a).op == Op::kNeg && p_.node(b).op == Op::kNeg) {
+      return mk_mul(p_.node(a).a, p_.node(b).a);
+    }
+    return p_.mul(a, b);
+  }
+
+  ExprId mk_div(ExprId a, ExprId b) {
+    double ca, cb;
+    const bool ka = cst(a, ca), kb = cst(b, cb);
+    if (kb && cb != 0.0) {
+      if (ka) return p_.constant(ca / cb);
+      if (cb == 1.0) return a;
+      if (cb == -1.0) return mk_neg(a);
+    }
+    if (ka && ca == 0.0 && !(kb && cb == 0.0)) {
+      // 0 / x: preserved only when the denominator is a nonzero constant;
+      // for symbolic denominators, 0/0 would change semantics at x == 0.
+      if (kb) return p_.constant(0.0);
+    }
+    return p_.div(a, b);
+  }
+
+  ExprId mk_pow(ExprId a, ExprId b) {
+    double ca, cb;
+    const bool ka = cst(a, ca), kb = cst(b, cb);
+    if (ka && kb) return p_.constant(std::pow(ca, cb));
+    if (kb) {
+      if (cb == 0.0) return p_.constant(1.0);  // pow(x,0)==1, incl. x==0
+      if (cb == 1.0) return a;
+      if (cb == 2.0) return mk_mul(a, a);
+    }
+    return p_.pow(a, b);
+  }
+
+  ExprId mk_neg(ExprId a) {
+    double ca;
+    if (cst(a, ca)) return p_.constant(-ca);
+    if (p_.node(a).op == Op::kNeg) return p_.node(a).a;  // --x -> x
+    return p_.neg(a);
+  }
+
+  ExprId mk_call1(Func1 f, ExprId a) {
+    double ca;
+    if (cst(a, ca)) {
+      const double v = apply_func1(f, ca);
+      if (std::isfinite(v)) return p_.constant(v);
+    }
+    // abs(abs(x)) -> abs(x); abs(-x) -> abs(x)
+    if (f == Func1::kAbs) {
+      const Node& n = p_.node(a);
+      if (n.op == Op::kCall1 && static_cast<Func1>(n.fn) == Func1::kAbs) {
+        return a;
+      }
+      if (n.op == Op::kNeg) return p_.call(Func1::kAbs, n.a);
+    }
+    return p_.call(f, a);
+  }
+
+  ExprId mk_call2(Func2 f, ExprId a, ExprId b) {
+    double ca, cb;
+    if (cst(a, ca) && cst(b, cb)) {
+      const double v = apply_func2(f, ca, cb);
+      if (std::isfinite(v)) return p_.constant(v);
+    }
+    if ((f == Func2::kMin || f == Func2::kMax) && a == b) return a;
+    return p_.call(f, a, b);
+  }
+
+  Pool& p_;
+  std::unordered_map<ExprId, ExprId> memo_;
+};
+
+}  // namespace
+
+ExprId simplify(Pool& pool, ExprId id) { return Simplifier(pool).run(id); }
+
+}  // namespace omx::expr

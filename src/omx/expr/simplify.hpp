@@ -1,0 +1,16 @@
+// Algebraic simplification: constant folding plus local identities.
+//
+// The pass is semantics-preserving on finite inputs (verified by property
+// tests that evaluate original vs simplified expression at random points).
+// Identities that only hold outside singular points (e.g. x/x = 1) are
+// deliberately NOT applied.
+#pragma once
+
+#include "omx/expr/pool.hpp"
+
+namespace omx::expr {
+
+/// Returns a simplified equivalent of `id` (possibly `id` itself).
+ExprId simplify(Pool& pool, ExprId id);
+
+}  // namespace omx::expr

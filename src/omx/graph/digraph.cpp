@@ -1,0 +1,94 @@
+#include "omx/graph/digraph.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "omx/support/diagnostics.hpp"
+
+namespace omx::graph {
+
+NodeId Digraph::add_node() {
+  adj_.emplace_back();
+  return static_cast<NodeId>(adj_.size() - 1);
+}
+
+void Digraph::add_edge(NodeId from, NodeId to) {
+  OMX_REQUIRE(from < adj_.size() && to < adj_.size(), "edge out of range");
+  adj_[from].push_back(to);
+  ++num_edges_;
+}
+
+bool Digraph::has_edge(NodeId from, NodeId to) const {
+  const auto& s = adj_[from];
+  return std::find(s.begin(), s.end(), to) != s.end();
+}
+
+void Digraph::deduplicate() {
+  num_edges_ = 0;
+  for (auto& s : adj_) {
+    std::unordered_set<NodeId> seen;
+    std::vector<NodeId> unique;
+    unique.reserve(s.size());
+    for (NodeId t : s) {
+      if (seen.insert(t).second) {
+        unique.push_back(t);
+      }
+    }
+    s = std::move(unique);
+    num_edges_ += s.size();
+  }
+}
+
+Digraph Digraph::reversed() const {
+  Digraph r(num_nodes());
+  for (NodeId u = 0; u < adj_.size(); ++u) {
+    for (NodeId v : adj_[u]) {
+      r.add_edge(v, u);
+    }
+  }
+  return r;
+}
+
+std::vector<NodeId> Digraph::topological_order() const {
+  std::vector<std::uint32_t> indeg(num_nodes(), 0);
+  for (const auto& s : adj_) {
+    for (NodeId v : s) {
+      ++indeg[v];
+    }
+  }
+  std::vector<NodeId> ready;
+  for (NodeId u = 0; u < adj_.size(); ++u) {
+    if (indeg[u] == 0) {
+      ready.push_back(u);
+    }
+  }
+  std::vector<NodeId> order;
+  order.reserve(num_nodes());
+  while (!ready.empty()) {
+    const NodeId u = ready.back();
+    ready.pop_back();
+    order.push_back(u);
+    for (NodeId v : adj_[u]) {
+      if (--indeg[v] == 0) {
+        ready.push_back(v);
+      }
+    }
+  }
+  if (order.size() != num_nodes()) {
+    throw omx::Error("topological_order: graph has a cycle");
+  }
+  return order;
+}
+
+std::vector<std::uint32_t> Digraph::levels() const {
+  const auto order = topological_order();
+  std::vector<std::uint32_t> level(num_nodes(), 0);
+  for (NodeId u : order) {
+    for (NodeId v : adj_[u]) {
+      level[v] = std::max(level[v], level[u] + 1);
+    }
+  }
+  return level;
+}
+
+}  // namespace omx::graph

@@ -1,0 +1,50 @@
+// Directed graph with adjacency lists. Nodes are dense 0..n-1 indices;
+// callers keep their own node-id -> payload mapping (equation index,
+// subsystem index, task index, ...).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace omx::graph {
+
+using NodeId = std::uint32_t;
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::size_t num_nodes) : adj_(num_nodes) {}
+
+  NodeId add_node();
+
+  /// Adds edge from -> to. Duplicate edges are allowed (deduplicate() if
+  /// needed); self-loops are allowed and matter for SCC triviality checks.
+  void add_edge(NodeId from, NodeId to);
+
+  std::size_t num_nodes() const { return adj_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  const std::vector<NodeId>& successors(NodeId n) const { return adj_[n]; }
+
+  bool has_edge(NodeId from, NodeId to) const;
+
+  /// Removes duplicate edges (keeps order of first occurrence).
+  void deduplicate();
+
+  /// Returns the reverse graph.
+  Digraph reversed() const;
+
+  /// Kahn topological order. Throws omx::Error if the graph has a cycle.
+  std::vector<NodeId> topological_order() const;
+
+  /// Level (longest path from any source) per node; only valid for DAGs.
+  /// Nodes in the same level are mutually independent and can run in
+  /// parallel — this is the subsystem-level schedule of §2.1.
+  std::vector<std::uint32_t> levels() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adj_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace omx::graph

@@ -1,0 +1,22 @@
+// Graphviz DOT export for dependency graphs — the paper stresses that
+// visualization of equation dependencies "is very helpful for the model
+// implementor" (§2.5.1). SCC members are drawn as clusters like Fig. 3/6.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "omx/graph/digraph.hpp"
+#include "omx/graph/scc.hpp"
+
+namespace omx::graph {
+
+/// Plain digraph dump. `labels` may be empty (node ids are used) or must
+/// have one entry per node.
+std::string to_dot(const Digraph& g, const std::vector<std::string>& labels);
+
+/// Digraph with SCC clusters drawn as subgraphs.
+std::string to_dot_clustered(const Digraph& g, const SccResult& scc,
+                             const std::vector<std::string>& labels);
+
+}  // namespace omx::graph

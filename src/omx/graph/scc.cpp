@@ -1,0 +1,103 @@
+#include "omx/graph/scc.hpp"
+
+#include <algorithm>
+
+#include "omx/support/diagnostics.hpp"
+
+namespace omx::graph {
+
+bool SccResult::is_trivial(std::uint32_t c, const Digraph& g) const {
+  return members[c].size() == 1 && !g.has_edge(members[c][0], members[c][0]);
+}
+
+SccResult strongly_connected_components(const Digraph& g) {
+  const std::size_t n = g.num_nodes();
+  constexpr std::uint32_t kUnvisited = 0xffffffffu;
+
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;  // Tarjan's component stack
+
+  SccResult result;
+  result.component.assign(n, 0);
+
+  std::uint32_t next_index = 0;
+
+  // Explicit DFS frame: node + position in its successor list.
+  struct Frame {
+    NodeId node;
+    std::size_t child;
+  };
+  std::vector<Frame> dfs;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) {
+      continue;
+    }
+    dfs.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      const auto& succ = g.successors(f.node);
+      if (f.child < succ.size()) {
+        const NodeId w = succ[f.child++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          dfs.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.node] = std::min(lowlink[f.node], index[w]);
+        }
+      } else {
+        const NodeId v = f.node;
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          lowlink[dfs.back().node] =
+              std::min(lowlink[dfs.back().node], lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          // v is the root of a new component.
+          std::vector<NodeId> comp;
+          while (true) {
+            const NodeId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            comp.push_back(w);
+            if (w == v) {
+              break;
+            }
+          }
+          std::sort(comp.begin(), comp.end());
+          const auto c = static_cast<std::uint32_t>(result.members.size());
+          for (NodeId w : comp) {
+            result.component[w] = c;
+          }
+          result.members.push_back(std::move(comp));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Digraph condensation(const Digraph& g, const SccResult& scc) {
+  Digraph c(scc.num_components());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.successors(u)) {
+      const std::uint32_t cu = scc.component[u];
+      const std::uint32_t cv = scc.component[v];
+      if (cu != cv) {
+        c.add_edge(cu, cv);
+      }
+    }
+  }
+  c.deduplicate();
+  return c;
+}
+
+}  // namespace omx::graph

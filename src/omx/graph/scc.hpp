@@ -1,0 +1,36 @@
+// Strongly connected components (Tarjan, iterative) and condensation.
+//
+// This is the paper's core dependency-analysis algorithm (§2.1): equations
+// are partitioned into SCCs ("subsystems of equations"), and the reduced
+// acyclic condensation graph schedules which subsystems can be solved in
+// parallel or pipelined.
+#pragma once
+
+#include <vector>
+
+#include "omx/graph/digraph.hpp"
+
+namespace omx::graph {
+
+struct SccResult {
+  /// component[v] = index of the SCC containing node v.
+  /// Components are numbered in REVERSE topological order of the
+  /// condensation (Tarjan property): if SCC a has an edge to SCC b (a!=b)
+  /// then component index of a > component index of b.
+  std::vector<std::uint32_t> component;
+  /// members[c] = nodes of component c.
+  std::vector<std::vector<NodeId>> members;
+
+  std::size_t num_components() const { return members.size(); }
+
+  /// A component is trivial iff it is a single node without a self-loop.
+  bool is_trivial(std::uint32_t c, const Digraph& g) const;
+};
+
+SccResult strongly_connected_components(const Digraph& g);
+
+/// Builds the condensation DAG (one node per SCC, deduplicated edges,
+/// no self-loops). Node c of the result corresponds to members[c].
+Digraph condensation(const Digraph& g, const SccResult& scc);
+
+}  // namespace omx::graph

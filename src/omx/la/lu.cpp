@@ -1,0 +1,80 @@
+#include "omx/la/lu.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "omx/support/diagnostics.hpp"
+
+namespace omx::la {
+
+LuFactors::LuFactors(Matrix a) : lu_(std::move(a)) {
+  OMX_REQUIRE(lu_.rows() == lu_.cols(), "LU needs a square matrix");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    perm_[i] = i;
+  }
+  pivot_min_ = std::numeric_limits<double>::infinity();
+  pivot_max_ = 0.0;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: pick the row with the largest |a(i,k)|, i >= k.
+    std::size_t piv = k;
+    double best = std::fabs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(lu_(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (best == 0.0) {
+      throw omx::Error("LU: matrix is singular at column " +
+                       std::to_string(k));
+    }
+    if (piv != k) {
+      std::swap(perm_[piv], perm_[k]);
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu_(piv, c), lu_(k, c));
+      }
+    }
+    pivot_min_ = std::min(pivot_min_, best);
+    pivot_max_ = std::max(pivot_max_, best);
+
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = lu_(i, k) * inv_pivot;
+      lu_(i, k) = m;
+      if (m != 0.0) {
+        for (std::size_t c = k + 1; c < n; ++c) {
+          lu_(i, c) -= m * lu_(k, c);
+        }
+      }
+    }
+  }
+}
+
+void LuFactors::solve(std::span<const double> b, std::span<double> x) const {
+  const std::size_t n = size();
+  OMX_REQUIRE(b.size() == n && x.size() == n, "size mismatch");
+
+  // Apply permutation and forward-substitute L (unit diagonal).
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) {
+      acc -= lu_(i, j) * y[j];
+    }
+    y[i] = acc;
+  }
+  // Back-substitute U.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) {
+      acc -= lu_(ii, j) * x[j];
+    }
+    x[ii] = acc / lu_(ii, ii);
+  }
+}
+
+}  // namespace omx::la

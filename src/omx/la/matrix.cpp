@@ -1,0 +1,73 @@
+#include "omx/la/matrix.hpp"
+
+#include <cmath>
+
+#include "omx/support/diagnostics.hpp"
+
+namespace omx::la {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m(i, i) = 1.0;
+  }
+  return m;
+}
+
+void Matrix::axpby(double a, double b, const Matrix& other) {
+  OMX_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_, "shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] = a * data_[i] + b * other.data_[i];
+  }
+}
+
+double Matrix::max_norm() const {
+  double m = 0.0;
+  for (double v : data_) {
+    m = std::max(m, std::fabs(v));
+  }
+  return m;
+}
+
+void Matrix::multiply(std::span<const double> x, std::span<double> y) const {
+  OMX_REQUIRE(x.size() == cols_ && y.size() == rows_, "shape mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = &data_[r * cols_];
+    for (std::size_t c = 0; c < cols_; ++c) {
+      acc += row[c] * x[c];
+    }
+    y[r] = acc;
+  }
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  OMX_REQUIRE(a.size() == b.size(), "size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+double norm_inf(std::span<const double> a) {
+  double m = 0.0;
+  for (double v : a) {
+    m = std::max(m, std::fabs(v));
+  }
+  return m;
+}
+
+double wrms_norm(std::span<const double> v, std::span<const double> w) {
+  OMX_REQUIRE(v.size() == w.size() && !v.empty(), "size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double q = v[i] / w[i];
+    acc += q * q;
+  }
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+}  // namespace omx::la

@@ -1,0 +1,59 @@
+// Dense row-major matrix — the minimal linear-algebra substrate needed by
+// the implicit (BDF/Newton) ODE solvers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace omx::la {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) { return {&data_[r * cols_], cols_}; }
+  std::span<const double> row(std::size_t r) const {
+    return {&data_[r * cols_], cols_};
+  }
+
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+
+  /// this = a*this + b*other (elementwise). Shapes must match.
+  void axpby(double a, double b, const Matrix& other);
+
+  /// Max-abs norm.
+  double max_norm() const;
+
+  /// y = A x.
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Vector helpers used across the solvers.
+double dot(std::span<const double> a, std::span<const double> b);
+double norm2(std::span<const double> a);
+double norm_inf(std::span<const double> a);
+/// Weighted RMS norm used for ODE error control: sqrt(mean((v_i / w_i)^2)).
+double wrms_norm(std::span<const double> v, std::span<const double> w);
+
+}  // namespace omx::la

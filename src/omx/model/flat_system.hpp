@@ -1,0 +1,84 @@
+// The flattened mathematical model: explicit first-order ODEs
+//   der(x_i) = f_i(x, a, p, t)
+// plus topologically ordered algebraic assignments
+//   a_j = g_j(x, a_<j, p, t)
+// with all parameters bound to numeric values. This is the interface
+// between the OO modeling layer and everything downstream (dependency
+// analysis, code generation, solvers).
+#pragma once
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "omx/expr/context.hpp"
+
+namespace omx::model {
+
+struct FlatState {
+  SymbolId name = kInvalidSymbol;
+  double start = 0.0;
+  expr::ExprId rhs = expr::kNoExpr;  // der(name) == rhs
+};
+
+struct FlatAlgebraic {
+  SymbolId name = kInvalidSymbol;
+  expr::ExprId rhs = expr::kNoExpr;  // name == rhs (explicit)
+};
+
+class FlatSystem {
+ public:
+  explicit FlatSystem(expr::Context& ctx);
+
+  expr::Context& ctx() const { return *ctx_; }
+  SymbolId time_symbol() const { return time_; }
+
+  // -- construction ----------------------------------------------------------
+  void add_state(SymbolId name, double start, expr::ExprId rhs);
+  /// Algebraics may be added in any order; finalize() sorts them.
+  void add_algebraic(SymbolId name, expr::ExprId rhs);
+  void bind_parameter(SymbolId name, double value);
+
+  /// Validates symbol references, topologically sorts algebraics (throws
+  /// omx::Error on an algebraic loop), and freezes the system.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  // -- access ----------------------------------------------------------------
+  std::size_t num_states() const { return states_.size(); }
+  std::size_t num_algebraics() const { return algebraics_.size(); }
+  const std::vector<FlatState>& states() const { return states_; }
+  const std::vector<FlatAlgebraic>& algebraics() const { return algebraics_; }
+  const std::vector<std::pair<SymbolId, double>>& parameters() const {
+    return parameters_;
+  }
+
+  /// State index of symbol, or -1.
+  int state_index(SymbolId s) const;
+  /// Algebraic index of symbol, or -1.
+  int algebraic_index(SymbolId s) const;
+  bool is_parameter(SymbolId s) const { return param_value_.count(s) != 0; }
+  double parameter_value(SymbolId s) const;
+
+  /// Human-readable state name.
+  const std::string& state_name(std::size_t i) const;
+
+  /// Direct evaluation of all RHS at (t, y) — the reference semantics used
+  /// in tests; production execution uses the compiled tape.
+  void eval_rhs(double t, std::span<const double> y,
+                std::span<double> ydot) const;
+
+ private:
+  expr::Context* ctx_;
+  SymbolId time_;
+  std::vector<FlatState> states_;
+  std::vector<FlatAlgebraic> algebraics_;
+  std::vector<std::pair<SymbolId, double>> parameters_;
+  std::unordered_map<SymbolId, int> state_index_;
+  std::unordered_map<SymbolId, int> algebraic_index_;
+  std::unordered_map<SymbolId, double> param_value_;
+  bool finalized_ = false;
+};
+
+}  // namespace omx::model

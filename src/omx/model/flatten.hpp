@@ -1,0 +1,27 @@
+// Flattening: expand a Model's instance tree (inheritance, composition,
+// instance arrays) into a FlatSystem of explicit first-order ODEs and
+// algebraic assignments with fully qualified names ("w[3].contact.fn").
+#pragma once
+
+#include "omx/model/flat_system.hpp"
+#include "omx/model/model.hpp"
+
+namespace omx::model {
+
+/// Reserved symbol name available in instance-array arguments; bound to the
+/// element index (lo..hi) at each array element.
+inline constexpr const char* kIndexSymbolName = "index";
+
+/// Reserved name of the free variable (simulation time).
+inline constexpr const char* kTimeSymbolName = "time";
+
+/// Expands `m` into a finalized FlatSystem.
+///
+/// Diagnosed errors (omx::Error): unknown class, inheritance cycles,
+/// equations that are neither `der(x) == e` nor `a == e`, multiple
+/// equations for one variable, variables without a defining equation,
+/// references to undeclared symbols, parameter-value cycles, and algebraic
+/// loops.
+FlatSystem flatten(const Model& m);
+
+}  // namespace omx::model

@@ -1,0 +1,52 @@
+#include "omx/model/model.hpp"
+
+namespace omx::model {
+
+ClassDef& Model::add_class(std::string name) {
+  if (class_index_.count(name) != 0) {
+    throw omx::Error("duplicate class '" + name + "'");
+  }
+  class_index_.emplace(name, classes_.size());
+  classes_.emplace_back(std::move(name));
+  return classes_.back();
+}
+
+const ClassDef& Model::find_class(const std::string& name) const {
+  auto it = class_index_.find(name);
+  if (it == class_index_.end()) {
+    throw omx::Error("unknown class '" + name + "'");
+  }
+  return classes_[it->second];
+}
+
+bool Model::has_class(const std::string& name) const {
+  return class_index_.count(name) != 0;
+}
+
+void Model::add_instance(Instance inst) {
+  if (inst.is_array && inst.lo > inst.hi) {
+    throw omx::Error("instance array '" + inst.name + "' has empty range",
+                     inst.loc);
+  }
+  for (const Instance& other : instances_) {
+    if (other.name == inst.name) {
+      throw omx::Error("duplicate instance '" + inst.name + "'", inst.loc);
+    }
+  }
+  instances_.push_back(std::move(inst));
+}
+
+std::size_t Model::inheritance_depth(const std::string& name) const {
+  std::size_t depth = 0;
+  const ClassDef* c = &find_class(name);
+  while (!c->base().empty()) {
+    ++depth;
+    if (depth > classes_.size()) {
+      throw omx::Error("inheritance cycle involving class '" + name + "'");
+    }
+    c = &find_class(c->base());
+  }
+  return depth;
+}
+
+}  // namespace omx::model

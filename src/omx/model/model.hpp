@@ -1,0 +1,133 @@
+// ObjectMath-style object-oriented model layer.
+//
+// A Model is a set of classes plus a set of instances. Classes have:
+//  * formal parameters (symbols substituted with instantiation arguments),
+//  * single inheritance (INHERITS base(args...)),
+//  * composition: named parts that are themselves class instances,
+//  * variables (optionally with start values), parameters (named constant
+//    expressions) and equations.
+//
+// Instances may be scalar (`instance dam : Dam;`) or arrays
+// (`instance w[1..10] : Roller(index);`) mirroring the paper's
+// `INSTANCE BodyW[i] INHERITS Roller(W[i])` construct. Inside array
+// instantiation arguments the reserved symbol `index` is bound to the
+// element number.
+//
+// flatten() (see flatten.hpp) expands the instance tree into a flat system
+// of first-order ODEs plus explicit algebraic assignments.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "omx/expr/context.hpp"
+
+namespace omx::model {
+
+struct Equation {
+  expr::ExprId lhs = expr::kNoExpr;
+  expr::ExprId rhs = expr::kNoExpr;
+  SourceLoc loc;
+};
+
+struct Variable {
+  SymbolId name = kInvalidSymbol;
+  expr::ExprId start = expr::kNoExpr;  // kNoExpr -> defaults to 0
+  SourceLoc loc;
+};
+
+struct Parameter {
+  SymbolId name = kInvalidSymbol;
+  expr::ExprId value = expr::kNoExpr;
+  SourceLoc loc;
+};
+
+struct Part {
+  SymbolId name = kInvalidSymbol;
+  std::string class_name;
+  std::vector<expr::ExprId> args;
+  SourceLoc loc;
+};
+
+class ClassDef {
+ public:
+  explicit ClassDef(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  void set_base(std::string base, std::vector<expr::ExprId> args) {
+    base_ = std::move(base);
+    base_args_ = std::move(args);
+  }
+  const std::string& base() const { return base_; }
+  const std::vector<expr::ExprId>& base_args() const { return base_args_; }
+
+  void add_formal(SymbolId s) { formals_.push_back(s); }
+  const std::vector<SymbolId>& formals() const { return formals_; }
+
+  void add_variable(Variable v) { vars_.push_back(v); }
+  void add_parameter(Parameter p) { params_.push_back(p); }
+  void add_part(Part p) { parts_.push_back(std::move(p)); }
+  void add_equation(Equation e) { equations_.push_back(e); }
+
+  const std::vector<Variable>& variables() const { return vars_; }
+  const std::vector<Parameter>& parameters() const { return params_; }
+  const std::vector<Part>& parts() const { return parts_; }
+  const std::vector<Equation>& equations() const { return equations_; }
+
+ private:
+  std::string name_;
+  std::string base_;
+  std::vector<expr::ExprId> base_args_;
+  std::vector<SymbolId> formals_;
+  std::vector<Variable> vars_;
+  std::vector<Parameter> params_;
+  std::vector<Part> parts_;
+  std::vector<Equation> equations_;
+};
+
+struct Instance {
+  std::string name;
+  bool is_array = false;
+  int lo = 0;  // inclusive; only meaningful when is_array
+  int hi = 0;  // inclusive
+  std::string class_name;
+  std::vector<expr::ExprId> args;
+  SourceLoc loc;
+};
+
+class Model {
+ public:
+  Model(std::string name, expr::Context& ctx)
+      : name_(std::move(name)), ctx_(&ctx) {}
+
+  const std::string& name() const { return name_; }
+  expr::Context& ctx() const { return *ctx_; }
+
+  /// Adds a class; throws omx::Error on duplicate name.
+  ClassDef& add_class(std::string name);
+
+  /// Looks up a class; throws omx::Error if missing.
+  const ClassDef& find_class(const std::string& name) const;
+  bool has_class(const std::string& name) const;
+
+  void add_instance(Instance inst);
+
+  const std::vector<Instance>& instances() const { return instances_; }
+  const std::vector<ClassDef>& classes() const { return classes_; }
+
+  /// Inheritance depth (number of INHERITS links from `name` to a root).
+  /// Detects inheritance cycles (throws).
+  std::size_t inheritance_depth(const std::string& name) const;
+
+ private:
+  std::string name_;
+  expr::Context* ctx_;
+  std::vector<ClassDef> classes_;
+  std::unordered_map<std::string, std::size_t> class_index_;
+  std::vector<Instance> instances_;
+};
+
+}  // namespace omx::model

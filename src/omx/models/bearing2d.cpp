@@ -1,0 +1,200 @@
+#include "omx/models/bearing2d.hpp"
+
+#include <cmath>
+
+#include "omx/model/flatten.hpp"
+#include <numbers>
+#include <string>
+
+namespace omx::models {
+
+using expr::Ex;
+
+model::Model build_bearing(expr::Context& ctx, const BearingConfig& cfg) {
+  OMX_REQUIRE(cfg.n_rollers >= 2, "bearing needs at least 2 rollers");
+  model::Model m("Bearing2D", ctx);
+
+  const double Ri = cfg.inner_race_radius;
+  const double Ro = cfg.outer_race_radius();
+  const double r = cfg.roller_radius;
+  const double Rp = cfg.pitch_radius();
+  const double roller_inertia =
+      0.5 * cfg.roller_mass * r * r;  // solid cylinder
+
+  // Initial kinematics: inner ring spins at inner_speed0; rollers start on
+  // the pitch circle orbiting at (approximately) the cage speed and
+  // spinning at the kinematic rolling rate. Small inconsistencies are
+  // absorbed by the regularized friction within the first revolutions.
+  const double cage_speed = cfg.inner_speed0 * Ri / (Ri + Ro);
+  const double roller_spin = cfg.inner_speed0 * Ri / (2.0 * r);
+
+  auto v = [&](const std::string& name) { return ctx.var(name); };
+  auto lit = [&](double x) { return ctx.lit(x); };
+
+  // ---------------------------------------------------------------------
+  // class SpinningElement(x0, y0, vx0, vy0, w0) — planar rigid body base:
+  // position/velocity states with parameterized start values.
+  // ---------------------------------------------------------------------
+  {
+    model::ClassDef& c = m.add_class("SpinningElement");
+    const char* formals[] = {"x0", "y0", "vx0", "vy0", "w0"};
+    const char* states[] = {"x", "y", "vx", "vy", "omega"};
+    for (int i = 0; i < 5; ++i) {
+      c.add_formal(ctx.symbol(formals[i]));
+    }
+    for (int i = 0; i < 5; ++i) {
+      c.add_variable(model::Variable{ctx.symbol(states[i]),
+                                     ctx.var(formals[i]).id(),
+                                     {}});
+    }
+    c.add_equation(model::Equation{ctx.der("x").id(), v("vx").id(), {}});
+    c.add_equation(model::Equation{ctx.der("y").id(), v("vy").id(), {}});
+  }
+
+  // ---------------------------------------------------------------------
+  // class Roller(phi) inherits SpinningElement(...) — one rolling element
+  // with Hertz-like contacts against both raceways.
+  // ---------------------------------------------------------------------
+  {
+    model::ClassDef& c = m.add_class("Roller");
+    const SymbolId phi = ctx.symbol("phi");
+    c.add_formal(phi);
+    const Ex phi_e = Ex::symbol(ctx.pool, phi);
+    c.set_base("SpinningElement",
+               {(lit(Rp) * cos(phi_e)).id(), (lit(Rp) * sin(phi_e)).id(),
+                (lit(-cage_speed * Rp) * sin(phi_e)).id(),
+                (lit(cage_speed * Rp) * cos(phi_e)).id(),
+                lit(roller_spin).id()});
+
+    auto alg = [&](const std::string& name, Ex rhs) {
+      c.add_variable(model::Variable{ctx.symbol(name), expr::kNoExpr, {}});
+      c.add_equation(model::Equation{v(name).id(), rhs.id(), {}});
+    };
+
+    const Ex x = v("x"), y = v("y"), vx = v("vx"), vy = v("vy"),
+             w = v("omega");
+    const Ex ix = v("inner.x"), iy = v("inner.y"), ivx = v("inner.vx"),
+             ivy = v("inner.vy"), iw = v("inner.omega");
+
+    // -- inner raceway contact ---------------------------------------------
+    alg("dxi", x - ix);
+    alg("dyi", y - iy);
+    alg("di", hypot(v("dxi"), v("dyi")));
+    alg("nxi", v("dxi") / v("di"));
+    alg("nyi", v("dyi") / v("di"));
+    alg("deltai", lit(Ri + r) - v("di"));
+    alg("gatei", max(sign(v("deltai")), 0.0));  // 1 when in contact
+    alg("ddoti",
+        -(v("dxi") * (vx - ivx) + v("dyi") * (vy - ivy)) / v("di"));
+    alg("fni",
+        max(v("gatei") * (lit(cfg.contact_stiffness) *
+                              pow(max(v("deltai"), 0.0), 1.5) +
+                          lit(cfg.contact_damping) * v("ddoti")),
+            0.0));
+    // Tangent t = (-ny, nx); slip of roller surface against inner surface.
+    alg("slipi",
+        (vx + w * lit(r) * v("nyi") - ivx + iw * lit(Ri) * v("nyi")) *
+                (-v("nyi")) +
+            (vy - w * lit(r) * v("nxi") - ivy - iw * lit(Ri) * v("nxi")) *
+                v("nxi"));
+    alg("si", -(lit(cfg.friction_mu) * v("fni") *
+                tanh(v("slipi") / lit(cfg.slip_eps))));
+
+    // -- outer raceway contact (ring fixed, centered at the origin) --------
+    alg("dc", hypot(x, y));
+    alg("nxo", x / v("dc"));
+    alg("nyo", y / v("dc"));
+    alg("deltao", v("dc") + lit(r) - lit(Ro));
+    alg("gateo", max(sign(v("deltao")), 0.0));
+    alg("ddoto", (x * vx + y * vy) / v("dc"));
+    alg("fno",
+        max(v("gateo") * (lit(cfg.contact_stiffness) *
+                              pow(max(v("deltao"), 0.0), 1.5) +
+                          lit(cfg.contact_damping) * v("ddoto")),
+            0.0));
+    alg("slipo", vx * (-v("nyo")) + vy * v("nxo") + w * lit(r));
+    alg("so", -(lit(cfg.friction_mu) * v("fno") *
+                tanh(v("slipo") / lit(cfg.slip_eps))));
+
+    // -- force and moment balance on the roller ----------------------------
+    alg("fx", v("fni") * v("nxi") - v("fno") * v("nxo") +
+                  v("si") * (-v("nyi")) + v("so") * (-v("nyo")));
+    alg("fy", v("fni") * v("nyi") - v("fno") * v("nyo") +
+                  v("si") * v("nxi") + v("so") * v("nxo") -
+                  lit(cfg.roller_mass * cfg.gravity));
+    // Inner contact acts at -r*n_i, outer at +r*n_o.
+    alg("tq", lit(-r) * v("si") + lit(r) * v("so") -
+                  lit(cfg.spin_damping) * w);
+
+    // Reactions exported to the inner ring (force equilibrium, Figure 1).
+    alg("rfx", -(v("fni") * v("nxi") + v("si") * (-v("nyi"))));
+    alg("rfy", -(v("fni") * v("nyi") + v("si") * v("nxi")));
+    alg("rtq", lit(-Ri) * v("si"));
+
+    c.add_equation(model::Equation{
+        ctx.der("vx").id(), (v("fx") / lit(cfg.roller_mass)).id(), {}});
+    c.add_equation(model::Equation{
+        ctx.der("vy").id(), (v("fy") / lit(cfg.roller_mass)).id(), {}});
+    c.add_equation(model::Equation{
+        ctx.der("omega").id(), (v("tq") / lit(roller_inertia)).id(), {}});
+  }
+
+  // ---------------------------------------------------------------------
+  // class InnerRing inherits SpinningElement(0,0,0,0,w_drive) — driven
+  // ring on an elastic shaft support; collects all roller reactions.
+  // ---------------------------------------------------------------------
+  {
+    model::ClassDef& c = m.add_class("InnerRing");
+    c.set_base("SpinningElement",
+               {lit(0.0).id(), lit(0.0).id(), lit(0.0).id(), lit(0.0).id(),
+                lit(cfg.inner_speed0).id()});
+    c.add_variable(model::Variable{ctx.symbol("theta"), expr::kNoExpr, {}});
+
+    auto roller_sum = [&](const std::string& member) {
+      Ex acc = v("w[1]." + member);
+      for (int i = 2; i <= cfg.n_rollers; ++i) {
+        acc = acc + v("w[" + std::to_string(i) + "]." + member);
+      }
+      return acc;
+    };
+
+    const Ex fx = roller_sum("rfx") - lit(cfg.shaft_stiffness) * v("x") -
+                  lit(cfg.shaft_damping) * v("vx");
+    const Ex fy = roller_sum("rfy") - lit(cfg.shaft_stiffness) * v("y") -
+                  lit(cfg.shaft_damping) * v("vy") -
+                  lit(cfg.radial_load + cfg.inner_mass * cfg.gravity);
+    const Ex tq = lit(cfg.drive_torque) + roller_sum("rtq") -
+                  lit(cfg.inner_spin_damping) * v("omega");
+
+    c.add_equation(model::Equation{
+        ctx.der("vx").id(), (fx / lit(cfg.inner_mass)).id(), {}});
+    c.add_equation(model::Equation{
+        ctx.der("vy").id(), (fy / lit(cfg.inner_mass)).id(), {}});
+    c.add_equation(model::Equation{
+        ctx.der("omega").id(), (tq / lit(cfg.inner_inertia)).id(), {}});
+    // Rotation angle: integrates omega, feeds nothing back — the single
+    // equation outside the big SCC (Figure 6).
+    c.add_equation(
+        model::Equation{ctx.der("theta").id(), v("omega").id(), {}});
+  }
+
+  model::Instance inner;
+  inner.name = "inner";
+  inner.class_name = "InnerRing";
+  m.add_instance(std::move(inner));
+
+  model::Instance rollers;
+  rollers.name = "w";
+  rollers.is_array = true;
+  rollers.lo = 1;
+  rollers.hi = cfg.n_rollers;
+  rollers.class_name = "Roller";
+  const Ex idx = ctx.var(model::kIndexSymbolName);
+  rollers.args.push_back(
+      ((idx - 1.0) * lit(2.0 * std::numbers::pi / cfg.n_rollers)).id());
+  m.add_instance(std::move(rollers));
+
+  return m;
+}
+
+}  // namespace omx::models

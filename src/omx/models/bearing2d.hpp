@@ -1,0 +1,67 @@
+// 2-D cylindrical rolling bearing (§2.5, Figures 4-6): a fixed outer ring,
+// a driven inner ring on an elastic shaft support, and N rolling elements
+// with Hertz-like normal contacts and regularized Coulomb friction against
+// both raceways.
+//
+// Model structure mirrors the paper's: every equation ends up in one big
+// strongly connected component except the inner ring's rotation angle
+// (nothing feeds back from it) — "all equations are strongly connected
+// except one" (Figure 6).
+//
+// States (5 per roller + 6 for the inner ring):
+//   w[i].x, w[i].y, w[i].vx, w[i].vy, w[i].omega
+//   inner.x, inner.y, inner.vx, inner.vy, inner.omega, inner.theta
+//
+// Contact gating (max/sign on the penetration) makes the per-roller cost
+// load-dependent — the conditional-expression imbalance that motivates the
+// paper's semi-dynamic LPT scheduling (§3.2.3).
+#pragma once
+
+#include "omx/model/model.hpp"
+
+namespace omx::models {
+
+struct BearingConfig {
+  int n_rollers = 10;
+
+  // Geometry [m].
+  double inner_race_radius = 0.04;   // Ri: outer surface of inner ring
+  double roller_radius = 0.01;       // r
+  double clearance = 20e-6;          // diametral play
+
+  // Contact law.
+  double contact_stiffness = 5e7;    // k: f_n = k * delta^1.5
+  double contact_damping = 2e3;      // c: + c * delta_dot (gated)
+  double friction_mu = 0.05;
+  double slip_eps = 1e-3;            // tanh regularization velocity [m/s]
+
+  // Masses and inertias.
+  double roller_mass = 0.05;
+  double inner_mass = 1.2;
+  double inner_inertia = 8e-4;
+
+  // Loads and drive.
+  double inner_speed0 = 80.0;        // initial inner ring speed [rad/s]
+  double drive_torque = 2.0;         // on the inner ring [N m]
+  double radial_load = 500.0;        // downward on the inner ring [N]
+  double gravity = 9.81;
+  double shaft_stiffness = 2e6;      // elastic support of the inner ring
+  double shaft_damping = 4e3;
+  double spin_damping = 1e-4;        // roller spin drag
+  double inner_spin_damping = 1e-3;
+
+  /// Outer raceway radius Ro = Ri + 2r + clearance.
+  double outer_race_radius() const {
+    return inner_race_radius + 2.0 * roller_radius + clearance;
+  }
+  /// Pitch radius: nominal roller-center orbit.
+  double pitch_radius() const {
+    return inner_race_radius + roller_radius + 0.5 * clearance;
+  }
+};
+
+/// Builds the OO bearing model (classes Roller/InnerRing, instance array
+/// w[1..N]).
+model::Model build_bearing(expr::Context& ctx, const BearingConfig& cfg);
+
+}  // namespace omx::models

@@ -1,0 +1,67 @@
+#include "omx/models/heat1d.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <string>
+
+namespace omx::models {
+
+using expr::Ex;
+
+model::Model build_heat1d(expr::Context& ctx, const Heat1dConfig& cfg) {
+  OMX_REQUIRE(cfg.n_cells >= 2, "heat1d needs at least 2 interior nodes");
+  model::Model m("Heat1D", ctx);
+
+  const int n = cfg.n_cells;
+  const double dx = 1.0 / (n + 1);
+  const double coef = cfg.alpha / (dx * dx);
+
+  // class Rod: all nodes as members of one class instance — the natural
+  // shape for a discretized field (one model object per physical field).
+  model::ClassDef& c = m.add_class("Rod");
+  auto u = [&](int i) {
+    return ctx.var("u[" + std::to_string(i) + "]");
+  };
+  for (int i = 1; i <= n; ++i) {
+    const double x = i * dx;
+    const double u0 =
+        std::sin(cfg.mode * std::numbers::pi * x);
+    c.add_variable(model::Variable{
+        ctx.symbol("u[" + std::to_string(i) + "]"),
+        ctx.lit(u0).id(),
+        {}});
+  }
+  for (int i = 1; i <= n; ++i) {
+    const Ex left = (i > 1) ? u(i - 1) : ctx.lit(0.0);   // Dirichlet 0
+    const Ex right = (i < n) ? u(i + 1) : ctx.lit(0.0);  // Dirichlet 0
+    const Ex rhs = ctx.lit(coef) * (left - 2.0 * u(i) + right);
+    c.add_equation(model::Equation{
+        ctx.pool.der(
+            ctx.pool.sym(ctx.symbol("u[" + std::to_string(i) + "]"))),
+        rhs.id(),
+        {}});
+  }
+
+  model::Instance rod;
+  rod.name = "rod";
+  rod.class_name = "Rod";
+  m.add_instance(std::move(rod));
+  return m;
+}
+
+double heat1d_exact(const Heat1dConfig& cfg, double x, double t) {
+  const double kpi = cfg.mode * std::numbers::pi;
+  return std::exp(-cfg.alpha * kpi * kpi * t) * std::sin(kpi * x);
+}
+
+double heat1d_semidiscrete_exact(const Heat1dConfig& cfg, int node,
+                                 double t) {
+  const int n = cfg.n_cells;
+  const double dx = 1.0 / (n + 1);
+  const double kpi = cfg.mode * std::numbers::pi;
+  const double s = std::sin(kpi * dx / 2.0);
+  const double lambda = -4.0 * cfg.alpha / (dx * dx) * s * s;
+  return std::exp(lambda * t) * std::sin(kpi * node * dx);
+}
+
+}  // namespace omx::models

@@ -1,0 +1,38 @@
+// 1-D heat equation via the method of lines — the paper's stated future
+// work ("we have also started to extend the domain of equation systems
+// for which code can be generated to partial differential equations",
+// §6).
+//
+//   u_t = alpha * u_xx  on (0, 1),  u(0, t) = u(1, t) = 0,
+//   u(x, 0) = sin(k pi x)
+//
+// semidiscretized on N interior nodes: der(u_i) = alpha (u_{i-1} - 2 u_i
+// + u_{i+1}) / dx^2. The discretization produces one large SCC (the
+// bidirectional neighbor chain) with a banded Jacobian — a stiff system
+// exercising the BDF/LSODA-like path, and another application where only
+// equation-LEVEL parallelism is available.
+#pragma once
+
+#include "omx/model/model.hpp"
+
+namespace omx::models {
+
+struct Heat1dConfig {
+  int n_cells = 20;       // interior nodes
+  double alpha = 1.0;     // diffusivity
+  int mode = 1;           // initial condition u0 = sin(mode*pi*x)
+};
+
+model::Model build_heat1d(expr::Context& ctx, const Heat1dConfig& cfg);
+
+/// Analytic solution of the CONTINUOUS problem at (x, t); the
+/// semidiscrete system converges to it as n_cells grows.
+double heat1d_exact(const Heat1dConfig& cfg, double x, double t);
+
+/// Analytic solution of the SEMIDISCRETE system (exact for any n_cells):
+/// the sin(mode*pi*x) grid function is an eigenvector of the discrete
+/// Laplacian with eigenvalue -4/dx^2 sin^2(mode*pi*dx/2).
+double heat1d_semidiscrete_exact(const Heat1dConfig& cfg, int node,
+                                 double t);
+
+}  // namespace omx::models

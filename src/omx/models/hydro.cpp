@@ -1,0 +1,94 @@
+#include "omx/models/hydro.hpp"
+
+#include "omx/parser/parser.hpp"
+
+namespace omx::models {
+
+std::string hydro_source() {
+  return R"((* Hydroelectric power plant: dam, six gate/turbine groups and a
+   monitoring regulator. Gate setpoints follow a daily schedule (open
+   loop), so each gate's servo loop is an independent SCC; flows couple
+   forward into the dam level, turbine shafts and the regulator, forming
+   a pipeline of downstream subsystems. *)
+model HydroPlant
+  class Valve
+    param tau = 0.4;     // hydraulic actuator time constant
+    var pos start 0;     // actuator position
+    var cmd;             // commanded position; defined by the owning gate
+    eq der(pos) == (cmd - pos)/tau;
+  end
+
+  class GateBase(phase)
+    param kp = 2.0;
+    param ki = 0.8;
+    param cd = 8.8;        // discharge coefficient (balances mean inflow)
+    param tail = 2.0;      // tailwater level [m]
+    var angle start 0;     // gate opening angle [rad]
+    var ip start 0;        // PI integrator
+    var sp;                // scheduled setpoint
+    var u;                 // controller output
+    var q;                 // discharge flow [m^3/s]
+    eq sp == 0.4 + 0.3*sin(0.2*time + phase) + 0.05*sin(1.3*time);
+    eq u == kp*(sp - angle) + ki*ip;
+    eq der(ip) == sp - angle;
+    eq q == cd*angle*sqrt(max(dam.level - tail, 0.1));
+  end
+
+  class Gate(phase) inherits GateBase(phase)
+    part act : Valve;      // composition: the gate owns its actuator
+    eq act.cmd == u - 0.6*act.pos;
+    eq der(angle) == act.pos;
+  end
+
+  class Turbine(gateq)
+    param J = 500.0;       // shaft inertia
+    param eta = 0.85;      // efficiency
+    param rho_g = 9810.0;  // rho*g
+    param damp = 40.0;
+    var w start 8.0;       // shaft speed [rad/s]
+    var power;             // generated power (algebraic)
+    eq der(w) == (eta*rho_g*gateq*0.001 - damp*w)/J;
+    eq power == eta*rho_g*gateq*(dam.level - 2.0)*0.001;
+  end
+
+  class Dam
+    param area = 50000.0;  // reservoir surface area [m^2]
+    var level start 10.0;  // surface level [m]
+    var inflow;            // river inflow [m^3/s]
+    eq inflow == 60.0 + 20.0*sin(0.05*time);
+    eq der(level) == (inflow
+                      - (g1.q + g2.q + g3.q + g4.q + g5.q + g6.q))/area;
+  end
+
+  class Regulator
+    param tf = 5.0;        // level measurement filter
+    param target = 10.0;   // licensed level (dam safety margin check)
+    var lf start 10.0;     // filtered level
+    var rip start 0;       // monitoring integrator (integral level error)
+    eq der(lf) == (dam.level - lf)/tf;
+    eq der(rip) == target - lf;
+  end
+
+  instance dam : Dam;
+  instance g1 : Gate(0.0);
+  instance g2 : Gate(0.5);
+  instance g3 : Gate(1.0);
+  instance g4 : Gate(1.5);
+  instance g5 : Gate(2.0);
+  instance g6 : Gate(2.5);
+  instance t1 : Turbine(g1.q);
+  instance t2 : Turbine(g2.q);
+  instance t3 : Turbine(g3.q);
+  instance t4 : Turbine(g4.q);
+  instance t5 : Turbine(g5.q);
+  instance t6 : Turbine(g6.q);
+  instance reg : Regulator;
+end
+)";
+}
+
+model::Model build_hydro(expr::Context& ctx) {
+  return parser::parse_model(hydro_source(), ctx);
+}
+
+}  // namespace omx::models

@@ -1,0 +1,21 @@
+// Hydroelectric power plant model (§2.5, Figure 3): dam, six gate/turbine
+// groups and a monitoring regulator, modeled after the paper's Älvkarleby
+// example. The focus is water levels and flow through the plant.
+//
+// The dependency structure reproduces Figure 3's character: one SCC per
+// gate servo loop (angle/valve/integrator), trivial downstream SCCs for
+// each turbine shaft, the dam surface level, the level filter and the
+// regulator integrator — a mix of parallel subsystems and a pipeline.
+#pragma once
+
+#include <string>
+
+#include "omx/model/model.hpp"
+
+namespace omx::models {
+
+std::string hydro_source();
+
+model::Model build_hydro(expr::Context& ctx);
+
+}  // namespace omx::models

@@ -1,0 +1,25 @@
+#include "omx/models/oscillator.hpp"
+
+#include "omx/parser/parser.hpp"
+
+namespace omx::models {
+
+std::string oscillator_source() {
+  return R"(// Figure 11 example: harmonic oscillator in explicit first-order form.
+model Oscillator
+  class Harmonic
+    var x start 1;
+    var y start 0;
+    eq der(x) == y;
+    eq der(y) == -x;
+  end
+  instance osc : Harmonic;
+end
+)";
+}
+
+model::Model build_oscillator(expr::Context& ctx) {
+  return parser::parse_model(oscillator_source(), ctx);
+}
+
+}  // namespace omx::models

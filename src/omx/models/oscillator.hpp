@@ -1,0 +1,16 @@
+// The paper's running example (Figure 11): x' = y, y' = -x.
+#pragma once
+
+#include <string>
+
+#include "omx/model/model.hpp"
+
+namespace omx::models {
+
+/// OMX-language source text of the oscillator model.
+std::string oscillator_source();
+
+/// Parses oscillator_source().
+model::Model build_oscillator(expr::Context& ctx);
+
+}  // namespace omx::models

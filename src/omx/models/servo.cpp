@@ -1,0 +1,53 @@
+#include "omx/models/servo.hpp"
+
+#include "omx/parser/parser.hpp"
+
+namespace omx::models {
+
+std::string servo_source() {
+  return R"((* Three independent DC-motor position servos with PI control.
+   Each axis closes its own feedback loop and shares nothing with the
+   others, so the dependency analysis finds one SCC per axis. *)
+model Servo
+  class Motor(phase)
+    param R = 1.2;      // armature resistance [ohm]
+    param L = 0.02;     // armature inductance [H]
+    param Ke = 0.1;     // back-EMF constant
+    param Kt = 0.1;     // torque constant
+    param J = 0.004;    // rotor inertia
+    param b = 0.01;     // viscous friction
+    param Kp = 6.0;
+    param Ki = 2.5;
+
+    var i start 0;      // armature current
+    var w start 0;      // angular velocity
+    var th start 0;     // shaft angle
+    var ei start 0;     // PI integrator
+
+    var ref;            // scheduled reference (algebraic)
+    var u;              // controller output voltage (algebraic)
+
+    eq ref == sin(time + phase);
+    eq u == Kp*(ref - th) + Ki*ei;
+    eq der(ei) == ref - th;
+    eq der(i) == (u - R*i - Ke*w)/L;
+    eq der(w) == (Kt*i - b*w)/J;
+    eq der(th) == w;
+  end
+
+  class FastMotor(phase) inherits Motor(phase)
+    param Kp = 12.0;    // variant: stiffer position loop
+    param J = 0.002;
+  end
+
+  instance axis[1..2] : Motor(0.5*index);
+  instance boost : FastMotor(1.7);
+end
+)";
+}
+
+model::Model build_servo(expr::Context& ctx) {
+  return parser::parse_model(servo_source(), ctx);
+}
+
+}  // namespace omx::models

@@ -1,0 +1,18 @@
+// The "trivial servo example" mentioned in the paper's conclusions: a
+// model that partitions well at the equation-system level. Three
+// independent DC-motor servo axes (current, speed, angle, PI integrator)
+// tracking time-scheduled references: each axis is its own strongly
+// connected component.
+#pragma once
+
+#include <string>
+
+#include "omx/model/model.hpp"
+
+namespace omx::models {
+
+std::string servo_source();
+
+model::Model build_servo(expr::Context& ctx);
+
+}  // namespace omx::models

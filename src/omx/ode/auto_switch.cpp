@@ -1,0 +1,142 @@
+#include "omx/ode/auto_switch.hpp"
+
+namespace omx::ode {
+
+namespace {
+
+void merge_stats(SolverStats& into, const SolverStats& from) {
+  into.rhs_calls += from.rhs_calls;
+  into.jac_calls += from.jac_calls;
+  into.steps += from.steps;
+  into.rejected += from.rejected;
+  into.newton_iters += from.newton_iters;
+}
+
+}  // namespace
+
+AutoSwitchResult lsoda_like(const Problem& p, const AutoSwitchOptions& opts) {
+  p.validate();
+  AutoSwitchResult result;
+  Solution& sol = result.solution;
+  sol.reserve(1024, p.n);
+  sol.append(p.t0, p.y0);
+
+  const double span = p.tend - p.t0;
+
+  AdamsOptions aopts;
+  aopts.tol = opts.tol;
+  BdfOptions bopts;
+  bopts.tol = opts.tol;
+  bopts.max_order = opts.bdf_max_order;
+
+  Method method = Method::kAdams;
+  double t = p.t0;
+  std::vector<double> y = p.y0;
+  std::size_t accepted = 0;
+  std::size_t attempts = 0;
+
+  while (t < p.tend) {
+    if (method == Method::kAdams) {
+      Problem sub = p;
+      sub.t0 = t;
+      sub.y0 = y;
+      AdamsStepper stepper(sub, aopts);
+      // The stepper's startup advanced some RK4 substeps already.
+      bool stiff = false;
+      std::size_t accepts_since_check = 0;
+      std::size_t sigma_hits = 0;
+      std::size_t accepts_total = 0;
+      while (stepper.t() < p.tend) {
+        if (++attempts > opts.max_steps) {
+          throw omx::Error("lsoda_like: max_steps exceeded");
+        }
+        const bool ok = stepper.step();
+        if (ok) {
+          ++accepted;
+          ++accepts_total;
+          if (accepted % opts.record_every == 0 ||
+              stepper.t() >= p.tend) {
+            sol.append(stepper.t(), stepper.y());
+          }
+          if (++accepts_since_check >= opts.stiffness_check_interval &&
+              stepper.t() < p.tend) {
+            accepts_since_check = 0;
+            if (stepper.stiffness_ratio() > opts.stiff_sigma) {
+              ++sigma_hits;
+            } else {
+              sigma_hits = 0;
+            }
+            if (sigma_hits >= opts.stiff_sigma_confirmations) {
+              stiff = true;
+              break;
+            }
+          }
+        }
+        // The automatic initial step is deliberately conservative; give
+        // the controller time to grow h before reading a small h as
+        // stiffness.
+        const bool warmed_up = accepts_total >= 48;
+        if ((warmed_up && stepper.h() < opts.stiff_h_fraction * span) ||
+            stepper.consecutive_rejects() >= opts.stiff_reject_limit) {
+          stiff = true;
+          break;
+        }
+      }
+      merge_stats(sol.stats, stepper.stats());
+      t = stepper.t();
+      y.assign(stepper.y().begin(), stepper.y().end());
+      if (!stiff) {
+        break;  // reached tend
+      }
+      method = Method::kBdf;
+      ++sol.stats.method_switches;
+      result.switches.push_back(SwitchEvent{t, Method::kBdf});
+    } else {
+      Problem sub = p;
+      sub.t0 = t;
+      sub.y0 = y;
+      BdfStepper stepper(sub, bopts);
+      std::size_t easy_streak = 0;
+      bool relaxed = false;
+      while (stepper.t() < p.tend) {
+        if (++attempts > opts.max_steps) {
+          throw omx::Error("lsoda_like: max_steps exceeded");
+        }
+        const bool ok = stepper.step();
+        if (ok) {
+          ++accepted;
+          if (accepted % opts.record_every == 0 ||
+              stepper.t() >= p.tend) {
+            sol.append(stepper.t(), stepper.y());
+          }
+          if (stepper.last_newton_iters() <= 2 &&
+              stepper.h() >= opts.nonstiff_h_fraction * span) {
+            if (++easy_streak >= opts.nonstiff_streak) {
+              relaxed = true;
+            }
+          } else {
+            easy_streak = 0;
+          }
+        } else {
+          easy_streak = 0;
+        }
+        if (relaxed && stepper.t() < p.tend) {
+          break;
+        }
+      }
+      merge_stats(sol.stats, stepper.stats());
+      t = stepper.t();
+      y.assign(stepper.y().begin(), stepper.y().end());
+      if (!relaxed || t >= p.tend) {
+        break;
+      }
+      method = Method::kAdams;
+      ++sol.stats.method_switches;
+      result.switches.push_back(SwitchEvent{t, Method::kAdams});
+    }
+  }
+  result.final_method = method;
+  return result;
+}
+
+}  // namespace omx::ode

@@ -1,0 +1,56 @@
+// LSODA-style automatic method switching (§3.2.1; Petzold 1983):
+// integrate with the non-stiff Adams PECE method, monitor for stiffness,
+// and switch to BDF + Newton when the explicit method's step size
+// collapses; switch back when the implicit method reports easy Newton
+// convergence at a comfortably large step.
+//
+// The switching heuristic is deliberately simple (repeated rejections /
+// step-size collapse rather than LSODA's method-order cost comparison) but
+// exhibits the same qualitative behaviour on stiff/non-stiff transitions.
+#pragma once
+
+#include "omx/ode/adams.hpp"
+#include "omx/ode/bdf.hpp"
+
+namespace omx::ode {
+
+struct AutoSwitchOptions {
+  Tolerances tol;
+  int bdf_max_order = 2;
+  std::size_t max_steps = 2000000;
+  std::size_t record_every = 1;
+  /// Primary stiffness detector: every `stiffness_check_interval` accepted
+  /// Adams steps, measure sigma = h * lambda_est (see
+  /// AdamsStepper::stiffness_ratio); `stiff_sigma_confirmations`
+  /// consecutive readings above `stiff_sigma` mean the explicit method is
+  /// stability-limited -> switch to BDF.
+  std::size_t stiffness_check_interval = 20;
+  double stiff_sigma = 0.8;
+  std::size_t stiff_sigma_confirmations = 2;
+  /// Fallbacks: switch when the Adams step collapses below
+  /// stiff_h_fraction * (tend - t0), or after this many consecutive
+  /// rejections.
+  double stiff_h_fraction = 1e-5;
+  std::size_t stiff_reject_limit = 8;
+  /// Switch back when BDF runs at h above nonstiff_h_fraction * span with
+  /// Newton converging in <= 2 iterations this many times in a row.
+  double nonstiff_h_fraction = 1e-3;
+  std::size_t nonstiff_streak = 20;
+};
+
+enum class Method { kAdams, kBdf };
+
+struct SwitchEvent {
+  double t;
+  Method to;
+};
+
+struct AutoSwitchResult {
+  Solution solution;
+  std::vector<SwitchEvent> switches;
+  Method final_method = Method::kAdams;
+};
+
+AutoSwitchResult lsoda_like(const Problem& p, const AutoSwitchOptions& opts);
+
+}  // namespace omx::ode

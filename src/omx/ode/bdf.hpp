@@ -1,0 +1,77 @@
+// Backward differentiation formulas (orders 1-5) with modified Newton —
+// the stiff method family of LSODA/ODEPACK (§3.2.1; Hindmarsh 1983).
+//
+// The implementation uses uniform-step BDF with automatic order ramp-up:
+// after every (re)start or step-size change the history is reset and the
+// order climbs 1 -> target as uniform points accumulate; this is the
+// classical fixed-leading-coefficient strategy in its simplest robust
+// form. The iteration matrix I - h*beta*J is LU-factored once per step
+// and refreshed when Newton stalls.
+#pragma once
+
+#include <memory>
+
+#include "omx/la/lu.hpp"
+#include "omx/ode/jacobian.hpp"
+#include "omx/ode/problem.hpp"
+
+namespace omx::ode {
+
+struct BdfOptions {
+  Tolerances tol;
+  int max_order = 2;   // 1..5; adaptive runs ramp up to this order
+  double h0 = 0.0;     // 0 = automatic
+  double hmax = 0.0;
+  std::size_t max_steps = 1000000;
+  std::size_t newton_max_iters = 8;
+  std::size_t record_every = 1;
+  /// Fixed-step mode (no error control) when > 0 — used by the
+  /// convergence-order tests.
+  double fixed_h = 0.0;
+};
+
+class BdfStepper {
+ public:
+  BdfStepper(const Problem& p, const BdfOptions& opts);
+
+  void restart(double t, std::span<const double> y, double h);
+
+  /// Attempts one step; true = accepted.
+  bool step();
+
+  double t() const { return t_; }
+  std::span<const double> y() const { return history_.front(); }
+  double h() const { return h_; }
+  int current_order() const { return order_; }
+  /// Newton iterations used by the last accepted step (fast convergence
+  /// signals the problem is no longer stiff — switch-back heuristic).
+  std::size_t last_newton_iters() const { return last_newton_iters_; }
+
+  SolverStats& stats() { return stats_; }
+
+ private:
+  bool newton_solve(double t1, std::span<const double> predictor,
+                    std::span<const double> rhs_const, double beta_h,
+                    std::span<double> out);
+  void refresh_iteration_matrix(double t1, std::span<const double> y1,
+                                double beta_h);
+
+  const Problem& p_;
+  BdfOptions opts_;
+  JacobianEvaluator jac_eval_;
+
+  double t_ = 0.0;
+  double h_ = 0.0;
+  int order_ = 1;  // current ramped order
+  // history_[0] = y_n, history_[1] = y_{n-1}, ...
+  std::vector<std::vector<double>> history_;
+  la::Matrix jac_;
+  std::unique_ptr<la::LuFactors> lu_;
+  double lu_beta_h_ = -1.0;  // beta*h the factorization was built with
+  std::size_t last_newton_iters_ = 0;
+  SolverStats stats_;
+};
+
+Solution bdf(const Problem& p, const BdfOptions& opts);
+
+}  // namespace omx::ode

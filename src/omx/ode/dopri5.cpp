@@ -1,0 +1,134 @@
+#include "omx/ode/dopri5.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace omx::ode {
+
+namespace {
+
+// Dormand & Prince RK5(4)7M coefficients.
+constexpr double c2 = 1.0 / 5, c3 = 3.0 / 10, c4 = 4.0 / 5, c5 = 8.0 / 9;
+constexpr double a21 = 1.0 / 5;
+constexpr double a31 = 3.0 / 40, a32 = 9.0 / 40;
+constexpr double a41 = 44.0 / 45, a42 = -56.0 / 15, a43 = 32.0 / 9;
+constexpr double a51 = 19372.0 / 6561, a52 = -25360.0 / 2187,
+                 a53 = 64448.0 / 6561, a54 = -212.0 / 729;
+constexpr double a61 = 9017.0 / 3168, a62 = -355.0 / 33,
+                 a63 = 46732.0 / 5247, a64 = 49.0 / 176,
+                 a65 = -5103.0 / 18656;
+constexpr double a71 = 35.0 / 384, a73 = 500.0 / 1113, a74 = 125.0 / 192,
+                 a75 = -2187.0 / 6784, a76 = 11.0 / 84;
+// Error coefficients: b5 - b4.
+constexpr double e1 = 71.0 / 57600, e3 = -71.0 / 16695, e4 = 71.0 / 1920,
+                 e5 = -17253.0 / 339200, e6 = 22.0 / 525, e7 = -1.0 / 40;
+
+}  // namespace
+
+Solution dopri5(const Problem& p, const Dopri5Options& opts) {
+  p.validate();
+  const std::size_t n = p.n;
+  Solution sol;
+  sol.reserve(1024, n);
+
+  std::vector<double> y = p.y0;
+  std::vector<double> k1(n), k2(n), k3(n), k4(n), k5(n), k6(n), k7(n);
+  std::vector<double> ytmp(n), yerr(n), w(n);
+
+  double t = p.t0;
+  const double hmax = opts.hmax > 0.0 ? opts.hmax : (p.tend - p.t0);
+  sol.append(t, y);
+
+  p.rhs(t, y, k1);
+  ++sol.stats.rhs_calls;
+
+  // Automatic initial step (Hairer's d0/d1 heuristic): h ~ 1% of the
+  // solution's characteristic time scale ||y||_w / ||y'||_w.
+  double h = opts.h0;
+  if (h <= 0.0) {
+    error_weights(y, opts.tol, w);
+    const double d0 = la::wrms_norm(y, w);
+    const double d1 = la::wrms_norm(k1, w);
+    h = (d0 > 1e-5 && d1 > 1e-5) ? 0.01 * d0 / d1
+                                 : 1e-3 * (p.tend - p.t0);
+    h = std::min(h, hmax);
+  }
+
+  double err_prev = 1.0;  // PI controller memory
+  std::size_t recorded = 0;
+
+  for (std::size_t step = 0; step < opts.max_steps && t < p.tend; ++step) {
+    h = std::min(h, p.tend - t);
+
+    auto stage = [&](std::span<double> k, double ci,
+                     std::initializer_list<std::pair<const double*, double>>
+                         terms) {
+      for (std::size_t i = 0; i < n; ++i) {
+        double acc = y[i];
+        for (const auto& [vec, coef] : terms) {
+          acc += h * coef * vec[i];
+        }
+        ytmp[i] = acc;
+      }
+      p.rhs(t + ci * h, ytmp, k);
+      ++sol.stats.rhs_calls;
+    };
+
+    stage(k2, c2, {{k1.data(), a21}});
+    stage(k3, c3, {{k1.data(), a31}, {k2.data(), a32}});
+    stage(k4, c4, {{k1.data(), a41}, {k2.data(), a42}, {k3.data(), a43}});
+    stage(k5, c5,
+          {{k1.data(), a51}, {k2.data(), a52}, {k3.data(), a53},
+           {k4.data(), a54}});
+    stage(k6, 1.0,
+          {{k1.data(), a61}, {k2.data(), a62}, {k3.data(), a63},
+           {k4.data(), a64}, {k5.data(), a65}});
+    // 5th-order solution (FSAL: k7 = f at the new point).
+    for (std::size_t i = 0; i < n; ++i) {
+      ytmp[i] = y[i] + h * (a71 * k1[i] + a73 * k3[i] + a74 * k4[i] +
+                            a75 * k5[i] + a76 * k6[i]);
+    }
+    p.rhs(t + h, ytmp, k7);
+    ++sol.stats.rhs_calls;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      yerr[i] = h * (e1 * k1[i] + e3 * k3[i] + e4 * k4[i] + e5 * k5[i] +
+                     e6 * k6[i] + e7 * k7[i]);
+    }
+    error_weights(ytmp, opts.tol, w);
+    const double err = la::wrms_norm(yerr, w);
+
+    if (err <= 1.0) {
+      t += h;
+      y = ytmp;
+      k1 = k7;  // FSAL
+      ++sol.stats.steps;
+      ++recorded;
+      if (recorded % opts.record_every == 0 || t >= p.tend) {
+        sol.append(t, y);
+      }
+      // PI controller (Gustafsson).
+      const double err_clamped = std::max(err, 1e-10);
+      double fac = 0.9 * std::pow(err_clamped, -0.7 / 5.0) *
+                   std::pow(err_prev, 0.4 / 5.0);
+      fac = std::clamp(fac, 0.2, 5.0);
+      h = std::min(h * fac, hmax);
+      err_prev = err_clamped;
+    } else {
+      ++sol.stats.rejected;
+      const double fac =
+          std::max(0.2, 0.9 * std::pow(err, -1.0 / 5.0));
+      h *= fac;
+      if (h < 1e-14 * std::max(1.0, std::fabs(t))) {
+        throw omx::Error("dopri5: step size underflow at t = " +
+                         std::to_string(t));
+      }
+    }
+  }
+  if (t < p.tend) {
+    throw omx::Error("dopri5: max_steps exceeded before reaching tend");
+  }
+  return sol;
+}
+
+}  // namespace omx::ode

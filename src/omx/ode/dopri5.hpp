@@ -1,0 +1,19 @@
+// Adaptive explicit Runge-Kutta: Dormand-Prince 5(4) with a PI step-size
+// controller. The workhorse non-stiff solver of the suite.
+#pragma once
+
+#include "omx/ode/problem.hpp"
+
+namespace omx::ode {
+
+struct Dopri5Options {
+  Tolerances tol;
+  double h0 = 0.0;         // 0 = automatic initial step
+  double hmax = 0.0;       // 0 = tend - t0
+  std::size_t max_steps = 1000000;
+  std::size_t record_every = 1;
+};
+
+Solution dopri5(const Problem& p, const Dopri5Options& opts);
+
+}  // namespace omx::ode

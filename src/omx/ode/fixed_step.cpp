@@ -1,0 +1,81 @@
+#include "omx/ode/fixed_step.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace omx::ode {
+
+namespace {
+
+std::size_t num_steps(const Problem& p, double dt) {
+  OMX_REQUIRE(dt > 0.0, "dt must be positive");
+  return static_cast<std::size_t>(std::ceil((p.tend - p.t0) / dt - 1e-12));
+}
+
+}  // namespace
+
+Solution explicit_euler(const Problem& p, const FixedStepOptions& opts) {
+  p.validate();
+  const std::size_t steps = num_steps(p, opts.dt);
+  Solution sol;
+  sol.reserve(steps / opts.record_every + 2, p.n);
+
+  std::vector<double> y = p.y0;
+  std::vector<double> f(p.n);
+  double t = p.t0;
+  sol.append(t, y);
+  for (std::size_t k = 0; k < steps; ++k) {
+    const double h = std::min(opts.dt, p.tend - t);
+    p.rhs(t, y, f);
+    ++sol.stats.rhs_calls;
+    for (std::size_t i = 0; i < p.n; ++i) {
+      y[i] += h * f[i];
+    }
+    t += h;
+    ++sol.stats.steps;
+    if (k % opts.record_every == opts.record_every - 1 || k + 1 == steps) {
+      sol.append(t, y);
+    }
+  }
+  return sol;
+}
+
+Solution rk4(const Problem& p, const FixedStepOptions& opts) {
+  p.validate();
+  const std::size_t steps = num_steps(p, opts.dt);
+  Solution sol;
+  sol.reserve(steps / opts.record_every + 2, p.n);
+
+  std::vector<double> y = p.y0;
+  std::vector<double> k1(p.n), k2(p.n), k3(p.n), k4(p.n), tmp(p.n);
+  double t = p.t0;
+  sol.append(t, y);
+  for (std::size_t k = 0; k < steps; ++k) {
+    const double h = std::min(opts.dt, p.tend - t);
+    p.rhs(t, y, k1);
+    for (std::size_t i = 0; i < p.n; ++i) {
+      tmp[i] = y[i] + 0.5 * h * k1[i];
+    }
+    p.rhs(t + 0.5 * h, tmp, k2);
+    for (std::size_t i = 0; i < p.n; ++i) {
+      tmp[i] = y[i] + 0.5 * h * k2[i];
+    }
+    p.rhs(t + 0.5 * h, tmp, k3);
+    for (std::size_t i = 0; i < p.n; ++i) {
+      tmp[i] = y[i] + h * k3[i];
+    }
+    p.rhs(t + h, tmp, k4);
+    sol.stats.rhs_calls += 4;
+    for (std::size_t i = 0; i < p.n; ++i) {
+      y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+    t += h;
+    ++sol.stats.steps;
+    if (k % opts.record_every == opts.record_every - 1 || k + 1 == steps) {
+      sol.append(t, y);
+    }
+  }
+  return sol;
+}
+
+}  // namespace omx::ode

@@ -1,0 +1,22 @@
+// Fixed-step explicit integrators: forward Euler (order 1) and the
+// classical Runge-Kutta method (order 4). Reference solvers for tests and
+// the cheap drivers for the parallel-RHS throughput benchmarks (the
+// benchmark clock measures RHS evaluations, not solver internals, exactly
+// like §4).
+#pragma once
+
+#include "omx/ode/problem.hpp"
+
+namespace omx::ode {
+
+struct FixedStepOptions {
+  double dt = 1e-3;
+  /// Record every k-th accepted step (1 = all). The final state is always
+  /// recorded.
+  std::size_t record_every = 1;
+};
+
+Solution explicit_euler(const Problem& p, const FixedStepOptions& opts);
+Solution rk4(const Problem& p, const FixedStepOptions& opts);
+
+}  // namespace omx::ode

@@ -1,0 +1,32 @@
+#include "omx/ode/jacobian.hpp"
+
+#include <cmath>
+
+namespace omx::ode {
+
+void finite_difference_jacobian(const RhsFn& rhs, double t,
+                                std::span<const double> y, la::Matrix& jac,
+                                std::uint64_t& rhs_calls) {
+  const std::size_t n = y.size();
+  OMX_REQUIRE(jac.rows() == n && jac.cols() == n, "jacobian shape mismatch");
+
+  std::vector<double> f0(n), f1(n), yp(y.begin(), y.end());
+  rhs(t, y, f0);
+  ++rhs_calls;
+
+  const double sqrt_eps = std::sqrt(2.220446049250313e-16);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double dj = sqrt_eps * std::max(std::fabs(y[j]), 1.0);
+    const double saved = yp[j];
+    yp[j] = saved + dj;
+    rhs(t, yp, f1);
+    ++rhs_calls;
+    yp[j] = saved;
+    const double inv = 1.0 / dj;
+    for (std::size_t i = 0; i < n; ++i) {
+      jac(i, j) = (f1[i] - f0[i]) * inv;
+    }
+  }
+}
+
+}  // namespace omx::ode

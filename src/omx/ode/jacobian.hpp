@@ -1,0 +1,37 @@
+// Jacobian evaluation helpers. The implicit solvers accept a user/generated
+// JacFn; when none is supplied they fall back to the forward-difference
+// approximation here (what LSODA does internally, and what the paper calls
+// "usually very expensive", §3.2.1).
+#pragma once
+
+#include "omx/ode/problem.hpp"
+
+namespace omx::ode {
+
+/// Forward-difference dense Jacobian: J(:,j) = (f(y + e_j dj) - f(y)) / dj.
+/// Costs n+1 RHS evaluations. `rhs_calls` is incremented accordingly.
+void finite_difference_jacobian(const RhsFn& rhs, double t,
+                                std::span<const double> y, la::Matrix& jac,
+                                std::uint64_t& rhs_calls);
+
+/// Wraps a Problem's Jacobian (or the finite-difference fallback) into a
+/// uniform callable.
+class JacobianEvaluator {
+ public:
+  explicit JacobianEvaluator(const Problem& p) : p_(p) {}
+
+  void operator()(double t, std::span<const double> y, la::Matrix& jac,
+                  SolverStats& stats) const {
+    if (p_.jacobian) {
+      p_.jacobian(t, y, jac);
+    } else {
+      finite_difference_jacobian(p_.rhs, t, y, jac, stats.rhs_calls);
+    }
+    ++stats.jac_calls;
+  }
+
+ private:
+  const Problem& p_;
+};
+
+}  // namespace omx::ode

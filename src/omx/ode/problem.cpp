@@ -1,0 +1,83 @@
+#include "omx/ode/problem.hpp"
+
+#include <cmath>
+
+namespace omx::ode {
+
+void Problem::validate() const {
+  if (n == 0 || !rhs) {
+    throw omx::Error("ODE problem needs n > 0 and an RHS function");
+  }
+  if (y0.size() != n) {
+    throw omx::Error("ODE problem: y0 size does not match n");
+  }
+  if (!(tend > t0)) {
+    throw omx::Error("ODE problem: tend must be greater than t0");
+  }
+}
+
+void Solution::reserve(std::size_t steps, std::size_t n) {
+  n_ = n;
+  times_.reserve(steps);
+  data_.reserve(steps * n);
+}
+
+void Solution::append(double t, std::span<const double> y) {
+  if (n_ == 0) {
+    n_ = y.size();
+  }
+  OMX_REQUIRE(y.size() == n_, "state size mismatch");
+  times_.push_back(t);
+  data_.insert(data_.end(), y.begin(), y.end());
+}
+
+std::span<const double> Solution::state(std::size_t i) const {
+  OMX_REQUIRE(i < times_.size(), "step index out of range");
+  return {&data_[i * n_], n_};
+}
+
+std::span<const double> Solution::final_state() const {
+  OMX_REQUIRE(!times_.empty(), "empty solution");
+  return state(times_.size() - 1);
+}
+
+std::vector<double> Solution::at(double t) const {
+  OMX_REQUIRE(!times_.empty(), "empty solution");
+  if (t <= times_.front()) {
+    auto s = state(0);
+    return {s.begin(), s.end()};
+  }
+  if (t >= times_.back()) {
+    auto s = final_state();
+    return {s.begin(), s.end()};
+  }
+  // Binary search for the bracketing interval.
+  std::size_t lo = 0;
+  std::size_t hi = times_.size() - 1;
+  while (hi - lo > 1) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (times_[mid] <= t) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double w =
+      (t - times_[lo]) / (times_[hi] - times_[lo]);
+  auto a = state(lo);
+  auto b = state(hi);
+  std::vector<double> out(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    out[i] = (1.0 - w) * a[i] + w * b[i];
+  }
+  return out;
+}
+
+void error_weights(std::span<const double> y, const Tolerances& tol,
+                   std::span<double> w) {
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    w[i] = tol.atol + tol.rtol * std::fabs(y[i]);
+  }
+}
+
+}  // namespace omx::ode

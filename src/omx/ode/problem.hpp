@@ -1,0 +1,78 @@
+// ODE problem and solution types shared by all solvers (§2.4).
+//
+// An initial value problem y'(t) = f(y(t), t), y(t0) = y0. The RHS
+// callback is exactly the generated-and-parallelized function the paper
+// targets; the optional Jacobian callback corresponds to the "extra
+// function dedicated to computing the Jacobian" of §2.4/§3.2.1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "omx/la/matrix.hpp"
+#include "omx/support/diagnostics.hpp"
+
+namespace omx::ode {
+
+using RhsFn =
+    std::function<void(double t, std::span<const double> y,
+                       std::span<double> ydot)>;
+/// Writes J(i,j) = d f_i / d y_j into `jac` (preallocated n x n).
+using JacFn = std::function<void(double t, std::span<const double> y,
+                                 la::Matrix& jac)>;
+
+struct Problem {
+  std::size_t n = 0;
+  RhsFn rhs;
+  JacFn jacobian;  // optional; solvers fall back to finite differences
+  double t0 = 0.0;
+  double tend = 1.0;
+  std::vector<double> y0;
+
+  void validate() const;
+};
+
+struct Tolerances {
+  double rtol = 1e-6;
+  double atol = 1e-9;
+};
+
+struct SolverStats {
+  std::uint64_t rhs_calls = 0;
+  std::uint64_t jac_calls = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t newton_iters = 0;
+  std::uint64_t method_switches = 0;
+};
+
+/// Accepted-step trajectory.
+class Solution {
+ public:
+  void reserve(std::size_t steps, std::size_t n);
+  void append(double t, std::span<const double> y);
+
+  std::size_t size() const { return times_.size(); }
+  double time(std::size_t i) const { return times_[i]; }
+  std::span<const double> state(std::size_t i) const;
+  std::span<const double> final_state() const;
+  double final_time() const { return times_.back(); }
+
+  /// Linear interpolation at time t (t within the covered range).
+  std::vector<double> at(double t) const;
+
+  SolverStats stats;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> times_;
+  std::vector<double> data_;  // row-major, one row per accepted step
+};
+
+/// Error weight vector w_i = atol + rtol*|y_i| used by all controllers.
+void error_weights(std::span<const double> y, const Tolerances& tol,
+                   std::span<double> w);
+
+}  // namespace omx::ode

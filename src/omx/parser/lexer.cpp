@@ -1,0 +1,244 @@
+#include "omx/parser/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <unordered_map>
+
+namespace omx::parser {
+
+const char* tok_kind_name(TokKind k) {
+  switch (k) {
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kNumber: return "number";
+    case TokKind::kKwModel: return "'model'";
+    case TokKind::kKwClass: return "'class'";
+    case TokKind::kKwInherits: return "'inherits'";
+    case TokKind::kKwVar: return "'var'";
+    case TokKind::kKwParam: return "'param'";
+    case TokKind::kKwPart: return "'part'";
+    case TokKind::kKwEq: return "'eq'";
+    case TokKind::kKwDer: return "'der'";
+    case TokKind::kKwInstance: return "'instance'";
+    case TokKind::kKwStart: return "'start'";
+    case TokKind::kKwEnd: return "'end'";
+    case TokKind::kPlus: return "'+'";
+    case TokKind::kMinus: return "'-'";
+    case TokKind::kStar: return "'*'";
+    case TokKind::kSlash: return "'/'";
+    case TokKind::kCaret: return "'^'";
+    case TokKind::kLParen: return "'('";
+    case TokKind::kRParen: return "')'";
+    case TokKind::kLBracket: return "'['";
+    case TokKind::kRBracket: return "']'";
+    case TokKind::kComma: return "','";
+    case TokKind::kSemicolon: return "';'";
+    case TokKind::kColon: return "':'";
+    case TokKind::kDot: return "'.'";
+    case TokKind::kDotDot: return "'..'";
+    case TokKind::kEqual: return "'='";
+    case TokKind::kEqualEqual: return "'=='";
+    case TokKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, TokKind>& keywords() {
+  static const std::unordered_map<std::string_view, TokKind> kw{
+      {"model", TokKind::kKwModel},     {"class", TokKind::kKwClass},
+      {"inherits", TokKind::kKwInherits}, {"var", TokKind::kKwVar},
+      {"param", TokKind::kKwParam},     {"part", TokKind::kKwPart},
+      {"eq", TokKind::kKwEq},           {"der", TokKind::kKwDer},
+      {"instance", TokKind::kKwInstance}, {"start", TokKind::kKwStart},
+      {"end", TokKind::kKwEnd},
+  };
+  return kw;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    while (true) {
+      skip_trivia();
+      Token t;
+      t.loc = loc();
+      if (at_end()) {
+        t.kind = TokKind::kEof;
+        out.push_back(t);
+        return out;
+      }
+      const char c = peek();
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        lex_ident(t);
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        lex_number(t);
+      } else {
+        lex_punct(t);
+      }
+      out.push_back(std::move(t));
+    }
+  }
+
+ private:
+  bool at_end() const { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  SourceLoc loc() const { return {line_, col_}; }
+
+  void skip_trivia() {
+    while (!at_end()) {
+      const char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        while (!at_end() && peek() != '\n') {
+          advance();
+        }
+      } else if (c == '(' && peek(1) == '*') {
+        const SourceLoc open = loc();
+        advance();
+        advance();
+        int depth = 1;
+        while (depth > 0) {
+          if (at_end()) {
+            throw omx::Error("unterminated (* comment", open);
+          }
+          if (peek() == '(' && peek(1) == '*') {
+            advance();
+            advance();
+            ++depth;
+          } else if (peek() == '*' && peek(1) == ')') {
+            advance();
+            advance();
+            --depth;
+          } else {
+            advance();
+          }
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  void lex_ident(Token& t) {
+    std::string s;
+    while (!at_end()) {
+      const char c = peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        s += advance();
+      } else {
+        break;
+      }
+    }
+    if (auto it = keywords().find(s); it != keywords().end()) {
+      t.kind = it->second;
+    } else {
+      t.kind = TokKind::kIdent;
+    }
+    t.text = std::move(s);
+  }
+
+  void lex_number(Token& t) {
+    const std::size_t begin = pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) {
+      advance();
+    }
+    // A '.' only continues the number if followed by a digit — this keeps
+    // the range token `1..10` lexable as NUMBER DOTDOT NUMBER.
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      advance();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        advance();
+      }
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      std::size_t ahead = 1;
+      if (peek(1) == '+' || peek(1) == '-') {
+        ahead = 2;
+      }
+      if (std::isdigit(static_cast<unsigned char>(peek(ahead)))) {
+        for (std::size_t i = 0; i <= ahead; ++i) {
+          advance();
+        }
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+          advance();
+        }
+      }
+    }
+    const std::string_view text = src_.substr(begin, pos_ - begin);
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || ptr != text.data() + text.size()) {
+      throw omx::Error("malformed number '" + std::string(text) + "'", t.loc);
+    }
+    t.kind = TokKind::kNumber;
+    t.number = value;
+  }
+
+  void lex_punct(Token& t) {
+    const char c = advance();
+    switch (c) {
+      case '+': t.kind = TokKind::kPlus; return;
+      case '-': t.kind = TokKind::kMinus; return;
+      case '*': t.kind = TokKind::kStar; return;
+      case '/': t.kind = TokKind::kSlash; return;
+      case '^': t.kind = TokKind::kCaret; return;
+      case '(': t.kind = TokKind::kLParen; return;
+      case ')': t.kind = TokKind::kRParen; return;
+      case '[': t.kind = TokKind::kLBracket; return;
+      case ']': t.kind = TokKind::kRBracket; return;
+      case ',': t.kind = TokKind::kComma; return;
+      case ';': t.kind = TokKind::kSemicolon; return;
+      case ':': t.kind = TokKind::kColon; return;
+      case '.':
+        if (peek() == '.') {
+          advance();
+          t.kind = TokKind::kDotDot;
+        } else {
+          t.kind = TokKind::kDot;
+        }
+        return;
+      case '=':
+        if (peek() == '=') {
+          advance();
+          t.kind = TokKind::kEqualEqual;
+        } else {
+          t.kind = TokKind::kEqual;
+        }
+        return;
+      default:
+        throw omx::Error(std::string("unexpected character '") + c + "'",
+                         t.loc);
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  return Lexer(source).run();
+}
+
+}  // namespace omx::parser

@@ -1,0 +1,61 @@
+// Lexer for the OMX modeling language (the textual ObjectMath-style input,
+// cf. the paper's Figure 1). Supports // line comments and (* ... *) block
+// comments like the original ObjectMath syntax.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "omx/support/diagnostics.hpp"
+
+namespace omx::parser {
+
+enum class TokKind : std::uint8_t {
+  kIdent,
+  kNumber,
+  kKwModel,
+  kKwClass,
+  kKwInherits,
+  kKwVar,
+  kKwParam,
+  kKwPart,
+  kKwEq,
+  kKwDer,
+  kKwInstance,
+  kKwStart,
+  kKwEnd,
+  kPlus,       // +
+  kMinus,      // -
+  kStar,       // *
+  kSlash,      // /
+  kCaret,      // ^
+  kLParen,     // (
+  kRParen,     // )
+  kLBracket,   // [
+  kRBracket,   // ]
+  kComma,      // ,
+  kSemicolon,  // ;
+  kColon,      // :
+  kDot,        // .
+  kDotDot,     // ..
+  kEqual,      // =
+  kEqualEqual, // ==
+  kEof,
+};
+
+const char* tok_kind_name(TokKind k);
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;     // identifier spelling
+  double number = 0.0;  // for kNumber
+  SourceLoc loc;
+};
+
+/// Tokenizes the whole input. Throws omx::Error on malformed input
+/// (bad character, unterminated block comment, malformed number).
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace omx::parser

@@ -1,0 +1,38 @@
+// Recursive-descent parser for the OMX modeling language.
+//
+// Grammar (EBNF):
+//   model      := "model" IDENT item* "end"
+//   item       := classdef | instancedef
+//   classdef   := "class" IDENT [ "(" formal ("," formal)* ")" ]
+//                 [ "inherits" IDENT [ "(" expr ("," expr)* ")" ] ]
+//                 member* "end"
+//   member     := "var" vardecl ("," vardecl)* ";"
+//               | "param" IDENT "=" expr ("," IDENT "=" expr)* ";"
+//               | "part" IDENT ":" IDENT [ "(" args ")" ] ";"
+//               | "eq" expr "==" expr ";"
+//   vardecl    := IDENT [ "start" expr ]
+//   instancedef:= "instance" IDENT [ "[" INT ".." INT "]" ]
+//                 ":" IDENT [ "(" args ")" ] ";"
+//
+// Expressions: + - * / ^ with the usual precedence, unary minus, calls to
+// the builtin functions (sin cos tan asin acos atan sinh cosh tanh exp log
+// sqrt abs sign atan2 min max hypot), der(x) on equation left-hand sides,
+// and qualified references `a.b.c` / `w[3].x` to other instances.
+// The reserved symbol `index` refers to the element number in instance
+// array arguments; `time` is the free variable.
+#pragma once
+
+#include <string_view>
+
+#include "omx/model/model.hpp"
+
+namespace omx::parser {
+
+/// Parses a full model file. Throws omx::Error with source locations on
+/// syntax errors.
+model::Model parse_model(std::string_view source, expr::Context& ctx);
+
+/// Parses a single expression (for tests and tools).
+expr::ExprId parse_expression(std::string_view source, expr::Context& ctx);
+
+}  // namespace omx::parser

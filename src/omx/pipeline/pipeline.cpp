@@ -1,0 +1,74 @@
+#include "omx/pipeline/pipeline.hpp"
+
+namespace omx::pipeline {
+
+ode::RhsFn CompiledModel::reference_rhs() const {
+  const model::FlatSystem* f = flat.get();
+  return [f](double t, std::span<const double> y, std::span<double> ydot) {
+    f->eval_rhs(t, y, ydot);
+  };
+}
+
+ode::RhsFn CompiledModel::serial_rhs() const {
+  OMX_REQUIRE(serial_program.n_regs > 0, "serial program not built");
+  const vm::Program* p = &serial_program;
+  auto ws = std::make_shared<vm::Workspace>(serial_program);
+  return [p, ws](double t, std::span<const double> y,
+                 std::span<double> ydot) {
+    vm::eval_rhs_serial(*p, t, y, ydot, *ws);
+  };
+}
+
+ode::JacFn CompiledModel::symbolic_jacobian() const {
+  OMX_REQUIRE(jacobian_program.n_regs > 0, "jacobian program not built");
+  const vm::Program* p = &jacobian_program;
+  auto ws = std::make_shared<vm::Workspace>(jacobian_program);
+  auto buf = std::make_shared<std::vector<double>>(p->n_out, 0.0);
+  return [p, ws, buf](double t, std::span<const double> y, la::Matrix& jac) {
+    const std::size_t n = p->n_state;
+    OMX_REQUIRE(jac.rows() == n && jac.cols() == n, "jacobian shape");
+    vm::eval_rhs_serial(*p, t, y, *buf, *ws);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        jac(i, j) = (*buf)[i * n + j];
+      }
+    }
+  };
+}
+
+ode::Problem CompiledModel::make_problem(ode::RhsFn rhs, double t0,
+                                         double tend) const {
+  ode::Problem p;
+  p.n = flat->num_states();
+  p.rhs = std::move(rhs);
+  p.t0 = t0;
+  p.tend = tend;
+  p.y0.reserve(p.n);
+  for (const model::FlatState& s : flat->states()) {
+    p.y0.push_back(s.start);
+  }
+  return p;
+}
+
+CompiledModel compile_model(const ModelBuilder& builder,
+                            const CompileOptions& opts) {
+  CompiledModel cm;
+  cm.ctx = std::make_unique<expr::Context>();
+  model::Model m = builder(*cm.ctx);
+  cm.flat = std::make_unique<model::FlatSystem>(model::flatten(m));
+  cm.deps = analysis::analyze_dependencies(*cm.flat);
+  cm.partition = analysis::partition_by_scc(*cm.flat, cm.deps);
+  cm.assignments = codegen::build_assignments(*cm.flat, opts.transform);
+  cm.plan = codegen::plan_tasks(*cm.flat, cm.assignments, opts.tasks);
+  cm.parallel_program = codegen::compile_parallel_tape(*cm.flat, cm.plan);
+  if (opts.build_serial) {
+    cm.serial_program = codegen::compile_serial_tape(*cm.flat,
+                                                     cm.assignments);
+  }
+  if (opts.build_jacobian) {
+    cm.jacobian_program = codegen::compile_jacobian_tape(*cm.flat);
+  }
+  return cm;
+}
+
+}  // namespace omx::pipeline

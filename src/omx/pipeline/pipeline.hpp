@@ -1,0 +1,60 @@
+// End-to-end façade: model -> flatten -> analyze -> transform -> partition
+// -> compile. This is the programmatic equivalent of Figure 7's tool
+// chain, producing everything the examples, tests and benchmarks consume.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "omx/analysis/partition.hpp"
+#include "omx/codegen/tape.hpp"
+#include "omx/model/flatten.hpp"
+#include "omx/ode/problem.hpp"
+#include "omx/runtime/parallel_rhs.hpp"
+
+namespace omx::pipeline {
+
+struct CompileOptions {
+  codegen::TransformOptions transform;
+  codegen::TaskPlanOptions tasks;
+  /// Also compile the serial (globally CSE'd) tape.
+  bool build_serial = true;
+  /// Also generate + compile the analytic Jacobian tape (n^2 outputs);
+  /// expensive for large systems.
+  bool build_jacobian = false;
+};
+
+/// Everything the toolchain derives from one model.
+struct CompiledModel {
+  std::unique_ptr<expr::Context> ctx;
+  std::unique_ptr<model::FlatSystem> flat;
+  analysis::DependencyInfo deps;
+  analysis::Partition partition;
+  codegen::AssignmentSet assignments;
+  codegen::TaskPlan plan;
+  vm::Program parallel_program;
+  vm::Program serial_program;    // empty unless build_serial
+  vm::Program jacobian_program;  // empty unless build_jacobian
+
+  std::size_t n() const { return flat->num_states(); }
+
+  /// Reference RHS (tree-walking evaluation; slow, exact semantics).
+  ode::RhsFn reference_rhs() const;
+
+  /// Serial compiled RHS.
+  ode::RhsFn serial_rhs() const;
+
+  /// Analytic Jacobian from the compiled Jacobian tape.
+  ode::JacFn symbolic_jacobian() const;
+
+  /// An ODE problem over [t0, tend] using the given RHS.
+  ode::Problem make_problem(ode::RhsFn rhs, double t0, double tend) const;
+};
+
+using ModelBuilder = std::function<model::Model(expr::Context&)>;
+
+/// Runs the full pipeline over the model produced by `builder`.
+CompiledModel compile_model(const ModelBuilder& builder,
+                            const CompileOptions& opts = {});
+
+}  // namespace omx::pipeline

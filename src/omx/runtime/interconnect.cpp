@@ -1,0 +1,37 @@
+#include "omx/runtime/interconnect.hpp"
+
+#include "omx/support/timer.hpp"
+
+namespace omx::runtime {
+
+Interconnect Interconnect::sparc_center_2000() {
+  return Interconnect{"SparcCenter2000 (shared memory)", 4e-6, 1e-8};
+}
+
+Interconnect Interconnect::parsytec_gcpp() {
+  // 140 us message latency; ~5 MB/s effective store-and-forward bandwidth
+  // through the T805 routing network.
+  return Interconnect{"Parsytec GC/PP (distributed memory)", 140e-6, 2e-7};
+}
+
+Interconnect Interconnect::ideal() {
+  return Interconnect{"ideal (zero cost)", 0.0, 0.0};
+}
+
+void MessageStats::reset() {
+  messages.store(0, std::memory_order_relaxed);
+  bytes.store(0, std::memory_order_relaxed);
+  comm_nanos.store(0, std::memory_order_relaxed);
+}
+
+void MessageStats::charge(const Interconnect& net,
+                          std::size_t payload_bytes) {
+  const double cost = net.message_cost(payload_bytes);
+  messages.fetch_add(1, std::memory_order_relaxed);
+  bytes.fetch_add(payload_bytes, std::memory_order_relaxed);
+  comm_nanos.fetch_add(static_cast<std::uint64_t>(cost * 1e9),
+                       std::memory_order_relaxed);
+  spin_for(cost);
+}
+
+}  // namespace omx::runtime

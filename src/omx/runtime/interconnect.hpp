@@ -1,0 +1,52 @@
+// Simulated interconnect (§3.2.2, §4).
+//
+// The paper measures on two 1995 machines characterized by their 1-byte
+// message propagation time:
+//   * SPARC Center 2000 (shared-memory MIMD):        ~4 us
+//   * Parsytec GC/PowerPlus (distributed-memory):  ~140 us
+// Neither machine exists here, so the runtime charges each message an
+// occupancy cost latency + bytes * per_byte on both the sending and the
+// receiving side (store-and-forward model), realized by spinning the
+// respective thread. This reproduces the compute/communication ratio that
+// drives Figure 12's curve shapes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace omx::runtime {
+
+struct Interconnect {
+  std::string name;
+  double latency_s = 0.0;   // per-message propagation/setup cost
+  double per_byte_s = 0.0;  // inverse bandwidth
+
+  /// Cost of one message of `bytes` payload, per side.
+  double message_cost(std::size_t bytes) const {
+    return latency_s + static_cast<double>(bytes) * per_byte_s;
+  }
+
+  /// Shared-memory SPARC Center 2000: 4 us latency, ~100 MB/s transfer
+  /// (in-memory copy between processors).
+  static Interconnect sparc_center_2000();
+
+  /// Distributed-memory Parsytec GC/PowerPlus: 140 us latency, ~10 MB/s
+  /// effective link bandwidth through the transputer routing network.
+  static Interconnect parsytec_gcpp();
+
+  /// Idealized zero-cost interconnect (upper-bound ablation).
+  static Interconnect ideal();
+};
+
+/// Message accounting for one run.
+struct MessageStats {
+  std::atomic<std::uint64_t> messages{0};
+  std::atomic<std::uint64_t> bytes{0};
+  std::atomic<std::uint64_t> comm_nanos{0};  // total charged occupancy
+
+  void reset();
+  void charge(const Interconnect& net, std::size_t payload_bytes);
+};
+
+}  // namespace omx::runtime

@@ -1,0 +1,75 @@
+#include "omx/runtime/parallel_rhs.hpp"
+
+#include <algorithm>
+
+#include "omx/support/timer.hpp"
+
+namespace omx::runtime {
+
+ParallelRhs::ParallelRhs(const vm::Program& program,
+                         const ParallelRhsOptions& opts)
+    : program_(program), opts_(opts) {
+  pool_ = std::make_unique<WorkerPool>(program_, opts_.pool);
+
+  std::vector<double> static_weights;
+  static_weights.reserve(program_.tasks.size());
+  for (const vm::TaskCode& t : program_.tasks) {
+    static_weights.push_back(static_cast<double>(t.est_ops));
+  }
+  sched_ = std::make_unique<sched::SemiDynamicLpt>(
+      std::move(static_weights), opts_.pool.num_workers, opts_.sched);
+  pool_->set_schedule(sched_->schedule());
+}
+
+void ParallelRhs::eval(double t, std::span<const double> y,
+                       std::span<double> ydot) {
+  Stopwatch total;
+  pool_->eval(t, y, ydot);
+  if (opts_.semi_dynamic) {
+    Stopwatch sched_time;
+    const bool rebuilt = sched_->record(pool_->last_task_seconds());
+    if (rebuilt) {
+      pool_->set_schedule(sched_->schedule());
+    }
+    scheduling_seconds_ += sched_time.seconds();
+  }
+  ++rhs_calls_;
+  eval_seconds_ += total.seconds();
+}
+
+void ParallelRhs::reset_counters() {
+  rhs_calls_ = 0;
+  eval_seconds_ = 0.0;
+  scheduling_seconds_ = 0.0;
+  pool_->stats().reset();
+}
+
+SerialRhs::SerialRhs(const vm::Program& program, std::size_t compute_scale)
+    : program_(program),
+      compute_scale_(compute_scale),
+      workspace_(program) {
+  OMX_REQUIRE(compute_scale_ >= 1, "compute_scale must be >= 1");
+}
+
+void SerialRhs::eval(double t, std::span<const double> y,
+                     std::span<double> ydot) {
+  Stopwatch total;
+  OMX_REQUIRE(ydot.size() == program_.n_out, "ydot size mismatch");
+  workspace_.load_state(program_, t, y);
+  std::fill(ydot.begin(), ydot.end(), 0.0);
+  for (std::size_t i = 0; i < program_.tasks.size(); ++i) {
+    for (std::size_t rep = 0; rep < compute_scale_; ++rep) {
+      vm::run_task(program_, i, workspace_.regs());
+    }
+    vm::apply_outputs(program_, i, workspace_.regs(), ydot);
+  }
+  ++rhs_calls_;
+  eval_seconds_ += total.seconds();
+}
+
+void SerialRhs::reset_counters() {
+  rhs_calls_ = 0;
+  eval_seconds_ = 0.0;
+}
+
+}  // namespace omx::runtime

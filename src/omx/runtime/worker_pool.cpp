@@ -1,0 +1,177 @@
+#include "omx/runtime/worker_pool.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "omx/support/timer.hpp"
+
+namespace omx::runtime {
+
+namespace {
+// Fixed per-message envelope (header, tags) in bytes.
+constexpr std::size_t kHeaderBytes = 16;
+}  // namespace
+
+WorkerPool::WorkerPool(const vm::Program& program, const Options& opts)
+    : program_(program), opts_(opts) {
+  OMX_REQUIRE(opts_.num_workers >= 1, "need at least one worker");
+  OMX_REQUIRE(opts_.compute_scale >= 1, "compute_scale must be >= 1");
+  y_.resize(program_.n_state, 0.0);
+  task_seconds_.assign(program_.tasks.size(), 0.0);
+
+  workers_.reserve(opts_.num_workers);
+  for (std::size_t w = 0; w < opts_.num_workers; ++w) {
+    auto ws = std::make_unique<WorkerState>();
+    ws->workspace = std::make_unique<vm::Workspace>(program_);
+    workers_.push_back(std::move(ws));
+  }
+  // Default schedule: round-robin, replaced by the caller via
+  // set_schedule() (LPT) in normal operation.
+  sched::Schedule rr(opts_.num_workers);
+  for (std::size_t i = 0; i < program_.tasks.size(); ++i) {
+    rr[i % opts_.num_workers].push_back(static_cast<std::uint32_t>(i));
+  }
+  set_schedule(rr);
+
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, &w_ref = *w] { worker_main(w_ref); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(w->mutex);
+      shutdown_ = true;
+      ++w->requested;
+    }
+    w->cv.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) {
+      w->thread.join();
+    }
+  }
+}
+
+void WorkerPool::set_schedule(const sched::Schedule& schedule) {
+  OMX_REQUIRE(schedule.size() == workers_.size(),
+              "schedule/worker count mismatch");
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    std::lock_guard<std::mutex> lock(workers_[w]->mutex);
+    workers_[w]->tasks = schedule[w];
+    std::size_t outputs = 0;
+    for (std::uint32_t t : schedule[w]) {
+      OMX_REQUIRE(t < program_.tasks.size(), "task index out of range");
+      outputs += program_.tasks[t].outputs.size();
+    }
+    workers_[w]->results.assign(outputs, 0.0);
+  }
+  recompute_message_sizes();
+}
+
+void WorkerPool::recompute_message_sizes() {
+  for (auto& w : workers_) {
+    std::size_t payload_states = program_.n_state;
+    if (opts_.communication_analysis) {
+      std::unordered_set<std::uint32_t> needed;
+      for (std::uint32_t t : w->tasks) {
+        for (std::uint32_t s : program_.tasks[t].in_states) {
+          needed.insert(s);
+        }
+      }
+      payload_states = needed.size();
+    }
+    // t plus the states; results carry (slot, value) pairs.
+    w->state_bytes = kHeaderBytes + 8 * (payload_states + 1);
+    std::size_t outputs = 0;
+    for (std::uint32_t t : w->tasks) {
+      outputs += program_.tasks[t].outputs.size();
+    }
+    w->result_bytes = kHeaderBytes + 16 * outputs;
+  }
+}
+
+void WorkerPool::worker_main(WorkerState& w) {
+  std::uint64_t last_done = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(w.mutex);
+      w.cv.wait(lock, [&] { return w.requested > last_done || shutdown_; });
+      if (shutdown_) {
+        return;
+      }
+      last_done = w.requested;
+    }
+    if (!w.tasks.empty()) {
+      // Receive the state message.
+      stats_.charge(opts_.net, w.state_bytes);
+      w.workspace->load_state(program_, t_, y_);
+      std::size_t out_idx = 0;
+      for (std::uint32_t task : w.tasks) {
+        Stopwatch timer;
+        for (std::size_t rep = 0; rep < opts_.compute_scale; ++rep) {
+          vm::run_task(program_, task, w.workspace->regs());
+        }
+        task_seconds_[task] = timer.seconds();
+        for (const vm::Output& o : program_.tasks[task].outputs) {
+          w.results[out_idx++] = w.workspace->regs()[o.reg];
+        }
+      }
+      // Send the results back.
+      stats_.charge(opts_.net, w.result_bytes);
+    }
+    {
+      std::lock_guard<std::mutex> lock(w.mutex);
+      w.completed = last_done;
+    }
+    w.cv.notify_all();
+  }
+}
+
+void WorkerPool::eval(double t, std::span<const double> y,
+                      std::span<double> ydot) {
+  OMX_REQUIRE(y.size() == program_.n_state, "state size mismatch");
+  OMX_REQUIRE(ydot.size() == program_.n_out, "ydot size mismatch");
+
+  t_ = t;
+  std::copy(y.begin(), y.end(), y_.begin());
+  ++generation_;
+
+  // Distribution phase: the supervisor serializes the sends (it is one
+  // processor writing to the interconnect), then each worker pays its
+  // receive cost concurrently.
+  for (auto& w : workers_) {
+    if (!w->tasks.empty()) {
+      stats_.charge(opts_.net, w->state_bytes);  // supervisor send cost
+    }
+    {
+      std::lock_guard<std::mutex> lock(w->mutex);
+      w->requested = generation_;
+    }
+    w->cv.notify_all();
+  }
+
+  std::fill(ydot.begin(), ydot.end(), 0.0);
+
+  // Collection phase: wait for workers in index order and accumulate their
+  // contributions deterministically.
+  for (auto& w : workers_) {
+    {
+      std::unique_lock<std::mutex> lock(w->mutex);
+      w->cv.wait(lock, [&] { return w->completed == generation_; });
+    }
+    if (w->tasks.empty()) {
+      continue;
+    }
+    stats_.charge(opts_.net, w->result_bytes);  // supervisor receive cost
+    std::size_t out_idx = 0;
+    for (std::uint32_t task : w->tasks) {
+      for (const vm::Output& o : program_.tasks[task].outputs) {
+        ydot[o.slot] += w->results[out_idx++];
+      }
+    }
+  }
+}
+
+}  // namespace omx::runtime

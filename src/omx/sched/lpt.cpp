@@ -1,0 +1,70 @@
+#include "omx/sched/lpt.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "omx/support/diagnostics.hpp"
+
+namespace omx::sched {
+
+Schedule lpt_schedule(std::span<const double> weights,
+                      std::size_t num_workers) {
+  OMX_REQUIRE(num_workers > 0, "need at least one worker");
+  std::vector<std::uint32_t> order(weights.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return weights[a] > weights[b];
+                   });
+
+  // Min-heap of (load, worker); worker index breaks ties for determinism.
+  using Entry = std::pair<double, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    heap.push({0.0, w});
+  }
+  Schedule schedule(num_workers);
+  for (std::uint32_t task : order) {
+    auto [load, w] = heap.top();
+    heap.pop();
+    schedule[w].push_back(task);
+    heap.push({load + weights[task], w});
+  }
+  return schedule;
+}
+
+double makespan(std::span<const double> weights, const Schedule& schedule) {
+  double worst = 0.0;
+  for (const auto& tasks : schedule) {
+    double load = 0.0;
+    for (std::uint32_t t : tasks) {
+      OMX_REQUIRE(t < weights.size(), "task index out of range");
+      load += weights[t];
+    }
+    worst = std::max(worst, load);
+  }
+  return worst;
+}
+
+double imbalance(std::span<const double> weights, const Schedule& schedule) {
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total == 0.0 || schedule.empty()) {
+    return 1.0;
+  }
+  const double ideal = total / static_cast<double>(schedule.size());
+  return makespan(weights, schedule) / ideal;
+}
+
+double makespan_lower_bound(std::span<const double> weights,
+                            std::size_t num_workers) {
+  OMX_REQUIRE(num_workers > 0, "need at least one worker");
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  double largest = 0.0;
+  for (double w : weights) {
+    largest = std::max(largest, w);
+  }
+  return std::max(largest, total / static_cast<double>(num_workers));
+}
+
+}  // namespace omx::sched

@@ -1,0 +1,32 @@
+// Largest-processing-time (LPT) list scheduling (§3.2.3).
+//
+// Tasks are sorted by decreasing predicted execution time and assigned one
+// by one to the currently least-loaded worker. Graham's classic bound
+// applies: makespan <= (4/3 - 1/(3m)) * OPT.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace omx::sched {
+
+/// schedule[w] = ordered list of task indices assigned to worker w.
+using Schedule = std::vector<std::vector<std::uint32_t>>;
+
+/// Runs LPT for `num_workers` workers over `weights` (one entry per task,
+/// any nonnegative cost unit). Deterministic: ties broken by task index.
+Schedule lpt_schedule(std::span<const double> weights,
+                      std::size_t num_workers);
+
+/// Longest per-worker total under `schedule`.
+double makespan(std::span<const double> weights, const Schedule& schedule);
+
+/// Load-imbalance ratio: makespan / (total/num_workers). 1.0 is perfect.
+double imbalance(std::span<const double> weights, const Schedule& schedule);
+
+/// Simple makespan lower bound: max(max weight, total/num_workers).
+double makespan_lower_bound(std::span<const double> weights,
+                            std::size_t num_workers);
+
+}  // namespace omx::sched

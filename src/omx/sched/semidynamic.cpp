@@ -1,0 +1,54 @@
+#include "omx/sched/semidynamic.hpp"
+
+#include "omx/support/diagnostics.hpp"
+
+namespace omx::sched {
+
+SemiDynamicLpt::SemiDynamicLpt(std::vector<double> static_weights,
+                               std::size_t num_workers,
+                               const SemiDynamicOptions& opts)
+    : weights_(std::move(static_weights)),
+      num_workers_(num_workers),
+      opts_(opts) {
+  OMX_REQUIRE(num_workers_ > 0, "need at least one worker");
+  OMX_REQUIRE(opts_.smoothing > 0.0 && opts_.smoothing <= 1.0,
+              "smoothing must be in (0, 1]");
+  rebuild();
+}
+
+bool SemiDynamicLpt::record(std::span<const double> task_seconds) {
+  OMX_REQUIRE(task_seconds.size() == weights_.size(),
+              "measurement size mismatch");
+  if (!have_measurements_) {
+    // First measurement replaces the static instruction-count prediction
+    // outright (different units).
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      weights_[i] = task_seconds[i];
+    }
+    have_measurements_ = true;
+  } else {
+    const double a = opts_.smoothing;
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      weights_[i] = (1.0 - a) * weights_[i] + a * task_seconds[i];
+    }
+  }
+  if (++calls_since_rebuild_ >= opts_.reschedule_period) {
+    rebuild();
+    return true;
+  }
+  return false;
+}
+
+void SemiDynamicLpt::reset_workers(std::size_t num_workers) {
+  OMX_REQUIRE(num_workers > 0, "need at least one worker");
+  num_workers_ = num_workers;
+  rebuild();
+}
+
+void SemiDynamicLpt::rebuild() {
+  schedule_ = lpt_schedule(weights_, num_workers_);
+  calls_since_rebuild_ = 0;
+  ++num_reschedules_;
+}
+
+}  // namespace omx::sched

@@ -1,0 +1,30 @@
+#include "omx/support/diagnostics.hpp"
+
+#include <sstream>
+
+namespace omx {
+
+namespace {
+
+std::string format_message(const std::string& message, SourceLoc loc) {
+  if (!loc.valid()) {
+    return message;
+  }
+  std::ostringstream os;
+  os << "line " << loc.line << ":" << loc.column << ": " << message;
+  return os.str();
+}
+
+}  // namespace
+
+Error::Error(std::string message, SourceLoc loc)
+    : std::runtime_error(format_message(message, loc)), loc_(loc) {}
+
+void raise_bug(const char* cond, const char* file, int line, const char* msg) {
+  std::ostringstream os;
+  os << "internal error: " << msg << " [" << cond << " failed at " << file
+     << ":" << line << "]";
+  throw Bug(os.str());
+}
+
+}  // namespace omx

@@ -1,0 +1,51 @@
+// Error reporting used across the toolchain.
+//
+// Two categories:
+//  * OMX_REQUIRE  — programming-contract violations (throws omx::Bug).
+//  * omx::Error   — user-facing diagnostics (bad model text, singular
+//                   Jacobian, unsolvable algebraic loop, ...) carrying an
+//                   optional source location.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace omx {
+
+/// Position in model source text, 1-based. line==0 means "no location".
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  bool valid() const { return line != 0; }
+};
+
+/// User-facing diagnostic (model errors, numerical failures).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message, SourceLoc loc = {});
+
+  const SourceLoc& where() const { return loc_; }
+
+ private:
+  SourceLoc loc_;
+};
+
+/// Internal invariant violation.
+class Bug : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] void raise_bug(const char* cond, const char* file, int line,
+                            const char* msg);
+
+}  // namespace omx
+
+#define OMX_REQUIRE(cond, msg)                              \
+  do {                                                      \
+    if (!(cond)) {                                          \
+      ::omx::raise_bug(#cond, __FILE__, __LINE__, (msg));   \
+    }                                                       \
+  } while (false)

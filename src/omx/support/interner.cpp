@@ -1,0 +1,27 @@
+#include "omx/support/interner.hpp"
+
+#include "omx/support/diagnostics.hpp"
+
+namespace omx {
+
+SymbolId Interner::intern(std::string_view s) {
+  if (auto it = index_.find(s); it != index_.end()) {
+    return it->second;
+  }
+  const std::string& stored = names_.emplace_back(s);
+  const SymbolId id = static_cast<SymbolId>(names_.size() - 1);
+  index_.emplace(std::string_view(stored), id);
+  return id;
+}
+
+const std::string& Interner::name(SymbolId id) const {
+  OMX_REQUIRE(id < names_.size(), "symbol id out of range");
+  return names_[id];
+}
+
+SymbolId Interner::find(std::string_view s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? kInvalidSymbol : it->second;
+}
+
+}  // namespace omx

@@ -1,0 +1,43 @@
+// String interner: maps strings to dense 32-bit symbol ids and back.
+//
+// Every name that flows through the system (model variables, parameters,
+// class members, generated temporaries) is interned once so that the
+// symbolic layers can compare and hash names as integers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace omx {
+
+/// Dense id for an interned string. Ids are assigned consecutively from 0.
+using SymbolId = std::uint32_t;
+
+inline constexpr SymbolId kInvalidSymbol = 0xffffffffu;
+
+/// Append-only string table with O(1) lookup in both directions.
+class Interner {
+ public:
+  /// Interns `s`, returning the existing id if it was seen before.
+  SymbolId intern(std::string_view s);
+
+  /// Returns the string for `id`. Precondition: id was returned by intern().
+  const std::string& name(SymbolId id) const;
+
+  /// Looks up an existing symbol without creating it.
+  /// Returns kInvalidSymbol if `s` was never interned.
+  SymbolId find(std::string_view s) const;
+
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  // deque: element addresses are stable under push_back, so the
+  // string_view keys in index_ stay valid (including SSO buffers).
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, SymbolId> index_;
+};
+
+}  // namespace omx

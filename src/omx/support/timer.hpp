@@ -1,0 +1,47 @@
+// Monotonic stopwatch used by the scheduler (measured task times) and the
+// benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace omx {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in nanoseconds.
+  std::int64_t nanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Busy-waits for `seconds`. Used by the simulated interconnect: sleeping is
+/// far too coarse at microsecond scale, so occupancy is modeled by spinning.
+inline void spin_for(double seconds) {
+  if (seconds <= 0.0) {
+    return;
+  }
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::duration<double>(seconds));
+  while (std::chrono::steady_clock::now() < until) {
+    // spin
+  }
+}
+
+}  // namespace omx

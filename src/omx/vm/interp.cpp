@@ -1,0 +1,57 @@
+#include "omx/vm/interp.hpp"
+
+#include <cmath>
+
+#include "omx/expr/eval.hpp"
+
+namespace omx::vm {
+
+void run_task(const Program& p, std::size_t task_index,
+              std::span<double> regs) {
+  OMX_REQUIRE(task_index < p.tasks.size(), "task index out of range");
+  const TaskCode& t = p.tasks[task_index];
+  double* r = regs.data();
+  for (std::uint32_t pc = t.code_begin; pc < t.code_end; ++pc) {
+    const Instr& ins = p.code[pc];
+    switch (ins.op) {
+      case OpCode::kAdd: r[ins.dst] = r[ins.a] + r[ins.b]; break;
+      case OpCode::kSub: r[ins.dst] = r[ins.a] - r[ins.b]; break;
+      case OpCode::kMul: r[ins.dst] = r[ins.a] * r[ins.b]; break;
+      case OpCode::kDiv: r[ins.dst] = r[ins.a] / r[ins.b]; break;
+      case OpCode::kPow: r[ins.dst] = std::pow(r[ins.a], r[ins.b]); break;
+      case OpCode::kNeg: r[ins.dst] = -r[ins.a]; break;
+      case OpCode::kFunc1:
+        r[ins.dst] =
+            expr::apply_func1(static_cast<expr::Func1>(ins.fn), r[ins.a]);
+        break;
+      case OpCode::kFunc2:
+        r[ins.dst] = expr::apply_func2(static_cast<expr::Func2>(ins.fn),
+                                       r[ins.a], r[ins.b]);
+        break;
+      case OpCode::kCopy: r[ins.dst] = r[ins.a]; break;
+    }
+  }
+}
+
+void apply_outputs(const Program& p, std::size_t task_index,
+                   std::span<const double> regs, std::span<double> ydot) {
+  const TaskCode& t = p.tasks[task_index];
+  for (const Output& o : t.outputs) {
+    ydot[o.slot] += regs[o.reg];
+  }
+}
+
+void eval_rhs_serial(const Program& p, double t, std::span<const double> y,
+                     std::span<double> ydot, Workspace& ws) {
+  OMX_REQUIRE(ydot.size() == p.n_out, "ydot size mismatch");
+  ws.load_state(p, t, y);
+  for (double& v : ydot) {
+    v = 0.0;
+  }
+  for (std::size_t i = 0; i < p.tasks.size(); ++i) {
+    run_task(p, i, ws.regs());
+    apply_outputs(p, i, ws.regs(), ydot);
+  }
+}
+
+}  // namespace omx::vm

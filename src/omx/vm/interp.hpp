@@ -1,0 +1,22 @@
+// Tape interpreter.
+#pragma once
+
+#include "omx/vm/program.hpp"
+
+namespace omx::vm {
+
+/// Executes the instructions of one task on the given register file.
+/// Results stay in registers; use apply_outputs to deliver them.
+void run_task(const Program& p, std::size_t task_index,
+              std::span<double> regs);
+
+/// Accumulates a task's outputs into ydot (ydot must be pre-zeroed once
+/// per RHS evaluation).
+void apply_outputs(const Program& p, std::size_t task_index,
+                   std::span<const double> regs, std::span<double> ydot);
+
+/// Serial reference evaluation: runs every task in order on `ws`.
+void eval_rhs_serial(const Program& p, double t, std::span<const double> y,
+                     std::span<double> ydot, Workspace& ws);
+
+}  // namespace omx::vm

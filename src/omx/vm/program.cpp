@@ -1,0 +1,40 @@
+#include "omx/vm/program.hpp"
+
+namespace omx::vm {
+
+void Program::validate() const {
+  OMX_REQUIRE(init_regs.size() == n_regs, "init_regs size mismatch");
+  OMX_REQUIRE(n_regs > n_state, "register file too small");
+  for (const Instr& ins : code) {
+    OMX_REQUIRE(ins.dst < n_regs, "dst register out of range");
+    OMX_REQUIRE(ins.a < n_regs, "a register out of range");
+    const bool binary = ins.op == OpCode::kAdd || ins.op == OpCode::kSub ||
+                        ins.op == OpCode::kMul || ins.op == OpCode::kDiv ||
+                        ins.op == OpCode::kPow || ins.op == OpCode::kFunc2;
+    if (binary) {
+      OMX_REQUIRE(ins.b < n_regs, "b register out of range");
+    }
+  }
+  for (const TaskCode& t : tasks) {
+    OMX_REQUIRE(t.code_begin <= t.code_end && t.code_end <= code.size(),
+                "task code range out of bounds");
+    for (const Output& o : t.outputs) {
+      OMX_REQUIRE(o.reg < n_regs, "output register out of range");
+      OMX_REQUIRE(o.slot < n_out, "output slot out of range");
+    }
+    for (std::uint32_t s : t.in_states) {
+      OMX_REQUIRE(s < n_state, "input state out of range");
+    }
+  }
+}
+
+void Workspace::load_state(const Program& p, double t,
+                           std::span<const double> y) {
+  OMX_REQUIRE(y.size() == p.n_state, "state size mismatch");
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    regs_[i] = y[i];
+  }
+  regs_[p.t_reg()] = t;
+}
+
+}  // namespace omx::vm

@@ -1,0 +1,211 @@
+// Dependency extraction and SCC partitioning (§2.1) on hand-built systems
+// and the built-in models.
+#include <gtest/gtest.h>
+
+#include "omx/analysis/partition.hpp"
+#include "omx/model/flatten.hpp"
+#include "omx/models/bearing2d.hpp"
+#include "omx/models/hydro.hpp"
+#include "omx/models/servo.hpp"
+#include "omx/parser/parser.hpp"
+
+namespace omx::analysis {
+namespace {
+
+model::FlatSystem flatten_src(expr::Context& ctx, const std::string& src) {
+  model::Model m = parser::parse_model(src, ctx);
+  return model::flatten(m);
+}
+
+TEST(Dependency, DirectStateDependencies) {
+  expr::Context ctx;
+  model::FlatSystem f = flatten_src(ctx, R"(
+model M
+  class A
+    var x start 1, y start 0;
+    eq der(x) == y;
+    eq der(y) == -x;
+  end
+  instance a : A;
+end)");
+  const DependencyInfo info = analyze_dependencies(f);
+  ASSERT_EQ(info.deps.size(), 2u);
+  EXPECT_EQ(info.deps[0], (std::vector<int>{1}));  // x' reads y
+  EXPECT_EQ(info.deps[1], (std::vector<int>{0}));  // y' reads x
+  EXPECT_TRUE(info.eq_graph.has_edge(1, 0));       // producer y -> consumer x
+  EXPECT_TRUE(info.eq_graph.has_edge(0, 1));
+}
+
+TEST(Dependency, TransitiveThroughAlgebraicChain) {
+  expr::Context ctx;
+  model::FlatSystem f = flatten_src(ctx, R"(
+model M
+  class A
+    var x start 1, y start 2;
+    var a, b;
+    eq a == 2*y;
+    eq b == a + 1;
+    eq der(x) == b;       // depends on y through b -> a
+    eq der(y) == -y;
+  end
+  instance i : A;
+end)");
+  const DependencyInfo info = analyze_dependencies(f);
+  const int xi = f.state_index(ctx.symbol("i.x"));
+  const int yi = f.state_index(ctx.symbol("i.y"));
+  EXPECT_EQ(info.deps[static_cast<std::size_t>(xi)],
+            (std::vector<int>{yi}));
+}
+
+TEST(Dependency, TimeUsageTracked) {
+  expr::Context ctx;
+  model::FlatSystem f = flatten_src(ctx, R"(
+model M
+  class A
+    var x start 0, y start 0;
+    var a;
+    eq a == sin(time);
+    eq der(x) == a;
+    eq der(y) == -y;
+  end
+  instance i : A;
+end)");
+  const DependencyInfo info = analyze_dependencies(f);
+  const int xi = f.state_index(ctx.symbol("i.x"));
+  const int yi = f.state_index(ctx.symbol("i.y"));
+  EXPECT_TRUE(info.uses_time[static_cast<std::size_t>(xi)]);
+  EXPECT_FALSE(info.uses_time[static_cast<std::size_t>(yi)]);
+}
+
+TEST(Dependency, JacobianSparsityMatchesDeps) {
+  expr::Context ctx;
+  model::FlatSystem f = flatten_src(ctx, R"(
+model M
+  class A
+    var x start 1, y start 0, z start 0;
+    eq der(x) == -x;
+    eq der(y) == x + z;
+    eq der(z) == y;
+  end
+  instance i : A;
+end)");
+  const DependencyInfo info = analyze_dependencies(f);
+  const auto mask = jacobian_sparsity(info, 3);
+  const auto xi = static_cast<std::size_t>(f.state_index(ctx.symbol("i.x")));
+  const auto yi = static_cast<std::size_t>(f.state_index(ctx.symbol("i.y")));
+  const auto zi = static_cast<std::size_t>(f.state_index(ctx.symbol("i.z")));
+  EXPECT_TRUE(mask[xi][xi]);
+  EXPECT_FALSE(mask[xi][yi]);
+  EXPECT_TRUE(mask[yi][xi]);
+  EXPECT_TRUE(mask[yi][zi]);
+  EXPECT_TRUE(mask[zi][yi]);
+  EXPECT_FALSE(mask[zi][zi]);
+}
+
+TEST(Partition, IndependentSubsystems) {
+  expr::Context ctx;
+  model::FlatSystem f = flatten_src(ctx, R"(
+model M
+  class Pair
+    var x start 1, y start 0;
+    eq der(x) == y;
+    eq der(y) == -x;
+  end
+  instance p[1..3] : Pair;
+end)");
+  const DependencyInfo info = analyze_dependencies(f);
+  const Partition p = partition_by_scc(f, info);
+  EXPECT_EQ(p.num_subsystems(), 3u);
+  EXPECT_EQ(p.largest(), 2u);
+  EXPECT_EQ(p.max_parallel_width(), 3u);
+  EXPECT_EQ(p.pipeline_depth(), 1u);
+}
+
+TEST(Partition, PipelineChain) {
+  expr::Context ctx;
+  model::FlatSystem f = flatten_src(ctx, R"(
+model M
+  class Chain
+    var a start 1, b start 0, c start 0;
+    eq der(a) == -a;
+    eq der(b) == a - b;
+    eq der(c) == b - c;
+  end
+  instance ch : Chain;
+end)");
+  const DependencyInfo info = analyze_dependencies(f);
+  const Partition p = partition_by_scc(f, info);
+  EXPECT_EQ(p.num_subsystems(), 3u);
+  EXPECT_EQ(p.pipeline_depth(), 3u);
+  EXPECT_EQ(p.max_parallel_width(), 1u);
+  // a, b, c are self-dependent: none trivial.
+  EXPECT_EQ(p.num_trivial(), 0u);
+}
+
+TEST(Partition, PureIntegratorIsTrivial) {
+  expr::Context ctx;
+  model::FlatSystem f = flatten_src(ctx, R"(
+model M
+  class A
+    var w start 1, th start 0;
+    eq der(w) == -w;
+    eq der(th) == w;   // no self-dependence, nothing depends on th
+  end
+  instance i : A;
+end)");
+  const DependencyInfo info = analyze_dependencies(f);
+  const Partition p = partition_by_scc(f, info);
+  EXPECT_EQ(p.num_subsystems(), 2u);
+  EXPECT_EQ(p.num_trivial(), 1u);
+}
+
+TEST(Partition, ServoHasOneSccPerAxis) {
+  expr::Context ctx;
+  model::Model m = models::build_servo(ctx);
+  model::FlatSystem f = model::flatten(m);
+  const DependencyInfo info = analyze_dependencies(f);
+  const Partition p = partition_by_scc(f, info);
+  // 3 axes, each one closed loop of 4 states; th' = w feeds back via ref.
+  EXPECT_EQ(f.num_states(), 12u);
+  EXPECT_EQ(p.num_subsystems(), 3u);
+  EXPECT_EQ(p.largest(), 4u);
+  EXPECT_EQ(p.max_parallel_width(), 3u);
+}
+
+TEST(Partition, BearingIsOneBigSccPlusTheta) {
+  expr::Context ctx;
+  models::BearingConfig cfg;
+  cfg.n_rollers = 6;
+  model::FlatSystem f = model::flatten(models::build_bearing(ctx, cfg));
+  const DependencyInfo info = analyze_dependencies(f);
+  const Partition p = partition_by_scc(f, info);
+  EXPECT_EQ(f.num_states(), 6u * 5u + 6u);
+  ASSERT_EQ(p.num_subsystems(), 2u);  // Figure 6
+  EXPECT_EQ(p.largest(), f.num_states() - 1);
+  EXPECT_EQ(p.num_trivial(), 1u);
+}
+
+TEST(Partition, HydroDecomposesIntoGateSubsystems) {
+  expr::Context ctx;
+  model::FlatSystem f = model::flatten(models::build_hydro(ctx));
+  const DependencyInfo info = analyze_dependencies(f);
+  const Partition p = partition_by_scc(f, info);
+  // 6 gate SCCs (angle, ip, act.pos) + dam + 6 turbines + lf + rip.
+  EXPECT_EQ(p.num_subsystems(), 15u);
+  EXPECT_EQ(p.largest(), 3u);
+  EXPECT_GE(p.max_parallel_width(), 6u);
+  EXPECT_GE(p.pipeline_depth(), 3u);
+}
+
+TEST(Partition, ReportMentionsEveryScc) {
+  expr::Context ctx;
+  model::FlatSystem f = model::flatten(models::build_hydro(ctx));
+  const DependencyInfo info = analyze_dependencies(f);
+  const Partition p = partition_by_scc(f, info);
+  const std::string report = format_partition_report(f, p);
+  EXPECT_NE(report.find("SCCs: 15"), std::string::npos);
+  EXPECT_NE(report.find("dam.level"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace omx::analysis

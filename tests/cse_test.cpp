@@ -1,0 +1,189 @@
+// Common subexpression elimination (§3.3): extraction correctness,
+// semantic preservation, op-count accounting, thresholds, and the
+// per-task vs global sharing contrast the paper measures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "omx/codegen/cse.hpp"
+#include "omx/expr/eval.hpp"
+#include "omx/support/rng.hpp"
+
+namespace omx::codegen {
+namespace {
+
+using expr::Ex;
+
+double eval_cse(expr::Context& ctx, const CseResult& r, std::size_t root,
+                expr::Env env) {
+  for (const CseBinding& b : r.bindings) {
+    env.set(b.temp, expr::eval(ctx.pool, b.value, env));
+  }
+  return expr::eval(ctx.pool, r.roots[root], env);
+}
+
+TEST(Cse, ExtractsSharedNode) {
+  expr::Context ctx;
+  const Ex x = ctx.var("x");
+  const Ex shared = sin(x) * cos(x);
+  const Ex a = shared + 1.0;
+  const Ex b = shared * 2.0;
+  const CseResult r =
+      eliminate_common_subexpressions(ctx, {a.id(), b.id()}, {});
+  EXPECT_EQ(r.num_shared(), 1u);
+  expr::Env env;
+  env.set(ctx.symbol("x"), 0.6);
+  const double expected = std::sin(0.6) * std::cos(0.6);
+  EXPECT_NEAR(eval_cse(ctx, r, 0, env), expected + 1.0, 1e-14);
+  EXPECT_NEAR(eval_cse(ctx, r, 1, env), expected * 2.0, 1e-14);
+}
+
+TEST(Cse, NoSharingNoBindings) {
+  expr::Context ctx;
+  const Ex a = ctx.var("x") + 1.0;
+  const Ex b = ctx.var("y") * 2.0;
+  const CseResult r =
+      eliminate_common_subexpressions(ctx, {a.id(), b.id()}, {});
+  EXPECT_EQ(r.num_shared(), 0u);
+  EXPECT_EQ(r.roots[0], a.id());
+  EXPECT_EQ(r.roots[1], b.id());
+}
+
+TEST(Cse, LeavesAreNeverExtracted) {
+  expr::Context ctx;
+  const Ex x = ctx.var("x");
+  const Ex a = x + x;          // x shared but it's a leaf
+  const CseResult r = eliminate_common_subexpressions(ctx, {a.id()}, {});
+  EXPECT_EQ(r.num_shared(), 0u);
+}
+
+TEST(Cse, SharingWithinOneRoot) {
+  expr::Context ctx;
+  const Ex x = ctx.var("x");
+  const Ex s = x * x;
+  const Ex e = s + s * s;
+  const CseResult r = eliminate_common_subexpressions(ctx, {e.id()}, {});
+  EXPECT_EQ(r.num_shared(), 1u);
+  expr::Env env;
+  env.set(ctx.symbol("x"), 3.0);
+  EXPECT_DOUBLE_EQ(eval_cse(ctx, r, 0, env), 9.0 + 81.0);
+}
+
+TEST(Cse, NestedBindingsReferenceEarlierTemps) {
+  expr::Context ctx;
+  const Ex x = ctx.var("x");
+  const Ex inner = x + 1.0;
+  const Ex outer = inner * inner;  // shares inner
+  const Ex a = outer + inner;
+  const Ex b = outer - 2.0;
+  const CseResult r =
+      eliminate_common_subexpressions(ctx, {a.id(), b.id()}, {});
+  EXPECT_EQ(r.num_shared(), 2u);  // inner and outer
+  expr::Env env;
+  env.set(ctx.symbol("x"), 2.0);
+  EXPECT_DOUBLE_EQ(eval_cse(ctx, r, 0, env), 9.0 + 3.0);
+  EXPECT_DOUBLE_EQ(eval_cse(ctx, r, 1, env), 7.0);
+}
+
+TEST(Cse, MinOpsThresholdSkipsSmallShared) {
+  expr::Context ctx;
+  const Ex x = ctx.var("x");
+  const Ex small = x + 1.0;                   // 1 op
+  const Ex big = sin(x) * cos(x) + exp(x);    // 4 ops
+  const Ex a = small + big;
+  const Ex b = small * big;
+  CseOptions opts;
+  opts.min_ops = 3;
+  const CseResult r =
+      eliminate_common_subexpressions(ctx, {a.id(), b.id()}, opts);
+  EXPECT_EQ(r.num_shared(), 1u);  // only `big`
+}
+
+TEST(Cse, TempPrefixIsRespected) {
+  expr::Context ctx;
+  const Ex x = ctx.var("x");
+  const Ex s = x * x;
+  CseOptions opts;
+  opts.temp_prefix = "tmp_";
+  const CseResult r = eliminate_common_subexpressions(
+      ctx, {(s + s).id()}, opts);
+  ASSERT_EQ(r.num_shared(), 1u);
+  EXPECT_EQ(ctx.names.name(r.bindings[0].temp), "tmp_0");
+}
+
+TEST(Cse, OpCountNeverIncreases) {
+  expr::Context ctx;
+  const Ex x = ctx.var("x");
+  const Ex s = sin(x) * cos(x);
+  const Ex a = s + s;
+  const std::size_t before = ctx.pool.tree_op_count(a.id());
+  const CseResult r = eliminate_common_subexpressions(ctx, {a.id()}, {});
+  EXPECT_LE(cse_op_count(ctx.pool, r), before);
+}
+
+TEST(Cse, GlobalSharingBeatsPerUnitSharing) {
+  // The §3.3 effect: expressions shared ACROSS equations can only be
+  // eliminated when the equations are in one compilation unit.
+  expr::Context ctx;
+  const Ex x = ctx.var("x");
+  const Ex y = ctx.var("y");
+  const Ex heavy = sin(x * y) * exp(x + y) + sqrt(x * x + y * y);
+  const Ex eq1 = heavy + x;
+  const Ex eq2 = heavy - y;
+
+  const CseResult global =
+      eliminate_common_subexpressions(ctx, {eq1.id(), eq2.id()}, {});
+  CseOptions o1;
+  o1.temp_prefix = "u1$";
+  const CseResult unit1 =
+      eliminate_common_subexpressions(ctx, {eq1.id()}, o1);
+  CseOptions o2;
+  o2.temp_prefix = "u2$";
+  const CseResult unit2 =
+      eliminate_common_subexpressions(ctx, {eq2.id()}, o2);
+
+  const std::size_t split_ops = cse_op_count(ctx.pool, unit1) +
+                                cse_op_count(ctx.pool, unit2);
+  EXPECT_LT(cse_op_count(ctx.pool, global), split_ops);
+}
+
+class CseProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CseProperty, RandomDagsPreserveSemantics) {
+  expr::Context ctx;
+  omx::SplitMix64 rng(31 + static_cast<std::uint64_t>(GetParam()));
+  // Build a random DAG with deliberate sharing: maintain a pool of
+  // subexpressions and combine random picks.
+  std::vector<Ex> nodes{ctx.var("x"), ctx.var("y"), ctx.lit(2.0)};
+  for (int i = 0; i < 25; ++i) {
+    const Ex a = nodes[rng.below(nodes.size())];
+    const Ex b = nodes[rng.below(nodes.size())];
+    switch (rng.below(4)) {
+      case 0: nodes.push_back(a + b); break;
+      case 1: nodes.push_back(a - b); break;
+      case 2: nodes.push_back(a * b); break;
+      default: nodes.push_back(tanh(a) + cos(b)); break;
+    }
+  }
+  std::vector<expr::ExprId> roots;
+  for (int i = 0; i < 4; ++i) {
+    roots.push_back(nodes[nodes.size() - 1 - rng.below(8)].id());
+  }
+  const CseResult r = eliminate_common_subexpressions(ctx, roots, {});
+
+  for (int pt = 0; pt < 5; ++pt) {
+    expr::Env env;
+    env.set(ctx.symbol("x"), rng.uniform(-2, 2));
+    env.set(ctx.symbol("y"), rng.uniform(-2, 2));
+    for (std::size_t k = 0; k < roots.size(); ++k) {
+      const double direct = expr::eval(ctx.pool, roots[k], env);
+      const double via_cse = eval_cse(ctx, r, k, env);
+      EXPECT_NEAR(via_cse, direct, 1e-9 * std::max(1.0, std::fabs(direct)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CseProperty, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace omx::codegen

@@ -1,0 +1,164 @@
+// Property-based suites over randomly generated expressions:
+//  * simplify() preserves value at random evaluation points,
+//  * differentiate() matches central finite differences,
+//  * substitution composed with evaluation commutes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "omx/expr/context.hpp"
+#include "omx/expr/derivative.hpp"
+#include "omx/expr/eval.hpp"
+#include "omx/expr/simplify.hpp"
+#include "omx/support/rng.hpp"
+
+namespace omx::expr {
+namespace {
+
+/// Random expression generator over symbols {x, y, z} using only
+/// operations that are smooth and finite on the sampled domain.
+class RandomExprGen {
+ public:
+  RandomExprGen(Context& ctx, SplitMix64& rng, bool smooth_only)
+      : ctx_(ctx), rng_(rng), smooth_only_(smooth_only) {}
+
+  ExprId gen(int depth) {
+    if (depth <= 0 || rng_.below(5) == 0) {
+      return leaf();
+    }
+    switch (rng_.below(smooth_only_ ? 8 : 10)) {
+      case 0: return ctx_.pool.add(gen(depth - 1), gen(depth - 1));
+      case 1: return ctx_.pool.sub(gen(depth - 1), gen(depth - 1));
+      case 2: return ctx_.pool.mul(gen(depth - 1), gen(depth - 1));
+      case 3: {
+        // Guarded division: denominator g^2 + 4 is bounded away from zero.
+        const ExprId g = gen(depth - 1);
+        const ExprId denom =
+            ctx_.pool.add(ctx_.pool.mul(g, g), ctx_.pool.constant(4.0));
+        return ctx_.pool.div(gen(depth - 1), denom);
+      }
+      case 4: return ctx_.pool.neg(gen(depth - 1));
+      case 5: return ctx_.pool.call(Func1::kSin, gen(depth - 1));
+      case 6: return ctx_.pool.call(Func1::kCos, gen(depth - 1));
+      case 7: return ctx_.pool.call(Func1::kTanh, gen(depth - 1));
+      case 8:
+        return ctx_.pool.call(Func2::kMin, gen(depth - 1), gen(depth - 1));
+      case 9:
+        return ctx_.pool.call(Func2::kMax, gen(depth - 1), gen(depth - 1));
+    }
+    return leaf();
+  }
+
+ private:
+  ExprId leaf() {
+    switch (rng_.below(4)) {
+      case 0: return ctx_.pool.constant(std::floor(rng_.uniform(-4, 5)));
+      case 1: return ctx_.pool.sym(ctx_.symbol("x"));
+      case 2: return ctx_.pool.sym(ctx_.symbol("y"));
+      default: return ctx_.pool.sym(ctx_.symbol("z"));
+    }
+  }
+
+  Context& ctx_;
+  SplitMix64& rng_;
+  bool smooth_only_;
+};
+
+class SimplifyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplifyProperty, PreservesValueAtRandomPoints) {
+  Context ctx;
+  SplitMix64 rng(1000 + static_cast<std::uint64_t>(GetParam()));
+  RandomExprGen gen(ctx, rng, /*smooth_only=*/false);
+  const ExprId e = gen.gen(5);
+  const ExprId s = simplify(ctx.pool, e);
+
+  for (int pt = 0; pt < 20; ++pt) {
+    Env env;
+    env.set(ctx.symbol("x"), rng.uniform(-2.0, 2.0));
+    env.set(ctx.symbol("y"), rng.uniform(-2.0, 2.0));
+    env.set(ctx.symbol("z"), rng.uniform(-2.0, 2.0));
+    const double ve = eval(ctx.pool, e, env);
+    const double vs = eval(ctx.pool, s, env);
+    if (std::isfinite(ve)) {
+      EXPECT_NEAR(vs, ve, 1e-9 * std::max(1.0, std::fabs(ve)))
+          << "seed " << GetParam() << " point " << pt;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyProperty, ::testing::Range(0, 40));
+
+class DerivativeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DerivativeProperty, MatchesCentralFiniteDifference) {
+  Context ctx;
+  SplitMix64 rng(5000 + static_cast<std::uint64_t>(GetParam()));
+  RandomExprGen gen(ctx, rng, /*smooth_only=*/true);
+  const ExprId e = gen.gen(4);
+  const ExprId d = differentiate(ctx.pool, e, ctx.symbol("x"));
+
+  int checked = 0;
+  for (int pt = 0; pt < 10 && checked < 5; ++pt) {
+    const double x = rng.uniform(-1.5, 1.5);
+    const double y = rng.uniform(-1.5, 1.5);
+    const double z = rng.uniform(-1.5, 1.5);
+    const double h = 1e-6;
+    Env env;
+    env.set(ctx.symbol("y"), y);
+    env.set(ctx.symbol("z"), z);
+    env.set(ctx.symbol("x"), x + h);
+    const double fp = eval(ctx.pool, e, env);
+    env.set(ctx.symbol("x"), x - h);
+    const double fm = eval(ctx.pool, e, env);
+    env.set(ctx.symbol("x"), x);
+    const double analytic = eval(ctx.pool, d, env);
+    const double numeric = (fp - fm) / (2.0 * h);
+    if (!std::isfinite(analytic) || !std::isfinite(numeric) ||
+        std::fabs(numeric) > 1e4) {
+      continue;  // skip ill-conditioned sample
+    }
+    EXPECT_NEAR(analytic, numeric,
+                1e-4 * std::max(1.0, std::fabs(numeric)))
+        << "seed " << GetParam() << " at x=" << x;
+    ++checked;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DerivativeProperty, ::testing::Range(0, 40));
+
+class SubstituteProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubstituteProperty, SubstitutionCommutesWithEvaluation) {
+  Context ctx;
+  SplitMix64 rng(9000 + static_cast<std::uint64_t>(GetParam()));
+  RandomExprGen gen(ctx, rng, /*smooth_only=*/false);
+  const ExprId e = gen.gen(4);
+  // substitute x := repl(y, z); repl must not itself contain x, or the
+  // commutation property would compare different bindings of x.
+  const ExprId repl = ctx.pool.substitute(
+      gen.gen(3), ctx.symbol("x"), ctx.pool.sym(ctx.symbol("y")));
+
+  const ExprId substituted =
+      ctx.pool.substitute(e, ctx.symbol("x"), repl);
+
+  for (int pt = 0; pt < 10; ++pt) {
+    Env env;
+    env.set(ctx.symbol("y"), rng.uniform(-2.0, 2.0));
+    env.set(ctx.symbol("z"), rng.uniform(-2.0, 2.0));
+    const double xv = eval(ctx.pool, repl, env);
+    const double direct = eval(ctx.pool, substituted, env);
+    env.set(ctx.symbol("x"), xv);
+    const double indirect = eval(ctx.pool, e, env);
+    if (std::isfinite(direct) && std::isfinite(indirect)) {
+      EXPECT_NEAR(direct, indirect,
+                  1e-9 * std::max(1.0, std::fabs(indirect)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubstituteProperty,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace omx::expr

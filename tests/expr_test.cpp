@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "omx/expr/context.hpp"
+#include "omx/expr/derivative.hpp"
+#include "omx/expr/eval.hpp"
+#include "omx/expr/printer.hpp"
+#include "omx/expr/simplify.hpp"
+
+namespace omx::expr {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  Context ctx;
+
+  double eval_with(ExprId e, std::initializer_list<std::pair<const char*,
+                                                             double>> binds) {
+    Env env;
+    for (const auto& [name, v] : binds) {
+      env.set(ctx.symbol(name), v);
+    }
+    return eval(ctx.pool, e, env);
+  }
+};
+
+TEST_F(ExprTest, HashConsingDeduplicatesStructurally) {
+  const Ex a = ctx.var("x") + ctx.var("y");
+  const Ex b = ctx.var("x") + ctx.var("y");
+  EXPECT_EQ(a.id(), b.id());
+  const Ex c = ctx.var("y") + ctx.var("x");  // not commutatively canonical
+  EXPECT_NE(a.id(), c.id());
+}
+
+TEST_F(ExprTest, ConstantsAreShared) {
+  EXPECT_EQ(ctx.lit(2.5).id(), ctx.lit(2.5).id());
+  EXPECT_NE(ctx.lit(2.5).id(), ctx.lit(-2.5).id());
+  // -0.0 canonicalizes to +0.0.
+  EXPECT_EQ(ctx.lit(-0.0).id(), ctx.lit(0.0).id());
+}
+
+TEST_F(ExprTest, EvalArithmetic) {
+  const Ex e = (ctx.var("x") + 2.0) * ctx.var("y") / (ctx.var("x") - 1.0);
+  EXPECT_DOUBLE_EQ(eval_with(e.id(), {{"x", 3.0}, {"y", 4.0}}),
+                   (3.0 + 2.0) * 4.0 / (3.0 - 1.0));
+}
+
+TEST_F(ExprTest, EvalFunctions) {
+  const Ex e = sin(ctx.var("x")) + exp(cos(ctx.var("x")));
+  const double x = 0.7;
+  EXPECT_DOUBLE_EQ(eval_with(e.id(), {{"x", x}}),
+                   std::sin(x) + std::exp(std::cos(x)));
+}
+
+TEST_F(ExprTest, EvalMinMaxSignAbs) {
+  const Ex e = max(ctx.var("x"), 0.0) * sign(ctx.var("x")) +
+               abs(min(ctx.var("x"), ctx.var("y")));
+  EXPECT_DOUBLE_EQ(eval_with(e.id(), {{"x", -2.0}, {"y", 5.0}}),
+                   0.0 * -1.0 + 2.0);
+}
+
+TEST_F(ExprTest, EvalUnboundSymbolThrows) {
+  const Ex e = ctx.var("ghost");
+  Env env;
+  EXPECT_THROW(eval(ctx.pool, e.id(), env), omx::Error);
+}
+
+TEST_F(ExprTest, EvalDerNodeThrows) {
+  const ExprId d = ctx.der("x").id();
+  Env env;
+  env.set(ctx.symbol("x"), 1.0);
+  EXPECT_THROW(eval(ctx.pool, d, env), omx::Error);
+}
+
+TEST_F(ExprTest, FreeSymsDeduplicatedSorted) {
+  const Ex e = ctx.var("b") * ctx.var("a") + ctx.var("b") - ctx.lit(3.0);
+  std::vector<SymbolId> syms;
+  ctx.pool.free_syms(e.id(), syms);
+  ASSERT_EQ(syms.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(syms.begin(), syms.end()));
+}
+
+TEST_F(ExprTest, SubstituteReplacesAllOccurrences) {
+  const Ex e = ctx.var("x") * ctx.var("x") + ctx.var("x");
+  const ExprId r =
+      ctx.pool.substitute(e.id(), ctx.symbol("x"), ctx.lit(3.0).id());
+  Env env;
+  EXPECT_DOUBLE_EQ(eval(ctx.pool, r, env), 12.0);
+}
+
+TEST_F(ExprTest, SubstituteSimultaneous) {
+  // Swapping x and y must not cascade.
+  const Ex e = ctx.var("x") - ctx.var("y");
+  std::unordered_map<SymbolId, ExprId> map{
+      {ctx.symbol("x"), ctx.var("y").id()},
+      {ctx.symbol("y"), ctx.var("x").id()},
+  };
+  const ExprId r = ctx.pool.substitute(e.id(), map);
+  EXPECT_DOUBLE_EQ(eval_with(r, {{"x", 10.0}, {"y", 4.0}}), 4.0 - 10.0);
+}
+
+TEST_F(ExprTest, TreeVsDagOpCounts) {
+  // shared = x*y used twice: tree counts it twice, dag once.
+  const Ex shared = ctx.var("x") * ctx.var("y");
+  const Ex e = shared + shared * shared;
+  EXPECT_EQ(ctx.pool.dag_op_count(e.id()), 3u);   // mul, mul, add
+  EXPECT_EQ(ctx.pool.tree_op_count(e.id()), 5u);  // 3 muls + add + ... tree
+}
+
+TEST_F(ExprTest, DiffPolynomial) {
+  // d/dx (x^3 + 2x) = 3x^2 + 2.
+  const Ex x = ctx.var("x");
+  const Ex e = pow(x, 3.0) + 2.0 * x;
+  const ExprId d = differentiate(ctx.pool, e.id(), ctx.symbol("x"));
+  EXPECT_NEAR(eval_with(d, {{"x", 2.0}}), 3.0 * 4.0 + 2.0, 1e-12);
+}
+
+TEST_F(ExprTest, DiffQuotientAndChain) {
+  // d/dx sin(x^2)/x = (2x cos(x^2) * x - sin(x^2)) / x^2.
+  const Ex x = ctx.var("x");
+  const Ex e = sin(x * x) / x;
+  const ExprId d = differentiate(ctx.pool, e.id(), ctx.symbol("x"));
+  const double xv = 1.3;
+  const double expected = (2.0 * xv * std::cos(xv * xv) * xv -
+                           std::sin(xv * xv)) / (xv * xv);
+  EXPECT_NEAR(eval_with(d, {{"x", xv}}), expected, 1e-12);
+}
+
+TEST_F(ExprTest, DiffOfOtherSymbolIsZero) {
+  const ExprId d = differentiate(ctx.pool, ctx.var("y").id(),
+                                 ctx.symbol("x"));
+  EXPECT_TRUE(ctx.pool.is_const(d, 0.0));
+}
+
+TEST_F(ExprTest, DiffGeneralPower) {
+  // d/dx x^x = x^x (ln x + 1).
+  const Ex x = ctx.var("x");
+  const ExprId d = differentiate(ctx.pool, pow(x, x).id(), ctx.symbol("x"));
+  const double xv = 2.0;
+  EXPECT_NEAR(eval_with(d, {{"x", xv}}),
+              std::pow(xv, xv) * (std::log(xv) + 1.0), 1e-12);
+}
+
+TEST_F(ExprTest, DiffMinMaxViaAbsIdentity) {
+  // d/dx min(x^2, x) at x = 2 is d/dx x = 1; at x = 0.25 is 2x = 0.5.
+  const Ex x = ctx.var("x");
+  const ExprId d =
+      differentiate(ctx.pool, min(x * x, x).id(), ctx.symbol("x"));
+  EXPECT_NEAR(eval_with(d, {{"x", 2.0}}), 1.0, 1e-12);
+  EXPECT_NEAR(eval_with(d, {{"x", 0.25}}), 0.5, 1e-12);
+}
+
+TEST_F(ExprTest, DiffHypotAtan2) {
+  const Ex x = ctx.var("x");
+  const Ex y = ctx.var("y");
+  const ExprId dh =
+      differentiate(ctx.pool, hypot(x, y).id(), ctx.symbol("x"));
+  EXPECT_NEAR(eval_with(dh, {{"x", 3.0}, {"y", 4.0}}), 3.0 / 5.0, 1e-12);
+  const ExprId da =
+      differentiate(ctx.pool, atan2(y, x).id(), ctx.symbol("x"));
+  // d/dx atan2(y, x) = -y/(x^2+y^2).
+  EXPECT_NEAR(eval_with(da, {{"x", 3.0}, {"y", 4.0}}), -4.0 / 25.0, 1e-12);
+}
+
+TEST_F(ExprTest, SimplifyConstantFolding) {
+  const Ex e = (ctx.lit(2.0) + 3.0) * ctx.lit(4.0);
+  EXPECT_TRUE(ctx.pool.is_const(simplify(ctx.pool, e.id()), 20.0));
+}
+
+TEST_F(ExprTest, SimplifyIdentities) {
+  const Ex x = ctx.var("x");
+  EXPECT_EQ(simplify(ctx.pool, (x + 0.0).id()), x.id());
+  EXPECT_EQ(simplify(ctx.pool, (x * 1.0).id()), x.id());
+  EXPECT_TRUE(ctx.pool.is_const(simplify(ctx.pool, (x * 0.0).id()), 0.0));
+  EXPECT_TRUE(ctx.pool.is_const(simplify(ctx.pool, (x - x).id()), 0.0));
+  EXPECT_EQ(simplify(ctx.pool, pow(x, 1.0).id()), x.id());
+  EXPECT_TRUE(ctx.pool.is_const(simplify(ctx.pool, pow(x, 0.0).id()), 1.0));
+  // --x -> x
+  EXPECT_EQ(simplify(ctx.pool, (-(-x)).id()), x.id());
+}
+
+TEST_F(ExprTest, SimplifyDoesNotDivideByZeroFold) {
+  // 0 / x must NOT fold to 0 (x could be 0).
+  const Ex e = ctx.lit(0.0) / ctx.var("x");
+  const ExprId s = simplify(ctx.pool, e.id());
+  EXPECT_FALSE(ctx.pool.is_const(s, 0.0));
+}
+
+TEST_F(ExprTest, SimplifyKeepsNonFiniteFoldsUnfolded) {
+  const Ex e = log(ctx.lit(0.0));  // -inf: must stay symbolic
+  const ExprId s = simplify(ctx.pool, e.id());
+  EXPECT_EQ(ctx.pool.node(s).op, Op::kCall1);
+}
+
+TEST_F(ExprTest, InfixPrinting) {
+  const Ex x = ctx.var("x");
+  const Ex y = ctx.var("y");
+  EXPECT_EQ(to_infix(ctx.pool, ctx.names, ((x + y) * x).id()),
+            "(x + y)*x");
+  EXPECT_EQ(to_infix(ctx.pool, ctx.names, (x - (y - x)).id()),
+            "x - (y - x)");
+  EXPECT_EQ(to_infix(ctx.pool, ctx.names, (-x).id()), "-x");
+  EXPECT_EQ(to_infix(ctx.pool, ctx.names, pow(x + y, 2.0).id()),
+            "(x + y)^2");
+  EXPECT_EQ(to_infix(ctx.pool, ctx.names, min(x, y).id()), "min(x, y)");
+}
+
+TEST_F(ExprTest, FullFormPrinting) {
+  const Ex x = ctx.var("x");
+  const Ex y = ctx.var("y");
+  EXPECT_EQ(to_fullform(ctx.pool, ctx.names, (x * y + 1.0).id()),
+            "Plus[Times[x, y], 1]");
+  FullFormOptions ff;
+  ff.annotate_types = true;
+  EXPECT_EQ(to_fullform(ctx.pool, ctx.names, (-x).id(), ff),
+            "Minus[om$Type[x, om$Real]]");
+}
+
+TEST_F(ExprTest, DerPrinting) {
+  EXPECT_EQ(to_fullform(ctx.pool, ctx.names, ctx.der("x").id()),
+            "Derivative[1][x]");
+}
+
+TEST_F(ExprTest, DerRequiresSymbol) {
+  const Ex e = ctx.var("x") + 1.0;
+  EXPECT_THROW(ctx.pool.der(e.id()), Bug);
+}
+
+}  // namespace
+}  // namespace omx::expr

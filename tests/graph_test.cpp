@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "omx/graph/dot.hpp"
+#include "omx/graph/scc.hpp"
+#include "omx/support/diagnostics.hpp"
+#include "omx/support/rng.hpp"
+
+namespace omx::graph {
+namespace {
+
+TEST(Digraph, BasicConstruction) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(Digraph, DeduplicateRemovesParallelEdges) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.deduplicate();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Digraph, ReversedSwapsDirections) {
+  Digraph g(3);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  const Digraph r = g.reversed();
+  EXPECT_TRUE(r.has_edge(2, 0));
+  EXPECT_TRUE(r.has_edge(2, 1));
+  EXPECT_EQ(r.num_edges(), 2u);
+}
+
+TEST(Digraph, TopologicalOrderRespectsEdges) {
+  Digraph g(5);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  const auto order = g.topological_order();
+  std::vector<std::size_t> pos(5);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    pos[order[i]] = i;
+  }
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[2]);
+  EXPECT_LT(pos[2], pos[3]);
+  EXPECT_LT(pos[3], pos[4]);
+}
+
+TEST(Digraph, TopologicalOrderThrowsOnCycle) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_THROW(g.topological_order(), omx::Error);
+}
+
+TEST(Digraph, LevelsAreLongestPaths) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(0, 3);  // short path must not shrink the level
+  g.add_edge(2, 3);
+  const auto levels = g.levels();
+  EXPECT_EQ(levels[0], 0u);
+  EXPECT_EQ(levels[1], 1u);
+  EXPECT_EQ(levels[2], 0u);
+  EXPECT_EQ(levels[3], 2u);
+}
+
+TEST(Scc, SingleCycle) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components(), 1u);
+  EXPECT_EQ(scc.members[0].size(), 3u);
+}
+
+TEST(Scc, ChainIsAllTrivial) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components(), 4u);
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    EXPECT_TRUE(scc.is_trivial(c, g));
+  }
+}
+
+TEST(Scc, SelfLoopIsNontrivial) {
+  Digraph g(2);
+  g.add_edge(0, 0);
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components(), 2u);
+  EXPECT_FALSE(scc.is_trivial(scc.component[0], g));
+  EXPECT_TRUE(scc.is_trivial(scc.component[1], g));
+}
+
+TEST(Scc, TwoComponentsWithBridge) {
+  // {0,1} -> {2,3}
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  g.add_edge(1, 2);
+  const SccResult scc = strongly_connected_components(g);
+  ASSERT_EQ(scc.num_components(), 2u);
+  // Tarjan numbering: consumer component has the lower index.
+  EXPECT_LT(scc.component[2], scc.component[0]);
+  const Digraph c = condensation(g, scc);
+  EXPECT_EQ(c.num_nodes(), 2u);
+  EXPECT_EQ(c.num_edges(), 1u);
+  EXPECT_TRUE(c.has_edge(scc.component[0], scc.component[2]));
+}
+
+TEST(Scc, CondensationDropsInternalEdges) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  const SccResult scc = strongly_connected_components(g);
+  const Digraph c = condensation(g, scc);
+  EXPECT_EQ(c.num_nodes(), 2u);
+  EXPECT_EQ(c.num_edges(), 1u);  // deduplicated bridge
+}
+
+// -- property: SCC membership is an equivalence consistent with
+// reachability on random graphs -------------------------------------------
+class SccProperty : public ::testing::TestWithParam<int> {};
+
+namespace {
+std::vector<bool> reachable_from(const Digraph& g, NodeId src) {
+  std::vector<bool> seen(g.num_nodes(), false);
+  std::vector<NodeId> stack{src};
+  seen[src] = true;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (NodeId v : g.successors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+}  // namespace
+
+TEST_P(SccProperty, ComponentsMatchMutualReachability) {
+  omx::SplitMix64 rng(77 + static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 12;
+  Digraph g(n);
+  const std::size_t edges = 4 + rng.below(24);
+  for (std::size_t e = 0; e < edges; ++e) {
+    g.add_edge(static_cast<NodeId>(rng.below(n)),
+               static_cast<NodeId>(rng.below(n)));
+  }
+  const SccResult scc = strongly_connected_components(g);
+
+  // Mutual reachability <=> same component.
+  std::vector<std::vector<bool>> reach(n);
+  for (NodeId u = 0; u < n; ++u) {
+    reach[u] = reachable_from(g, u);
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      const bool mutual = reach[u][v] && reach[v][u];
+      EXPECT_EQ(mutual, scc.component[u] == scc.component[v])
+          << "nodes " << u << "," << v;
+    }
+  }
+  // Condensation is acyclic.
+  EXPECT_NO_THROW(condensation(g, scc).topological_order());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SccProperty, ::testing::Range(0, 30));
+
+TEST(Dot, PlainAndClusteredExport) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  const std::vector<std::string> labels{"a", "b"};
+  const std::string plain = to_dot(g, labels);
+  EXPECT_NE(plain.find("\"a\" -> \"b\""), std::string::npos);
+  const SccResult scc = strongly_connected_components(g);
+  const std::string clustered = to_dot_clustered(g, scc, labels);
+  EXPECT_NE(clustered.find("subgraph cluster_0"), std::string::npos);
+  EXPECT_NE(clustered.find("(x 1)"), std::string::npos);
+}
+
+TEST(Dot, LabelCountMismatchIsABug) {
+  Digraph g(2);
+  EXPECT_THROW(to_dot(g, {"only-one"}), omx::Bug);
+}
+
+}  // namespace
+}  // namespace omx::graph

@@ -1,0 +1,349 @@
+// Flattening: inheritance, composition, instance arrays, parameter
+// binding, equation classification and the diagnostic paths.
+#include <gtest/gtest.h>
+
+#include "omx/model/flatten.hpp"
+#include "omx/parser/parser.hpp"
+
+namespace omx::model {
+namespace {
+
+FlatSystem flatten_src(expr::Context& ctx, const std::string& src) {
+  Model m = parser::parse_model(src, ctx);
+  return flatten(m);
+}
+
+TEST(Flatten, ScalarInstanceQualifiesNames) {
+  expr::Context ctx;
+  FlatSystem f = flatten_src(ctx, R"(
+model M
+  class A
+    var x start 2;
+    eq der(x) == -x;
+  end
+  instance a : A;
+end)");
+  ASSERT_EQ(f.num_states(), 1u);
+  EXPECT_EQ(f.state_name(0), "a.x");
+  EXPECT_DOUBLE_EQ(f.states()[0].start, 2.0);
+}
+
+TEST(Flatten, InstanceArrayExpandsElements) {
+  expr::Context ctx;
+  FlatSystem f = flatten_src(ctx, R"(
+model M
+  class A(k)
+    var x start k;
+    eq der(x) == -k*x;
+  end
+  instance a[1..3] : A(index * 10);
+end)");
+  ASSERT_EQ(f.num_states(), 3u);
+  EXPECT_EQ(f.state_name(0), "a[1].x");
+  EXPECT_EQ(f.state_name(2), "a[3].x");
+  EXPECT_DOUBLE_EQ(f.states()[0].start, 10.0);
+  EXPECT_DOUBLE_EQ(f.states()[2].start, 30.0);
+}
+
+TEST(Flatten, InheritanceMergesAndSubstitutesFormals) {
+  expr::Context ctx;
+  FlatSystem f = flatten_src(ctx, R"(
+model M
+  class Base(k)
+    param g = 2*k;
+    var x start 1;
+    eq der(x) == -g*x;
+  end
+  class Derived(q) inherits Base(q + 1)
+    var y start 0;
+    eq der(y) == x;
+  end
+  instance d : Derived(4);
+end)");
+  ASSERT_EQ(f.num_states(), 2u);
+  // g = 2*(4+1) = 10.
+  EXPECT_DOUBLE_EQ(f.parameter_value(ctx.symbol("d.g")), 10.0);
+}
+
+TEST(Flatten, DerivedParameterOverridesBase) {
+  expr::Context ctx;
+  FlatSystem f = flatten_src(ctx, R"(
+model M
+  class Base
+    param k = 1;
+    var x;
+    eq der(x) == -k*x;
+  end
+  class Variant inherits Base
+    param k = 7;
+  end
+  instance v : Variant;
+end)");
+  EXPECT_DOUBLE_EQ(f.parameter_value(ctx.symbol("v.k")), 7.0);
+}
+
+TEST(Flatten, CompositionNestsPrefixes) {
+  expr::Context ctx;
+  FlatSystem f = flatten_src(ctx, R"(
+model M
+  class Leaf
+    var v start 1;
+    var drive;
+    eq der(v) == drive - v;
+  end
+  class Node
+    part p : Leaf;
+    var x start 0;
+    eq der(x) == p.v;
+    eq p.drive == 2*x;
+  end
+  instance n : Node;
+end)");
+  EXPECT_GE(f.num_states(), 2u);
+  EXPECT_GE(f.state_index(ctx.symbol("n.p.v")), 0);
+  EXPECT_GE(f.state_index(ctx.symbol("n.x")), 0);
+  EXPECT_GE(f.algebraic_index(ctx.symbol("n.p.drive")), 0);
+}
+
+TEST(Flatten, CrossInstanceReferences) {
+  expr::Context ctx;
+  FlatSystem f = flatten_src(ctx, R"(
+model M
+  class Source
+    var s start 5;
+    eq der(s) == -s;
+  end
+  class Sink
+    var x start 0;
+    eq der(x) == src.s - x;
+  end
+  instance src : Source;
+  instance snk : Sink;
+end)");
+  // snk.x's RHS references src.s: evaluate to check wiring.
+  std::vector<double> y{5.0, 0.0}, ydot(2);
+  if (f.state_name(0) != "src.s") {
+    std::swap(y[0], y[1]);
+  }
+  f.eval_rhs(0.0, y, ydot);
+  const int snk = f.state_index(ctx.symbol("snk.x"));
+  EXPECT_DOUBLE_EQ(ydot[static_cast<std::size_t>(snk)], 5.0);
+}
+
+TEST(Flatten, ParametersMayReferenceParameters) {
+  expr::Context ctx;
+  FlatSystem f = flatten_src(ctx, R"(
+model M
+  class A
+    param a = 2;
+    param b = a * 3;
+    param c = b + a;
+    var x;
+    eq der(x) == c*x;
+  end
+  instance i : A;
+end)");
+  EXPECT_DOUBLE_EQ(f.parameter_value(ctx.symbol("i.c")), 8.0);
+}
+
+TEST(Flatten, AlgebraicsAreTopologicallyOrdered) {
+  expr::Context ctx;
+  FlatSystem f = flatten_src(ctx, R"(
+model M
+  class A
+    var x start 1;
+    var a, b;
+    eq b == a + 1;        // declared before a is defined
+    eq a == 2*x;
+    eq der(x) == b;
+  end
+  instance i : A;
+end)");
+  ASSERT_EQ(f.num_algebraics(), 2u);
+  // After finalize, a must precede b.
+  EXPECT_EQ(ctx.names.name(f.algebraics()[0].name), "i.a");
+  EXPECT_EQ(ctx.names.name(f.algebraics()[1].name), "i.b");
+  std::vector<double> y{3.0}, ydot(1);
+  f.eval_rhs(0.0, y, ydot);
+  EXPECT_DOUBLE_EQ(ydot[0], 7.0);
+}
+
+TEST(Flatten, TimeIsAvailableEverywhere) {
+  expr::Context ctx;
+  FlatSystem f = flatten_src(ctx, R"(
+model M
+  class A
+    var x start 0;
+    eq der(x) == time * 2;
+  end
+  instance i : A;
+end)");
+  std::vector<double> y{0.0}, ydot(1);
+  f.eval_rhs(3.0, y, ydot);
+  EXPECT_DOUBLE_EQ(ydot[0], 6.0);
+}
+
+// -- diagnostics -------------------------------------------------------------
+
+TEST(FlattenDiag, AlgebraicLoop) {
+  expr::Context ctx;
+  EXPECT_THROW(flatten_src(ctx, R"(
+model M
+  class A
+    var a, b, x;
+    eq a == b + 1;
+    eq b == a - 1;
+    eq der(x) == a;
+  end
+  instance i : A;
+end)"),
+               omx::Error);
+}
+
+TEST(FlattenDiag, UndeclaredSymbol) {
+  expr::Context ctx;
+  EXPECT_THROW(flatten_src(ctx, R"(
+model M
+  class A
+    var x;
+    eq der(x) == ghost;
+  end
+  instance i : A;
+end)"),
+               omx::Error);
+}
+
+TEST(FlattenDiag, VariableWithoutEquation) {
+  expr::Context ctx;
+  EXPECT_THROW(flatten_src(ctx, R"(
+model M
+  class A
+    var x, orphan;
+    eq der(x) == -x;
+  end
+  instance i : A;
+end)"),
+               omx::Error);
+}
+
+TEST(FlattenDiag, TwoEquationsForOneVariable) {
+  expr::Context ctx;
+  EXPECT_THROW(flatten_src(ctx, R"(
+model M
+  class A
+    var x;
+    eq der(x) == -x;
+    eq der(x) == x;
+  end
+  instance i : A;
+end)"),
+               omx::Error);
+}
+
+TEST(FlattenDiag, BothDerAndAlgebraic) {
+  expr::Context ctx;
+  EXPECT_THROW(flatten_src(ctx, R"(
+model M
+  class A
+    var x;
+    eq der(x) == -x;
+    eq x == 3;
+  end
+  instance i : A;
+end)"),
+               omx::Error);
+}
+
+TEST(FlattenDiag, WrongArgumentCount) {
+  expr::Context ctx;
+  EXPECT_THROW(flatten_src(ctx, R"(
+model M
+  class A(k)
+    var x;
+    eq der(x) == -k*x;
+  end
+  instance i : A;
+end)"),
+               omx::Error);
+}
+
+TEST(FlattenDiag, UnknownClass) {
+  expr::Context ctx;
+  EXPECT_THROW(flatten_src(ctx, R"(
+model M
+  instance i : Nowhere;
+end)"),
+               omx::Error);
+}
+
+TEST(FlattenDiag, InheritanceCycle) {
+  expr::Context ctx;
+  Model m("M", ctx);
+  m.add_class("A").set_base("B", {});
+  m.add_class("B").set_base("A", {});
+  Instance i;
+  i.name = "i";
+  i.class_name = "A";
+  m.add_instance(std::move(i));
+  EXPECT_THROW(flatten(m), omx::Error);
+}
+
+TEST(FlattenDiag, StartValueReferencingStateRejected) {
+  expr::Context ctx;
+  EXPECT_THROW(flatten_src(ctx, R"(
+model M
+  class A
+    var x start 1;
+    var y start x;
+    eq der(x) == -x;
+    eq der(y) == -y;
+  end
+  instance i : A;
+end)"),
+               omx::Error);
+}
+
+TEST(FlattenDiag, AlgebraicWithStartValueRejected) {
+  expr::Context ctx;
+  EXPECT_THROW(flatten_src(ctx, R"(
+model M
+  class A
+    var x;
+    var a start 1;
+    eq der(x) == a;
+    eq a == 2*x;
+  end
+  instance i : A;
+end)"),
+               omx::Error);
+}
+
+TEST(FlattenDiag, DuplicateInstanceName) {
+  expr::Context ctx;
+  Model m("M", ctx);
+  m.add_class("A");
+  Instance i1;
+  i1.name = "dup";
+  i1.class_name = "A";
+  m.add_instance(std::move(i1));
+  Instance i2;
+  i2.name = "dup";
+  i2.class_name = "A";
+  EXPECT_THROW(m.add_instance(std::move(i2)), omx::Error);
+}
+
+TEST(FlattenDiag, EmptyArrayRange) {
+  expr::Context ctx;
+  Model m("M", ctx);
+  m.add_class("A");
+  Instance i;
+  i.name = "a";
+  i.class_name = "A";
+  i.is_array = true;
+  i.lo = 5;
+  i.hi = 2;
+  EXPECT_THROW(m.add_instance(std::move(i)), omx::Error);
+}
+
+}  // namespace
+}  // namespace omx::model

@@ -1,0 +1,222 @@
+// The built-in application models: structure, physical sanity and
+// simulation invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "omx/model/flatten.hpp"
+#include "omx/models/bearing2d.hpp"
+#include "omx/models/hydro.hpp"
+#include "omx/models/oscillator.hpp"
+#include "omx/models/servo.hpp"
+#include "omx/ode/dopri5.hpp"
+#include "omx/ode/fixed_step.hpp"
+#include "omx/pipeline/pipeline.hpp"
+
+namespace omx::models {
+namespace {
+
+TEST(Oscillator, TwoStatesCircleSolution) {
+  pipeline::CompiledModel cm =
+      pipeline::compile_model(build_oscillator);
+  EXPECT_EQ(cm.n(), 2u);
+  ode::Problem p = cm.make_problem(cm.serial_rhs(), 0.0, 3.14159265358979);
+  ode::Dopri5Options o;
+  o.tol.rtol = 1e-10;
+  const ode::Solution s = ode::dopri5(p, o);
+  EXPECT_NEAR(s.final_state()[0], -1.0, 1e-7);  // cos(pi)
+  EXPECT_NEAR(s.final_state()[1], 0.0, 1e-7);
+}
+
+TEST(Servo, TracksReferenceAfterTransient) {
+  pipeline::CompiledModel cm = pipeline::compile_model(build_servo);
+  ASSERT_EQ(cm.n(), 12u);
+  ode::Problem p = cm.make_problem(cm.serial_rhs(), 0.0, 20.0);
+  ode::Dopri5Options o;
+  o.tol.rtol = 1e-8;
+  const ode::Solution s = ode::dopri5(p, o);
+  // After 3 closed-loop time constants each axis angle tracks its sin
+  // reference to within a modest dynamic lag.
+  for (const char* axis : {"axis[1]", "axis[2]", "boost"}) {
+    const int th = cm.flat->state_index(
+        cm.ctx->symbol(std::string(axis) + ".th"));
+    ASSERT_GE(th, 0) << axis;
+    const double got = s.final_state()[static_cast<std::size_t>(th)];
+    EXPECT_NEAR(got, got, 0.0);  // finite
+    EXPECT_LT(std::fabs(got), 2.0) << axis;  // bounded tracking
+  }
+}
+
+TEST(Servo, VariantClassOverridesParameter) {
+  expr::Context ctx;
+  model::FlatSystem f = model::flatten(build_servo(ctx));
+  EXPECT_DOUBLE_EQ(f.parameter_value(ctx.symbol("axis[1].Kp")), 6.0);
+  EXPECT_DOUBLE_EQ(f.parameter_value(ctx.symbol("boost.Kp")), 12.0);
+  EXPECT_DOUBLE_EQ(f.parameter_value(ctx.symbol("boost.R")), 1.2);
+}
+
+TEST(Hydro, MassBalanceHolds) {
+  // d(level)/dt * area must equal inflow - total outflow at any state.
+  pipeline::CompiledModel cm = pipeline::compile_model(build_hydro);
+  std::vector<double> y(cm.n()), ydot(cm.n());
+  for (std::size_t i = 0; i < cm.n(); ++i) {
+    y[i] = cm.flat->states()[i].start;
+  }
+  const double t = 7.0;
+  cm.flat->eval_rhs(t, y, ydot);
+  const int level = cm.flat->state_index(cm.ctx->symbol("dam.level"));
+  ASSERT_GE(level, 0);
+
+  // Recompute flows by hand: q = cd*angle*sqrt(max(level - tail, 0.1)).
+  const double inflow = 60.0 + 20.0 * std::sin(0.05 * t);
+  double out = 0.0;
+  for (int g = 1; g <= 6; ++g) {
+    const std::string name = "g" + std::to_string(g);
+    const int angle =
+        cm.flat->state_index(cm.ctx->symbol(name + ".angle"));
+    ASSERT_GE(angle, 0);
+    const double a = y[static_cast<std::size_t>(angle)];
+    out += 12.0 * a *
+           std::sqrt(std::max(y[static_cast<std::size_t>(level)] - 2.0,
+                              0.1));
+  }
+  EXPECT_NEAR(ydot[static_cast<std::size_t>(level)],
+              (inflow - out) / 50000.0, 1e-12);
+}
+
+TEST(Hydro, LevelStaysNearTargetOverAnHour) {
+  pipeline::CompiledModel cm = pipeline::compile_model(build_hydro);
+  ode::Problem p = cm.make_problem(cm.serial_rhs(), 0.0, 3600.0);
+  ode::Dopri5Options o;
+  o.tol.rtol = 1e-6;
+  o.record_every = 16;
+  const ode::Solution s = ode::dopri5(p, o);
+  const int level = cm.flat->state_index(cm.ctx->symbol("dam.level"));
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const double l = s.state(i)[static_cast<std::size_t>(level)];
+    EXPECT_GT(l, 9.0);
+    EXPECT_LT(l, 11.0);
+  }
+}
+
+TEST(Hydro, GateServoTracksSetpoint) {
+  pipeline::CompiledModel cm = pipeline::compile_model(build_hydro);
+  ode::Problem p = cm.make_problem(cm.serial_rhs(), 0.0, 60.0);
+  ode::Dopri5Options o;
+  const ode::Solution s = ode::dopri5(p, o);
+  const int angle = cm.flat->state_index(cm.ctx->symbol("g1.angle"));
+  const double a = s.final_state()[static_cast<std::size_t>(angle)];
+  const double sp = 0.4 + 0.3 * std::sin(0.2 * 60.0) +
+                    0.05 * std::sin(1.3 * 60.0);
+  EXPECT_NEAR(a, sp, 0.25);  // PI loop keeps the gate near the schedule
+}
+
+// -- bearing -----------------------------------------------------------------
+
+class BearingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BearingTest, StateCountScalesWithRollers) {
+  const int n = GetParam();
+  expr::Context ctx;
+  BearingConfig cfg;
+  cfg.n_rollers = n;
+  model::FlatSystem f = model::flatten(build_bearing(ctx, cfg));
+  EXPECT_EQ(f.num_states(), static_cast<std::size_t>(5 * n + 6));
+  // Per roller: ~24 contact algebraics.
+  EXPECT_GT(f.num_algebraics(), static_cast<std::size_t>(20 * n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BearingTest, ::testing::Values(2, 5, 10));
+
+TEST(Bearing, RollersStartOnPitchCircle) {
+  expr::Context ctx;
+  BearingConfig cfg;
+  model::FlatSystem f = model::flatten(build_bearing(ctx, cfg));
+  const double Rp = cfg.pitch_radius();
+  for (int i = 1; i <= cfg.n_rollers; ++i) {
+    const std::string p = "w[" + std::to_string(i) + "]";
+    const int xi = f.state_index(ctx.symbol(p + ".x"));
+    const int yi = f.state_index(ctx.symbol(p + ".y"));
+    ASSERT_GE(xi, 0);
+    const double x = f.states()[static_cast<std::size_t>(xi)].start;
+    const double y = f.states()[static_cast<std::size_t>(yi)].start;
+    EXPECT_NEAR(std::hypot(x, y), Rp, 1e-12) << p;
+  }
+}
+
+TEST(Bearing, UnloadedCenteredBearingHasNoContactForces) {
+  // Without gravity/load/drive and with the ring centered, the clearance
+  // leaves every roller floating: all accelerations are zero.
+  expr::Context ctx;
+  BearingConfig cfg;
+  cfg.gravity = 0.0;
+  cfg.radial_load = 0.0;
+  cfg.drive_torque = 0.0;
+  cfg.inner_speed0 = 0.0;
+  cfg.spin_damping = 0.0;
+  cfg.inner_spin_damping = 0.0;
+  model::FlatSystem f = model::flatten(build_bearing(ctx, cfg));
+  std::vector<double> y(f.num_states()), ydot(f.num_states());
+  for (std::size_t i = 0; i < f.num_states(); ++i) {
+    y[i] = f.states()[i].start;
+  }
+  f.eval_rhs(0.0, y, ydot);
+  for (std::size_t i = 0; i < f.num_states(); ++i) {
+    EXPECT_NEAR(ydot[i], 0.0, 1e-9) << f.state_name(i);
+  }
+}
+
+TEST(Bearing, LoadedRingAcceleratesDownward) {
+  expr::Context ctx;
+  BearingConfig cfg;
+  model::FlatSystem f = model::flatten(build_bearing(ctx, cfg));
+  std::vector<double> y(f.num_states()), ydot(f.num_states());
+  for (std::size_t i = 0; i < f.num_states(); ++i) {
+    y[i] = f.states()[i].start;
+  }
+  f.eval_rhs(0.0, y, ydot);
+  const int ivy = f.state_index(ctx.symbol("inner.vy"));
+  EXPECT_LT(ydot[static_cast<std::size_t>(ivy)], 0.0);
+  // theta' = omega exactly.
+  const int ith = f.state_index(ctx.symbol("inner.theta"));
+  EXPECT_DOUBLE_EQ(ydot[static_cast<std::size_t>(ith)], cfg.inner_speed0);
+}
+
+TEST(Bearing, ShortTransientStaysBounded) {
+  pipeline::CompiledModel cm = pipeline::compile_model(
+      [](expr::Context& ctx) {
+        BearingConfig cfg;
+        cfg.n_rollers = 6;
+        return build_bearing(ctx, cfg);
+      });
+  ode::Problem p = cm.make_problem(cm.serial_rhs(), 0.0, 5e-4);
+  ode::FixedStepOptions o{.dt = 1e-6, .record_every = 50};
+  const ode::Solution s = ode::rk4(p, o);
+  BearingConfig cfg;
+  cfg.n_rollers = 6;
+  const double Ro = cfg.outer_race_radius();
+  // Rollers stay inside the outer raceway (+ a hair of penetration).
+  for (int i = 1; i <= 6; ++i) {
+    const std::string pr = "w[" + std::to_string(i) + "]";
+    const int xi = cm.flat->state_index(cm.ctx->symbol(pr + ".x"));
+    const int yi = cm.flat->state_index(cm.ctx->symbol(pr + ".y"));
+    const double x = s.final_state()[static_cast<std::size_t>(xi)];
+    const double y = s.final_state()[static_cast<std::size_t>(yi)];
+    EXPECT_LT(std::hypot(x, y), Ro - cfg.roller_radius + 1e-4) << pr;
+    EXPECT_GT(std::hypot(x, y), cfg.inner_race_radius + cfg.roller_radius
+                                 - 1e-4) << pr;
+  }
+  // The driven ring keeps spinning in the same direction.
+  const int iw = cm.flat->state_index(cm.ctx->symbol("inner.omega"));
+  EXPECT_GT(s.final_state()[static_cast<std::size_t>(iw)], 0.0);
+}
+
+TEST(Bearing, RejectsDegenerateConfig) {
+  expr::Context ctx;
+  BearingConfig cfg;
+  cfg.n_rollers = 1;
+  EXPECT_THROW(build_bearing(ctx, cfg), omx::Bug);
+}
+
+}  // namespace
+}  // namespace omx::models

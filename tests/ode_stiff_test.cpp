@@ -1,0 +1,208 @@
+// Stiff solvers: BDF orders, Newton behaviour, analytic vs finite-diff
+// Jacobians, and the LSODA-like automatic switching (§3.2.1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "omx/ode/auto_switch.hpp"
+#include "omx/ode/bdf.hpp"
+#include "omx/ode/dopri5.hpp"
+
+namespace omx::ode {
+namespace {
+
+Problem decay(double lambda, double tend) {
+  Problem p;
+  p.n = 1;
+  p.rhs = [lambda](double, std::span<const double> y, std::span<double> f) {
+    f[0] = -lambda * y[0];
+  };
+  p.t0 = 0.0;
+  p.tend = tend;
+  p.y0 = {1.0};
+  return p;
+}
+
+/// Classic stiff test: y' = -1000(y - cos t) - sin t, y(t) -> cos t.
+Problem stiff_tracking(double tend) {
+  Problem p;
+  p.n = 1;
+  p.rhs = [](double t, std::span<const double> y, std::span<double> f) {
+    f[0] = -1000.0 * (y[0] - std::cos(t)) - std::sin(t);
+  };
+  p.jacobian = [](double, std::span<const double>, la::Matrix& j) {
+    j(0, 0) = -1000.0;
+  };
+  p.t0 = 0.0;
+  p.tend = tend;
+  p.y0 = {0.0};
+  return p;
+}
+
+/// Van der Pol, mu = 30: mildly stiff limit cycle.
+Problem van_der_pol(double mu, double tend) {
+  Problem p;
+  p.n = 2;
+  p.rhs = [mu](double, std::span<const double> y, std::span<double> f) {
+    f[0] = y[1];
+    f[1] = mu * (1.0 - y[0] * y[0]) * y[1] - y[0];
+  };
+  p.jacobian = [mu](double, std::span<const double> y, la::Matrix& j) {
+    j(0, 0) = 0.0;
+    j(0, 1) = 1.0;
+    j(1, 0) = -2.0 * mu * y[0] * y[1] - 1.0;
+    j(1, 1) = mu * (1.0 - y[0] * y[0]);
+  };
+  p.t0 = 0.0;
+  p.tend = tend;
+  p.y0 = {2.0, 0.0};
+  return p;
+}
+
+TEST(Bdf, Order1FixedStepConverges) {
+  const Problem p = decay(1.0, 1.0);
+  BdfOptions o1{.max_order = 1, .fixed_h = 0.01};
+  BdfOptions o2{.max_order = 1, .fixed_h = 0.005};
+  const double exact = std::exp(-1.0);
+  const double e1 = std::fabs(bdf(p, o1).final_state()[0] - exact);
+  const double e2 = std::fabs(bdf(p, o2).final_state()[0] - exact);
+  EXPECT_NEAR(e1 / e2, 2.0, 0.2);
+}
+
+TEST(Bdf, Order2FixedStepConverges) {
+  const Problem p = decay(1.0, 1.0);
+  BdfOptions o1{.max_order = 2, .fixed_h = 0.02};
+  BdfOptions o2{.max_order = 2, .fixed_h = 0.01};
+  const double exact = std::exp(-1.0);
+  const double e1 = std::fabs(bdf(p, o1).final_state()[0] - exact);
+  const double e2 = std::fabs(bdf(p, o2).final_state()[0] - exact);
+  EXPECT_NEAR(e1 / e2, 4.0, 0.8);
+}
+
+TEST(Bdf, Order3FixedStepConverges) {
+  const Problem p = decay(1.0, 1.0);
+  // The truncation error at order 3 is tiny; tighten the tolerances so the
+  // Newton displacement criterion iterates well below it.
+  BdfOptions o1{.tol = {1e-13, 1e-13}, .max_order = 3, .fixed_h = 0.02};
+  BdfOptions o2{.tol = {1e-13, 1e-13}, .max_order = 3, .fixed_h = 0.01};
+  const double exact = std::exp(-1.0);
+  const double e1 = std::fabs(bdf(p, o1).final_state()[0] - exact);
+  const double e2 = std::fabs(bdf(p, o2).final_state()[0] - exact);
+  EXPECT_NEAR(e1 / e2, 8.0, 2.5);
+}
+
+TEST(Bdf, HighOrdersBeatLowOrdersAtSameStep) {
+  const Problem p = decay(1.0, 1.0);
+  const double exact = std::exp(-1.0);
+  double prev_err = 1e9;
+  for (int k = 1; k <= 4; ++k) {
+    BdfOptions o;
+    o.tol = {1e-13, 1e-13};
+    o.max_order = k;
+    o.fixed_h = 0.05;
+    const double err = std::fabs(bdf(p, o).final_state()[0] - exact);
+    EXPECT_LT(err, prev_err) << "order " << k;
+    prev_err = err;
+  }
+}
+
+TEST(Bdf, StableOnVeryStiffDecayWithLargeSteps) {
+  // lambda = 1e6; explicit methods would need h ~ 1e-6, BDF1 takes h=0.1.
+  const Problem p = decay(1e6, 1.0);
+  BdfOptions o{.max_order = 1, .fixed_h = 0.1};
+  const Solution s = bdf(p, o);
+  EXPECT_NEAR(s.final_state()[0], 0.0, 1e-6);
+  EXPECT_LT(s.stats.steps, 20u);
+}
+
+TEST(Bdf, AdaptiveTracksStiffProblem) {
+  const Problem p = stiff_tracking(3.0);
+  BdfOptions o;
+  o.tol.rtol = 1e-6;
+  o.tol.atol = 1e-8;
+  o.max_order = 2;
+  const Solution s = bdf(p, o);
+  EXPECT_NEAR(s.final_state()[0], std::cos(3.0), 1e-3);
+}
+
+TEST(Bdf, AnalyticJacobianReducesRhsCalls) {
+  const Problem with_jac = stiff_tracking(2.0);
+  Problem without_jac = with_jac;
+  without_jac.jacobian = nullptr;
+  BdfOptions o;
+  o.max_order = 2;
+  const Solution sj = bdf(with_jac, o);
+  const Solution sf = bdf(without_jac, o);
+  // Finite differencing costs n+1 extra RHS calls per Jacobian refresh —
+  // the §3.2.1 argument for generating the Jacobian symbolically.
+  EXPECT_LT(sj.stats.rhs_calls, sf.stats.rhs_calls);
+  EXPECT_NEAR(sj.final_state()[0], sf.final_state()[0], 1e-4);
+}
+
+TEST(Bdf, VanDerPolLimitCycle) {
+  const Problem p = van_der_pol(30.0, 10.0);
+  BdfOptions o;
+  o.tol.rtol = 1e-6;
+  o.tol.atol = 1e-8;
+  o.max_order = 2;
+  const Solution s = bdf(p, o);
+  // The limit cycle keeps |x| <= ~2.02.
+  EXPECT_LE(std::fabs(s.final_state()[0]), 2.1);
+  EXPECT_GT(s.stats.newton_iters, s.stats.steps);  // implicit work happened
+}
+
+TEST(Bdf, NewtonStatsAccumulate) {
+  const Problem p = stiff_tracking(1.0);
+  BdfOptions o;
+  o.max_order = 2;
+  const Solution s = bdf(p, o);
+  EXPECT_GT(s.stats.newton_iters, 0u);
+  EXPECT_GT(s.stats.jac_calls, 0u);
+}
+
+TEST(AutoSwitch, StaysOnAdamsForNonStiff) {
+  Problem p;
+  p.n = 2;
+  p.rhs = [](double, std::span<const double> y, std::span<double> f) {
+    f[0] = y[1];
+    f[1] = -y[0];
+  };
+  p.t0 = 0.0;
+  p.tend = 10.0;
+  p.y0 = {1.0, 0.0};
+  AutoSwitchOptions o;
+  const AutoSwitchResult r = lsoda_like(p, o);
+  EXPECT_TRUE(r.switches.empty());
+  EXPECT_EQ(r.final_method, Method::kAdams);
+  // Local-error-per-step control: global error ~ steps * tolerance.
+  EXPECT_NEAR(r.solution.final_state()[0], std::cos(10.0), 1e-2);
+}
+
+TEST(AutoSwitch, SwitchesToBdfOnStiffProblem) {
+  const Problem p = stiff_tracking(2.0);
+  AutoSwitchOptions o;
+  const AutoSwitchResult r = lsoda_like(p, o);
+  ASSERT_FALSE(r.switches.empty());
+  EXPECT_EQ(r.switches.front().to, Method::kBdf);
+  EXPECT_NEAR(r.solution.final_state()[0], std::cos(2.0), 1e-2);
+  EXPECT_GE(r.solution.stats.method_switches, 1u);
+}
+
+TEST(AutoSwitch, SolvesVanDerPol) {
+  const Problem p = van_der_pol(100.0, 5.0);
+  AutoSwitchOptions o;
+  o.tol.rtol = 1e-5;
+  o.tol.atol = 1e-7;
+  const AutoSwitchResult r = lsoda_like(p, o);
+  EXPECT_LE(std::fabs(r.solution.final_state()[0]), 2.1);
+}
+
+TEST(AutoSwitch, RecordsMergedStats) {
+  const Problem p = stiff_tracking(2.0);
+  const AutoSwitchResult r = lsoda_like(p, {});
+  EXPECT_GT(r.solution.stats.rhs_calls, 0u);
+  EXPECT_GT(r.solution.stats.steps, 0u);
+}
+
+}  // namespace
+}  // namespace omx::ode

@@ -1,0 +1,212 @@
+// Non-stiff solver suite: exactness on known solutions, convergence
+// orders, error control, and the Solution container.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "omx/ode/adams.hpp"
+#include "omx/ode/dopri5.hpp"
+#include "omx/ode/fixed_step.hpp"
+
+namespace omx::ode {
+namespace {
+
+/// y' = -y, y(0) = 1, y(t) = exp(-t).
+Problem decay() {
+  Problem p;
+  p.n = 1;
+  p.rhs = [](double, std::span<const double> y, std::span<double> f) {
+    f[0] = -y[0];
+  };
+  p.t0 = 0.0;
+  p.tend = 2.0;
+  p.y0 = {1.0};
+  return p;
+}
+
+/// x' = y, y' = -x: circle; exact (cos t, -sin t).
+Problem oscillator(double tend) {
+  Problem p;
+  p.n = 2;
+  p.rhs = [](double, std::span<const double> y, std::span<double> f) {
+    f[0] = y[1];
+    f[1] = -y[0];
+  };
+  p.t0 = 0.0;
+  p.tend = tend;
+  p.y0 = {1.0, 0.0};
+  return p;
+}
+
+double final_error_decay(const Solution& s) {
+  return std::fabs(s.final_state()[0] - std::exp(-2.0));
+}
+
+TEST(ProblemValidate, RejectsBadSetups) {
+  Problem p = decay();
+  p.y0.clear();
+  EXPECT_THROW(p.validate(), omx::Error);
+  p = decay();
+  p.tend = p.t0;
+  EXPECT_THROW(p.validate(), omx::Error);
+  p = decay();
+  p.rhs = nullptr;
+  EXPECT_THROW(p.validate(), omx::Error);
+}
+
+TEST(Euler, FirstOrderConvergence) {
+  const Problem p = decay();
+  FixedStepOptions o1{.dt = 1e-3};
+  FixedStepOptions o2{.dt = 5e-4};
+  const double e1 = final_error_decay(explicit_euler(p, o1));
+  const double e2 = final_error_decay(explicit_euler(p, o2));
+  EXPECT_NEAR(e1 / e2, 2.0, 0.1);  // halving h halves the error
+}
+
+TEST(Rk4, FourthOrderConvergence) {
+  const Problem p = decay();
+  FixedStepOptions o1{.dt = 0.1};
+  FixedStepOptions o2{.dt = 0.05};
+  const double e1 = final_error_decay(rk4(p, o1));
+  const double e2 = final_error_decay(rk4(p, o2));
+  EXPECT_NEAR(e1 / e2, 16.0, 2.0);
+}
+
+TEST(Rk4, HitsTendExactlyWithNonDividingStep) {
+  Problem p = decay();
+  p.tend = 1.0;
+  FixedStepOptions o{.dt = 0.3};  // 0.3 * 4 > 1.0: final step clipped
+  const Solution s = rk4(p, o);
+  EXPECT_DOUBLE_EQ(s.final_time(), 1.0);
+}
+
+TEST(Rk4, EnergyNearlyConservedOnOscillator) {
+  const Problem p = oscillator(20.0);
+  FixedStepOptions o{.dt = 1e-3};
+  const Solution s = rk4(p, o);
+  const auto y = s.final_state();
+  EXPECT_NEAR(y[0] * y[0] + y[1] * y[1], 1.0, 1e-9);
+}
+
+TEST(Dopri5, MeetsToleranceOnOscillator) {
+  const Problem p = oscillator(10.0);
+  Dopri5Options o;
+  o.tol.rtol = 1e-8;
+  o.tol.atol = 1e-10;
+  const Solution s = dopri5(p, o);
+  EXPECT_NEAR(s.final_state()[0], std::cos(10.0), 1e-6);
+  EXPECT_NEAR(s.final_state()[1], -std::sin(10.0), 1e-6);
+}
+
+TEST(Dopri5, TighterToleranceCostsMoreAndHelps) {
+  const Problem p = oscillator(10.0);
+  Dopri5Options loose;
+  loose.tol.rtol = 1e-4;
+  loose.tol.atol = 1e-6;
+  Dopri5Options tight;
+  tight.tol.rtol = 1e-10;
+  tight.tol.atol = 1e-12;
+  const Solution sl = dopri5(p, loose);
+  const Solution st = dopri5(p, tight);
+  EXPECT_GT(st.stats.rhs_calls, sl.stats.rhs_calls);
+  const double el = std::fabs(sl.final_state()[0] - std::cos(10.0));
+  const double et = std::fabs(st.final_state()[0] - std::cos(10.0));
+  EXPECT_LT(et, el);
+}
+
+TEST(Dopri5, AdaptsToVaryingTimescale) {
+  // y' = -1000 (y - sin t) + cos t: fast transient, then slow tracking.
+  Problem p;
+  p.n = 1;
+  p.rhs = [](double t, std::span<const double> y, std::span<double> f) {
+    f[0] = -50.0 * (y[0] - std::sin(t)) + std::cos(t);
+  };
+  p.t0 = 0.0;
+  p.tend = 3.0;
+  p.y0 = {1.0};
+  Dopri5Options o;
+  o.tol.rtol = 1e-7;
+  o.tol.atol = 1e-9;
+  const Solution s = dopri5(p, o);
+  EXPECT_NEAR(s.final_state()[0], std::sin(3.0), 1e-4);
+  EXPECT_GT(s.stats.steps, 10u);
+}
+
+TEST(Dopri5, ReportsRejectionsUnderRoughness) {
+  Problem p;
+  p.n = 1;
+  p.rhs = [](double t, std::span<const double> y, std::span<double> f) {
+    f[0] = (t < 1.0 ? 1.0 : -300.0 * y[0]);  // kink at t = 1
+  };
+  p.t0 = 0.0;
+  p.tend = 2.0;
+  p.y0 = {0.0};
+  Dopri5Options o;
+  const Solution s = dopri5(p, o);
+  EXPECT_GT(s.stats.rejected, 0u);
+}
+
+TEST(Adams, MatchesExactSolution) {
+  const Problem p = oscillator(8.0);
+  AdamsOptions o;
+  o.tol.rtol = 1e-8;
+  o.tol.atol = 1e-10;
+  const Solution s = adams_pece(p, o);
+  EXPECT_NEAR(s.final_state()[0], std::cos(8.0), 1e-5);
+  EXPECT_NEAR(s.final_state()[1], -std::sin(8.0), 1e-5);
+}
+
+TEST(Adams, FewerRhsCallsPerStepThanRk4) {
+  // The multistep advantage: 2 RHS calls per accepted step vs RK4's 4.
+  // Pinning h (h0 == hmax) isolates the steady-state PECE cost from the
+  // RK4-based history rebuilds that step-size changes require.
+  const Problem p = oscillator(20.0);
+  AdamsOptions ao;
+  ao.tol.rtol = 1e-6;
+  ao.tol.atol = 1e-8;
+  ao.h0 = 0.02;
+  ao.hmax = 0.02;
+  const Solution sa = adams_pece(p, ao);
+  const double ea = std::fabs(sa.final_state()[0] - std::cos(20.0));
+  EXPECT_LT(ea, 1e-3);
+  EXPECT_LT(sa.stats.rhs_calls, 3u * sa.stats.steps);
+}
+
+TEST(Adams, StepperRestartWorks) {
+  const Problem p = oscillator(10.0);
+  AdamsStepper st(p, {});
+  const double t_initial = st.t();
+  EXPECT_GT(t_initial, 0.0);  // startup advanced the RK4 bootstrap
+  while (st.t() < 5.0) {
+    st.step();
+  }
+  std::vector<double> y(st.y().begin(), st.y().end());
+  st.restart(st.t(), y, 0.0);
+  while (st.t() < p.tend) {
+    st.step();
+  }
+  EXPECT_NEAR(st.y()[0], std::cos(10.0), 1e-4);
+}
+
+TEST(Solution, InterpolatesLinearly) {
+  Solution s;
+  const std::vector<double> a{0.0}, b{10.0};
+  s.append(0.0, a);
+  s.append(1.0, b);
+  EXPECT_DOUBLE_EQ(s.at(0.5)[0], 5.0);
+  EXPECT_DOUBLE_EQ(s.at(-1.0)[0], 0.0);   // clamped
+  EXPECT_DOUBLE_EQ(s.at(2.0)[0], 10.0);   // clamped
+}
+
+TEST(Solution, RecordEveryThinsOutput) {
+  const Problem p = decay();
+  FixedStepOptions all{.dt = 1e-3, .record_every = 1};
+  FixedStepOptions thin{.dt = 1e-3, .record_every = 100};
+  const Solution sa = explicit_euler(p, all);
+  const Solution st = explicit_euler(p, thin);
+  EXPECT_GT(sa.size(), 50u * st.size());
+  EXPECT_DOUBLE_EQ(sa.final_time(), st.final_time());
+}
+
+}  // namespace
+}  // namespace omx::ode

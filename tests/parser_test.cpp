@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include "omx/expr/eval.hpp"
+#include "omx/parser/lexer.hpp"
+#include "omx/parser/parser.hpp"
+
+namespace omx::parser {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(Lexer, TokenizesPunctuationAndKeywords) {
+  const auto toks = tokenize("model class var == = .. . ; :");
+  ASSERT_EQ(toks.size(), 10u);  // incl. EOF
+  EXPECT_EQ(toks[0].kind, TokKind::kKwModel);
+  EXPECT_EQ(toks[1].kind, TokKind::kKwClass);
+  EXPECT_EQ(toks[2].kind, TokKind::kKwVar);
+  EXPECT_EQ(toks[3].kind, TokKind::kEqualEqual);
+  EXPECT_EQ(toks[4].kind, TokKind::kEqual);
+  EXPECT_EQ(toks[5].kind, TokKind::kDotDot);
+  EXPECT_EQ(toks[6].kind, TokKind::kDot);
+  EXPECT_EQ(toks[7].kind, TokKind::kSemicolon);
+  EXPECT_EQ(toks[8].kind, TokKind::kColon);
+  EXPECT_EQ(toks[9].kind, TokKind::kEof);
+}
+
+TEST(Lexer, NumbersIncludingExponents) {
+  const auto toks = tokenize("1 2.5 1e3 2.5e-2 7E+1");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_DOUBLE_EQ(toks[0].number, 1.0);
+  EXPECT_DOUBLE_EQ(toks[1].number, 2.5);
+  EXPECT_DOUBLE_EQ(toks[2].number, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[3].number, 0.025);
+  EXPECT_DOUBLE_EQ(toks[4].number, 70.0);
+}
+
+TEST(Lexer, RangeDoesNotEatDots) {
+  // "1..10" must lex as NUMBER DOTDOT NUMBER, not a malformed float.
+  const auto toks = tokenize("w[1..10]");
+  ASSERT_EQ(toks.size(), 7u);
+  EXPECT_EQ(toks[1].kind, TokKind::kLBracket);
+  EXPECT_DOUBLE_EQ(toks[2].number, 1.0);
+  EXPECT_EQ(toks[3].kind, TokKind::kDotDot);
+  EXPECT_DOUBLE_EQ(toks[4].number, 10.0);
+}
+
+TEST(Lexer, LineAndBlockComments) {
+  const auto toks = tokenize(
+      "a // rest of line\n b (* block (* nested *) still *) c");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[2].text, "c");
+}
+
+TEST(Lexer, UnterminatedBlockCommentThrows) {
+  EXPECT_THROW(tokenize("x (* never closed"), omx::Error);
+}
+
+TEST(Lexer, UnexpectedCharacterThrows) {
+  EXPECT_THROW(tokenize("a ? b"), omx::Error);
+}
+
+TEST(Lexer, TracksLocations) {
+  const auto toks = tokenize("a\n  b");
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[1].loc.line, 2u);
+  EXPECT_EQ(toks[1].loc.column, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Expression parsing
+// ---------------------------------------------------------------------------
+
+class ExprParse : public ::testing::Test {
+ protected:
+  expr::Context ctx;
+
+  double eval_expr(const std::string& src,
+                   std::initializer_list<std::pair<const char*, double>>
+                       binds = {}) {
+    const expr::ExprId e = parse_expression(src, ctx);
+    expr::Env env;
+    for (const auto& [n, v] : binds) {
+      env.set(ctx.symbol(n), v);
+    }
+    return expr::eval(ctx.pool, e, env);
+  }
+};
+
+TEST_F(ExprParse, Precedence) {
+  EXPECT_DOUBLE_EQ(eval_expr("2 + 3 * 4"), 14.0);
+  EXPECT_DOUBLE_EQ(eval_expr("(2 + 3) * 4"), 20.0);
+  EXPECT_DOUBLE_EQ(eval_expr("2 - 3 - 4"), -5.0);  // left assoc
+  EXPECT_DOUBLE_EQ(eval_expr("12 / 3 / 2"), 2.0);
+  EXPECT_DOUBLE_EQ(eval_expr("2 ^ 3 ^ 2"), 512.0);  // right assoc
+  EXPECT_DOUBLE_EQ(eval_expr("-2 ^ 2"), -4.0);  // -(2^2): ^ binds tighter
+  EXPECT_DOUBLE_EQ(eval_expr("2 * -3"), -6.0);
+}
+
+TEST_F(ExprParse, FunctionCalls) {
+  EXPECT_NEAR(eval_expr("sin(0)"), 0.0, 1e-15);
+  EXPECT_DOUBLE_EQ(eval_expr("max(2, 3) + min(2, 3)"), 5.0);
+  EXPECT_DOUBLE_EQ(eval_expr("pow(2, 10)"), 1024.0);
+  EXPECT_DOUBLE_EQ(eval_expr("hypot(3, 4)"), 5.0);
+}
+
+TEST_F(ExprParse, WrongArityThrows) {
+  EXPECT_THROW(parse_expression("sin(1, 2)", ctx), omx::Error);
+  EXPECT_THROW(parse_expression("max(1)", ctx), omx::Error);
+  EXPECT_THROW(parse_expression("nosuchfn(1)", ctx), omx::Error);
+}
+
+TEST_F(ExprParse, QualifiedNames) {
+  const expr::ExprId e = parse_expression("dam.level + w[3].x", ctx);
+  std::vector<SymbolId> syms;
+  ctx.pool.free_syms(e, syms);
+  ASSERT_EQ(syms.size(), 2u);
+  EXPECT_NE(ctx.names.find("dam.level"), kInvalidSymbol);
+  EXPECT_NE(ctx.names.find("w[3].x"), kInvalidSymbol);
+}
+
+TEST_F(ExprParse, Variables) {
+  EXPECT_DOUBLE_EQ(eval_expr("a * b + time", {{"a", 2.0},
+                                              {"b", 3.0},
+                                              {"time", 4.0}}),
+                   10.0);
+}
+
+TEST_F(ExprParse, SyntaxErrorsCarryLocations) {
+  try {
+    parse_expression("2 +\n* 3", ctx);
+    FAIL() << "expected parse error";
+  } catch (const omx::Error& e) {
+    EXPECT_EQ(e.where().line, 2u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Model parsing
+// ---------------------------------------------------------------------------
+
+TEST(ModelParse, MinimalModel) {
+  expr::Context ctx;
+  const auto m = parse_model(R"(
+model M
+  class A
+    var x start 1;
+    eq der(x) == -x;
+  end
+  instance a : A;
+end
+)", ctx);
+  EXPECT_EQ(m.name(), "M");
+  ASSERT_EQ(m.classes().size(), 1u);
+  ASSERT_EQ(m.instances().size(), 1u);
+  EXPECT_EQ(m.classes()[0].variables().size(), 1u);
+  EXPECT_EQ(m.classes()[0].equations().size(), 1u);
+}
+
+TEST(ModelParse, InheritanceAndFormals) {
+  expr::Context ctx;
+  const auto m = parse_model(R"(
+model M
+  class Base(k)
+    var x;
+    eq der(x) == -k*x;
+  end
+  class Derived(k2) inherits Base(2*k2)
+    param extra = 1;
+  end
+  instance d : Derived(3);
+end
+)", ctx);
+  const auto& d = m.find_class("Derived");
+  EXPECT_EQ(d.base(), "Base");
+  ASSERT_EQ(d.base_args().size(), 1u);
+  ASSERT_EQ(d.formals().size(), 1u);
+}
+
+TEST(ModelParse, InstanceArraysAndParts) {
+  expr::Context ctx;
+  const auto m = parse_model(R"(
+model M
+  class P
+    var v start 0;
+    eq der(v) == -v;
+  end
+  class C
+    part inner_part : P;
+    var x;
+    eq x == inner_part.v * 2;
+  end
+  instance cs[1..4] : C;
+end
+)", ctx);
+  ASSERT_EQ(m.instances().size(), 1u);
+  EXPECT_TRUE(m.instances()[0].is_array);
+  EXPECT_EQ(m.instances()[0].lo, 1);
+  EXPECT_EQ(m.instances()[0].hi, 4);
+  EXPECT_EQ(m.find_class("C").parts().size(), 1u);
+}
+
+TEST(ModelParse, Diagnostics) {
+  expr::Context ctx;
+  // Missing semicolon.
+  EXPECT_THROW(parse_model("model M class A var x end end", ctx),
+               omx::Error);
+  // Duplicate class.
+  EXPECT_THROW(parse_model(R"(
+model M
+  class A end
+  class A end
+end)", ctx),
+               omx::Error);
+  // Non-integer array bounds.
+  EXPECT_THROW(parse_model(R"(
+model M
+  class A end
+  instance a[1..2.5] : A;
+end)", ctx),
+               omx::Error);
+  // Junk after model end.
+  EXPECT_THROW(parse_model("model M end extra", ctx), omx::Error);
+}
+
+TEST(ModelParse, EquationLhsForms) {
+  expr::Context ctx;
+  const auto m = parse_model(R"(
+model M
+  class A
+    var x, a;
+    eq der(x) == a;
+    eq a == 2*x;
+  end
+  instance inst : A;
+end
+)", ctx);
+  const auto& eqs = m.find_class("A").equations();
+  ASSERT_EQ(eqs.size(), 2u);
+  EXPECT_EQ(ctx.pool.node(eqs[0].lhs).op, expr::Op::kDer);
+  EXPECT_EQ(ctx.pool.node(eqs[1].lhs).op, expr::Op::kSym);
+}
+
+}  // namespace
+}  // namespace omx::parser

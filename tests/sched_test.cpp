@@ -1,0 +1,190 @@
+// LPT and semi-dynamic LPT scheduling (§3.2.3), including Graham's
+// (4/3 - 1/3m) bound as a property test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "omx/sched/semidynamic.hpp"
+#include "omx/support/diagnostics.hpp"
+#include "omx/support/rng.hpp"
+
+namespace omx::sched {
+namespace {
+
+TEST(Lpt, AssignsEveryTaskExactlyOnce) {
+  const std::vector<double> w{5, 3, 8, 1, 9, 2};
+  const Schedule s = lpt_schedule(w, 3);
+  std::vector<int> seen(w.size(), 0);
+  for (const auto& tasks : s) {
+    for (auto t : tasks) {
+      seen[t] += 1;
+    }
+  }
+  for (int c : seen) {
+    EXPECT_EQ(c, 1);
+  }
+}
+
+TEST(Lpt, BalancesSimpleCase) {
+  // {9, 8, 5, 3, 2, 1} on 2 workers: LPT gives 9+3+2=14 / 8+5+1=14.
+  const std::vector<double> w{5, 3, 8, 1, 9, 2};
+  const Schedule s = lpt_schedule(w, 2);
+  EXPECT_DOUBLE_EQ(makespan(w, s), 14.0);
+  EXPECT_DOUBLE_EQ(imbalance(w, s), 1.0);
+}
+
+TEST(Lpt, SingleWorkerGetsEverything) {
+  const std::vector<double> w{1, 2, 3};
+  const Schedule s = lpt_schedule(w, 1);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].size(), 3u);
+  EXPECT_DOUBLE_EQ(makespan(w, s), 6.0);
+}
+
+TEST(Lpt, MoreWorkersThanTasks) {
+  const std::vector<double> w{4, 2};
+  const Schedule s = lpt_schedule(w, 5);
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_DOUBLE_EQ(makespan(w, s), 4.0);
+}
+
+TEST(Lpt, DeterministicTieBreaking) {
+  const std::vector<double> w{1, 1, 1, 1};
+  const Schedule a = lpt_schedule(w, 2);
+  const Schedule b = lpt_schedule(w, 2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Lpt, EmptyTaskList) {
+  const std::vector<double> w;
+  const Schedule s = lpt_schedule(w, 3);
+  EXPECT_DOUBLE_EQ(makespan(w, s), 0.0);
+}
+
+class LptBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(LptBound, ListSchedulingBoundAndLowerBound) {
+  omx::SplitMix64 rng(11 + static_cast<std::uint64_t>(GetParam()));
+  const std::size_t m = 1 + rng.below(8);
+  const std::size_t n = 1 + rng.below(40);
+  std::vector<double> w(n);
+  double total = 0.0, largest = 0.0;
+  for (double& v : w) {
+    v = rng.uniform(0.1, 10.0);
+    total += v;
+    largest = std::max(largest, v);
+  }
+  const Schedule s = lpt_schedule(w, m);
+  const double ms = makespan(w, s);
+  const double lb = makespan_lower_bound(w, m);
+  // Any list schedule satisfies ms <= total/m + (1 - 1/m) * largest.
+  EXPECT_LE(ms, total / static_cast<double>(m) +
+                    (1.0 - 1.0 / static_cast<double>(m)) * largest + 1e-9)
+      << "m=" << m << " n=" << n;
+  EXPECT_GE(ms, lb * (1.0 - 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LptBound, ::testing::Range(0, 50));
+
+namespace {
+// Exhaustive optimum for small instances (assignment enumeration).
+double brute_force_opt(const std::vector<double>& w, std::size_t m) {
+  const std::size_t n = w.size();
+  std::vector<std::size_t> assign(n, 0);
+  double best = std::numeric_limits<double>::infinity();
+  while (true) {
+    std::vector<double> load(m, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      load[assign[i]] += w[i];
+    }
+    best = std::min(best, *std::max_element(load.begin(), load.end()));
+    std::size_t k = 0;
+    while (k < n && ++assign[k] == m) {
+      assign[k++] = 0;
+    }
+    if (k == n) {
+      break;
+    }
+  }
+  return best;
+}
+}  // namespace
+
+class LptGraham : public ::testing::TestWithParam<int> {};
+
+TEST_P(LptGraham, WithinGrahamFactorOfExactOptimum) {
+  omx::SplitMix64 rng(311 + static_cast<std::uint64_t>(GetParam()));
+  const std::size_t m = 2 + rng.below(2);   // 2..3 workers
+  const std::size_t n = 3 + rng.below(6);   // 3..8 tasks
+  std::vector<double> w(n);
+  for (double& v : w) {
+    v = rng.uniform(0.5, 10.0);
+  }
+  const double ms = makespan(w, lpt_schedule(w, m));
+  const double opt = brute_force_opt(w, m);
+  const double graham = 4.0 / 3.0 - 1.0 / (3.0 * static_cast<double>(m));
+  EXPECT_LE(ms, graham * opt * (1.0 + 1e-12)) << "m=" << m << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LptGraham, ::testing::Range(0, 25));
+
+TEST(SemiDynamic, StartsFromStaticWeights) {
+  SemiDynamicLpt s({10.0, 1.0, 1.0, 1.0}, 2);
+  // Heaviest task alone on one worker.
+  const Schedule& sch = s.schedule();
+  bool found_lone = false;
+  for (const auto& tasks : sch) {
+    if (tasks.size() == 1 && tasks[0] == 0) {
+      found_lone = true;
+    }
+  }
+  EXPECT_TRUE(found_lone);
+}
+
+TEST(SemiDynamic, AdaptsToMeasuredTimes) {
+  // Static weights say task 0 is heavy; measurements say task 3 is.
+  SemiDynamicOptions opts;
+  opts.reschedule_period = 2;
+  opts.smoothing = 1.0;
+  SemiDynamicLpt s({10.0, 1.0, 1.0, 1.0}, 2, opts);
+  const std::vector<double> measured{1.0, 1.0, 1.0, 50.0};
+  EXPECT_FALSE(s.record(measured));  // 1st call: below period
+  EXPECT_TRUE(s.record(measured));   // 2nd call triggers rebuild
+  bool task3_alone = false;
+  for (const auto& tasks : s.schedule()) {
+    if (tasks.size() == 1 && tasks[0] == 3) {
+      task3_alone = true;
+    }
+  }
+  EXPECT_TRUE(task3_alone);
+  EXPECT_DOUBLE_EQ(s.predicted()[3], 50.0);
+}
+
+TEST(SemiDynamic, SmoothingBlendsMeasurements) {
+  SemiDynamicOptions opts;
+  opts.reschedule_period = 100;
+  opts.smoothing = 0.5;
+  SemiDynamicLpt s({1.0, 1.0}, 1, opts);
+  s.record(std::vector<double>{4.0, 2.0});  // first: replaces outright
+  EXPECT_DOUBLE_EQ(s.predicted()[0], 4.0);
+  s.record(std::vector<double>{8.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.predicted()[0], 6.0);  // (4+8)/2
+}
+
+TEST(SemiDynamic, ResetWorkersReschedulesImmediately) {
+  SemiDynamicLpt s({3.0, 2.0, 1.0}, 1);
+  const std::size_t before = s.num_reschedules();
+  s.reset_workers(3);
+  EXPECT_EQ(s.schedule().size(), 3u);
+  EXPECT_EQ(s.num_reschedules(), before + 1);
+}
+
+TEST(SemiDynamic, MeasurementSizeMismatchIsABug) {
+  SemiDynamicLpt s({1.0, 1.0}, 1);
+  EXPECT_THROW(s.record(std::vector<double>{1.0}), omx::Bug);
+}
+
+}  // namespace
+}  // namespace omx::sched

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "omx/support/diagnostics.hpp"
+#include "omx/support/interner.hpp"
+#include "omx/support/rng.hpp"
+#include "omx/support/timer.hpp"
+
+namespace omx {
+namespace {
+
+TEST(Interner, AssignsDenseIdsInOrder) {
+  Interner in;
+  EXPECT_EQ(in.intern("alpha"), 0u);
+  EXPECT_EQ(in.intern("beta"), 1u);
+  EXPECT_EQ(in.intern("gamma"), 2u);
+  EXPECT_EQ(in.size(), 3u);
+}
+
+TEST(Interner, InternIsIdempotent) {
+  Interner in;
+  const SymbolId a = in.intern("x");
+  EXPECT_EQ(in.intern("x"), a);
+  EXPECT_EQ(in.size(), 1u);
+}
+
+TEST(Interner, RoundTripsNames) {
+  Interner in;
+  const SymbolId a = in.intern("w[3].contact.fn");
+  EXPECT_EQ(in.name(a), "w[3].contact.fn");
+}
+
+TEST(Interner, FindDoesNotCreate) {
+  Interner in;
+  EXPECT_EQ(in.find("missing"), kInvalidSymbol);
+  EXPECT_EQ(in.size(), 0u);
+  in.intern("present");
+  EXPECT_EQ(in.find("present"), 0u);
+}
+
+TEST(Interner, SurvivesManyInsertions) {
+  // Regression guard for the stored-string_view stability issue: small
+  // (SSO) strings must stay addressable across container growth.
+  Interner in;
+  for (int i = 0; i < 10000; ++i) {
+    in.intern("s" + std::to_string(i));
+  }
+  for (int i = 0; i < 10000; ++i) {
+    const std::string s = "s" + std::to_string(i);
+    EXPECT_EQ(in.find(s), static_cast<SymbolId>(i)) << s;
+  }
+}
+
+TEST(Interner, EmptyAndWeirdStrings) {
+  Interner in;
+  const SymbolId e = in.intern("");
+  EXPECT_EQ(in.name(e), "");
+  const SymbolId w = in.intern("a b\tc\n");
+  EXPECT_EQ(in.name(w), "a b\tc\n");
+}
+
+TEST(Diagnostics, ErrorCarriesLocation) {
+  const Error e("bad thing", SourceLoc{3, 7});
+  EXPECT_EQ(e.where().line, 3u);
+  EXPECT_EQ(e.where().column, 7u);
+  EXPECT_NE(std::string(e.what()).find("line 3:7"), std::string::npos);
+}
+
+TEST(Diagnostics, ErrorWithoutLocation) {
+  const Error e("plain");
+  EXPECT_FALSE(e.where().valid());
+  EXPECT_STREQ(e.what(), "plain");
+}
+
+TEST(Diagnostics, RequireThrowsBug) {
+  EXPECT_THROW(OMX_REQUIRE(false, "should fire"), Bug);
+  EXPECT_NO_THROW(OMX_REQUIRE(true, "should not fire"));
+}
+
+TEST(Rng, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  SplitMix64 r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  SplitMix64 r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Timer, MeasuresMonotonically) {
+  Stopwatch sw;
+  const double a = sw.seconds();
+  const double b = sw.seconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+TEST(Timer, SpinForWaitsApproximately) {
+  Stopwatch sw;
+  spin_for(1e-4);
+  EXPECT_GE(sw.seconds(), 1e-4);
+}
+
+}  // namespace
+}  // namespace omx

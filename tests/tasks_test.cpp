@@ -1,0 +1,210 @@
+// Task partitioning (§3.2): grouping of small assignments, splitting of
+// large +/- chains into partial sums, self-containedness (algebraics
+// inlined), and cost estimates.
+#include <gtest/gtest.h>
+
+#include "omx/codegen/tasks.hpp"
+#include "omx/expr/eval.hpp"
+#include "omx/model/flatten.hpp"
+#include "omx/parser/parser.hpp"
+
+namespace omx::codegen {
+namespace {
+
+model::FlatSystem flatten_src(expr::Context& ctx, const std::string& src) {
+  model::Model m = parser::parse_model(src, ctx);
+  return model::flatten(m);
+}
+
+constexpr const char* kSmallSystem = R"(
+model M
+  class A
+    var a start 1, b start 1, c start 1, d start 1;
+    eq der(a) == -a;
+    eq der(b) == -b;
+    eq der(c) == -c;
+    eq der(d) == -d;
+  end
+  instance i : A;
+end)";
+
+TEST(Tasks, GroupsSmallAssignments) {
+  expr::Context ctx;
+  model::FlatSystem f = flatten_src(ctx, kSmallSystem);
+  const AssignmentSet set = build_assignments(f);
+  TaskPlanOptions opts;
+  opts.min_ops_per_task = 100;  // force everything into one task
+  const TaskPlan plan = plan_tasks(f, set, opts);
+  ASSERT_EQ(plan.tasks.size(), 1u);
+  EXPECT_EQ(plan.tasks[0].units.size(), 4u);
+}
+
+TEST(Tasks, ZeroThresholdKeepsTasksSeparate) {
+  expr::Context ctx;
+  model::FlatSystem f = flatten_src(ctx, kSmallSystem);
+  const AssignmentSet set = build_assignments(f);
+  TaskPlanOptions opts;
+  opts.min_ops_per_task = 0;
+  const TaskPlan plan = plan_tasks(f, set, opts);
+  EXPECT_EQ(plan.tasks.size(), 4u);
+}
+
+TEST(Tasks, EveryStateIsCoveredExactlyOncePerPart) {
+  expr::Context ctx;
+  model::FlatSystem f = flatten_src(ctx, kSmallSystem);
+  const AssignmentSet set = build_assignments(f);
+  const TaskPlan plan = plan_tasks(f, set, {});
+  std::vector<int> coverage(f.num_states(), 0);
+  for (const TaskSpec& t : plan.tasks) {
+    for (const TaskUnit& u : t.units) {
+      coverage[static_cast<std::size_t>(u.state)] += 1;
+    }
+  }
+  for (int c : coverage) {
+    EXPECT_EQ(c, 1);
+  }
+}
+
+TEST(Tasks, AlgebraicsAreInlined) {
+  expr::Context ctx;
+  model::FlatSystem f = flatten_src(ctx, R"(
+model M
+  class A
+    var x start 1;
+    var a;
+    eq a == sin(x)*x;
+    eq der(x) == a + a*a;
+  end
+  instance i : A;
+end)");
+  const AssignmentSet set = build_assignments(f);
+  const TaskPlan plan = plan_tasks(f, set, {});
+  ASSERT_EQ(plan.tasks.size(), 1u);
+  // The inlined RHS must not reference the algebraic symbol.
+  std::vector<SymbolId> syms;
+  ctx.pool.free_syms(plan.tasks[0].units[0].rhs, syms);
+  for (SymbolId s : syms) {
+    EXPECT_EQ(f.algebraic_index(s), -1)
+        << "algebraic leaked: " << ctx.names.name(s);
+  }
+}
+
+TEST(Tasks, SplitsLargeSumChains) {
+  expr::Context ctx;
+  // A long sum: 12 sin() terms (~24 ops); split limit 8 forces parts.
+  std::string rhs = "sin(1*x)";
+  for (int i = 2; i <= 12; ++i) {
+    rhs += " + sin(" + std::to_string(i) + "*x)";
+  }
+  model::FlatSystem f = flatten_src(ctx, R"(
+model M
+  class A
+    var x start 1;
+    eq der(x) == )" + rhs + R"(;
+  end
+  instance i : A;
+end)");
+  const AssignmentSet set = build_assignments(f);
+  TaskPlanOptions opts;
+  opts.min_ops_per_task = 0;
+  opts.max_ops_per_task = 8;
+  const TaskPlan plan = plan_tasks(f, set, opts);
+  EXPECT_GT(plan.num_split_units(), 1u);
+  // All parts target state 0 and num_parts is consistent.
+  int total_parts = 0;
+  for (const TaskSpec& t : plan.tasks) {
+    for (const TaskUnit& u : t.units) {
+      EXPECT_EQ(u.state, 0);
+      ++total_parts;
+      EXPECT_GT(u.num_parts, 1);
+    }
+  }
+  EXPECT_EQ(total_parts, plan.tasks[0].units[0].num_parts *
+                             1);  // one split equation
+}
+
+TEST(Tasks, SplitPreservesSemantics) {
+  expr::Context ctx;
+  std::string rhs = "sin(1*x)";
+  for (int i = 2; i <= 12; ++i) {
+    rhs += (i % 3 == 0 ? " - sin(" : " + sin(") + std::to_string(i) + "*x)";
+  }
+  model::FlatSystem f = flatten_src(ctx, R"(
+model M
+  class A
+    var x start 1;
+    eq der(x) == )" + rhs + R"(;
+  end
+  instance i : A;
+end)");
+  const AssignmentSet set = build_assignments(f);
+  TaskPlanOptions opts;
+  opts.min_ops_per_task = 0;
+  opts.max_ops_per_task = 8;
+  const TaskPlan plan = plan_tasks(f, set, opts);
+
+  // Sum of the parts == direct evaluation.
+  expr::Env env;
+  env.set(ctx.symbol("i.x"), 0.37);
+  double parts_sum = 0.0;
+  for (const TaskSpec& t : plan.tasks) {
+    for (const TaskUnit& u : t.units) {
+      parts_sum += expr::eval(ctx.pool, u.rhs, env);
+    }
+  }
+  std::vector<double> y{0.37}, ydot(1);
+  f.eval_rhs(0.0, y, ydot);
+  EXPECT_NEAR(parts_sum, ydot[0], 1e-12);
+}
+
+TEST(Tasks, UnsplittableProductStaysWhole) {
+  expr::Context ctx;
+  model::FlatSystem f = flatten_src(ctx, R"(
+model M
+  class A
+    var x start 1;
+    eq der(x) == sin(x)*cos(x)*exp(x)*tanh(x)*sqrt(x*x+1)*x*x*x*x;
+  end
+  instance i : A;
+end)");
+  const AssignmentSet set = build_assignments(f);
+  TaskPlanOptions opts;
+  opts.min_ops_per_task = 0;
+  opts.max_ops_per_task = 3;  // way below the product's size
+  const TaskPlan plan = plan_tasks(f, set, opts);
+  EXPECT_EQ(plan.num_split_units(), 0u);
+  ASSERT_EQ(plan.tasks.size(), 1u);
+  EXPECT_EQ(plan.tasks[0].units[0].num_parts, 1);
+}
+
+TEST(Tasks, EstimatesArePositiveAndOrdered) {
+  expr::Context ctx;
+  model::FlatSystem f = flatten_src(ctx, R"(
+model M
+  class A
+    var small start 1, big start 1;
+    eq der(small) == -small;
+    eq der(big) == sin(big)*cos(big) + exp(big)*tanh(big) + big*big*big;
+  end
+  instance i : A;
+end)");
+  const AssignmentSet set = build_assignments(f);
+  TaskPlanOptions opts;
+  opts.min_ops_per_task = 0;
+  const TaskPlan plan = plan_tasks(f, set, opts);
+  ASSERT_EQ(plan.tasks.size(), 2u);
+  EXPECT_GT(plan.tasks[1].est_ops, plan.tasks[0].est_ops);
+}
+
+TEST(Tasks, LabelsNameTheStates) {
+  expr::Context ctx;
+  model::FlatSystem f = flatten_src(ctx, kSmallSystem);
+  const AssignmentSet set = build_assignments(f);
+  TaskPlanOptions opts;
+  opts.min_ops_per_task = 0;
+  const TaskPlan plan = plan_tasks(f, set, opts);
+  EXPECT_NE(plan.tasks[0].label.find("i.a'"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace omx::codegen
