@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqsys_level.dir/eqsys_level.cpp.o"
+  "CMakeFiles/eqsys_level.dir/eqsys_level.cpp.o.d"
+  "eqsys_level"
+  "eqsys_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqsys_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_codegen.dir/fig11_codegen.cpp.o"
+  "CMakeFiles/fig11_codegen.dir/fig11_codegen.cpp.o.d"
+  "fig11_codegen"
+  "fig11_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

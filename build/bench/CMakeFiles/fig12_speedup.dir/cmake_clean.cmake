@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_speedup.dir/fig12_speedup.cpp.o"
+  "CMakeFiles/fig12_speedup.dir/fig12_speedup.cpp.o.d"
+  "fig12_speedup"
+  "fig12_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

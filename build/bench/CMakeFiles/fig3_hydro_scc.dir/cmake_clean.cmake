@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_hydro_scc.dir/fig3_hydro_scc.cpp.o"
+  "CMakeFiles/fig3_hydro_scc.dir/fig3_hydro_scc.cpp.o.d"
+  "fig3_hydro_scc"
+  "fig3_hydro_scc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_hydro_scc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

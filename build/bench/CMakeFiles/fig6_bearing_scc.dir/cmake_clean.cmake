@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_bearing_scc.dir/fig6_bearing_scc.cpp.o"
+  "CMakeFiles/fig6_bearing_scc.dir/fig6_bearing_scc.cpp.o.d"
+  "fig6_bearing_scc"
+  "fig6_bearing_scc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_bearing_scc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

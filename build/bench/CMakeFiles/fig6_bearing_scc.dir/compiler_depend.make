@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_bearing_scc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_bearing_scc.
+# This may be replaced when dependencies are built.

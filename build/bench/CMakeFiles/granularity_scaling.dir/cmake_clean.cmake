@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granularity_scaling.dir/granularity_scaling.cpp.o"
+  "CMakeFiles/granularity_scaling.dir/granularity_scaling.cpp.o.d"
+  "granularity_scaling"
+  "granularity_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granularity_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

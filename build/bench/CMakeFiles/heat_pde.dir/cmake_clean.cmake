@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_pde.dir/heat_pde.cpp.o"
+  "CMakeFiles/heat_pde.dir/heat_pde.cpp.o.d"
+  "heat_pde"
+  "heat_pde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_pde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

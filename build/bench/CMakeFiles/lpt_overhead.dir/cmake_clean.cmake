@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpt_overhead.dir/lpt_overhead.cpp.o"
+  "CMakeFiles/lpt_overhead.dir/lpt_overhead.cpp.o.d"
+  "lpt_overhead"
+  "lpt_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpt_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

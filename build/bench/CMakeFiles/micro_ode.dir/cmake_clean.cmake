@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ode.dir/micro_ode.cpp.o"
+  "CMakeFiles/micro_ode.dir/micro_ode.cpp.o.d"
+  "micro_ode"
+  "micro_ode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multirate_solver.dir/multirate_solver.cpp.o"
+  "CMakeFiles/multirate_solver.dir/multirate_solver.cpp.o.d"
+  "multirate_solver"
+  "multirate_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multirate_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

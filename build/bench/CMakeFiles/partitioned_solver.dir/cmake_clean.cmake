@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioned_solver.dir/partitioned_solver.cpp.o"
+  "CMakeFiles/partitioned_solver.dir/partitioned_solver.cpp.o.d"
+  "partitioned_solver"
+  "partitioned_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioned_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/sec33_codegen_stats.cpp" "bench/CMakeFiles/sec33_codegen_stats.dir/sec33_codegen_stats.cpp.o" "gcc" "bench/CMakeFiles/sec33_codegen_stats.dir/sec33_codegen_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/omx_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

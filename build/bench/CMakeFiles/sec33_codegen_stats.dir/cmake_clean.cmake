@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec33_codegen_stats.dir/sec33_codegen_stats.cpp.o"
+  "CMakeFiles/sec33_codegen_stats.dir/sec33_codegen_stats.cpp.o.d"
+  "sec33_codegen_stats"
+  "sec33_codegen_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec33_codegen_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

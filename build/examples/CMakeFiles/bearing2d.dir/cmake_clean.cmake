@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bearing2d.dir/bearing2d.cpp.o"
+  "CMakeFiles/bearing2d.dir/bearing2d.cpp.o.d"
+  "bearing2d"
+  "bearing2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bearing2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

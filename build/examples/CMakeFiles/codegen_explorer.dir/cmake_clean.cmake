@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_explorer.dir/codegen_explorer.cpp.o"
+  "CMakeFiles/codegen_explorer.dir/codegen_explorer.cpp.o.d"
+  "codegen_explorer"
+  "codegen_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydro_plant.dir/hydro_plant.cpp.o"
+  "CMakeFiles/hydro_plant.dir/hydro_plant.cpp.o.d"
+  "hydro_plant"
+  "hydro_plant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydro_plant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

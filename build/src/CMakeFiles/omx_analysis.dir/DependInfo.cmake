@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/omx/analysis/dependency.cpp" "src/CMakeFiles/omx_analysis.dir/omx/analysis/dependency.cpp.o" "gcc" "src/CMakeFiles/omx_analysis.dir/omx/analysis/dependency.cpp.o.d"
+  "/root/repo/src/omx/analysis/partition.cpp" "src/CMakeFiles/omx_analysis.dir/omx/analysis/partition.cpp.o" "gcc" "src/CMakeFiles/omx_analysis.dir/omx/analysis/partition.cpp.o.d"
+  "/root/repo/src/omx/analysis/subsystem_solver.cpp" "src/CMakeFiles/omx_analysis.dir/omx/analysis/subsystem_solver.cpp.o" "gcc" "src/CMakeFiles/omx_analysis.dir/omx/analysis/subsystem_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/omx_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_analysis.dir/omx/analysis/dependency.cpp.o"
+  "CMakeFiles/omx_analysis.dir/omx/analysis/dependency.cpp.o.d"
+  "CMakeFiles/omx_analysis.dir/omx/analysis/partition.cpp.o"
+  "CMakeFiles/omx_analysis.dir/omx/analysis/partition.cpp.o.d"
+  "CMakeFiles/omx_analysis.dir/omx/analysis/subsystem_solver.cpp.o"
+  "CMakeFiles/omx_analysis.dir/omx/analysis/subsystem_solver.cpp.o.d"
+  "libomx_analysis.a"
+  "libomx_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/omx/codegen/assignments.cpp" "src/CMakeFiles/omx_codegen.dir/omx/codegen/assignments.cpp.o" "gcc" "src/CMakeFiles/omx_codegen.dir/omx/codegen/assignments.cpp.o.d"
+  "/root/repo/src/omx/codegen/code_printer.cpp" "src/CMakeFiles/omx_codegen.dir/omx/codegen/code_printer.cpp.o" "gcc" "src/CMakeFiles/omx_codegen.dir/omx/codegen/code_printer.cpp.o.d"
+  "/root/repo/src/omx/codegen/cpp_emit.cpp" "src/CMakeFiles/omx_codegen.dir/omx/codegen/cpp_emit.cpp.o" "gcc" "src/CMakeFiles/omx_codegen.dir/omx/codegen/cpp_emit.cpp.o.d"
+  "/root/repo/src/omx/codegen/cse.cpp" "src/CMakeFiles/omx_codegen.dir/omx/codegen/cse.cpp.o" "gcc" "src/CMakeFiles/omx_codegen.dir/omx/codegen/cse.cpp.o.d"
+  "/root/repo/src/omx/codegen/emit_common.cpp" "src/CMakeFiles/omx_codegen.dir/omx/codegen/emit_common.cpp.o" "gcc" "src/CMakeFiles/omx_codegen.dir/omx/codegen/emit_common.cpp.o.d"
+  "/root/repo/src/omx/codegen/fortran.cpp" "src/CMakeFiles/omx_codegen.dir/omx/codegen/fortran.cpp.o" "gcc" "src/CMakeFiles/omx_codegen.dir/omx/codegen/fortran.cpp.o.d"
+  "/root/repo/src/omx/codegen/tape.cpp" "src/CMakeFiles/omx_codegen.dir/omx/codegen/tape.cpp.o" "gcc" "src/CMakeFiles/omx_codegen.dir/omx/codegen/tape.cpp.o.d"
+  "/root/repo/src/omx/codegen/tasks.cpp" "src/CMakeFiles/omx_codegen.dir/omx/codegen/tasks.cpp.o" "gcc" "src/CMakeFiles/omx_codegen.dir/omx/codegen/tasks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/omx_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

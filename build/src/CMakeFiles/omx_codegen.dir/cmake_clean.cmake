@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_codegen.dir/omx/codegen/assignments.cpp.o"
+  "CMakeFiles/omx_codegen.dir/omx/codegen/assignments.cpp.o.d"
+  "CMakeFiles/omx_codegen.dir/omx/codegen/code_printer.cpp.o"
+  "CMakeFiles/omx_codegen.dir/omx/codegen/code_printer.cpp.o.d"
+  "CMakeFiles/omx_codegen.dir/omx/codegen/cpp_emit.cpp.o"
+  "CMakeFiles/omx_codegen.dir/omx/codegen/cpp_emit.cpp.o.d"
+  "CMakeFiles/omx_codegen.dir/omx/codegen/cse.cpp.o"
+  "CMakeFiles/omx_codegen.dir/omx/codegen/cse.cpp.o.d"
+  "CMakeFiles/omx_codegen.dir/omx/codegen/emit_common.cpp.o"
+  "CMakeFiles/omx_codegen.dir/omx/codegen/emit_common.cpp.o.d"
+  "CMakeFiles/omx_codegen.dir/omx/codegen/fortran.cpp.o"
+  "CMakeFiles/omx_codegen.dir/omx/codegen/fortran.cpp.o.d"
+  "CMakeFiles/omx_codegen.dir/omx/codegen/tape.cpp.o"
+  "CMakeFiles/omx_codegen.dir/omx/codegen/tape.cpp.o.d"
+  "CMakeFiles/omx_codegen.dir/omx/codegen/tasks.cpp.o"
+  "CMakeFiles/omx_codegen.dir/omx/codegen/tasks.cpp.o.d"
+  "libomx_codegen.a"
+  "libomx_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

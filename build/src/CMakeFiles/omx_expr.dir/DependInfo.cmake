@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/omx/expr/derivative.cpp" "src/CMakeFiles/omx_expr.dir/omx/expr/derivative.cpp.o" "gcc" "src/CMakeFiles/omx_expr.dir/omx/expr/derivative.cpp.o.d"
+  "/root/repo/src/omx/expr/eval.cpp" "src/CMakeFiles/omx_expr.dir/omx/expr/eval.cpp.o" "gcc" "src/CMakeFiles/omx_expr.dir/omx/expr/eval.cpp.o.d"
+  "/root/repo/src/omx/expr/pool.cpp" "src/CMakeFiles/omx_expr.dir/omx/expr/pool.cpp.o" "gcc" "src/CMakeFiles/omx_expr.dir/omx/expr/pool.cpp.o.d"
+  "/root/repo/src/omx/expr/printer.cpp" "src/CMakeFiles/omx_expr.dir/omx/expr/printer.cpp.o" "gcc" "src/CMakeFiles/omx_expr.dir/omx/expr/printer.cpp.o.d"
+  "/root/repo/src/omx/expr/simplify.cpp" "src/CMakeFiles/omx_expr.dir/omx/expr/simplify.cpp.o" "gcc" "src/CMakeFiles/omx_expr.dir/omx/expr/simplify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/omx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_expr.dir/omx/expr/derivative.cpp.o"
+  "CMakeFiles/omx_expr.dir/omx/expr/derivative.cpp.o.d"
+  "CMakeFiles/omx_expr.dir/omx/expr/eval.cpp.o"
+  "CMakeFiles/omx_expr.dir/omx/expr/eval.cpp.o.d"
+  "CMakeFiles/omx_expr.dir/omx/expr/pool.cpp.o"
+  "CMakeFiles/omx_expr.dir/omx/expr/pool.cpp.o.d"
+  "CMakeFiles/omx_expr.dir/omx/expr/printer.cpp.o"
+  "CMakeFiles/omx_expr.dir/omx/expr/printer.cpp.o.d"
+  "CMakeFiles/omx_expr.dir/omx/expr/simplify.cpp.o"
+  "CMakeFiles/omx_expr.dir/omx/expr/simplify.cpp.o.d"
+  "libomx_expr.a"
+  "libomx_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_graph.dir/omx/graph/digraph.cpp.o"
+  "CMakeFiles/omx_graph.dir/omx/graph/digraph.cpp.o.d"
+  "CMakeFiles/omx_graph.dir/omx/graph/dot.cpp.o"
+  "CMakeFiles/omx_graph.dir/omx/graph/dot.cpp.o.d"
+  "CMakeFiles/omx_graph.dir/omx/graph/scc.cpp.o"
+  "CMakeFiles/omx_graph.dir/omx/graph/scc.cpp.o.d"
+  "libomx_graph.a"
+  "libomx_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_la.dir/omx/la/lu.cpp.o"
+  "CMakeFiles/omx_la.dir/omx/la/lu.cpp.o.d"
+  "CMakeFiles/omx_la.dir/omx/la/matrix.cpp.o"
+  "CMakeFiles/omx_la.dir/omx/la/matrix.cpp.o.d"
+  "libomx_la.a"
+  "libomx_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/omx/model/flatten.cpp" "src/CMakeFiles/omx_model.dir/omx/model/flatten.cpp.o" "gcc" "src/CMakeFiles/omx_model.dir/omx/model/flatten.cpp.o.d"
+  "/root/repo/src/omx/model/model.cpp" "src/CMakeFiles/omx_model.dir/omx/model/model.cpp.o" "gcc" "src/CMakeFiles/omx_model.dir/omx/model/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/omx_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_model.dir/omx/model/flatten.cpp.o"
+  "CMakeFiles/omx_model.dir/omx/model/flatten.cpp.o.d"
+  "CMakeFiles/omx_model.dir/omx/model/model.cpp.o"
+  "CMakeFiles/omx_model.dir/omx/model/model.cpp.o.d"
+  "libomx_model.a"
+  "libomx_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

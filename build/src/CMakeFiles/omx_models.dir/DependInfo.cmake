@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/omx/models/bearing2d.cpp" "src/CMakeFiles/omx_models.dir/omx/models/bearing2d.cpp.o" "gcc" "src/CMakeFiles/omx_models.dir/omx/models/bearing2d.cpp.o.d"
+  "/root/repo/src/omx/models/heat1d.cpp" "src/CMakeFiles/omx_models.dir/omx/models/heat1d.cpp.o" "gcc" "src/CMakeFiles/omx_models.dir/omx/models/heat1d.cpp.o.d"
+  "/root/repo/src/omx/models/hydro.cpp" "src/CMakeFiles/omx_models.dir/omx/models/hydro.cpp.o" "gcc" "src/CMakeFiles/omx_models.dir/omx/models/hydro.cpp.o.d"
+  "/root/repo/src/omx/models/oscillator.cpp" "src/CMakeFiles/omx_models.dir/omx/models/oscillator.cpp.o" "gcc" "src/CMakeFiles/omx_models.dir/omx/models/oscillator.cpp.o.d"
+  "/root/repo/src/omx/models/servo.cpp" "src/CMakeFiles/omx_models.dir/omx/models/servo.cpp.o" "gcc" "src/CMakeFiles/omx_models.dir/omx/models/servo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/omx_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_models.dir/omx/models/bearing2d.cpp.o"
+  "CMakeFiles/omx_models.dir/omx/models/bearing2d.cpp.o.d"
+  "CMakeFiles/omx_models.dir/omx/models/heat1d.cpp.o"
+  "CMakeFiles/omx_models.dir/omx/models/heat1d.cpp.o.d"
+  "CMakeFiles/omx_models.dir/omx/models/hydro.cpp.o"
+  "CMakeFiles/omx_models.dir/omx/models/hydro.cpp.o.d"
+  "CMakeFiles/omx_models.dir/omx/models/oscillator.cpp.o"
+  "CMakeFiles/omx_models.dir/omx/models/oscillator.cpp.o.d"
+  "CMakeFiles/omx_models.dir/omx/models/servo.cpp.o"
+  "CMakeFiles/omx_models.dir/omx/models/servo.cpp.o.d"
+  "libomx_models.a"
+  "libomx_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/omx/ode/adams.cpp" "src/CMakeFiles/omx_ode.dir/omx/ode/adams.cpp.o" "gcc" "src/CMakeFiles/omx_ode.dir/omx/ode/adams.cpp.o.d"
+  "/root/repo/src/omx/ode/auto_switch.cpp" "src/CMakeFiles/omx_ode.dir/omx/ode/auto_switch.cpp.o" "gcc" "src/CMakeFiles/omx_ode.dir/omx/ode/auto_switch.cpp.o.d"
+  "/root/repo/src/omx/ode/bdf.cpp" "src/CMakeFiles/omx_ode.dir/omx/ode/bdf.cpp.o" "gcc" "src/CMakeFiles/omx_ode.dir/omx/ode/bdf.cpp.o.d"
+  "/root/repo/src/omx/ode/dopri5.cpp" "src/CMakeFiles/omx_ode.dir/omx/ode/dopri5.cpp.o" "gcc" "src/CMakeFiles/omx_ode.dir/omx/ode/dopri5.cpp.o.d"
+  "/root/repo/src/omx/ode/fixed_step.cpp" "src/CMakeFiles/omx_ode.dir/omx/ode/fixed_step.cpp.o" "gcc" "src/CMakeFiles/omx_ode.dir/omx/ode/fixed_step.cpp.o.d"
+  "/root/repo/src/omx/ode/jacobian.cpp" "src/CMakeFiles/omx_ode.dir/omx/ode/jacobian.cpp.o" "gcc" "src/CMakeFiles/omx_ode.dir/omx/ode/jacobian.cpp.o.d"
+  "/root/repo/src/omx/ode/problem.cpp" "src/CMakeFiles/omx_ode.dir/omx/ode/problem.cpp.o" "gcc" "src/CMakeFiles/omx_ode.dir/omx/ode/problem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/omx_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_ode.dir/omx/ode/adams.cpp.o"
+  "CMakeFiles/omx_ode.dir/omx/ode/adams.cpp.o.d"
+  "CMakeFiles/omx_ode.dir/omx/ode/auto_switch.cpp.o"
+  "CMakeFiles/omx_ode.dir/omx/ode/auto_switch.cpp.o.d"
+  "CMakeFiles/omx_ode.dir/omx/ode/bdf.cpp.o"
+  "CMakeFiles/omx_ode.dir/omx/ode/bdf.cpp.o.d"
+  "CMakeFiles/omx_ode.dir/omx/ode/dopri5.cpp.o"
+  "CMakeFiles/omx_ode.dir/omx/ode/dopri5.cpp.o.d"
+  "CMakeFiles/omx_ode.dir/omx/ode/fixed_step.cpp.o"
+  "CMakeFiles/omx_ode.dir/omx/ode/fixed_step.cpp.o.d"
+  "CMakeFiles/omx_ode.dir/omx/ode/jacobian.cpp.o"
+  "CMakeFiles/omx_ode.dir/omx/ode/jacobian.cpp.o.d"
+  "CMakeFiles/omx_ode.dir/omx/ode/problem.cpp.o"
+  "CMakeFiles/omx_ode.dir/omx/ode/problem.cpp.o.d"
+  "libomx_ode.a"
+  "libomx_ode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_ode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/omx/parser/lexer.cpp" "src/CMakeFiles/omx_parser.dir/omx/parser/lexer.cpp.o" "gcc" "src/CMakeFiles/omx_parser.dir/omx/parser/lexer.cpp.o.d"
+  "/root/repo/src/omx/parser/parser.cpp" "src/CMakeFiles/omx_parser.dir/omx/parser/parser.cpp.o" "gcc" "src/CMakeFiles/omx_parser.dir/omx/parser/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/omx_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_parser.dir/omx/parser/lexer.cpp.o"
+  "CMakeFiles/omx_parser.dir/omx/parser/lexer.cpp.o.d"
+  "CMakeFiles/omx_parser.dir/omx/parser/parser.cpp.o"
+  "CMakeFiles/omx_parser.dir/omx/parser/parser.cpp.o.d"
+  "libomx_parser.a"
+  "libomx_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_pipeline.dir/omx/pipeline/pipeline.cpp.o"
+  "CMakeFiles/omx_pipeline.dir/omx/pipeline/pipeline.cpp.o.d"
+  "libomx_pipeline.a"
+  "libomx_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_runtime.dir/omx/runtime/interconnect.cpp.o"
+  "CMakeFiles/omx_runtime.dir/omx/runtime/interconnect.cpp.o.d"
+  "CMakeFiles/omx_runtime.dir/omx/runtime/parallel_rhs.cpp.o"
+  "CMakeFiles/omx_runtime.dir/omx/runtime/parallel_rhs.cpp.o.d"
+  "CMakeFiles/omx_runtime.dir/omx/runtime/simulated_machine.cpp.o"
+  "CMakeFiles/omx_runtime.dir/omx/runtime/simulated_machine.cpp.o.d"
+  "CMakeFiles/omx_runtime.dir/omx/runtime/worker_pool.cpp.o"
+  "CMakeFiles/omx_runtime.dir/omx/runtime/worker_pool.cpp.o.d"
+  "libomx_runtime.a"
+  "libomx_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libomx_runtime.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/omx/sched/lpt.cpp" "src/CMakeFiles/omx_sched.dir/omx/sched/lpt.cpp.o" "gcc" "src/CMakeFiles/omx_sched.dir/omx/sched/lpt.cpp.o.d"
+  "/root/repo/src/omx/sched/semidynamic.cpp" "src/CMakeFiles/omx_sched.dir/omx/sched/semidynamic.cpp.o" "gcc" "src/CMakeFiles/omx_sched.dir/omx/sched/semidynamic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/omx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

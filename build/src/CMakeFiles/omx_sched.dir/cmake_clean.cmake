@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_sched.dir/omx/sched/lpt.cpp.o"
+  "CMakeFiles/omx_sched.dir/omx/sched/lpt.cpp.o.d"
+  "CMakeFiles/omx_sched.dir/omx/sched/semidynamic.cpp.o"
+  "CMakeFiles/omx_sched.dir/omx/sched/semidynamic.cpp.o.d"
+  "libomx_sched.a"
+  "libomx_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

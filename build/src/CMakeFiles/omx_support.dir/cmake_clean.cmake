@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_support.dir/omx/support/diagnostics.cpp.o"
+  "CMakeFiles/omx_support.dir/omx/support/diagnostics.cpp.o.d"
+  "CMakeFiles/omx_support.dir/omx/support/interner.cpp.o"
+  "CMakeFiles/omx_support.dir/omx/support/interner.cpp.o.d"
+  "libomx_support.a"
+  "libomx_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

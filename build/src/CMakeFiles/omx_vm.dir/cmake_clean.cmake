@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_vm.dir/omx/vm/interp.cpp.o"
+  "CMakeFiles/omx_vm.dir/omx/vm/interp.cpp.o.d"
+  "CMakeFiles/omx_vm.dir/omx/vm/program.cpp.o"
+  "CMakeFiles/omx_vm.dir/omx/vm/program.cpp.o.d"
+  "libomx_vm.a"
+  "libomx_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_emit_test.dir/codegen_emit_test.cpp.o"
+  "CMakeFiles/codegen_emit_test.dir/codegen_emit_test.cpp.o.d"
+  "codegen_emit_test"
+  "codegen_emit_test.pdb"
+  "codegen_emit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_emit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat1d_test.dir/heat1d_test.cpp.o"
+  "CMakeFiles/heat1d_test.dir/heat1d_test.cpp.o.d"
+  "heat1d_test"
+  "heat1d_test.pdb"
+  "heat1d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat1d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subsystem_solver_test.dir/subsystem_solver_test.cpp.o"
+  "CMakeFiles/subsystem_solver_test.dir/subsystem_solver_test.cpp.o.d"
+  "subsystem_solver_test"
+  "subsystem_solver_test.pdb"
+  "subsystem_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subsystem_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
