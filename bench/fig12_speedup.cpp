@@ -12,14 +12,23 @@
 // (~10 ms/call, see MachineModel); the claims under test are the SHAPES:
 // near-linear rise + knee for low latency, early peak + decline for high
 // latency, and shared >> distributed at scale.
+// In addition to the stdout table, the series are written to
+// BENCH_fig12.json through the obs JSON metrics exporter so perf
+// trajectories can be tracked across revisions.
 #include <cstdio>
+#include <string>
 
 #include "omx/models/bearing2d.hpp"
+#include "omx/obs/export.hpp"
 #include "omx/pipeline/pipeline.hpp"
 #include "omx/runtime/simulated_machine.hpp"
 
 int main() {
   using namespace omx;
+
+  // The JSON trajectory below must come out populated even when the
+  // process-wide metric switch is off.
+  obs::set_enabled(true);
 
   models::BearingConfig cfg;  // 10 rollers as in the paper
   pipeline::CompiledModel cm = pipeline::compile_model(
@@ -84,5 +93,30 @@ int main() {
               " (%.1fx at peak)\n",
               sparc_peak > 1.5 * pars_peak ? "yes" : "NO",
               sparc_peak / pars_peak);
+
+  // Machine-readable trajectory: one gauge per (machine, processor count)
+  // plus the derived peaks, exported with the obs JSON metrics exporter.
+  obs::Registry metrics;
+  metrics.gauge("fig12.n_states").set(static_cast<double>(cm.n()));
+  metrics.gauge("fig12.n_tasks")
+      .set(static_cast<double>(cm.plan.tasks.size()));
+  for (std::size_t p = 1; p <= 17; ++p) {
+    const std::string suffix = ".calls_per_s.p" + std::to_string(p);
+    metrics.gauge("fig12.sparc" + suffix).set(sparc_at[p]);
+    metrics.gauge("fig12.parsytec" + suffix).set(pars_at[p]);
+  }
+  metrics.gauge("fig12.sparc.peak").set(sparc_peak);
+  metrics.gauge("fig12.sparc.peak_procs")
+      .set(static_cast<double>(sparc_peak_p));
+  metrics.gauge("fig12.parsytec.peak").set(pars_peak);
+  metrics.gauge("fig12.parsytec.peak_procs")
+      .set(static_cast<double>(pars_peak_p));
+  const char* out_path = "BENCH_fig12.json";
+  if (obs::write_file(out_path, obs::metrics_json(metrics.snapshot()))) {
+    std::printf("\nwrote %s\n", out_path);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
   return 0;
 }

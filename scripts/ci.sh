@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI entry point: configure with warnings-as-errors, build, run the tier-1
+# test suite, then run it once more with observability (metrics + tracing)
+# force-enabled to catch instrumentation regressions that only fire when a
+# trace is being recorded.
+#
+# Usage: scripts/ci.sh [build-dir]   (default: build-ci)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-ci}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS=-Werror
+cmake --build "$BUILD_DIR" -j
+
+echo "== tier-1 tests (default observability) =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== tier-1 tests (observability forced on: metrics + tracing) =="
+OMX_OBS_ENABLED=1 OMX_OBS_TRACE=1 \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== smoke: trace_explorer writes a valid Chrome trace =="
+"$BUILD_DIR"/examples/trace_explorer --model bearing2d --workers 4 \
+  --out "$BUILD_DIR"/trace.json
+test -s "$BUILD_DIR"/trace.json
+
+echo "CI OK"

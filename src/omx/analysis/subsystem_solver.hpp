@@ -21,7 +21,7 @@
 namespace omx::analysis {
 
 struct PartitionedSolveOptions {
-  ode::Tolerances tol;
+  ode::Tolerances tol{};
   /// Record every accepted step of each subsystem (needed for downstream
   /// interpolation); exposed for tests.
   std::size_t max_steps = 1000000;

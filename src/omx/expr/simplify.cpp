@@ -67,7 +67,7 @@ class Simplifier {
   }
 
   ExprId mk_add(ExprId a, ExprId b) {
-    double ca, cb;
+    double ca = 0.0, cb = 0.0;
     const bool ka = cst(a, ca), kb = cst(b, cb);
     if (ka && kb) return p_.constant(ca + cb);
     if (ka && ca == 0.0) return b;
@@ -79,7 +79,7 @@ class Simplifier {
   }
 
   ExprId mk_sub(ExprId a, ExprId b) {
-    double ca, cb;
+    double ca = 0.0, cb = 0.0;
     const bool ka = cst(a, ca), kb = cst(b, cb);
     if (ka && kb) return p_.constant(ca - cb);
     if (kb && cb == 0.0) return a;
@@ -91,7 +91,7 @@ class Simplifier {
   }
 
   ExprId mk_mul(ExprId a, ExprId b) {
-    double ca, cb;
+    double ca = 0.0, cb = 0.0;
     const bool ka = cst(a, ca), kb = cst(b, cb);
     if (ka && kb) return p_.constant(ca * cb);
     if ((ka && ca == 0.0) || (kb && cb == 0.0)) return p_.constant(0.0);
@@ -107,7 +107,7 @@ class Simplifier {
   }
 
   ExprId mk_div(ExprId a, ExprId b) {
-    double ca, cb;
+    double ca = 0.0, cb = 0.0;
     const bool ka = cst(a, ca), kb = cst(b, cb);
     if (kb && cb != 0.0) {
       if (ka) return p_.constant(ca / cb);
@@ -123,7 +123,7 @@ class Simplifier {
   }
 
   ExprId mk_pow(ExprId a, ExprId b) {
-    double ca, cb;
+    double ca = 0.0, cb = 0.0;
     const bool ka = cst(a, ca), kb = cst(b, cb);
     if (ka && kb) return p_.constant(std::pow(ca, cb));
     if (kb) {
@@ -159,7 +159,7 @@ class Simplifier {
   }
 
   ExprId mk_call2(Func2 f, ExprId a, ExprId b) {
-    double ca, cb;
+    double ca = 0.0, cb = 0.0;
     if (cst(a, ca) && cst(b, cb)) {
       const double v = apply_func2(f, ca, cb);
       if (std::isfinite(v)) return p_.constant(v);

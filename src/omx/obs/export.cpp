@@ -1,0 +1,352 @@
+#include "omx/obs/export.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace omx::obs {
+
+namespace {
+
+/// Formats a double the way JSON expects (no inf/nan, no locale).
+std::string json_number(double v) {
+  if (!std::isfinite(v)) {
+    return "0";
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_text(const Snapshot& snap) {
+  std::string out;
+  char buf[160];
+  if (!snap.counters.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, v] : snap.counters) {
+      std::snprintf(buf, sizeof buf, "  %-32s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(v));
+      out += buf;
+    }
+  }
+  if (!snap.gauges.empty()) {
+    out += "gauges:\n";
+    for (const auto& [name, v] : snap.gauges) {
+      std::snprintf(buf, sizeof buf, "  %-32s %.6g\n", name.c_str(), v);
+      out += buf;
+    }
+  }
+  for (const auto& h : snap.histograms) {
+    std::snprintf(buf, sizeof buf,
+                  "histogram %s: count=%llu sum=%.6g\n", h.name.c_str(),
+                  static_cast<unsigned long long>(h.count), h.sum);
+    out += buf;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i < h.bounds.size()) {
+        std::snprintf(buf, sizeof buf, "  le %-12.6g %llu\n", h.bounds[i],
+                      static_cast<unsigned long long>(h.counts[i]));
+      } else {
+        std::snprintf(buf, sizeof buf, "  overflow     %llu\n",
+                      static_cast<unsigned long long>(h.counts[i]));
+      }
+      out += buf;
+    }
+  }
+  if (out.empty()) {
+    out = "(no metrics registered)\n";
+  }
+  return out;
+}
+
+std::string metrics_json(const Snapshot& snap) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": " + std::to_string(v);
+  }
+  out += first ? "}" : "\n  }";
+  out += ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": " + json_number(v);
+  }
+  out += first ? "}" : "\n  }";
+  out += ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(h.name) + "\": {\"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      out += (i ? ", " : "") + json_number(h.bounds[i]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      out += (i ? ", " : "") + std::to_string(h.counts[i]);
+    }
+    out += "], \"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + json_number(h.sum) + "}";
+  }
+  out += first ? "}" : "\n  }";
+  out += "\n}\n";
+  return out;
+}
+
+std::string chrome_trace_json(const TraceBuffer& buffer) {
+  const auto events = buffer.events();
+  const auto names = buffer.thread_names();
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  // Thread-name metadata events give each worker its labeled track.
+  for (const auto& [tid, name] : names) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += " {\"ph\": \"M\", \"pid\": 1, \"tid\": " + std::to_string(tid) +
+           ", \"name\": \"thread_name\", \"args\": {\"name\": \"" +
+           json_escape(name) + "\"}}";
+  }
+  for (const TraceEvent& ev : events) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    // trace_event timestamps are microseconds; keep ns resolution via
+    // fractional values (both chrome://tracing and Perfetto accept them).
+    out += " {\"ph\": \"X\", \"pid\": 1, \"tid\": " + std::to_string(ev.tid) +
+           ", \"name\": \"" + json_escape(ev.name) + "\", \"cat\": \"" +
+           json_escape(ev.category) +
+           "\", \"ts\": " + json_number(ev.start_ns / 1e3) +
+           ", \"dur\": " + json_number(ev.dur_ns / 1e3) + "}";
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+// -- minimal JSON validator --------------------------------------------------
+
+namespace {
+
+struct JsonParser {
+  std::string_view s;
+  std::size_t i = 0;
+
+  bool eof() const { return i >= s.size(); }
+  char peek() const { return s[i]; }
+  void skip_ws() {
+    while (!eof() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                      s[i] == '\r')) {
+      ++i;
+    }
+  }
+  bool lit(std::string_view word) {
+    if (s.substr(i, word.size()) != word) {
+      return false;
+    }
+    i += word.size();
+    return true;
+  }
+
+  bool value() {
+    skip_ws();
+    if (eof()) {
+      return false;
+    }
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return lit("true");
+      case 'f': return lit("false");
+      case 'n': return lit("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++i;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++i;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"' || !string()) {
+        return false;
+      }
+      skip_ws();
+      if (eof() || s[i] != ':') {
+        return false;
+      }
+      ++i;
+      if (!value()) {
+        return false;
+      }
+      skip_ws();
+      if (eof()) {
+        return false;
+      }
+      if (peek() == ',') {
+        ++i;
+        continue;
+      }
+      if (peek() == '}') {
+        ++i;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++i;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++i;
+      return true;
+    }
+    while (true) {
+      if (!value()) {
+        return false;
+      }
+      skip_ws();
+      if (eof()) {
+        return false;
+      }
+      if (peek() == ',') {
+        ++i;
+        continue;
+      }
+      if (peek() == ']') {
+        ++i;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string() {
+    ++i;  // opening quote
+    while (!eof()) {
+      const char c = s[i];
+      if (c == '"') {
+        ++i;
+        return true;
+      }
+      if (c == '\\') {
+        ++i;
+        if (eof()) {
+          return false;
+        }
+        const char e = s[i];
+        if (e == 'u') {
+          for (int k = 0; k < 4; ++k) {
+            ++i;
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(s[i]))) {
+              return false;
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;
+      }
+      ++i;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = i;
+    if (!eof() && peek() == '-') {
+      ++i;
+    }
+    std::size_t digits = 0;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      ++i;
+      ++digits;
+    }
+    if (digits == 0) {
+      return false;
+    }
+    if (!eof() && peek() == '.') {
+      ++i;
+      digits = 0;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++i;
+        ++digits;
+      }
+      if (digits == 0) {
+        return false;
+      }
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++i;
+      if (!eof() && (peek() == '+' || peek() == '-')) {
+        ++i;
+      }
+      digits = 0;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++i;
+        ++digits;
+      }
+      if (digits == 0) {
+        return false;
+      }
+    }
+    return i > start;
+  }
+};
+
+}  // namespace
+
+bool validate_json(std::string_view text) {
+  JsonParser p{text};
+  if (!p.value()) {
+    return false;
+  }
+  p.skip_ws();
+  return p.eof();
+}
+
+bool write_file(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size()));
+  return static_cast<bool>(out);
+}
+
+}  // namespace omx::obs

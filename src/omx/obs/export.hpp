@@ -1,0 +1,32 @@
+// Exporters for the telemetry registry and trace buffer:
+//  * format_text    — human-readable summary (examples, bench footers)
+//  * metrics_json   — machine-readable metrics (BENCH_*.json trajectories)
+//  * chrome_trace_json — Chrome trace_event format; load the file in
+//    chrome://tracing or https://ui.perfetto.dev to see per-worker task
+//    timelines under supervisor scatter/gather spans.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "omx/obs/registry.hpp"
+#include "omx/obs/trace.hpp"
+
+namespace omx::obs {
+
+std::string format_text(const Snapshot& snap);
+std::string metrics_json(const Snapshot& snap);
+std::string chrome_trace_json(const TraceBuffer& buffer);
+
+/// JSON string escaping for callers composing their own documents.
+std::string json_escape(std::string_view s);
+
+/// Strict structural validation (objects/arrays/strings/numbers/bools/
+/// null, no trailing garbage). Used by tests to round-trip exporter
+/// output without an external JSON dependency.
+bool validate_json(std::string_view text);
+
+/// Writes `content` to `path`; returns false on I/O failure.
+bool write_file(const std::string& path, std::string_view content);
+
+}  // namespace omx::obs

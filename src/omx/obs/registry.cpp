@@ -1,0 +1,155 @@
+#include "omx/obs/registry.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "omx/support/diagnostics.hpp"
+
+namespace omx::obs {
+
+namespace detail {
+
+namespace {
+bool env_enabled() {
+  const char* v = std::getenv("OMX_OBS_ENABLED");
+  if (v == nullptr) {
+    return true;
+  }
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "false") == 0 ||
+           std::strcmp(v, "off") == 0);
+}
+}  // namespace
+
+std::atomic<bool>& enabled_flag() {
+  // Meyers singleton: safe against static-initialization order, cheap
+  // after the first call.
+  static std::atomic<bool> flag{env_enabled()};
+  return flag;
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  OMX_REQUIRE(!bounds_.empty(), "histogram needs at least one bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    OMX_REQUIRE(bounds_[i - 1] < bounds_[i],
+                "histogram bounds must be strictly increasing");
+  }
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::observe(double v) {
+  if (!enabled()) {
+    return;
+  }
+  std::size_t b = bounds_.size();  // overflow bucket
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      b = i;
+      break;
+    }
+  }
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> is C++20; relaxed is fine — the sum is
+  // only read from snapshots.
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .try_emplace(std::string(name), std::move(upper_bounds))
+             .first;
+  }
+  return it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    s.counters.emplace_back(name, c.value());
+  }
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    s.gauges.emplace_back(name, g.value());
+  }
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    Snapshot::Hist hs;
+    hs.name = name;
+    hs.bounds = h.bounds();
+    hs.counts = h.counts();
+    hs.count = h.count();
+    hs.sum = h.sum();
+    s.histograms.push_back(std::move(hs));
+  }
+  return s;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) {
+    c.reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    g.reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    h.reset();
+  }
+}
+
+}  // namespace omx::obs

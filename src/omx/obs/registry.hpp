@@ -1,0 +1,143 @@
+// Process-wide telemetry registry (counters, gauges, histograms).
+//
+// The paper's evaluation is measurement-driven — RHS-calls/second
+// (Figure 12), per-task times feeding the semi-dynamic LPT scheduler
+// (§3.2.3), message counts on the simulated interconnects (§3.2.2) — so
+// the toolchain exposes every such quantity through one registry instead
+// of ad-hoc member counters.
+//
+// Design rules:
+//  * Hot-path updates are lock-free: one relaxed atomic RMW, guarded by a
+//    single relaxed flag load (`enabled()`). With OMX_OBS_ENABLED=0 an
+//    update is a load + branch.
+//  * Metric objects have stable addresses for the life of the registry;
+//    call sites resolve the name once (function-local static or cached
+//    member reference) and keep the reference.
+//  * Registration takes a mutex; it happens once per metric name.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace omx::obs {
+
+namespace detail {
+std::atomic<bool>& enabled_flag();
+}  // namespace detail
+
+/// Master switch. Initialized from the environment variable
+/// OMX_OBS_ENABLED ("0"/"false"/"off" disable; anything else, or unset,
+/// enables). Disabled metrics cost one relaxed load per update.
+inline bool enabled() {
+  return detail::enabled_flag().load(std::memory_order_relaxed);
+}
+void set_enabled(bool on);
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (enabled()) {
+      value_.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value.
+class Gauge {
+ public:
+  void set(double v) {
+    if (enabled()) {
+      value_.store(v, std::memory_order_relaxed);
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations v <= bounds[i]
+/// (first matching bound); the implicit final bucket catches everything
+/// above the last bound.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts, size bounds().size() + 1 (last = overflow).
+  std::vector<std::uint64_t> counts() const;
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;  // strictly increasing
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of every registered metric, for exporters.
+struct Snapshot {
+  struct Hist {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<Hist> histograms;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry all built-in instrumentation targets.
+  static Registry& global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Finds or creates; the returned reference stays valid for the
+  /// registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `upper_bounds` must be strictly increasing; ignored (the existing
+  /// bounds win) if the histogram already exists.
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upper_bounds);
+
+  Snapshot snapshot() const;
+  /// Zeroes every metric (registrations are kept).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  // Node-based maps: values never move after insertion.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace omx::obs

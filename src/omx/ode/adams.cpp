@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "omx/obs/trace.hpp"
+
 namespace omx::ode {
 
 namespace {
@@ -220,6 +222,7 @@ double AdamsStepper::stiffness_ratio() {
 
 Solution adams_pece(const Problem& p, const AdamsOptions& opts) {
   p.validate();
+  obs::Span solve_span("adams_pece", "ode");
   AdamsStepper stepper(p, opts);
   Solution sol;
   sol.reserve(1024, p.n);
@@ -241,6 +244,7 @@ Solution adams_pece(const Problem& p, const AdamsOptions& opts) {
     }
   }
   sol.stats = stepper.stats();
+  publish_solver_stats(sol.stats);
   return sol;
 }
 

@@ -12,7 +12,7 @@
 namespace omx::ode {
 
 struct AdamsOptions {
-  Tolerances tol;
+  Tolerances tol{};
   double h0 = 0.0;  // 0 = automatic
   double hmax = 0.0;
   std::size_t max_steps = 1000000;

@@ -1,5 +1,7 @@
 #include "omx/ode/auto_switch.hpp"
 
+#include "omx/obs/trace.hpp"
+
 namespace omx::ode {
 
 namespace {
@@ -16,6 +18,7 @@ void merge_stats(SolverStats& into, const SolverStats& from) {
 
 AutoSwitchResult lsoda_like(const Problem& p, const AutoSwitchOptions& opts) {
   p.validate();
+  obs::Span solve_span("lsoda_like", "ode");
   AutoSwitchResult result;
   Solution& sol = result.solution;
   sol.reserve(1024, p.n);
@@ -136,6 +139,7 @@ AutoSwitchResult lsoda_like(const Problem& p, const AutoSwitchOptions& opts) {
     }
   }
   result.final_method = method;
+  publish_solver_stats(sol.stats);
   return result;
 }
 

@@ -15,7 +15,7 @@
 namespace omx::ode {
 
 struct AutoSwitchOptions {
-  Tolerances tol;
+  Tolerances tol{};
   int bdf_max_order = 2;
   std::size_t max_steps = 2000000;
   std::size_t record_every = 1;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "omx/obs/trace.hpp"
+
 namespace omx::ode {
 
 namespace {
@@ -310,6 +312,7 @@ bool BdfStepper::step() {
 
 Solution bdf(const Problem& p, const BdfOptions& opts) {
   p.validate();
+  obs::Span solve_span("bdf", "ode");
   BdfStepper stepper(p, opts);
   Solution sol;
   sol.reserve(1024, p.n);
@@ -329,6 +332,7 @@ Solution bdf(const Problem& p, const BdfOptions& opts) {
     }
   }
   sol.stats = stepper.stats();
+  publish_solver_stats(sol.stats);
   return sol;
 }
 

@@ -18,7 +18,7 @@
 namespace omx::ode {
 
 struct BdfOptions {
-  Tolerances tol;
+  Tolerances tol{};
   int max_order = 2;   // 1..5; adaptive runs ramp up to this order
   double h0 = 0.0;     // 0 = automatic
   double hmax = 0.0;

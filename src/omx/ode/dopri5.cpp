@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "omx/obs/trace.hpp"
+
 namespace omx::ode {
 
 namespace {
@@ -27,6 +29,7 @@ constexpr double e1 = 71.0 / 57600, e3 = -71.0 / 16695, e4 = 71.0 / 1920,
 
 Solution dopri5(const Problem& p, const Dopri5Options& opts) {
   p.validate();
+  obs::Span solve_span("dopri5", "ode");
   const std::size_t n = p.n;
   Solution sol;
   sol.reserve(1024, n);
@@ -128,6 +131,7 @@ Solution dopri5(const Problem& p, const Dopri5Options& opts) {
   if (t < p.tend) {
     throw omx::Error("dopri5: max_steps exceeded before reaching tend");
   }
+  publish_solver_stats(sol.stats);
   return sol;
 }
 

@@ -7,7 +7,7 @@
 namespace omx::ode {
 
 struct Dopri5Options {
-  Tolerances tol;
+  Tolerances tol{};
   double h0 = 0.0;         // 0 = automatic initial step
   double hmax = 0.0;       // 0 = tend - t0
   std::size_t max_steps = 1000000;

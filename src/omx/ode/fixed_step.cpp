@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "omx/obs/trace.hpp"
+
 namespace omx::ode {
 
 namespace {
@@ -16,6 +18,7 @@ std::size_t num_steps(const Problem& p, double dt) {
 
 Solution explicit_euler(const Problem& p, const FixedStepOptions& opts) {
   p.validate();
+  obs::Span solve_span("explicit_euler", "ode");
   const std::size_t steps = num_steps(p, opts.dt);
   Solution sol;
   sol.reserve(steps / opts.record_every + 2, p.n);
@@ -37,11 +40,13 @@ Solution explicit_euler(const Problem& p, const FixedStepOptions& opts) {
       sol.append(t, y);
     }
   }
+  publish_solver_stats(sol.stats);
   return sol;
 }
 
 Solution rk4(const Problem& p, const FixedStepOptions& opts) {
   p.validate();
+  obs::Span solve_span("rk4", "ode");
   const std::size_t steps = num_steps(p, opts.dt);
   Solution sol;
   sol.reserve(steps / opts.record_every + 2, p.n);
@@ -75,6 +80,7 @@ Solution rk4(const Problem& p, const FixedStepOptions& opts) {
       sol.append(t, y);
     }
   }
+  publish_solver_stats(sol.stats);
   return sol;
 }
 

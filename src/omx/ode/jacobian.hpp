@@ -4,6 +4,7 @@
 // "usually very expensive", §3.2.1).
 #pragma once
 
+#include "omx/obs/trace.hpp"
 #include "omx/ode/problem.hpp"
 
 namespace omx::ode {
@@ -22,6 +23,7 @@ class JacobianEvaluator {
 
   void operator()(double t, std::span<const double> y, la::Matrix& jac,
                   SolverStats& stats) const {
+    obs::Span span(p_.jacobian ? "jacobian" : "jacobian_fd", "ode");
     if (p_.jacobian) {
       p_.jacobian(t, y, jac);
     } else {

@@ -2,7 +2,27 @@
 
 #include <cmath>
 
+#include "omx/obs/registry.hpp"
+
 namespace omx::ode {
+
+void publish_solver_stats(const SolverStats& stats) {
+  obs::Registry& reg = obs::Registry::global();
+  static obs::Counter& solves = reg.counter("ode.solves");
+  static obs::Counter& steps = reg.counter("ode.steps");
+  static obs::Counter& rejected = reg.counter("ode.steps_rejected");
+  static obs::Counter& rhs_calls = reg.counter("ode.rhs_calls");
+  static obs::Counter& jac_evals = reg.counter("ode.jac_evals");
+  static obs::Counter& newton_iters = reg.counter("ode.newton_iters");
+  static obs::Counter& switches = reg.counter("ode.method_switches");
+  solves.add();
+  steps.add(stats.steps);
+  rejected.add(stats.rejected);
+  rhs_calls.add(stats.rhs_calls);
+  jac_evals.add(stats.jac_calls);
+  newton_iters.add(stats.newton_iters);
+  switches.add(stats.method_switches);
+}
 
 void Problem::validate() const {
   if (n == 0 || !rhs) {

@@ -48,6 +48,12 @@ struct SolverStats {
   std::uint64_t method_switches = 0;
 };
 
+/// Adds one completed solve's statistics to the process-wide telemetry
+/// registry (ode.solves, ode.steps, ode.steps_rejected, ode.rhs_calls,
+/// ode.jac_evals, ode.newton_iters, ode.method_switches). Every solver
+/// driver calls this once before returning its Solution.
+void publish_solver_stats(const SolverStats& stats);
+
 /// Accepted-step trajectory.
 class Solution {
  public:

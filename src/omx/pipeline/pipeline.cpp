@@ -1,5 +1,8 @@
 #include "omx/pipeline/pipeline.hpp"
 
+#include "omx/obs/registry.hpp"
+#include "omx/obs/trace.hpp"
+
 namespace omx::pipeline {
 
 ode::RhsFn CompiledModel::reference_rhs() const {
@@ -52,22 +55,42 @@ ode::Problem CompiledModel::make_problem(ode::RhsFn rhs, double t0,
 
 CompiledModel compile_model(const ModelBuilder& builder,
                             const CompileOptions& opts) {
+  static obs::Counter& compiles =
+      obs::Registry::global().counter("pipeline.compiles");
+  obs::Span total("compile_model", "pipeline");
+
   CompiledModel cm;
   cm.ctx = std::make_unique<expr::Context>();
-  model::Model m = builder(*cm.ctx);
-  cm.flat = std::make_unique<model::FlatSystem>(model::flatten(m));
-  cm.deps = analysis::analyze_dependencies(*cm.flat);
-  cm.partition = analysis::partition_by_scc(*cm.flat, cm.deps);
-  cm.assignments = codegen::build_assignments(*cm.flat, opts.transform);
-  cm.plan = codegen::plan_tasks(*cm.flat, cm.assignments, opts.tasks);
-  cm.parallel_program = codegen::compile_parallel_tape(*cm.flat, cm.plan);
-  if (opts.build_serial) {
-    cm.serial_program = codegen::compile_serial_tape(*cm.flat,
-                                                     cm.assignments);
+  {
+    obs::Span s("build+flatten", "pipeline");
+    model::Model m = builder(*cm.ctx);
+    cm.flat = std::make_unique<model::FlatSystem>(model::flatten(m));
   }
-  if (opts.build_jacobian) {
-    cm.jacobian_program = codegen::compile_jacobian_tape(*cm.flat);
+  {
+    obs::Span s("dependency+scc", "pipeline");
+    cm.deps = analysis::analyze_dependencies(*cm.flat);
+    cm.partition = analysis::partition_by_scc(*cm.flat, cm.deps);
   }
+  {
+    obs::Span s("assignments+cse", "pipeline");
+    cm.assignments = codegen::build_assignments(*cm.flat, opts.transform);
+  }
+  {
+    obs::Span s("task_planning", "pipeline");
+    cm.plan = codegen::plan_tasks(*cm.flat, cm.assignments, opts.tasks);
+  }
+  {
+    obs::Span s("compile_tapes", "pipeline");
+    cm.parallel_program = codegen::compile_parallel_tape(*cm.flat, cm.plan);
+    if (opts.build_serial) {
+      cm.serial_program = codegen::compile_serial_tape(*cm.flat,
+                                                       cm.assignments);
+    }
+    if (opts.build_jacobian) {
+      cm.jacobian_program = codegen::compile_jacobian_tape(*cm.flat);
+    }
+  }
+  compiles.add();
   return cm;
 }
 

@@ -1,5 +1,6 @@
 #include "omx/runtime/interconnect.hpp"
 
+#include "omx/obs/registry.hpp"
 #include "omx/support/timer.hpp"
 
 namespace omx::runtime {
@@ -26,11 +27,19 @@ void MessageStats::reset() {
 
 void MessageStats::charge(const Interconnect& net,
                           std::size_t payload_bytes) {
+  // Mirrored into the process-wide registry so traces/summaries see the
+  // totals across every pool and interconnect in the process.
+  static obs::Counter& net_messages =
+      obs::Registry::global().counter("net.messages");
+  static obs::Counter& net_bytes =
+      obs::Registry::global().counter("net.bytes");
   const double cost = net.message_cost(payload_bytes);
   messages.fetch_add(1, std::memory_order_relaxed);
   bytes.fetch_add(payload_bytes, std::memory_order_relaxed);
   comm_nanos.fetch_add(static_cast<std::uint64_t>(cost * 1e9),
                        std::memory_order_relaxed);
+  net_messages.add();
+  net_bytes.add(payload_bytes);
   spin_for(cost);
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "omx/obs/registry.hpp"
+#include "omx/obs/trace.hpp"
 #include "omx/support/timer.hpp"
 
 namespace omx::runtime {
@@ -23,10 +25,16 @@ ParallelRhs::ParallelRhs(const vm::Program& program,
 
 void ParallelRhs::eval(double t, std::span<const double> y,
                        std::span<double> ydot) {
+  // Buckets span 10 us .. 1 s: the paper's headline granularity is
+  // ~10 ms/call, and microbenchmark-sized systems land near the bottom.
+  static obs::Histogram& eval_hist = obs::Registry::global().histogram(
+      "rhs.eval_seconds",
+      {1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 1.0});
   Stopwatch total;
   pool_->eval(t, y, ydot);
   if (opts_.semi_dynamic) {
     Stopwatch sched_time;
+    obs::Span span("sched.record", "sched");
     const bool rebuilt = sched_->record(pool_->last_task_seconds());
     if (rebuilt) {
       pool_->set_schedule(sched_->schedule());
@@ -34,7 +42,9 @@ void ParallelRhs::eval(double t, std::span<const double> y,
     scheduling_seconds_ += sched_time.seconds();
   }
   ++rhs_calls_;
-  eval_seconds_ += total.seconds();
+  const double secs = total.seconds();
+  eval_seconds_ += secs;
+  eval_hist.observe(secs);
 }
 
 void ParallelRhs::reset_counters() {
@@ -53,6 +63,10 @@ SerialRhs::SerialRhs(const vm::Program& program, std::size_t compute_scale)
 
 void SerialRhs::eval(double t, std::span<const double> y,
                      std::span<double> ydot) {
+  static obs::Counter& rhs_calls_metric =
+      obs::Registry::global().counter("rhs.calls");
+  rhs_calls_metric.add();
+  obs::Span span("rhs.eval_serial", "runtime");
   Stopwatch total;
   OMX_REQUIRE(ydot.size() == program_.n_out, "ydot size mismatch");
   workspace_.load_state(program_, t, y);

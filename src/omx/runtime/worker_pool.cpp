@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "omx/obs/trace.hpp"
 #include "omx/support/timer.hpp"
 
 namespace omx::runtime {
@@ -13,7 +14,10 @@ constexpr std::size_t kHeaderBytes = 16;
 }  // namespace
 
 WorkerPool::WorkerPool(const vm::Program& program, const Options& opts)
-    : program_(program), opts_(opts) {
+    : program_(program),
+      opts_(opts),
+      rhs_calls_metric_(obs::Registry::global().counter("rhs.calls")),
+      tasks_run_metric_(obs::Registry::global().counter("rhs.tasks_run")) {
   OMX_REQUIRE(opts_.num_workers >= 1, "need at least one worker");
   OMX_REQUIRE(opts_.compute_scale >= 1, "compute_scale must be >= 1");
   y_.resize(program_.n_state, 0.0);
@@ -33,8 +37,10 @@ WorkerPool::WorkerPool(const vm::Program& program, const Options& opts)
   }
   set_schedule(rr);
 
-  for (auto& w : workers_) {
-    w->thread = std::thread([this, &w_ref = *w] { worker_main(w_ref); });
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    WorkerState& w_ref = *workers_[i];
+    workers_[i]->thread =
+        std::thread([this, &w_ref, i] { worker_main(w_ref, i); });
   }
 }
 
@@ -92,32 +98,45 @@ void WorkerPool::recompute_message_sizes() {
   }
 }
 
-void WorkerPool::worker_main(WorkerState& w) {
+void WorkerPool::worker_main(WorkerState& w, std::size_t index) {
+  obs::TraceBuffer& tb = obs::TraceBuffer::global();
+  tb.set_thread_name("worker/" + std::to_string(index));
   std::uint64_t last_done = 0;
   while (true) {
     {
+      const std::int64_t idle_start = tb.active() ? tb.now_ns() : -1;
       std::unique_lock<std::mutex> lock(w.mutex);
       w.cv.wait(lock, [&] { return w.requested > last_done || shutdown_; });
+      if (idle_start >= 0 && tb.active()) {
+        tb.record("idle", "worker", idle_start, tb.now_ns() - idle_start);
+      }
       if (shutdown_) {
         return;
       }
       last_done = w.requested;
     }
     if (!w.tasks.empty()) {
+      const bool tracing = tb.active();
       // Receive the state message.
       stats_.charge(opts_.net, w.state_bytes);
       w.workspace->load_state(program_, t_, y_);
       std::size_t out_idx = 0;
       for (std::uint32_t task : w.tasks) {
+        const std::int64_t span_start = tracing ? tb.now_ns() : 0;
         Stopwatch timer;
         for (std::size_t rep = 0; rep < opts_.compute_scale; ++rep) {
           vm::run_task(program_, task, w.workspace->regs());
         }
         task_seconds_[task] = timer.seconds();
+        if (tracing) {
+          tb.record("task/" + std::to_string(task), "task", span_start,
+                    tb.now_ns() - span_start);
+        }
         for (const vm::Output& o : program_.tasks[task].outputs) {
           w.results[out_idx++] = w.workspace->regs()[o.reg];
         }
       }
+      tasks_run_metric_.add(w.tasks.size());
       // Send the results back.
       stats_.charge(opts_.net, w.result_bytes);
     }
@@ -134,44 +153,59 @@ void WorkerPool::eval(double t, std::span<const double> y,
   OMX_REQUIRE(y.size() == program_.n_state, "state size mismatch");
   OMX_REQUIRE(ydot.size() == program_.n_out, "ydot size mismatch");
 
+  obs::TraceBuffer& tb = obs::TraceBuffer::global();
+  if (tb.active()) {
+    tb.set_thread_name("supervisor");
+  }
+  obs::Span eval_span("rhs.eval", "runtime");
+
   t_ = t;
   std::copy(y.begin(), y.end(), y_.begin());
   ++generation_;
 
-  // Distribution phase: the supervisor serializes the sends (it is one
-  // processor writing to the interconnect), then each worker pays its
-  // receive cost concurrently.
-  for (auto& w : workers_) {
-    if (!w->tasks.empty()) {
-      stats_.charge(opts_.net, w->state_bytes);  // supervisor send cost
+  {
+    // Distribution phase: the supervisor serializes the sends (it is one
+    // processor writing to the interconnect), then each worker pays its
+    // receive cost concurrently.
+    obs::Span scatter("scatter", "runtime");
+    for (auto& w : workers_) {
+      if (!w->tasks.empty()) {
+        stats_.charge(opts_.net, w->state_bytes);  // supervisor send cost
+      }
+      {
+        std::lock_guard<std::mutex> lock(w->mutex);
+        w->requested = generation_;
+      }
+      w->cv.notify_all();
     }
-    {
-      std::lock_guard<std::mutex> lock(w->mutex);
-      w->requested = generation_;
-    }
-    w->cv.notify_all();
   }
 
   std::fill(ydot.begin(), ydot.end(), 0.0);
 
-  // Collection phase: wait for workers in index order and accumulate their
-  // contributions deterministically.
-  for (auto& w : workers_) {
-    {
-      std::unique_lock<std::mutex> lock(w->mutex);
-      w->cv.wait(lock, [&] { return w->completed == generation_; });
-    }
-    if (w->tasks.empty()) {
-      continue;
-    }
-    stats_.charge(opts_.net, w->result_bytes);  // supervisor receive cost
-    std::size_t out_idx = 0;
-    for (std::uint32_t task : w->tasks) {
-      for (const vm::Output& o : program_.tasks[task].outputs) {
-        ydot[o.slot] += w->results[out_idx++];
+  {
+    // Collection phase: wait for workers in index order and accumulate
+    // their contributions deterministically.
+    obs::Span gather("gather", "runtime");
+    for (auto& w : workers_) {
+      {
+        std::unique_lock<std::mutex> lock(w->mutex);
+        w->cv.wait(lock, [&] { return w->completed == generation_; });
+      }
+      if (w->tasks.empty()) {
+        continue;
+      }
+      stats_.charge(opts_.net, w->result_bytes);  // supervisor receive cost
+      std::size_t out_idx = 0;
+      for (std::uint32_t task : w->tasks) {
+        for (const vm::Output& o : program_.tasks[task].outputs) {
+          ydot[o.slot] += w->results[out_idx++];
+        }
       }
     }
   }
+
+  rhs_calls_metric_.add();
+  ++evals_completed_;
 }
 
 }  // namespace omx::runtime

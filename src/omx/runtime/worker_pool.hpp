@@ -18,8 +18,10 @@
 #include <thread>
 #include <vector>
 
+#include "omx/obs/registry.hpp"
 #include "omx/runtime/interconnect.hpp"
 #include "omx/sched/lpt.hpp"
+#include "omx/support/diagnostics.hpp"
 #include "omx/vm/interp.hpp"
 
 namespace omx::runtime {
@@ -53,8 +55,15 @@ class WorkerPool {
   /// One parallel RHS evaluation.
   void eval(double t, std::span<const double> y, std::span<double> ydot);
 
-  /// Measured seconds per task (indexed by task id) from the last eval().
+  /// Measured seconds per task (indexed by task id) from the most recent
+  /// eval(). Contract: only valid after at least one eval() has returned
+  /// (asserted); the storage is zero-initialized, so a task that has never
+  /// run (e.g. one absent from the current schedule) reads as 0.0 rather
+  /// than garbage. The span aliases internal storage — it is invalidated
+  /// by destruction and overwritten by the next eval().
   std::span<const double> last_task_seconds() const {
+    OMX_REQUIRE(evals_completed_ > 0,
+                "last_task_seconds() called before the first eval()");
     return task_seconds_;
   }
 
@@ -74,15 +83,18 @@ class WorkerPool {
     std::unique_ptr<vm::Workspace> workspace;
   };
 
-  void worker_main(WorkerState& w);
+  void worker_main(WorkerState& w, std::size_t index);
   void recompute_message_sizes();
 
   const vm::Program& program_;
   Options opts_;
   MessageStats stats_;
+  obs::Counter& rhs_calls_metric_;
+  obs::Counter& tasks_run_metric_;
 
   std::vector<std::unique_ptr<WorkerState>> workers_;
   std::vector<double> task_seconds_;
+  std::size_t evals_completed_ = 0;
 
   // Shared eval inputs (stable while workers run one generation).
   double t_ = 0.0;

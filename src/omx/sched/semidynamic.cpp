@@ -1,5 +1,7 @@
 #include "omx/sched/semidynamic.hpp"
 
+#include "omx/obs/registry.hpp"
+#include "omx/obs/trace.hpp"
 #include "omx/support/diagnostics.hpp"
 
 namespace omx::sched {
@@ -17,8 +19,11 @@ SemiDynamicLpt::SemiDynamicLpt(std::vector<double> static_weights,
 }
 
 bool SemiDynamicLpt::record(std::span<const double> task_seconds) {
+  static obs::Counter& records =
+      obs::Registry::global().counter("sched.records");
   OMX_REQUIRE(task_seconds.size() == weights_.size(),
               "measurement size mismatch");
+  records.add();
   if (!have_measurements_) {
     // First measurement replaces the static instruction-count prediction
     // outright (different units).
@@ -46,9 +51,13 @@ void SemiDynamicLpt::reset_workers(std::size_t num_workers) {
 }
 
 void SemiDynamicLpt::rebuild() {
+  static obs::Counter& reschedules =
+      obs::Registry::global().counter("sched.reschedules");
+  obs::Span span("sched.rebuild", "sched");
   schedule_ = lpt_schedule(weights_, num_workers_);
   calls_since_rebuild_ = 0;
   ++num_reschedules_;
+  reschedules.add();
 }
 
 }  // namespace omx::sched

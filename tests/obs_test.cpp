@@ -1,0 +1,197 @@
+// Telemetry subsystem: registry concurrency, histogram bucket edges,
+// enabled/disabled gating, span recording, and exporter well-formedness
+// (round-tripped through the strict JSON validator).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "omx/obs/export.hpp"
+#include "omx/obs/registry.hpp"
+#include "omx/obs/trace.hpp"
+#include "omx/support/diagnostics.hpp"
+
+namespace omx::obs {
+namespace {
+
+TEST(Registry, SameNameReturnsSameMetric) {
+  Registry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &reg.counter("y"));
+}
+
+TEST(Registry, CounterSurvivesConcurrentHammering) {
+  Registry reg;
+  Counter& c = reg.counter("hammered");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncrements; ++i) {
+        c.add();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(c.value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(Registry, ConcurrentRegistrationIsSafe) {
+  Registry reg;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&reg, t] {
+      for (int i = 0; i < 200; ++i) {
+        reg.counter("shared." + std::to_string(i)).add();
+        reg.counter("own." + std::to_string(t)).add();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(reg.counter("shared.0").value(), 8u);   // once per thread
+  EXPECT_EQ(reg.counter("own.3").value(), 200u);    // one thread, 200x
+}
+
+TEST(Registry, DisabledUpdatesAreDropped) {
+  Registry reg;
+  Counter& c = reg.counter("gated");
+  c.add(5);
+  set_enabled(false);
+  c.add(7);
+  set_enabled(true);
+  c.add(1);
+  EXPECT_EQ(c.value(), 6u);
+}
+
+TEST(Histogram, BucketEdgesAreInclusiveUpperBounds) {
+  Registry reg;
+  Histogram& h = reg.histogram("h", {1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1      -> bucket 0
+  h.observe(1.0);    // == bound  -> bucket 0 (v <= bounds[i])
+  h.observe(1.0001); //           -> bucket 1
+  h.observe(10.0);   //           -> bucket 1
+  h.observe(100.0);  //           -> bucket 2
+  h.observe(1e6);    // overflow  -> bucket 3
+  const auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 1.0001 + 10.0 + 100.0 + 1e6, 1e-9);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  Registry reg;
+  EXPECT_THROW(reg.histogram("bad", {3.0, 2.0}), omx::Bug);
+}
+
+TEST(Snapshot, ResetZeroesEverything) {
+  Registry reg;
+  reg.counter("c").add(3);
+  reg.gauge("g").set(1.5);
+  reg.histogram("h", {1.0}).observe(0.5);
+  reg.reset();
+  const Snapshot s = reg.snapshot();
+  ASSERT_EQ(s.counters.size(), 1u);
+  EXPECT_EQ(s.counters[0].second, 0u);
+  ASSERT_EQ(s.gauges.size(), 1u);
+  EXPECT_EQ(s.gauges[0].second, 0.0);
+  ASSERT_EQ(s.histograms.size(), 1u);
+  EXPECT_EQ(s.histograms[0].count, 0u);
+}
+
+TEST(Trace, SpansRecordOnlyWhileActive) {
+  TraceBuffer& tb = TraceBuffer::global();
+  { Span s("before-start", "test"); }
+  tb.start();
+  { Span s("during", "test"); }
+  tb.stop();
+  { Span s("after-stop", "test"); }
+  bool saw_during = false;
+  for (const TraceEvent& ev : tb.events()) {
+    EXPECT_NE(ev.name, "before-start");
+    EXPECT_NE(ev.name, "after-stop");
+    if (ev.name == "during") {
+      saw_during = true;
+      EXPECT_GE(ev.dur_ns, 0);
+      EXPECT_GE(ev.start_ns, 0);
+    }
+  }
+  EXPECT_TRUE(saw_during);
+}
+
+TEST(Trace, ThreadsGetDistinctIds) {
+  const std::uint32_t main_id = TraceBuffer::thread_id();
+  std::uint32_t other_id = main_id;
+  std::thread([&other_id] { other_id = TraceBuffer::thread_id(); }).join();
+  EXPECT_NE(main_id, other_id);
+  EXPECT_EQ(TraceBuffer::thread_id(), main_id);  // stable per thread
+}
+
+// -- JSON validator sanity (it guards the exporter tests below) -------------
+
+TEST(ValidateJson, AcceptsAndRejects) {
+  EXPECT_TRUE(validate_json("{}"));
+  EXPECT_TRUE(validate_json("[1, 2.5, -3e-7, \"a\\nb\", true, null]"));
+  EXPECT_TRUE(validate_json("{\"a\": {\"b\": [{}]}}"));
+  EXPECT_FALSE(validate_json(""));
+  EXPECT_FALSE(validate_json("{"));
+  EXPECT_FALSE(validate_json("{\"a\": }"));
+  EXPECT_FALSE(validate_json("[1,]"));
+  EXPECT_FALSE(validate_json("{} trailing"));
+  EXPECT_FALSE(validate_json("'single'"));
+  EXPECT_FALSE(validate_json("{\"a\": 01e}"));
+}
+
+TEST(Export, MetricsJsonRoundTrips) {
+  Registry reg;
+  reg.counter("rhs.calls").add(42);
+  reg.gauge("speed \"quoted\"\n").set(-1.25e-3);
+  reg.histogram("lat", {1e-3, 1e-2}).observe(5e-3);
+  const std::string json = metrics_json(reg.snapshot());
+  EXPECT_TRUE(validate_json(json)) << json;
+  EXPECT_NE(json.find("\"rhs.calls\": 42"), std::string::npos);
+  // Empty registries must still be valid documents.
+  Registry empty;
+  EXPECT_TRUE(validate_json(metrics_json(empty.snapshot())));
+}
+
+TEST(Export, ChromeTraceJsonRoundTrips) {
+  TraceBuffer& tb = TraceBuffer::global();
+  tb.start();
+  tb.set_thread_name("tester \"quoted\"");
+  { Span s("phase/a", "test"); }
+  { Span s("phase/b", "test"); }
+  tb.stop();
+  const std::string json = chrome_trace_json(tb);
+  EXPECT_TRUE(validate_json(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("phase/a"), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+TEST(Export, TextSummaryListsEverything) {
+  Registry reg;
+  reg.counter("net.messages").add(8);
+  reg.gauge("speed").set(2.0);
+  reg.histogram("lat", {1.0}).observe(0.5);
+  const std::string text = format_text(reg.snapshot());
+  EXPECT_NE(text.find("net.messages"), std::string::npos);
+  EXPECT_NE(text.find("8"), std::string::npos);
+  EXPECT_NE(text.find("speed"), std::string::npos);
+  EXPECT_NE(text.find("histogram lat"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace omx::obs

@@ -9,6 +9,8 @@
 #include "omx/codegen/tape.hpp"
 #include "omx/model/flatten.hpp"
 #include "omx/models/bearing2d.hpp"
+#include "omx/obs/registry.hpp"
+#include "omx/obs/trace.hpp"
 #include "omx/parser/parser.hpp"
 #include "omx/runtime/parallel_rhs.hpp"
 #include "omx/runtime/simulated_machine.hpp"
@@ -124,6 +126,76 @@ TEST(WorkerPool, TaskTimesArePopulated) {
   for (double t : times) {
     EXPECT_GE(t, 0.0);
   }
+}
+
+TEST(Observability, EvalIncrementsRhsCallsCounter) {
+  const Compiled c = compile_bearing(3);
+  const auto y = start_state(*c.flat);
+  obs::Counter& rhs_calls = obs::Registry::global().counter("rhs.calls");
+  WorkerPool::Options opts;
+  opts.num_workers = 2;
+  WorkerPool pool(c.program, opts);
+  std::vector<double> out(y.size());
+  const std::uint64_t before = rhs_calls.value();
+  for (int i = 0; i < 5; ++i) {
+    pool.eval(0.0, y, out);
+  }
+  EXPECT_EQ(rhs_calls.value(), before + 5);
+}
+
+TEST(Observability, TaskSpansCoverEvalWallTime) {
+  const Compiled c = compile_bearing(4);
+  const auto y = start_state(*c.flat);
+  WorkerPool::Options opts;
+  opts.num_workers = 3;
+  // Make tasks long enough that span durations dominate clock-read noise.
+  opts.compute_scale = 50;
+  WorkerPool pool(c.program, opts);
+  std::vector<double> out(y.size());
+  pool.eval(0.0, y, out);  // warm-up outside the trace
+
+  obs::TraceBuffer& tb = obs::TraceBuffer::global();
+  tb.start();
+  constexpr int kEvals = 3;
+  for (int i = 0; i < kEvals; ++i) {
+    pool.eval(0.0, y, out);
+  }
+  tb.stop();
+
+  std::int64_t eval_wall_ns = 0;
+  std::int64_t eval_spans = 0;
+  std::int64_t task_ns = 0;
+  std::int64_t task_spans = 0;
+  for (const obs::TraceEvent& ev : tb.events()) {
+    if (ev.name == "rhs.eval") {
+      eval_wall_ns += ev.dur_ns;
+      ++eval_spans;
+    } else if (std::string_view(ev.category) == "task") {
+      task_ns += ev.dur_ns;
+      ++task_spans;
+    }
+  }
+  EXPECT_EQ(eval_spans, kEvals);
+  // Every scheduled task produces one span per eval.
+  EXPECT_EQ(task_spans,
+            kEvals * static_cast<std::int64_t>(c.program.tasks.size()));
+  // The workers' task time must fit inside the supervisor's eval windows:
+  // positive, and no more than workers x wall (perfect overlap).
+  EXPECT_GT(task_ns, 0);
+  EXPECT_LE(task_ns, eval_wall_ns * static_cast<std::int64_t>(
+                                        pool.num_workers()));
+}
+
+TEST(Observability, LastTaskSecondsRequiresAnEval) {
+  const Compiled c = compile_bearing(3);
+  WorkerPool::Options opts;
+  opts.num_workers = 2;
+  WorkerPool pool(c.program, opts);
+  EXPECT_THROW(pool.last_task_seconds(), omx::Bug);
+  const auto y = start_state(*c.flat);
+  std::vector<double> out(y.size());
+  pool.eval(0.0, y, out);
+  EXPECT_EQ(pool.last_task_seconds().size(), c.program.tasks.size());
 }
 
 TEST(ParallelRhs, SemiDynamicReschedulesAtCadence) {
