@@ -13,8 +13,7 @@
 #include <cstdio>
 
 #include "omx/models/heat1d.hpp"
-#include "omx/ode/bdf.hpp"
-#include "omx/ode/dopri5.hpp"
+#include "omx/ode/solve.hpp"
 #include "omx/pipeline/pipeline.hpp"
 #include "omx/runtime/simulated_machine.hpp"
 
@@ -33,18 +32,15 @@ int main() {
     pipeline::CompiledModel cm = pipeline::compile_model(
         [&](expr::Context& ctx) { return models::build_heat1d(ctx, cfg); },
         copts);
-    ode::Problem p = cm.make_problem(cm.serial_rhs(), 0.0, 0.2);
-    p.jacobian = cm.symbolic_jacobian();
+    ode::Problem p = cm.make_problem(exec::Backend::kInterp, 0.0, 0.2);
+    cm.bind_symbolic_jacobian(p);
 
-    ode::Dopri5Options eo;
-    eo.tol.rtol = 1e-6;
-    eo.record_every = 1u << 30;
-    const ode::Solution se = ode::dopri5(p, eo);
-    ode::BdfOptions bo;
-    bo.max_order = 2;
-    bo.tol.rtol = 1e-6;
-    bo.record_every = 1u << 30;
-    const ode::Solution sb = ode::bdf(p, bo);
+    ode::SolverOptions o;
+    o.tol.rtol = 1e-6;
+    o.record_every = 1u << 30;
+    o.bdf_max_order = 2;
+    const ode::Solution se = ode::solve(p, ode::Method::kDopri5, o);
+    const ode::Solution sb = ode::solve(p, ode::Method::kBdf, o);
 
     const double dx = 1.0 / (cells + 1);
     std::printf("%-8d %-12.0f %-16llu %-16llu %8.1f\n", cells,

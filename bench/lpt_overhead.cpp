@@ -29,7 +29,10 @@ int main() {
       // work, not thread-wakeup noise (mirrors the 1995 granularity).
       opts.pool.compute_scale = 64;
       opts.sched.reschedule_period = period;
-      runtime::ParallelRhs rhs(cm.parallel_program, opts);
+      pipeline::KernelOptions ko;
+      ko.lanes = workers;
+      exec::KernelInstance kern = cm.make_kernel(exec::Backend::kInterp, ko);
+      runtime::ParallelRhs rhs(kern.kernel(), opts);
 
       std::vector<double> y(cm.n()), ydot(cm.n());
       for (std::size_t i = 0; i < cm.n(); ++i) {

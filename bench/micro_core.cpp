@@ -5,6 +5,7 @@
 
 #include "omx/codegen/cse.hpp"
 #include "omx/codegen/tape.hpp"
+#include "omx/exec/native.hpp"
 #include "omx/expr/derivative.hpp"
 #include "omx/expr/simplify.hpp"
 #include "omx/model/flatten.hpp"
@@ -82,25 +83,44 @@ void BM_CompileTape(benchmark::State& state) {
 }
 BENCHMARK(BM_CompileTape);
 
-void BM_VmRhs(benchmark::State& state) {
+// Interp-vs-native RHS throughput over the same bearing2d serial body.
+// Registered interleaved per size so the pairs sit next to each other in
+// the report; bench/backends.cpp exports the same comparison as
+// BENCH_backends.json.
+void BM_VmRhs(benchmark::State& state, exec::Backend backend) {
   const int rollers = static_cast<int>(state.range(0));
   expr::Context ctx;
   model::FlatSystem f = make_bearing(ctx, rollers);
   const auto set = codegen::build_assignments(f);
-  const vm::Program prog = codegen::compile_serial_tape(f, set);
-  vm::Workspace ws(prog);
+  const auto plan = codegen::plan_tasks(f, set, {});
+  const vm::Program par = codegen::compile_parallel_tape(f, plan);
+  const vm::Program ser = codegen::compile_serial_tape(f, set);
+  exec::KernelInstance inst =
+      backend == exec::Backend::kNative
+          ? exec::make_native_kernel(f, set, plan, par, &ser)
+          : exec::make_interp_kernel(par, &ser);
+  if (inst.backend() != backend) {
+    state.SkipWithError("native toolchain unavailable; fell back to interp");
+    return;
+  }
+  const exec::RhsKernel& kernel = inst.kernel();
   std::vector<double> y(f.num_states()), ydot(f.num_states());
   for (std::size_t i = 0; i < y.size(); ++i) {
     y[i] = f.states()[i].start;
   }
   for (auto _ : state) {
-    vm::eval_rhs_serial(prog, 0.0, y, ydot, ws);
+    kernel(0.0, y, ydot);
     benchmark::DoNotOptimize(ydot[0]);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(prog.total_ops()));
+                          static_cast<std::int64_t>(ser.total_ops()));
 }
-BENCHMARK(BM_VmRhs)->Arg(4)->Arg(10)->Arg(40);
+BENCHMARK_CAPTURE(BM_VmRhs, interp, exec::Backend::kInterp)->Arg(4);
+BENCHMARK_CAPTURE(BM_VmRhs, native, exec::Backend::kNative)->Arg(4);
+BENCHMARK_CAPTURE(BM_VmRhs, interp, exec::Backend::kInterp)->Arg(10);
+BENCHMARK_CAPTURE(BM_VmRhs, native, exec::Backend::kNative)->Arg(10);
+BENCHMARK_CAPTURE(BM_VmRhs, interp, exec::Backend::kInterp)->Arg(40);
+BENCHMARK_CAPTURE(BM_VmRhs, native, exec::Backend::kNative)->Arg(40);
 
 void BM_ReferenceRhs(benchmark::State& state) {
   expr::Context ctx;

@@ -3,11 +3,8 @@
 
 #include <cmath>
 
-#include "omx/ode/adams.hpp"
 #include "omx/ode/auto_switch.hpp"
-#include "omx/ode/bdf.hpp"
-#include "omx/ode/dopri5.hpp"
-#include "omx/ode/fixed_step.hpp"
+#include "omx/ode/solve.hpp"
 
 namespace {
 
@@ -16,13 +13,13 @@ using namespace omx::ode;
 Problem oscillator(std::size_t copies) {
   Problem p;
   p.n = 2 * copies;
-  p.rhs = [copies](double, std::span<const double> y,
-                   std::span<double> f) {
+  p.set_rhs([copies](double, std::span<const double> y,
+                     std::span<double> f) {
     for (std::size_t k = 0; k < copies; ++k) {
       f[2 * k] = y[2 * k + 1];
       f[2 * k + 1] = -y[2 * k];
     }
-  };
+  });
   p.t0 = 0.0;
   p.tend = 10.0;
   p.y0.assign(p.n, 0.0);
@@ -32,80 +29,84 @@ Problem oscillator(std::size_t copies) {
   return p;
 }
 
-Problem stiff_tracking() {
+Problem stiff_tracking(bool with_jacobian = true) {
   Problem p;
   p.n = 1;
-  p.rhs = [](double t, std::span<const double> y, std::span<double> f) {
+  p.set_rhs([](double t, std::span<const double> y, std::span<double> f) {
     f[0] = -1000.0 * (y[0] - std::cos(t)) - std::sin(t);
-  };
-  p.jacobian = [](double, std::span<const double>, omx::la::Matrix& j) {
-    j(0, 0) = -1000.0;
-  };
+  });
+  if (with_jacobian) {
+    p.set_jacobian([](double, std::span<const double>, omx::la::Matrix& j) {
+      j(0, 0) = -1000.0;
+    });
+  }
   p.t0 = 0.0;
   p.tend = 2.0;
   p.y0 = {0.0};
   return p;
 }
 
+SolverOptions no_record() {
+  SolverOptions o;
+  o.record_every = 1u << 30;
+  return o;
+}
+
 void BM_Rk4(benchmark::State& state) {
   const Problem p = oscillator(static_cast<std::size_t>(state.range(0)));
-  FixedStepOptions o{.dt = 1e-3, .record_every = 1u << 30};
+  SolverOptions o = no_record();
+  o.dt = 1e-3;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(rk4(p, o).final_state()[0]);
+    benchmark::DoNotOptimize(solve(p, Method::kRk4, o).final_state()[0]);
   }
 }
 BENCHMARK(BM_Rk4)->Arg(1)->Arg(16);
 
 void BM_Dopri5(benchmark::State& state) {
   const Problem p = oscillator(static_cast<std::size_t>(state.range(0)));
-  Dopri5Options o;
-  o.record_every = 1u << 30;
+  const SolverOptions o = no_record();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(dopri5(p, o).final_state()[0]);
+    benchmark::DoNotOptimize(solve(p, Method::kDopri5, o).final_state()[0]);
   }
 }
 BENCHMARK(BM_Dopri5)->Arg(1)->Arg(16);
 
 void BM_AdamsPece(benchmark::State& state) {
   const Problem p = oscillator(static_cast<std::size_t>(state.range(0)));
-  AdamsOptions o;
-  o.record_every = 1u << 30;
+  const SolverOptions o = no_record();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(adams_pece(p, o).final_state()[0]);
+    benchmark::DoNotOptimize(
+        solve(p, Method::kAdamsPece, o).final_state()[0]);
   }
 }
 BENCHMARK(BM_AdamsPece)->Arg(1)->Arg(16);
 
 void BM_BdfStiff(benchmark::State& state) {
   const Problem p = stiff_tracking();
-  BdfOptions o;
-  o.max_order = 2;
-  o.record_every = 1u << 30;
+  SolverOptions o = no_record();
+  o.bdf_max_order = 2;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(bdf(p, o).final_state()[0]);
+    benchmark::DoNotOptimize(solve(p, Method::kBdf, o).final_state()[0]);
   }
 }
 BENCHMARK(BM_BdfStiff);
 
 void BM_BdfStiffFiniteDiffJac(benchmark::State& state) {
-  Problem p = stiff_tracking();
-  p.jacobian = nullptr;
-  BdfOptions o;
-  o.max_order = 2;
-  o.record_every = 1u << 30;
+  const Problem p = stiff_tracking(/*with_jacobian=*/false);
+  SolverOptions o = no_record();
+  o.bdf_max_order = 2;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(bdf(p, o).final_state()[0]);
+    benchmark::DoNotOptimize(solve(p, Method::kBdf, o).final_state()[0]);
   }
 }
 BENCHMARK(BM_BdfStiffFiniteDiffJac);
 
 void BM_LsodaLikeStiff(benchmark::State& state) {
   const Problem p = stiff_tracking();
-  AutoSwitchOptions o;
-  o.record_every = 1u << 30;
+  const SolverOptions o = no_record();
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        lsoda_like(p, o).solution.final_state()[0]);
+        solve(p, Method::kLsodaLike, o).final_state()[0]);
   }
 }
 BENCHMARK(BM_LsodaLikeStiff);

@@ -15,7 +15,7 @@
 #include "omx/analysis/subsystem_solver.hpp"
 #include "omx/model/flatten.hpp"
 #include "omx/models/hydro.hpp"
-#include "omx/ode/dopri5.hpp"
+#include "omx/ode/solve.hpp"
 
 int main() {
   using namespace omx;
@@ -33,17 +33,17 @@ int main() {
   // Monolithic reference.
   ode::Problem mono;
   mono.n = flat.num_states();
-  mono.rhs = [&flat](double t, std::span<const double> y,
-                     std::span<double> f) { flat.eval_rhs(t, y, f); };
+  mono.set_rhs([&flat](double t, std::span<const double> y,
+                       std::span<double> f) { flat.eval_rhs(t, y, f); });
   mono.t0 = t0;
   mono.tend = tend;
   for (const auto& s : flat.states()) {
     mono.y0.push_back(s.start);
   }
-  ode::Dopri5Options mo;
+  ode::SolverOptions mo;
   mo.tol = opts.tol;
   mo.record_every = 1u << 30;
-  const ode::Solution ms = ode::dopri5(mono, mo);
+  const ode::Solution ms = ode::solve(mono, ode::Method::kDopri5, mo);
 
   std::printf("Partitioned (multirate) solve of the hydro plant, t in"
               " [0, %g]\n\n", tend);

@@ -17,8 +17,7 @@
 
 #include "omx/analysis/partition.hpp"
 #include "omx/model/flatten.hpp"
-#include "omx/ode/bdf.hpp"
-#include "omx/ode/dopri5.hpp"
+#include "omx/ode/solve.hpp"
 #include "omx/parser/parser.hpp"
 
 namespace {
@@ -27,12 +26,12 @@ namespace {
 omx::ode::Problem subsystem(double lambda, double tend) {
   omx::ode::Problem p;
   p.n = 2;
-  p.rhs = [lambda](double t, std::span<const double> y,
-                   std::span<double> f) {
+  p.set_rhs([lambda](double t, std::span<const double> y,
+                     std::span<double> f) {
     f[0] = y[1];
     f[1] = -lambda * (y[0] - std::cos(0.3 * t)) - 2.0 * std::sqrt(lambda) *
            y[1];
-  };
+  });
   p.t0 = 0.0;
   p.tend = tend;
   p.y0 = {1.0, 0.0};
@@ -43,15 +42,15 @@ omx::ode::Problem monolithic(const std::vector<double>& lambdas,
                              double tend) {
   omx::ode::Problem p;
   p.n = 2 * lambdas.size();
-  p.rhs = [lambdas](double t, std::span<const double> y,
-                    std::span<double> f) {
+  p.set_rhs([lambdas](double t, std::span<const double> y,
+                      std::span<double> f) {
     for (std::size_t k = 0; k < lambdas.size(); ++k) {
       const double l = lambdas[k];
       f[2 * k] = y[2 * k + 1];
       f[2 * k + 1] = -l * (y[2 * k] - std::cos(0.3 * t)) -
                      2.0 * std::sqrt(l) * y[2 * k + 1];
     }
-  };
+  });
   p.t0 = 0.0;
   p.tend = tend;
   p.y0.assign(p.n, 0.0);
@@ -89,17 +88,19 @@ int main() {
   }
 
   // (1)+(2): explicit adaptive solve, monolithic vs partitioned.
-  ode::Dopri5Options dopts;
+  ode::SolverOptions dopts;
   dopts.tol.rtol = 1e-7;
   dopts.tol.atol = 1e-9;
   dopts.record_every = 1u << 30;  // keep memory flat
 
-  const ode::Solution mono = ode::dopri5(monolithic(lambdas, tend), dopts);
+  const ode::Solution mono =
+      ode::solve(monolithic(lambdas, tend), ode::Method::kDopri5, dopts);
   std::uint64_t split_steps_max = 0;
   std::uint64_t split_rhs_weighted = 0;  // sum over subsystems of calls*n_k
   double avg_h_split = 0.0;
   for (double l : lambdas) {
-    const ode::Solution s = ode::dopri5(subsystem(l, tend), dopts);
+    const ode::Solution s =
+        ode::solve(subsystem(l, tend), ode::Method::kDopri5, dopts);
     split_steps_max = std::max(split_steps_max, s.stats.steps);
     split_rhs_weighted += s.stats.rhs_calls * 2;
     avg_h_split += tend / static_cast<double>(s.stats.steps);
@@ -125,14 +126,16 @@ int main() {
 
   // (3): implicit method Jacobian cost. Dense LU is O(n^3); factoring K
   // small Jacobians instead of one big one wins K^2.
-  ode::BdfOptions bopts;
+  ode::SolverOptions bopts;
   bopts.tol.rtol = 1e-6;
   bopts.tol.atol = 1e-8;
-  bopts.max_order = 2;
-  const ode::Solution bmono = ode::bdf(monolithic(lambdas, tend), bopts);
+  bopts.bdf_max_order = 2;
+  const ode::Solution bmono =
+      ode::solve(monolithic(lambdas, tend), ode::Method::kBdf, bopts);
   std::uint64_t bsplit_rhs = 0, bsplit_jac = 0;
   for (double l : lambdas) {
-    const ode::Solution s = ode::bdf(subsystem(l, tend), bopts);
+    const ode::Solution s =
+        ode::solve(subsystem(l, tend), ode::Method::kBdf, bopts);
     bsplit_rhs += s.stats.rhs_calls;
     bsplit_jac += s.stats.jac_calls;
   }

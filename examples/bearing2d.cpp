@@ -10,7 +10,7 @@
 
 #include "omx/analysis/partition.hpp"
 #include "omx/models/bearing2d.hpp"
-#include "omx/ode/fixed_step.hpp"
+#include "omx/ode/solve.hpp"
 #include "omx/pipeline/pipeline.hpp"
 #include "omx/runtime/simulated_machine.hpp"
 #include "omx/support/timer.hpp"
@@ -35,11 +35,11 @@ int main() {
 
   // Short transient: the inner ring settles onto the loaded rollers.
   const double dt = 2e-6;
-  ode::Problem prob = cm.make_problem(cm.serial_rhs(), 0.0, 2e-3);
-  ode::FixedStepOptions fs;
+  ode::Problem prob = cm.make_problem(exec::Backend::kInterp, 0.0, 2e-3);
+  ode::SolverOptions fs;
   fs.dt = dt;
   fs.record_every = 100;
-  const ode::Solution sol = ode::rk4(prob, fs);
+  const ode::Solution sol = ode::solve(prob, ode::Method::kRk4, fs);
   const auto yf = sol.final_state();
   const int iw = cm.flat->state_index(cm.ctx->symbol("inner.omega"));
   const int iy = cm.flat->state_index(cm.ctx->symbol("inner.y"));
@@ -80,11 +80,15 @@ int main() {
   for (std::size_t i = 0; i < cm.n(); ++i) {
     y[i] = cm.flat->states()[i].start;
   }
-  runtime::SerialRhs serial(cm.serial_program);
+  exec::KernelInstance serial_k = cm.make_kernel(exec::Backend::kInterp);
+  runtime::SerialRhs serial(serial_k.kernel());
   serial.eval(0.0, y, ydot_ser);
+  pipeline::KernelOptions ko;
+  ko.lanes = 4;
+  exec::KernelInstance par_k = cm.make_kernel(exec::Backend::kInterp, ko);
   runtime::ParallelRhsOptions popts;
   popts.pool.num_workers = 4;
-  runtime::ParallelRhs par(cm.parallel_program, popts);
+  runtime::ParallelRhs par(par_k.kernel(), popts);
   par.eval(0.0, y, ydot_par);
   double max_diff = 0.0;
   for (std::size_t i = 0; i < cm.n(); ++i) {

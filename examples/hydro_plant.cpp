@@ -10,8 +10,7 @@
 #include "omx/analysis/partition.hpp"
 #include "omx/graph/dot.hpp"
 #include "omx/models/hydro.hpp"
-#include "omx/ode/auto_switch.hpp"
-#include "omx/ode/dopri5.hpp"
+#include "omx/ode/solve.hpp"
 #include "omx/pipeline/pipeline.hpp"
 
 int main() {
@@ -37,12 +36,12 @@ int main() {
               cm.partition.pipeline_depth());
 
   // Simulate 600 s of operation.
-  ode::Problem prob = cm.make_problem(cm.serial_rhs(), 0.0, 600.0);
-  ode::Dopri5Options d5;
-  d5.tol.rtol = 1e-7;
-  d5.tol.atol = 1e-9;
-  d5.record_every = 4;
-  const ode::Solution sol = ode::dopri5(prob, d5);
+  ode::Problem prob = cm.make_problem(exec::Backend::kInterp, 0.0, 600.0);
+  ode::SolverOptions so;
+  so.tol.rtol = 1e-7;
+  so.tol.atol = 1e-9;
+  so.record_every = 4;
+  const ode::Solution sol = ode::solve(prob, ode::Method::kDopri5, so);
 
   const int level_idx = cm.flat->state_index(cm.ctx->symbol("dam.level"));
   const int rip_idx = cm.flat->state_index(cm.ctx->symbol("reg.rip"));

@@ -11,7 +11,7 @@
 #include "omx/codegen/fortran.hpp"
 #include "omx/expr/printer.hpp"
 #include "omx/models/oscillator.hpp"
-#include "omx/ode/dopri5.hpp"
+#include "omx/ode/solve.hpp"
 #include "omx/pipeline/pipeline.hpp"
 
 int main() {
@@ -56,12 +56,18 @@ int main() {
       codegen::emit_cpp_parallel(*cm.flat, cm.plan, {1, false});
   std::printf("--- generated parallel C++ ---\n%s\n", cxx.code.c_str());
 
-  // Solve with the compiled serial tape and compare against cos/sin.
-  ode::Problem prob = cm.make_problem(cm.serial_rhs(), 0.0, 10.0);
-  ode::Dopri5Options d5;
-  d5.tol.rtol = 1e-10;
-  d5.tol.atol = 1e-12;
-  const ode::Solution sol = ode::dopri5(prob, d5);
+  // Solve through an execution kernel and compare against cos/sin. The
+  // native backend compiles the generated C++ above with the host
+  // toolchain and dlopens it (it falls back to the tape interpreter when
+  // no compiler is installed).
+  exec::KernelInstance kern = cm.make_kernel(exec::Backend::kNative);
+  std::printf("--- execution backend: %s ---\n",
+              exec::to_string(kern.backend()));
+  ode::Problem prob = cm.make_problem(kern, 0.0, 10.0);
+  ode::SolverOptions sopts;
+  sopts.tol.rtol = 1e-10;
+  sopts.tol.atol = 1e-12;
+  const ode::Solution sol = ode::solve(prob, ode::Method::kDopri5, sopts);
   const auto yf = sol.final_state();
   std::printf("--- solution at t = 10 ---\n");
   std::printf("x = %+.12f   (exact cos(10) = %+.12f)\n", yf[0],

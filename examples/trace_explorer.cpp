@@ -82,10 +82,13 @@ int main(int argc, char** argv) {
 
   pipeline::CompiledModel cm = pipeline::compile_model(builder);
 
+  pipeline::KernelOptions ko;
+  ko.lanes = workers;
+  exec::KernelInstance kern = cm.make_kernel(exec::Backend::kInterp, ko);
   runtime::ParallelRhsOptions popts;
   popts.pool.num_workers = workers;
   popts.sched.reschedule_period = 16;
-  runtime::ParallelRhs rhs(cm.parallel_program, popts);
+  runtime::ParallelRhs rhs(kern.kernel(), popts);
 
   std::vector<double> y(cm.n()), ydot(cm.n());
   for (std::size_t i = 0; i < cm.n(); ++i) {

@@ -4,16 +4,38 @@
 # force-enabled to catch instrumentation regressions that only fire when a
 # trace is being recorded.
 #
-# Usage: scripts/ci.sh [build-dir]   (default: build-ci)
+# Usage: scripts/ci.sh [--sanitize] [build-dir]
+#   default build-dir: build-ci (build-asan with --sanitize)
+# With --sanitize the tree is built with -DOMX_SANITIZE=ON
+# (AddressSanitizer + UndefinedBehaviorSanitizer) and the tier-1 suite
+# runs once under halt-on-error sanitizer settings.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-ci}"
 
-cmake -B "$BUILD_DIR" -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCMAKE_CXX_FLAGS=-Werror
+SANITIZE=0
+if [[ "${1:-}" == "--sanitize" ]]; then
+  SANITIZE=1
+  shift
+fi
+BUILD_DIR="${1:-$([[ $SANITIZE == 1 ]] && echo build-asan || echo build-ci)}"
+
+CMAKE_ARGS=(-DCMAKE_BUILD_TYPE=RelWithDebInfo -DCMAKE_CXX_FLAGS=-Werror)
+if [[ $SANITIZE == 1 ]]; then
+  CMAKE_ARGS+=(-DOMX_SANITIZE=ON)
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j
+
+if [[ $SANITIZE == 1 ]]; then
+  echo "== tier-1 tests (ASan + UBSan, halt on error) =="
+  ASAN_OPTIONS=halt_on_error=1:detect_leaks=1 \
+  UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+  echo "CI OK (sanitized)"
+  exit 0
+fi
 
 echo "== tier-1 tests (default observability) =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
@@ -26,5 +48,9 @@ echo "== smoke: trace_explorer writes a valid Chrome trace =="
 "$BUILD_DIR"/examples/trace_explorer --model bearing2d --workers 4 \
   --out "$BUILD_DIR"/trace.json
 test -s "$BUILD_DIR"/trace.json
+
+echo "== smoke: backend shootout exports BENCH_backends.json =="
+(cd "$BUILD_DIR" && ./bench/backends)
+test -s "$BUILD_DIR"/BENCH_backends.json
 
 echo "CI OK"

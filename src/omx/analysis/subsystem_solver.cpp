@@ -70,9 +70,9 @@ PartitionedSolution solve_partitioned(const model::FlatSystem& flat,
       (*full)[i] = flat.states()[i].start;
     }
 
-    p.rhs = [&flat, &out, &locate, &solved, members, full,
-             fulldot](double t, std::span<const double> y,
-                      std::span<double> ydot) {
+    p.set_rhs([&flat, &out, &locate, &solved, members, full,
+               fulldot](double t, std::span<const double> y,
+                        std::span<double> ydot) {
       // Refresh upstream values by interpolation.
       const std::size_t nn = full->size();
       for (std::size_t i = 0; i < nn; ++i) {
@@ -88,13 +88,13 @@ PartitionedSolution solve_partitioned(const model::FlatSystem& flat,
       for (std::size_t k = 0; k < members.size(); ++k) {
         ydot[k] = (*fulldot)[static_cast<std::size_t>(members[k])];
       }
-    };
+    });
 
-    ode::Dopri5Options dopts;
-    dopts.tol = opts.tol;
-    dopts.max_steps = opts.max_steps;
-    dopts.record_every = 1;  // downstream interpolation needs every step
-    out.per_subsystem[c] = ode::dopri5(p, dopts);
+    ode::SolverOptions sopts;
+    sopts.tol = opts.tol;
+    sopts.max_steps = opts.max_steps;
+    sopts.record_every = 1;  // downstream interpolation needs every step
+    out.per_subsystem[c] = ode::solve(p, ode::Method::kDopri5, sopts);
     merge_stats(out.total, out.per_subsystem[c].stats);
     solved[c] = true;
   }

@@ -16,7 +16,7 @@
 #pragma once
 
 #include "omx/analysis/partition.hpp"
-#include "omx/ode/dopri5.hpp"
+#include "omx/ode/solve.hpp"
 
 namespace omx::analysis {
 

@@ -28,6 +28,12 @@ struct EmitOptions {
   std::size_t cse_min_ops = 1;
   /// Emit the INIT / parameter-reading helper subroutines as well.
   bool with_helpers = true;
+  /// Emit the file prelude (includes + omx_sign helper). The native
+  /// backend composes several emitted bodies into one translation unit
+  /// inside namespaces, so it hoists a single prelude itself and emits
+  /// each body with with_prelude = false. (C++ emitter only; the Fortran
+  /// emitter has no prelude.)
+  bool with_prelude = true;
 };
 
 EmitResult emit_fortran_parallel(const model::FlatSystem& flat,

@@ -1,0 +1,30 @@
+// Execution backend selector for the generated RHS (§4: the paper's
+// generated Fortran 90/C++ is compiled and *executed*; this enum names
+// the ways this reproduction can execute the same task structure).
+#pragma once
+
+namespace omx::exec {
+
+enum class Backend {
+  /// Tree-walking evaluation of the flattened equations — slow, exact
+  /// reference semantics (tests).
+  kReference,
+  /// The register-machine tape interpreter (vm::Program).
+  kInterp,
+  /// Emitted C++ compiled at runtime with the host toolchain into a
+  /// shared object and dlopen'ed — the paper's actual execution model.
+  /// Falls back to kInterp (with a diagnostic) when no host compiler is
+  /// available.
+  kNative,
+};
+
+constexpr const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::kReference: return "reference";
+    case Backend::kInterp: return "interp";
+    case Backend::kNative: return "native";
+  }
+  return "?";
+}
+
+}  // namespace omx::exec

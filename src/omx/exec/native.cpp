@@ -1,0 +1,324 @@
+#include "omx/exec/native.hpp"
+
+#include <dlfcn.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "omx/codegen/cpp_emit.hpp"
+#include "omx/model/flat_system.hpp"
+#include "omx/vm/program.hpp"
+
+namespace omx::exec {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+obs::Counter& native_compiles() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("backend.native.compiles");
+  return c;
+}
+obs::Counter& native_cache_hits() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("backend.native.cache_hits");
+  return c;
+}
+obs::Counter& native_fallbacks() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("backend.native.fallbacks");
+  return c;
+}
+
+// ------------------------------------------------------------- toolchain
+
+std::string detect_compiler() {
+  if (const char* env = std::getenv("OMX_NATIVE_CXX")) {
+    if (env[0] != '\0') {
+      return env;
+    }
+  }
+  for (const char* cand : {"c++", "g++", "clang++"}) {
+    const std::string probe =
+        std::string("command -v ") + cand + " > /dev/null 2>&1";
+    if (std::system(probe.c_str()) == 0) {
+      return cand;
+    }
+  }
+  return {};
+}
+
+const std::string& compiler() {
+  static const std::string cxx = detect_compiler();
+  return cxx;
+}
+
+fs::path cache_dir(const NativeOptions& opts) {
+  if (!opts.cache_dir.empty()) {
+    return opts.cache_dir;
+  }
+  if (const char* env = std::getenv("OMX_NATIVE_CACHE_DIR")) {
+    if (env[0] != '\0') {
+      return env;
+    }
+  }
+  return fs::temp_directory_path() / "omx-native-cache";
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hex(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// ------------------------------------------------------ source synthesis
+
+/// Composes the single translation unit: one hoisted prelude, the serial
+/// and parallel emitted bodies in their own namespaces, and the
+/// extern "C" export surface the loader binds to.
+std::string compose_source(const model::FlatSystem& flat,
+                           const codegen::AssignmentSet& set,
+                           const codegen::TaskPlan& plan) {
+  codegen::EmitOptions eo;
+  eo.with_helpers = false;
+  eo.with_prelude = false;
+  const codegen::EmitResult serial = codegen::emit_cpp_serial(flat, set, eo);
+  const codegen::EmitResult par = codegen::emit_cpp_parallel(flat, plan, eo);
+
+  std::ostringstream os;
+  os << "// Synthesized by omx::exec (native backend). Do not edit.\n"
+     << "#include <cmath>\n"
+     << "namespace {\n"
+     << "inline double omx_sign(double x) {\n"
+     << "  return x > 0.0 ? 1.0 : (x < 0.0 ? -1.0 : 0.0);\n"
+     << "}\n"
+     << "}  // namespace\n"
+     << "namespace omx_serial {\n"
+     << serial.code
+     << "}  // namespace omx_serial\n"
+     << "namespace omx_parallel {\n"
+     << par.code
+     << "}  // namespace omx_parallel\n"
+     << "extern \"C\" {\n"
+     << "int omx_abi_version() { return 1; }\n"
+     << "unsigned omx_n_state() { return " << flat.num_states() << "u; }\n"
+     << "unsigned omx_num_tasks() { return " << plan.tasks.size()
+     << "u; }\n"
+     << "void omx_rhs_serial(double t, const double* y, double* ydot) {\n"
+     << "  omx_serial::rhs(t, y, ydot);\n"
+     << "}\n"
+     << "void omx_rhs_task(unsigned task, double t, const double* y,\n"
+     << "                  double* ydot) {\n"
+     << "  omx_parallel::rhs(static_cast<int>(task) + 1, t, y, ydot);\n"
+     << "}\n"
+     << "}  // extern \"C\"\n";
+  return os.str();
+}
+
+// -------------------------------------------------------- loaded module
+
+using SerialEntry = void (*)(double, const double*, double*);
+using TaskEntry = void (*)(unsigned, double, const double*, double*);
+
+struct NativeState {
+  void* handle = nullptr;
+  SerialEntry serial = nullptr;
+  TaskEntry task = nullptr;
+  TaskTable table;
+
+  ~NativeState() {
+    if (handle != nullptr) {
+      dlclose(handle);
+    }
+  }
+};
+
+void native_eval(void* ctx, double t, const double* y, double* ydot) {
+  static_cast<NativeState*>(ctx)->serial(t, y, ydot);
+}
+
+void native_task(void* ctx, std::size_t /*lane*/, std::uint32_t task,
+                 double t, const double* y, double* ydot) {
+  static_cast<NativeState*>(ctx)->task(task, t, y, ydot);
+}
+
+void diag(const std::string& why) {
+  std::fprintf(stderr,
+               "omx: native backend unavailable (%s); "
+               "falling back to the tape interpreter\n",
+               why.c_str());
+}
+
+/// Compiles (or reuses) the shared object and loads it. Returns null and
+/// sets `why` on any failure.
+std::shared_ptr<NativeState> build_module(const std::string& source,
+                                          const vm::Program& parallel,
+                                          const NativeOptions& opts,
+                                          std::string& why) {
+  const std::string& cxx = compiler();
+  if (cxx.empty()) {
+    why = "no host C++ compiler found; set OMX_NATIVE_CXX";
+    return nullptr;
+  }
+
+  std::error_code ec;
+  const fs::path dir = cache_dir(opts);
+  fs::create_directories(dir, ec);
+  if (ec) {
+    why = "cannot create cache dir " + dir.string();
+    return nullptr;
+  }
+
+  const std::string key =
+      hex(fnv1a(source + "\x1f" + cxx + "\x1f" + opts.extra_flags));
+  const fs::path so = dir / ("omx_" + key + ".so");
+  const fs::path cpp = dir / ("omx_" + key + ".cpp");
+  const fs::path log = dir / ("omx_" + key + ".log");
+
+  if (fs::exists(so, ec)) {
+    native_cache_hits().add();
+  } else {
+    {
+      std::ofstream out(cpp);
+      out << source;
+      if (!out) {
+        why = "cannot write " + cpp.string();
+        return nullptr;
+      }
+    }
+    // Plain -O2, no -march / -ffast-math: keeps the native arithmetic
+    // bitwise-comparable with the tape interpreter (no FMA contraction,
+    // no reassociation), which the differential tests rely on.
+    std::string cmd = cxx + " -std=c++17 -O2 -fPIC -shared";
+    if (!opts.extra_flags.empty()) {
+      cmd += " " + opts.extra_flags;
+    }
+    const fs::path so_tmp = dir / ("omx_" + key + ".so.tmp");
+    cmd += " -o '" + so_tmp.string() + "' '" + cpp.string() + "' > '" +
+           log.string() + "' 2>&1";
+
+    const auto start = std::chrono::steady_clock::now();
+    const int rc = std::system(cmd.c_str());
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    static obs::Gauge& compile_seconds =
+        obs::Registry::global().gauge("backend.compile_seconds");
+    compile_seconds.set(secs);
+    if (rc != 0) {
+      why = "compile failed (see " + log.string() + ")";
+      return nullptr;
+    }
+    // Atomic publish so concurrent processes sharing the cache never
+    // dlopen a half-written object.
+    fs::rename(so_tmp, so, ec);
+    if (ec && !fs::exists(so)) {
+      why = "cannot publish " + so.string();
+      return nullptr;
+    }
+    native_compiles().add();
+  }
+
+  auto state = std::make_shared<NativeState>();
+  state->handle = dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (state->handle == nullptr) {
+    const char* err = dlerror();
+    why = std::string("dlopen failed: ") + (err != nullptr ? err : "?");
+    return nullptr;
+  }
+  auto sym = [&](const char* name) {
+    return dlsym(state->handle, name);
+  };
+  auto* abi = reinterpret_cast<int (*)()>(sym("omx_abi_version"));
+  auto* n_state = reinterpret_cast<unsigned (*)()>(sym("omx_n_state"));
+  auto* n_tasks = reinterpret_cast<unsigned (*)()>(sym("omx_num_tasks"));
+  state->serial = reinterpret_cast<SerialEntry>(sym("omx_rhs_serial"));
+  state->task = reinterpret_cast<TaskEntry>(sym("omx_rhs_task"));
+  if (abi == nullptr || n_state == nullptr || n_tasks == nullptr ||
+      state->serial == nullptr || state->task == nullptr) {
+    why = "missing export in " + so.string();
+    return nullptr;
+  }
+  if (abi() != 1) {
+    why = "ABI version mismatch in " + so.string();
+    return nullptr;
+  }
+  if (n_state() != parallel.n_state ||
+      n_tasks() != parallel.tasks.size()) {
+    why = "stale cache entry shape mismatch in " + so.string();
+    return nullptr;
+  }
+  state->table = task_table_from_program(parallel);
+  return state;
+}
+
+bool env_disabled() {
+  const char* env = std::getenv("OMX_NATIVE_DISABLE");
+  return env != nullptr && env[0] == '1';
+}
+
+}  // namespace
+
+bool native_toolchain_available() {
+  return !compiler().empty();
+}
+
+KernelInstance make_native_kernel(const model::FlatSystem& flat,
+                                  const codegen::AssignmentSet& set,
+                                  const codegen::TaskPlan& plan,
+                                  const vm::Program& parallel,
+                                  const vm::Program* serial,
+                                  const NativeOptions& opts) {
+  auto fallback = [&]() {
+    native_fallbacks().add();
+    InterpKernelOptions io;
+    io.lanes = opts.fallback_lanes;
+    return make_interp_kernel(parallel, serial, io);
+  };
+  if (opts.force_fallback || env_disabled()) {
+    return fallback();
+  }
+
+  std::string why;
+  std::shared_ptr<NativeState> state;
+  try {
+    state = build_module(compose_source(flat, set, plan), parallel, opts,
+                         why);
+  } catch (const std::exception& e) {
+    why = e.what();
+  }
+  if (state == nullptr) {
+    diag(why);
+    return fallback();
+  }
+
+  static obs::Counter& calls =
+      obs::Registry::global().counter("rhs.calls.native");
+  auto view = std::make_shared<RhsKernel>(
+      Backend::kNative, state.get(), &native_eval, &native_task,
+      parallel.n_state, parallel.n_out,
+      /*num_lanes=*/SIZE_MAX, &state->table, &calls);
+  return KernelInstance(std::move(view), std::move(state));
+}
+
+}  // namespace omx::exec

@@ -1,0 +1,103 @@
+#include "omx/exec/rhs_kernel.hpp"
+
+#include <algorithm>
+
+#include "omx/model/flat_system.hpp"
+#include "omx/vm/interp.hpp"
+#include "omx/vm/program.hpp"
+
+namespace omx::exec {
+
+TaskTable task_table_from_program(const vm::Program& p) {
+  TaskTable table;
+  table.tasks.reserve(p.tasks.size());
+  for (const vm::TaskCode& t : p.tasks) {
+    TaskMeta m;
+    m.out_slots.reserve(t.outputs.size());
+    for (const vm::Output& o : t.outputs) {
+      m.out_slots.push_back(o.slot);
+    }
+    std::sort(m.out_slots.begin(), m.out_slots.end());
+    m.out_slots.erase(std::unique(m.out_slots.begin(), m.out_slots.end()),
+                      m.out_slots.end());
+    m.in_states = t.in_states;
+    m.est_cost = static_cast<double>(t.est_ops);
+    m.label = t.label;
+    table.tasks.push_back(std::move(m));
+  }
+  return table;
+}
+
+namespace {
+
+struct InterpState {
+  const vm::Program* parallel = nullptr;
+  const vm::Program* serial = nullptr;  // may be null
+  vm::Workspace eval_ws;
+  std::vector<vm::Workspace> lane_ws;  // one private register file per lane
+  TaskTable table;
+
+  InterpState(const vm::Program& par, const vm::Program* ser,
+              std::size_t lanes)
+      : parallel(&par),
+        serial(ser),
+        eval_ws(ser != nullptr ? *ser : par),
+        lane_ws(lanes, vm::Workspace(par)),
+        table(task_table_from_program(par)) {}
+};
+
+void interp_eval(void* ctx, double t, const double* y, double* ydot) {
+  auto* s = static_cast<InterpState*>(ctx);
+  const vm::Program& p = s->serial != nullptr ? *s->serial : *s->parallel;
+  vm::eval_rhs_serial(p, t, {y, p.n_state}, {ydot, p.n_out}, s->eval_ws);
+}
+
+void interp_task(void* ctx, std::size_t lane, std::uint32_t task, double t,
+                 const double* y, double* ydot) {
+  auto* s = static_cast<InterpState*>(ctx);
+  const vm::Program& p = *s->parallel;
+  vm::Workspace& ws = s->lane_ws[lane];
+  ws.load_state(p, t, {y, p.n_state});
+  vm::run_task(p, task, ws.regs());
+  vm::apply_outputs(p, task, ws.regs(), {ydot, p.n_out});
+}
+
+struct ReferenceState {
+  const model::FlatSystem* flat = nullptr;
+};
+
+void reference_eval(void* ctx, double t, const double* y, double* ydot) {
+  const model::FlatSystem* f = static_cast<ReferenceState*>(ctx)->flat;
+  f->eval_rhs(t, {y, f->num_states()}, {ydot, f->num_states()});
+}
+
+}  // namespace
+
+KernelInstance make_interp_kernel(const vm::Program& parallel,
+                                  const vm::Program* serial,
+                                  const InterpKernelOptions& opts) {
+  OMX_REQUIRE(opts.lanes >= 1, "need at least one lane");
+  OMX_REQUIRE(serial == nullptr || serial->n_out == parallel.n_out,
+              "serial/parallel program output mismatch");
+  auto state = std::make_shared<InterpState>(parallel, serial, opts.lanes);
+  static obs::Counter& calls =
+      obs::Registry::global().counter("rhs.calls.interp");
+  auto view = std::make_shared<RhsKernel>(
+      Backend::kInterp, state.get(), &interp_eval, &interp_task,
+      parallel.n_state, parallel.n_out, opts.lanes, &state->table, &calls);
+  return KernelInstance(std::move(view), std::move(state));
+}
+
+KernelInstance make_reference_kernel(const model::FlatSystem& flat) {
+  auto state = std::make_shared<ReferenceState>();
+  state->flat = &flat;
+  static obs::Counter& calls =
+      obs::Registry::global().counter("rhs.calls.reference");
+  const auto n = static_cast<std::uint32_t>(flat.num_states());
+  auto view = std::make_shared<RhsKernel>(
+      Backend::kReference, state.get(), &reference_eval, nullptr, n, n,
+      /*num_lanes=*/1, /*tasks=*/nullptr, &calls);
+  return KernelInstance(std::move(view), std::move(state));
+}
+
+}  // namespace omx::exec

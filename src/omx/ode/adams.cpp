@@ -220,6 +220,8 @@ double AdamsStepper::stiffness_ratio() {
   return h_ * std::max(lambda_flow, lambda_rough);
 }
 
+namespace detail {
+
 Solution adams_pece(const Problem& p, const AdamsOptions& opts) {
   p.validate();
   obs::Span solve_span("adams_pece", "ode");
@@ -247,5 +249,7 @@ Solution adams_pece(const Problem& p, const AdamsOptions& opts) {
   publish_solver_stats(sol.stats);
   return sol;
 }
+
+}  // namespace detail
 
 }  // namespace omx::ode

@@ -71,6 +71,13 @@ class AdamsStepper {
   SolverStats stats_;
 };
 
+namespace detail {
 Solution adams_pece(const Problem& p, const AdamsOptions& opts);
+}  // namespace detail
+
+[[deprecated("use ode::solve(p, Method::kAdamsPece, opts)")]]
+inline Solution adams_pece(const Problem& p, const AdamsOptions& opts) {
+  return detail::adams_pece(p, opts);
+}
 
 }  // namespace omx::ode

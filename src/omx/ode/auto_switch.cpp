@@ -16,7 +16,8 @@ void merge_stats(SolverStats& into, const SolverStats& from) {
 
 }  // namespace
 
-AutoSwitchResult lsoda_like(const Problem& p, const AutoSwitchOptions& opts) {
+AutoSwitchResult auto_switch(const Problem& p,
+                             const AutoSwitchOptions& opts) {
   p.validate();
   obs::Span solve_span("lsoda_like", "ode");
   AutoSwitchResult result;
@@ -32,14 +33,14 @@ AutoSwitchResult lsoda_like(const Problem& p, const AutoSwitchOptions& opts) {
   bopts.tol = opts.tol;
   bopts.max_order = opts.bdf_max_order;
 
-  Method method = Method::kAdams;
+  SwitchMethod method = SwitchMethod::kAdams;
   double t = p.t0;
   std::vector<double> y = p.y0;
   std::size_t accepted = 0;
   std::size_t attempts = 0;
 
   while (t < p.tend) {
-    if (method == Method::kAdams) {
+    if (method == SwitchMethod::kAdams) {
       Problem sub = p;
       sub.t0 = t;
       sub.y0 = y;
@@ -91,9 +92,9 @@ AutoSwitchResult lsoda_like(const Problem& p, const AutoSwitchOptions& opts) {
       if (!stiff) {
         break;  // reached tend
       }
-      method = Method::kBdf;
+      method = SwitchMethod::kBdf;
       ++sol.stats.method_switches;
-      result.switches.push_back(SwitchEvent{t, Method::kBdf});
+      result.switches.push_back(SwitchEvent{t, SwitchMethod::kBdf});
     } else {
       Problem sub = p;
       sub.t0 = t;
@@ -133,9 +134,9 @@ AutoSwitchResult lsoda_like(const Problem& p, const AutoSwitchOptions& opts) {
       if (!relaxed || t >= p.tend) {
         break;
       }
-      method = Method::kAdams;
+      method = SwitchMethod::kAdams;
       ++sol.stats.method_switches;
-      result.switches.push_back(SwitchEvent{t, Method::kAdams});
+      result.switches.push_back(SwitchEvent{t, SwitchMethod::kAdams});
     }
   }
   result.final_method = method;

@@ -38,19 +38,28 @@ struct AutoSwitchOptions {
   std::size_t nonstiff_streak = 20;
 };
 
-enum class Method { kAdams, kBdf };
+enum class SwitchMethod { kAdams, kBdf };
 
 struct SwitchEvent {
   double t;
-  Method to;
+  SwitchMethod to;
 };
 
 struct AutoSwitchResult {
   Solution solution;
   std::vector<SwitchEvent> switches;
-  Method final_method = Method::kAdams;
+  SwitchMethod final_method = SwitchMethod::kAdams;
 };
 
-AutoSwitchResult lsoda_like(const Problem& p, const AutoSwitchOptions& opts);
+/// The switching driver with the full per-switch event record. The plain
+/// trajectory is also available as ode::solve(p, Method::kLsodaLike, ...).
+AutoSwitchResult auto_switch(const Problem& p,
+                             const AutoSwitchOptions& opts);
+
+[[deprecated("use ode::auto_switch, or ode::solve(p, Method::kLsodaLike)")]]
+inline AutoSwitchResult lsoda_like(const Problem& p,
+                                   const AutoSwitchOptions& opts) {
+  return auto_switch(p, opts);
+}
 
 }  // namespace omx::ode

@@ -310,6 +310,8 @@ bool BdfStepper::step() {
   return false;
 }
 
+namespace detail {
+
 Solution bdf(const Problem& p, const BdfOptions& opts) {
   p.validate();
   obs::Span solve_span("bdf", "ode");
@@ -335,5 +337,7 @@ Solution bdf(const Problem& p, const BdfOptions& opts) {
   publish_solver_stats(sol.stats);
   return sol;
 }
+
+}  // namespace detail
 
 }  // namespace omx::ode

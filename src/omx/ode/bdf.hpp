@@ -72,6 +72,13 @@ class BdfStepper {
   SolverStats stats_;
 };
 
+namespace detail {
 Solution bdf(const Problem& p, const BdfOptions& opts);
+}  // namespace detail
+
+[[deprecated("use ode::solve(p, Method::kBdf, opts)")]]
+inline Solution bdf(const Problem& p, const BdfOptions& opts) {
+  return detail::bdf(p, opts);
+}
 
 }  // namespace omx::ode

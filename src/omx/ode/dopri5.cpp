@@ -27,6 +27,8 @@ constexpr double e1 = 71.0 / 57600, e3 = -71.0 / 16695, e4 = 71.0 / 1920,
 
 }  // namespace
 
+namespace detail {
+
 Solution dopri5(const Problem& p, const Dopri5Options& opts) {
   p.validate();
   obs::Span solve_span("dopri5", "ode");
@@ -134,5 +136,7 @@ Solution dopri5(const Problem& p, const Dopri5Options& opts) {
   publish_solver_stats(sol.stats);
   return sol;
 }
+
+}  // namespace detail
 
 }  // namespace omx::ode

@@ -14,6 +14,13 @@ struct Dopri5Options {
   std::size_t record_every = 1;
 };
 
+namespace detail {
 Solution dopri5(const Problem& p, const Dopri5Options& opts);
+}  // namespace detail
+
+[[deprecated("use ode::solve(p, Method::kDopri5, opts)")]]
+inline Solution dopri5(const Problem& p, const Dopri5Options& opts) {
+  return detail::dopri5(p, opts);
+}
 
 }  // namespace omx::ode

@@ -16,6 +16,8 @@ std::size_t num_steps(const Problem& p, double dt) {
 
 }  // namespace
 
+namespace detail {
+
 Solution explicit_euler(const Problem& p, const FixedStepOptions& opts) {
   p.validate();
   obs::Span solve_span("explicit_euler", "ode");
@@ -83,5 +85,7 @@ Solution rk4(const Problem& p, const FixedStepOptions& opts) {
   publish_solver_stats(sol.stats);
   return sol;
 }
+
+}  // namespace detail
 
 }  // namespace omx::ode

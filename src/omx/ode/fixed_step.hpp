@@ -16,7 +16,20 @@ struct FixedStepOptions {
   std::size_t record_every = 1;
 };
 
+namespace detail {
 Solution explicit_euler(const Problem& p, const FixedStepOptions& opts);
 Solution rk4(const Problem& p, const FixedStepOptions& opts);
+}  // namespace detail
+
+[[deprecated("use ode::solve(p, Method::kExplicitEuler, opts)")]]
+inline Solution explicit_euler(const Problem& p,
+                               const FixedStepOptions& opts) {
+  return detail::explicit_euler(p, opts);
+}
+
+[[deprecated("use ode::solve(p, Method::kRk4, opts)")]]
+inline Solution rk4(const Problem& p, const FixedStepOptions& opts) {
+  return detail::rk4(p, opts);
+}
 
 }  // namespace omx::ode

@@ -1,6 +1,7 @@
 #include "omx/ode/problem.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "omx/obs/registry.hpp"
 
@@ -33,6 +34,11 @@ void Problem::validate() const {
   }
   if (!(tend > t0)) {
     throw omx::Error("ODE problem: tend must be greater than t0");
+  }
+  if (rhs_arity != 0 && rhs_arity != n) {
+    throw omx::Error("ODE problem: bound kernel arity (" +
+                     std::to_string(rhs_arity) +
+                     ") does not match n = " + std::to_string(n));
   }
 }
 

@@ -4,34 +4,68 @@
 // callback is exactly the generated-and-parallelized function the paper
 // targets; the optional Jacobian callback corresponds to the "extra
 // function dedicated to computing the Jacobian" of §2.4/§3.2.1.
+//
+// RhsFn/JacFn are non-owning support::FunctionRef views: one indirect
+// call on the hot path, no type-erasure allocation. Long-lived kernels
+// (exec::RhsKernel from pipeline::CompiledModel::make_kernel) bind
+// directly; ad-hoc capturing lambdas go through Problem::set_rhs /
+// set_jacobian, which copy the callable into a keep-alive owned by the
+// Problem.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "omx/la/matrix.hpp"
 #include "omx/support/diagnostics.hpp"
+#include "omx/support/function_ref.hpp"
 
 namespace omx::ode {
 
-using RhsFn =
-    std::function<void(double t, std::span<const double> y,
-                       std::span<double> ydot)>;
+using RhsFn = support::FunctionRef<void(double t, std::span<const double> y,
+                                        std::span<double> ydot)>;
 /// Writes J(i,j) = d f_i / d y_j into `jac` (preallocated n x n).
-using JacFn = std::function<void(double t, std::span<const double> y,
-                                 la::Matrix& jac)>;
+using JacFn = support::FunctionRef<void(double t, std::span<const double> y,
+                                        la::Matrix& jac)>;
 
 struct Problem {
   std::size_t n = 0;
-  RhsFn rhs;
+  RhsFn rhs;       // non-owning; see set_rhs for owning binding
   JacFn jacobian;  // optional; solvers fall back to finite differences
   double t0 = 0.0;
   double tend = 1.0;
   std::vector<double> y0;
+  /// State-vector arity declared by the bound kernel (0 = unknown).
+  /// pipeline::CompiledModel::make_problem fills it from the kernel;
+  /// validate() rejects a mismatch against n.
+  std::size_t rhs_arity = 0;
+
+  /// Copies `f` into a keep-alive owned by this Problem and points `rhs`
+  /// at it. Use for capturing lambdas and other short-lived callables;
+  /// one allocation at setup time, none per evaluation.
+  template <typename F>
+  void set_rhs(F f) {
+    auto owned = std::make_shared<F>(std::move(f));
+    rhs = RhsFn(*owned);
+    rhs_keepalive_ = std::move(owned);
+  }
+
+  template <typename F>
+  void set_jacobian(F f) {
+    auto owned = std::make_shared<F>(std::move(f));
+    jacobian = JacFn(*owned);
+    jac_keepalive_ = std::move(owned);
+  }
 
   void validate() const;
+
+ private:
+  // Shared so that copies of the Problem keep the bound callables alive.
+  std::shared_ptr<void> rhs_keepalive_;
+  std::shared_ptr<void> jac_keepalive_;
 };
 
 struct Tolerances {

@@ -1,0 +1,63 @@
+#include "omx/ode/solve.hpp"
+
+#include "omx/ode/adams.hpp"
+#include "omx/ode/auto_switch.hpp"
+#include "omx/ode/bdf.hpp"
+#include "omx/ode/dopri5.hpp"
+#include "omx/ode/fixed_step.hpp"
+
+namespace omx::ode {
+
+Solution solve(const Problem& p, Method method, const SolverOptions& o) {
+  switch (method) {
+    case Method::kExplicitEuler: {
+      FixedStepOptions fo{o.dt, o.record_every};
+      return detail::explicit_euler(p, fo);
+    }
+    case Method::kRk4: {
+      FixedStepOptions fo{o.dt, o.record_every};
+      return detail::rk4(p, fo);
+    }
+    case Method::kDopri5: {
+      Dopri5Options d;
+      d.tol = o.tol;
+      d.h0 = o.h0;
+      d.hmax = o.hmax;
+      d.max_steps = o.max_steps;
+      d.record_every = o.record_every;
+      return detail::dopri5(p, d);
+    }
+    case Method::kAdamsPece: {
+      AdamsOptions a;
+      a.tol = o.tol;
+      a.h0 = o.h0;
+      a.hmax = o.hmax;
+      a.max_steps = o.max_steps;
+      a.record_every = o.record_every;
+      return detail::adams_pece(p, a);
+    }
+    case Method::kBdf: {
+      BdfOptions b;
+      b.tol = o.tol;
+      b.max_order = o.bdf_max_order;
+      b.h0 = o.h0;
+      b.hmax = o.hmax;
+      b.max_steps = o.max_steps;
+      b.newton_max_iters = o.newton_max_iters;
+      b.record_every = o.record_every;
+      b.fixed_h = o.bdf_fixed_h;
+      return detail::bdf(p, b);
+    }
+    case Method::kLsodaLike: {
+      AutoSwitchOptions s;
+      s.tol = o.tol;
+      s.bdf_max_order = o.bdf_max_order;
+      s.max_steps = o.max_steps;
+      s.record_every = o.record_every;
+      return auto_switch(p, s).solution;
+    }
+  }
+  throw omx::Bug("unknown ode::Method");
+}
+
+}  // namespace omx::ode

@@ -1,0 +1,62 @@
+// The single solver entry point.
+//
+// ode::solve(problem, method, options) replaces the historical
+// per-driver free functions (explicit_euler, rk4, dopri5, adams_pece,
+// bdf, lsoda_like), which survive as deprecated thin wrappers. One
+// options struct covers every method; fields a method does not use are
+// ignored (dt drives only the fixed-step methods, bdf_* only the stiff
+// ones, and so on).
+#pragma once
+
+#include "omx/ode/problem.hpp"
+
+namespace omx::ode {
+
+enum class Method {
+  kExplicitEuler,  // fixed-step, order 1
+  kRk4,            // fixed-step, order 4
+  kDopri5,         // adaptive explicit RK 5(4)
+  kAdamsPece,      // adaptive Adams-Bashforth-Moulton PECE, order 4
+  kBdf,            // BDF + modified Newton (stiff)
+  kLsodaLike,      // automatic Adams <-> BDF switching
+};
+
+constexpr const char* to_string(Method m) {
+  switch (m) {
+    case Method::kExplicitEuler: return "explicit_euler";
+    case Method::kRk4: return "rk4";
+    case Method::kDopri5: return "dopri5";
+    case Method::kAdamsPece: return "adams_pece";
+    case Method::kBdf: return "bdf";
+    case Method::kLsodaLike: return "lsoda_like";
+  }
+  return "?";
+}
+
+struct SolverOptions {
+  Tolerances tol{};
+  /// Step size for the fixed-step methods.
+  double dt = 1e-3;
+  /// Initial step for the adaptive methods (0 = automatic).
+  double h0 = 0.0;
+  /// Step-size ceiling for the adaptive methods (0 = tend - t0).
+  double hmax = 0.0;
+  std::size_t max_steps = 1000000;
+  /// Record every k-th accepted step (1 = all); the final state is
+  /// always recorded.
+  std::size_t record_every = 1;
+  /// BDF order cap (kBdf ramps up to it; kLsodaLike's stiff phase too).
+  int bdf_max_order = 2;
+  std::size_t newton_max_iters = 8;
+  /// kBdf only: fixed-step mode without error control when > 0
+  /// (convergence-order studies).
+  double bdf_fixed_h = 0.0;
+};
+
+/// Integrates `p` with the chosen method. Statistics are on the returned
+/// Solution and in the global telemetry registry; for the per-switch
+/// event record of kLsodaLike use ode::auto_switch directly.
+Solution solve(const Problem& p, Method method,
+               const SolverOptions& opts = {});
+
+}  // namespace omx::ode

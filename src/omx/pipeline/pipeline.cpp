@@ -1,49 +1,57 @@
 #include "omx/pipeline/pipeline.hpp"
 
+#include <algorithm>
+
 #include "omx/obs/registry.hpp"
 #include "omx/obs/trace.hpp"
+#include "omx/vm/interp.hpp"
 
 namespace omx::pipeline {
 
-ode::RhsFn CompiledModel::reference_rhs() const {
-  const model::FlatSystem* f = flat.get();
-  return [f](double t, std::span<const double> y, std::span<double> ydot) {
-    f->eval_rhs(t, y, ydot);
-  };
-}
-
-ode::RhsFn CompiledModel::serial_rhs() const {
-  OMX_REQUIRE(serial_program.n_regs > 0, "serial program not built");
-  const vm::Program* p = &serial_program;
-  auto ws = std::make_shared<vm::Workspace>(serial_program);
-  return [p, ws](double t, std::span<const double> y,
-                 std::span<double> ydot) {
-    vm::eval_rhs_serial(*p, t, y, ydot, *ws);
-  };
-}
-
-ode::JacFn CompiledModel::symbolic_jacobian() const {
-  OMX_REQUIRE(jacobian_program.n_regs > 0, "jacobian program not built");
-  const vm::Program* p = &jacobian_program;
-  auto ws = std::make_shared<vm::Workspace>(jacobian_program);
-  auto buf = std::make_shared<std::vector<double>>(p->n_out, 0.0);
-  return [p, ws, buf](double t, std::span<const double> y, la::Matrix& jac) {
-    const std::size_t n = p->n_state;
-    OMX_REQUIRE(jac.rows() == n && jac.cols() == n, "jacobian shape");
-    vm::eval_rhs_serial(*p, t, y, *buf, *ws);
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = 0; j < n; ++j) {
-        jac(i, j) = (*buf)[i * n + j];
-      }
+exec::KernelInstance CompiledModel::make_kernel(
+    exec::Backend backend, const KernelOptions& opts) const {
+  switch (backend) {
+    case exec::Backend::kReference:
+      return exec::make_reference_kernel(*flat);
+    case exec::Backend::kInterp: {
+      exec::InterpKernelOptions io;
+      io.lanes = opts.lanes;
+      return exec::make_interp_kernel(
+          parallel_program,
+          serial_program.n_regs > 0 ? &serial_program : nullptr, io);
     }
-  };
+    case exec::Backend::kNative: {
+      exec::NativeOptions no = opts.native;
+      no.fallback_lanes = std::max(no.fallback_lanes, opts.lanes);
+      return exec::make_native_kernel(
+          *flat, assignments, plan, parallel_program,
+          serial_program.n_regs > 0 ? &serial_program : nullptr, no);
+    }
+  }
+  throw omx::Bug("unknown exec::Backend");
+}
+
+ode::Problem CompiledModel::make_problem(const exec::KernelInstance& kernel,
+                                         double t0, double tend) const {
+  ode::Problem p = make_problem(ode::RhsFn(), t0, tend);
+  p.rhs_arity = kernel.kernel().n_state();
+  // The capture shares ownership of the kernel state, so the problem
+  // (and its copies) keep the backend alive.
+  p.set_rhs([kernel](double t, std::span<const double> y,
+                     std::span<double> ydot) { kernel.kernel()(t, y, ydot); });
+  return p;
+}
+
+ode::Problem CompiledModel::make_problem(exec::Backend backend, double t0,
+                                         double tend) const {
+  return make_problem(make_kernel(backend), t0, tend);
 }
 
 ode::Problem CompiledModel::make_problem(ode::RhsFn rhs, double t0,
                                          double tend) const {
   ode::Problem p;
   p.n = flat->num_states();
-  p.rhs = std::move(rhs);
+  p.rhs = rhs;
   p.t0 = t0;
   p.tend = tend;
   p.y0.reserve(p.n);
@@ -51,6 +59,24 @@ ode::Problem CompiledModel::make_problem(ode::RhsFn rhs, double t0,
     p.y0.push_back(s.start);
   }
   return p;
+}
+
+void CompiledModel::bind_symbolic_jacobian(ode::Problem& p) const {
+  OMX_REQUIRE(jacobian_program.n_regs > 0, "jacobian program not built");
+  const vm::Program* jp = &jacobian_program;
+  auto ws = std::make_shared<vm::Workspace>(jacobian_program);
+  auto buf = std::make_shared<std::vector<double>>(jp->n_out, 0.0);
+  p.set_jacobian([jp, ws, buf](double t, std::span<const double> y,
+                               la::Matrix& jac) {
+    const std::size_t n = jp->n_state;
+    OMX_REQUIRE(jac.rows() == n && jac.cols() == n, "jacobian shape");
+    vm::eval_rhs_serial(*jp, t, y, *buf, *ws);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        jac(i, j) = (*buf)[i * n + j];
+      }
+    }
+  });
 }
 
 CompiledModel compile_model(const ModelBuilder& builder,

@@ -8,6 +8,7 @@
 
 #include "omx/analysis/partition.hpp"
 #include "omx/codegen/tape.hpp"
+#include "omx/exec/native.hpp"
 #include "omx/model/flatten.hpp"
 #include "omx/ode/problem.hpp"
 #include "omx/runtime/parallel_rhs.hpp"
@@ -24,6 +25,13 @@ struct CompileOptions {
   bool build_jacobian = false;
 };
 
+struct KernelOptions {
+  /// Concurrency lanes for run_task (interpreter kernels pre-build one
+  /// register file per lane; native code is stateless and ignores it).
+  std::size_t lanes = 1;
+  exec::NativeOptions native;
+};
+
 /// Everything the toolchain derives from one model.
 struct CompiledModel {
   std::unique_ptr<expr::Context> ctx;
@@ -38,17 +46,30 @@ struct CompiledModel {
 
   std::size_t n() const { return flat->num_states(); }
 
-  /// Reference RHS (tree-walking evaluation; slow, exact semantics).
-  ode::RhsFn reference_rhs() const;
+  /// Builds an execution kernel for the requested backend. The returned
+  /// instance shares this CompiledModel's programs — the model must
+  /// outlive it. Backend::kNative degrades to the interpreter (with a
+  /// diagnostic) when no host compiler is available; check
+  /// `instance.backend()`.
+  exec::KernelInstance make_kernel(exec::Backend backend,
+                                   const KernelOptions& opts = {}) const;
 
-  /// Serial compiled RHS.
-  ode::RhsFn serial_rhs() const;
+  /// An ODE problem over [t0, tend] evaluating through `kernel`; the
+  /// problem keeps a reference on the kernel instance alive.
+  ode::Problem make_problem(const exec::KernelInstance& kernel, double t0,
+                            double tend) const;
 
-  /// Analytic Jacobian from the compiled Jacobian tape.
-  ode::JacFn symbolic_jacobian() const;
+  /// Convenience: make_kernel(backend) + make_problem.
+  ode::Problem make_problem(exec::Backend backend, double t0,
+                            double tend) const;
 
-  /// An ODE problem over [t0, tend] using the given RHS.
+  /// An ODE problem over [t0, tend] using the given RHS view. The caller
+  /// owns the callable behind `rhs` and must keep it alive.
   ode::Problem make_problem(ode::RhsFn rhs, double t0, double tend) const;
+
+  /// Binds the analytic Jacobian from the compiled Jacobian tape into
+  /// `p` (owning: copies of `p` keep it alive).
+  void bind_symbolic_jacobian(ode::Problem& p) const;
 };
 
 using ModelBuilder = std::function<model::Model(expr::Context&)>;

@@ -8,15 +8,26 @@
 
 namespace omx::runtime {
 
+ParallelRhs::ParallelRhs(const exec::RhsKernel& kernel,
+                         const ParallelRhsOptions& opts)
+    : opts_(opts) {
+  pool_ = std::make_unique<WorkerPool>(kernel, opts_.pool);
+  init_scheduler();
+}
+
 ParallelRhs::ParallelRhs(const vm::Program& program,
                          const ParallelRhsOptions& opts)
-    : program_(program), opts_(opts) {
-  pool_ = std::make_unique<WorkerPool>(program_, opts_.pool);
+    : opts_(opts) {
+  pool_ = std::make_unique<WorkerPool>(program, opts_.pool);
+  init_scheduler();
+}
 
+void ParallelRhs::init_scheduler() {
+  const exec::TaskTable& table = pool_->kernel().tasks();
   std::vector<double> static_weights;
-  static_weights.reserve(program_.tasks.size());
-  for (const vm::TaskCode& t : program_.tasks) {
-    static_weights.push_back(static_cast<double>(t.est_ops));
+  static_weights.reserve(table.size());
+  for (const exec::TaskMeta& t : table.tasks) {
+    static_weights.push_back(t.est_cost);
   }
   sched_ = std::make_unique<sched::SemiDynamicLpt>(
       std::move(static_weights), opts_.pool.num_workers, opts_.sched);
@@ -54,11 +65,17 @@ void ParallelRhs::reset_counters() {
   pool_->stats().reset();
 }
 
-SerialRhs::SerialRhs(const vm::Program& program, std::size_t compute_scale)
-    : program_(program),
-      compute_scale_(compute_scale),
-      workspace_(program) {
+SerialRhs::SerialRhs(const exec::RhsKernel& kernel,
+                     std::size_t compute_scale)
+    : kernel_(&kernel), compute_scale_(compute_scale) {
   OMX_REQUIRE(compute_scale_ >= 1, "compute_scale must be >= 1");
+}
+
+SerialRhs::SerialRhs(const vm::Program& program, std::size_t compute_scale)
+    : compute_scale_(compute_scale) {
+  OMX_REQUIRE(compute_scale_ >= 1, "compute_scale must be >= 1");
+  owned_ = exec::make_interp_kernel(program, nullptr, {});
+  kernel_ = &owned_.kernel();
 }
 
 void SerialRhs::eval(double t, std::span<const double> y,
@@ -68,14 +85,11 @@ void SerialRhs::eval(double t, std::span<const double> y,
   rhs_calls_metric.add();
   obs::Span span("rhs.eval_serial", "runtime");
   Stopwatch total;
-  OMX_REQUIRE(ydot.size() == program_.n_out, "ydot size mismatch");
-  workspace_.load_state(program_, t, y);
-  std::fill(ydot.begin(), ydot.end(), 0.0);
-  for (std::size_t i = 0; i < program_.tasks.size(); ++i) {
-    for (std::size_t rep = 0; rep < compute_scale_; ++rep) {
-      vm::run_task(program_, i, workspace_.regs());
-    }
-    vm::apply_outputs(program_, i, workspace_.regs(), ydot);
+  OMX_REQUIRE(ydot.size() == kernel_->n_out(), "ydot size mismatch");
+  for (std::size_t rep = 0; rep < compute_scale_; ++rep) {
+    // Whole-system evaluation writes every slot, so repetitions (the
+    // compute-scale emulation) are idempotent.
+    (*kernel_)(t, y, ydot);
   }
   ++rhs_calls_;
   eval_seconds_ += total.seconds();

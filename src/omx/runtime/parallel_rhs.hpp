@@ -2,6 +2,11 @@
 // solver — supervisor/worker execution plus semi-dynamic LPT scheduling,
 // with the bookkeeping the paper reports (RHS calls/s, scheduling
 // overhead, message statistics).
+//
+// Both classes are callables with the ode::RhsFn signature, so a
+// long-lived instance binds directly into an ode::Problem:
+//   runtime::ParallelRhs rhs(kernel, opts);
+//   prob.rhs = ode::RhsFn(rhs);
 #pragma once
 
 #include <memory>
@@ -14,7 +19,8 @@ namespace omx::runtime {
 struct ParallelRhsOptions {
   WorkerPool::Options pool;
   sched::SemiDynamicOptions sched;
-  /// false = static LPT from instruction counts only, no re-scheduling.
+  /// false = static LPT from the kernel's cost estimates only, no
+  /// re-scheduling.
   bool semi_dynamic = true;
   /// 0 = parallel execution via the pool; >0 is unused (reserved).
   int reserved = 0;
@@ -22,13 +28,21 @@ struct ParallelRhsOptions {
 
 class ParallelRhs {
  public:
-  /// `program` must outlive this object.
+  /// `kernel` must have a task decomposition and outlive this object.
+  ParallelRhs(const exec::RhsKernel& kernel,
+              const ParallelRhsOptions& opts);
+  /// Legacy entry point: wraps `program` (which must outlive this
+  /// object) in an interpreter kernel.
   ParallelRhs(const vm::Program& program, const ParallelRhsOptions& opts);
 
-  std::size_t n() const { return program_.n_state; }
+  std::size_t n() const { return pool_->kernel().n_state(); }
 
   /// Evaluates ydot = f(t, y); usable as an ode::RhsFn.
   void eval(double t, std::span<const double> y, std::span<double> ydot);
+  void operator()(double t, std::span<const double> y,
+                  std::span<double> ydot) {
+    eval(t, y, ydot);
+  }
 
   // -- bookkeeping -----------------------------------------------------------
   std::uint64_t rhs_calls() const { return rhs_calls_; }
@@ -49,7 +63,8 @@ class ParallelRhs {
   void reset_counters();
 
  private:
-  const vm::Program& program_;
+  void init_scheduler();
+
   ParallelRhsOptions opts_;
   std::unique_ptr<WorkerPool> pool_;
   std::unique_ptr<sched::SemiDynamicLpt> sched_;
@@ -63,10 +78,20 @@ class ParallelRhs {
 /// messages).
 class SerialRhs {
  public:
-  SerialRhs(const vm::Program& program, std::size_t compute_scale = 1);
+  /// `kernel` must outlive this object.
+  explicit SerialRhs(const exec::RhsKernel& kernel,
+                     std::size_t compute_scale = 1);
+  /// Legacy entry point over the tape interpreter; `program` must
+  /// outlive this object.
+  explicit SerialRhs(const vm::Program& program,
+                     std::size_t compute_scale = 1);
 
-  std::size_t n() const { return program_.n_state; }
+  std::size_t n() const { return kernel_->n_state(); }
   void eval(double t, std::span<const double> y, std::span<double> ydot);
+  void operator()(double t, std::span<const double> y,
+                  std::span<double> ydot) {
+    eval(t, y, ydot);
+  }
 
   std::uint64_t rhs_calls() const { return rhs_calls_; }
   double eval_seconds() const { return eval_seconds_; }
@@ -78,9 +103,9 @@ class SerialRhs {
   void reset_counters();
 
  private:
-  const vm::Program& program_;
+  exec::KernelInstance owned_;  // legacy-constructor keep-alive
+  const exec::RhsKernel* kernel_ = nullptr;
   std::size_t compute_scale_;
-  vm::Workspace workspace_;
   std::uint64_t rhs_calls_ = 0;
   double eval_seconds_ = 0.0;
 };

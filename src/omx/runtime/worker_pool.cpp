@@ -13,26 +13,43 @@ namespace {
 constexpr std::size_t kHeaderBytes = 16;
 }  // namespace
 
+WorkerPool::WorkerPool(const exec::RhsKernel& kernel, const Options& opts)
+    : kernel_(&kernel), opts_(opts) {
+  init();
+}
+
 WorkerPool::WorkerPool(const vm::Program& program, const Options& opts)
-    : program_(program),
-      opts_(opts),
-      rhs_calls_metric_(obs::Registry::global().counter("rhs.calls")),
-      tasks_run_metric_(obs::Registry::global().counter("rhs.tasks_run")) {
+    : opts_(opts) {
+  exec::InterpKernelOptions io;
+  io.lanes = opts.num_workers;
+  owned_ = exec::make_interp_kernel(program, nullptr, io);
+  kernel_ = &owned_.kernel();
+  init();
+}
+
+void WorkerPool::init() {
   OMX_REQUIRE(opts_.num_workers >= 1, "need at least one worker");
   OMX_REQUIRE(opts_.compute_scale >= 1, "compute_scale must be >= 1");
-  y_.resize(program_.n_state, 0.0);
-  task_seconds_.assign(program_.tasks.size(), 0.0);
+  OMX_REQUIRE(kernel_->has_tasks(),
+              "WorkerPool needs a kernel with a task decomposition");
+  OMX_REQUIRE(kernel_->num_lanes() >= opts_.num_workers,
+              "kernel has fewer lanes than workers");
+  rhs_calls_metric_ = &obs::Registry::global().counter("rhs.calls");
+  tasks_run_metric_ = &obs::Registry::global().counter("rhs.tasks_run");
+
+  y_.resize(kernel_->n_state(), 0.0);
+  task_seconds_.assign(kernel_->num_tasks(), 0.0);
 
   workers_.reserve(opts_.num_workers);
   for (std::size_t w = 0; w < opts_.num_workers; ++w) {
     auto ws = std::make_unique<WorkerState>();
-    ws->workspace = std::make_unique<vm::Workspace>(program_);
+    ws->task_out.assign(kernel_->n_out(), 0.0);
     workers_.push_back(std::move(ws));
   }
   // Default schedule: round-robin, replaced by the caller via
   // set_schedule() (LPT) in normal operation.
   sched::Schedule rr(opts_.num_workers);
-  for (std::size_t i = 0; i < program_.tasks.size(); ++i) {
+  for (std::size_t i = 0; i < kernel_->num_tasks(); ++i) {
     rr[i % opts_.num_workers].push_back(static_cast<std::uint32_t>(i));
   }
   set_schedule(rr);
@@ -63,13 +80,14 @@ WorkerPool::~WorkerPool() {
 void WorkerPool::set_schedule(const sched::Schedule& schedule) {
   OMX_REQUIRE(schedule.size() == workers_.size(),
               "schedule/worker count mismatch");
+  const exec::TaskTable& table = kernel_->tasks();
   for (std::size_t w = 0; w < workers_.size(); ++w) {
     std::lock_guard<std::mutex> lock(workers_[w]->mutex);
     workers_[w]->tasks = schedule[w];
     std::size_t outputs = 0;
     for (std::uint32_t t : schedule[w]) {
-      OMX_REQUIRE(t < program_.tasks.size(), "task index out of range");
-      outputs += program_.tasks[t].outputs.size();
+      OMX_REQUIRE(t < table.size(), "task index out of range");
+      outputs += table.tasks[t].out_slots.size();
     }
     workers_[w]->results.assign(outputs, 0.0);
   }
@@ -77,12 +95,13 @@ void WorkerPool::set_schedule(const sched::Schedule& schedule) {
 }
 
 void WorkerPool::recompute_message_sizes() {
+  const exec::TaskTable& table = kernel_->tasks();
   for (auto& w : workers_) {
-    std::size_t payload_states = program_.n_state;
+    std::size_t payload_states = kernel_->n_state();
     if (opts_.communication_analysis) {
       std::unordered_set<std::uint32_t> needed;
       for (std::uint32_t t : w->tasks) {
-        for (std::uint32_t s : program_.tasks[t].in_states) {
+        for (std::uint32_t s : table.tasks[t].in_states) {
           needed.insert(s);
         }
       }
@@ -92,7 +111,7 @@ void WorkerPool::recompute_message_sizes() {
     w->state_bytes = kHeaderBytes + 8 * (payload_states + 1);
     std::size_t outputs = 0;
     for (std::uint32_t t : w->tasks) {
-      outputs += program_.tasks[t].outputs.size();
+      outputs += table.tasks[t].out_slots.size();
     }
     w->result_bytes = kHeaderBytes + 16 * outputs;
   }
@@ -101,6 +120,7 @@ void WorkerPool::recompute_message_sizes() {
 void WorkerPool::worker_main(WorkerState& w, std::size_t index) {
   obs::TraceBuffer& tb = obs::TraceBuffer::global();
   tb.set_thread_name("worker/" + std::to_string(index));
+  const exec::TaskTable& table = kernel_->tasks();
   std::uint64_t last_done = 0;
   while (true) {
     {
@@ -119,24 +139,29 @@ void WorkerPool::worker_main(WorkerState& w, std::size_t index) {
       const bool tracing = tb.active();
       // Receive the state message.
       stats_.charge(opts_.net, w.state_bytes);
-      w.workspace->load_state(program_, t_, y_);
       std::size_t out_idx = 0;
       for (std::uint32_t task : w.tasks) {
+        const exec::TaskMeta& meta = table.tasks[task];
         const std::int64_t span_start = tracing ? tb.now_ns() : 0;
         Stopwatch timer;
         for (std::size_t rep = 0; rep < opts_.compute_scale; ++rep) {
-          vm::run_task(program_, task, w.workspace->regs());
+          // run_task accumulates, so its slots are re-zeroed per rep;
+          // only the final rep's values are marshalled.
+          for (std::uint32_t slot : meta.out_slots) {
+            w.task_out[slot] = 0.0;
+          }
+          kernel_->run_task(index, task, t_, y_.data(), w.task_out.data());
         }
         task_seconds_[task] = timer.seconds();
         if (tracing) {
           tb.record("task/" + std::to_string(task), "task", span_start,
                     tb.now_ns() - span_start);
         }
-        for (const vm::Output& o : program_.tasks[task].outputs) {
-          w.results[out_idx++] = w.workspace->regs()[o.reg];
+        for (std::uint32_t slot : meta.out_slots) {
+          w.results[out_idx++] = w.task_out[slot];
         }
       }
-      tasks_run_metric_.add(w.tasks.size());
+      tasks_run_metric_->add(w.tasks.size());
       // Send the results back.
       stats_.charge(opts_.net, w.result_bytes);
     }
@@ -150,8 +175,8 @@ void WorkerPool::worker_main(WorkerState& w, std::size_t index) {
 
 void WorkerPool::eval(double t, std::span<const double> y,
                       std::span<double> ydot) {
-  OMX_REQUIRE(y.size() == program_.n_state, "state size mismatch");
-  OMX_REQUIRE(ydot.size() == program_.n_out, "ydot size mismatch");
+  OMX_REQUIRE(y.size() == kernel_->n_state(), "state size mismatch");
+  OMX_REQUIRE(ydot.size() == kernel_->n_out(), "ydot size mismatch");
 
   obs::TraceBuffer& tb = obs::TraceBuffer::global();
   if (tb.active()) {
@@ -186,6 +211,7 @@ void WorkerPool::eval(double t, std::span<const double> y,
     // Collection phase: wait for workers in index order and accumulate
     // their contributions deterministically.
     obs::Span gather("gather", "runtime");
+    const exec::TaskTable& table = kernel_->tasks();
     for (auto& w : workers_) {
       {
         std::unique_lock<std::mutex> lock(w->mutex);
@@ -197,14 +223,14 @@ void WorkerPool::eval(double t, std::span<const double> y,
       stats_.charge(opts_.net, w->result_bytes);  // supervisor receive cost
       std::size_t out_idx = 0;
       for (std::uint32_t task : w->tasks) {
-        for (const vm::Output& o : program_.tasks[task].outputs) {
-          ydot[o.slot] += w->results[out_idx++];
+        for (std::uint32_t slot : table.tasks[task].out_slots) {
+          ydot[slot] += w->results[out_idx++];
         }
       }
     }
   }
 
-  rhs_calls_metric_.add();
+  rhs_calls_metric_->add();
   ++evals_completed_;
 }
 

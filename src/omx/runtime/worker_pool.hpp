@@ -2,9 +2,14 @@
 //
 // The supervisor (the caller of eval(), i.e. the ODE solver thread)
 // distributes the state vector to worker threads, each worker executes its
-// assigned tasks on a private register file, and the supervisor collects
-// and accumulates the results. Message costs are charged through the
-// simulated Interconnect on both the sending and receiving side.
+// assigned tasks through the bound exec::RhsKernel (one concurrency lane
+// per worker), and the supervisor collects and accumulates the results.
+// Message costs are charged through the simulated Interconnect on both the
+// sending and receiving side.
+//
+// The pool is backend-agnostic: it consumes any kernel with a task
+// decomposition — the tape interpreter or the runtime-compiled native
+// code — and schedules from the kernel's TaskTable metadata.
 //
 // By default the full state vector is sent to every worker — the paper
 // does the same "because of the dynamic scheduling strategy" (§3.2.3).
@@ -18,11 +23,12 @@
 #include <thread>
 #include <vector>
 
+#include "omx/exec/rhs_kernel.hpp"
 #include "omx/obs/registry.hpp"
 #include "omx/runtime/interconnect.hpp"
 #include "omx/sched/lpt.hpp"
 #include "omx/support/diagnostics.hpp"
-#include "omx/vm/interp.hpp"
+#include "omx/vm/program.hpp"
 
 namespace omx::runtime {
 
@@ -31,15 +37,20 @@ class WorkerPool {
   struct Options {
     std::size_t num_workers = 1;
     Interconnect net = Interconnect::ideal();
-    /// Re-runs each task's tape this many times, emulating the 1995
-    /// compute/communication ratio (the interpreter on modern hardware is
-    /// far faster relative to the simulated link than the PowerPC 601
-    /// was relative to its real link).
+    /// Re-runs each task's body this many times, emulating the 1995
+    /// compute/communication ratio (modern hardware is far faster
+    /// relative to the simulated link than the PowerPC 601 was relative
+    /// to its real link).
     std::size_t compute_scale = 1;
     /// Send only the states each worker needs instead of the full vector.
     bool communication_analysis = false;
   };
 
+  /// `kernel` must have a task decomposition, at least num_workers
+  /// concurrency lanes, and must outlive the pool.
+  WorkerPool(const exec::RhsKernel& kernel, const Options& opts);
+  /// Legacy entry point: wraps `program` in an interpreter kernel owned
+  /// by the pool. `program` must outlive the pool.
   WorkerPool(const vm::Program& program, const Options& opts);
   ~WorkerPool();
 
@@ -47,9 +58,10 @@ class WorkerPool {
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   std::size_t num_workers() const { return workers_.size(); }
+  const exec::RhsKernel& kernel() const { return *kernel_; }
 
   /// Replaces the task assignment. `schedule.size()` must equal
-  /// num_workers(); task indices refer to program.tasks.
+  /// num_workers(); task indices refer to kernel().tasks().
   void set_schedule(const sched::Schedule& schedule);
 
   /// One parallel RHS evaluation.
@@ -77,20 +89,22 @@ class WorkerPool {
     std::uint64_t requested = 0;  // generation to execute
     std::uint64_t completed = 0;  // last finished generation
     std::vector<std::uint32_t> tasks;
-    std::vector<double> results;       // one value per task output
-    std::size_t state_bytes = 0;       // request message payload
-    std::size_t result_bytes = 0;      // response message payload
-    std::unique_ptr<vm::Workspace> workspace;
+    std::vector<double> results;   // one value per task output slot
+    std::vector<double> task_out;  // n_out accumulate scratch
+    std::size_t state_bytes = 0;   // request message payload
+    std::size_t result_bytes = 0;  // response message payload
   };
 
+  void init();
   void worker_main(WorkerState& w, std::size_t index);
   void recompute_message_sizes();
 
-  const vm::Program& program_;
+  exec::KernelInstance owned_;  // legacy-constructor keep-alive
+  const exec::RhsKernel* kernel_ = nullptr;
   Options opts_;
   MessageStats stats_;
-  obs::Counter& rhs_calls_metric_;
-  obs::Counter& tasks_run_metric_;
+  obs::Counter* rhs_calls_metric_ = nullptr;
+  obs::Counter* tasks_run_metric_ = nullptr;
 
   std::vector<std::unique_ptr<WorkerState>> workers_;
   std::vector<double> task_seconds_;

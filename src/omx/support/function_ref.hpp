@@ -1,0 +1,86 @@
+// FunctionRef: a non-owning, non-allocating callable reference — two
+// pointers (context + trampoline), trivially copyable, one indirect call
+// per invocation. It replaces std::function on the solver hot path, where
+// the RHS may be invoked millions of times per solve and the generated
+// kernels are long-lived objects owned elsewhere (ode::Problem keeps an
+// optional keep-alive for callables bound by value; see Problem::set_rhs).
+//
+// Lifetime contract: a FunctionRef never owns its target. Binding is
+// restricted to lvalues (plus plain function pointers and capture-less
+// lambdas, which decay to function pointers and carry no state), so the
+// classic dangling-temporary footgun of LLVM's function_ref does not
+// compile here:
+//
+//   RhsFn f = [k](..){...};          // error: rvalue lambda with captures
+//   auto g = [k](..){...}; RhsFn f = g;  // ok: g outlives f
+//   RhsFn f = [](..){...};           // ok: stateless, stored by value
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace omx::support {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  constexpr FunctionRef() noexcept = default;
+  constexpr FunctionRef(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  /// Plain function pointer (also reached by capture-less lambdas through
+  /// their implicit conversion). The pointer value itself is stored, so no
+  /// lifetime is involved.
+  FunctionRef(R (*fn)(Args...)) noexcept {  // NOLINT(runtime/explicit)
+    if (fn != nullptr) {
+      // Storing a function pointer in a void* is not blessed by ISO C++
+      // but is guaranteed on every POSIX platform (dlsym relies on it).
+      ctx_ = reinterpret_cast<void*>(fn);
+      call_ = [](void* ctx, Args... args) -> R {
+        return reinterpret_cast<R (*)(Args...)>(ctx)(
+            std::forward<Args>(args)...);
+      };
+    }
+  }
+
+  /// Any other callable, by lvalue reference only: the referee must
+  /// outlive every invocation through this FunctionRef.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cv_t<F>, FunctionRef> &&
+                !std::is_pointer_v<std::remove_cv_t<F>> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F& f) noexcept  // NOLINT(runtime/explicit)
+      : ctx_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* ctx, Args... args) -> R {
+          return (*static_cast<F*>(ctx))(std::forward<Args>(args)...);
+        }) {}
+
+  FunctionRef& operator=(std::nullptr_t) noexcept {
+    ctx_ = nullptr;
+    call_ = nullptr;
+    return *this;
+  }
+
+  R operator()(Args... args) const {
+    return call_(ctx_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const noexcept { return call_ != nullptr; }
+
+  friend bool operator==(const FunctionRef& f, std::nullptr_t) noexcept {
+    return f.call_ == nullptr;
+  }
+  friend bool operator!=(const FunctionRef& f, std::nullptr_t) noexcept {
+    return f.call_ != nullptr;
+  }
+
+ private:
+  void* ctx_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
+
+}  // namespace omx::support

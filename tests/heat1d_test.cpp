@@ -7,8 +7,7 @@
 #include "omx/analysis/partition.hpp"
 #include "omx/models/heat1d.hpp"
 #include "omx/ode/auto_switch.hpp"
-#include "omx/ode/bdf.hpp"
-#include "omx/ode/dopri5.hpp"
+#include "omx/ode/solve.hpp"
 #include "omx/pipeline/pipeline.hpp"
 
 namespace omx::models {
@@ -50,11 +49,11 @@ TEST(Heat1d, MatchesSemidiscreteExactSolution) {
   Heat1dConfig cfg;
   cfg.n_cells = 16;
   pipeline::CompiledModel cm = compile_heat(cfg);
-  ode::Problem p = cm.make_problem(cm.serial_rhs(), 0.0, 0.05);
-  ode::Dopri5Options o;
+  ode::Problem p = cm.make_problem(exec::Backend::kInterp, 0.0, 0.05);
+  ode::SolverOptions o;
   o.tol.rtol = 1e-10;
   o.tol.atol = 1e-12;
-  const ode::Solution s = ode::dopri5(p, o);
+  const ode::Solution s = ode::solve(p, ode::Method::kDopri5, o);
   for (int i = 1; i <= cfg.n_cells; ++i) {
     // state order follows node order.
     EXPECT_NEAR(s.final_state()[static_cast<std::size_t>(i - 1)],
@@ -88,20 +87,16 @@ TEST(Heat1d, StiffnessGrowsWithResolution_BdfWins) {
   Heat1dConfig cfg;
   cfg.n_cells = 60;
   pipeline::CompiledModel cm = compile_heat(cfg, /*jacobian=*/true);
-  ode::Problem p = cm.make_problem(cm.serial_rhs(), 0.0, 0.5);
-  p.jacobian = cm.symbolic_jacobian();
+  ode::Problem p = cm.make_problem(exec::Backend::kInterp, 0.0, 0.5);
+  cm.bind_symbolic_jacobian(p);
 
-  ode::BdfOptions bo;
-  bo.max_order = 2;
-  bo.tol.rtol = 1e-6;
-  bo.tol.atol = 1e-9;
-  const ode::Solution sb = ode::bdf(p, bo);
-
-  ode::Dopri5Options eo;
-  eo.tol.rtol = 1e-6;
-  eo.tol.atol = 1e-9;
-  eo.record_every = 1u << 30;
-  const ode::Solution se = ode::dopri5(p, eo);
+  ode::SolverOptions o;
+  o.bdf_max_order = 2;
+  o.tol.rtol = 1e-6;
+  o.tol.atol = 1e-9;
+  o.record_every = 1u << 30;
+  const ode::Solution sb = ode::solve(p, ode::Method::kBdf, o);
+  const ode::Solution se = ode::solve(p, ode::Method::kDopri5, o);
 
   // Both arrive near the decayed solution...
   EXPECT_NEAR(sb.final_state()[29], heat1d_semidiscrete_exact(cfg, 30, 0.5),
@@ -115,23 +110,23 @@ TEST(Heat1d, LsodaLikeDetectsStiffness) {
   Heat1dConfig cfg;
   cfg.n_cells = 40;
   pipeline::CompiledModel cm = compile_heat(cfg);
-  ode::Problem p = cm.make_problem(cm.serial_rhs(), 0.0, 0.5);
+  ode::Problem p = cm.make_problem(exec::Backend::kInterp, 0.0, 0.5);
   ode::AutoSwitchOptions o;
   o.tol.rtol = 1e-6;
   o.record_every = 1u << 30;
-  const ode::AutoSwitchResult r = ode::lsoda_like(p, o);
+  const ode::AutoSwitchResult r = ode::auto_switch(p, o);
   ASSERT_FALSE(r.switches.empty());
-  EXPECT_EQ(r.switches.front().to, ode::Method::kBdf);
+  EXPECT_EQ(r.switches.front().to, ode::SwitchMethod::kBdf);
 }
 
 TEST(Heat1d, EnergyDecaysMonotonically) {
   Heat1dConfig cfg;
   cfg.n_cells = 16;
   pipeline::CompiledModel cm = compile_heat(cfg);
-  ode::Problem p = cm.make_problem(cm.serial_rhs(), 0.0, 0.1);
-  ode::Dopri5Options o;
+  ode::Problem p = cm.make_problem(exec::Backend::kInterp, 0.0, 0.1);
+  ode::SolverOptions o;
   o.tol.rtol = 1e-9;
-  const ode::Solution s = ode::dopri5(p, o);
+  const ode::Solution s = ode::solve(p, ode::Method::kDopri5, o);
   double prev = 1e300;
   for (std::size_t k = 0; k < s.size(); ++k) {
     double energy = 0.0;

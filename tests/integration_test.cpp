@@ -9,10 +9,9 @@
 #include "omx/models/hydro.hpp"
 #include "omx/models/oscillator.hpp"
 #include "omx/ode/auto_switch.hpp"
-#include "omx/ode/bdf.hpp"
-#include "omx/ode/dopri5.hpp"
-#include "omx/ode/fixed_step.hpp"
+#include "omx/ode/solve.hpp"
 #include "omx/pipeline/pipeline.hpp"
+#include "omx/vm/interp.hpp"
 
 namespace omx::pipeline {
 namespace {
@@ -47,12 +46,15 @@ TEST(Pipeline, ReferenceSerialAndParallelRhsAgree) {
     y[i] = cm.flat->states()[i].start;
   }
   std::vector<double> a(cm.n()), b(cm.n()), c(cm.n());
-  cm.reference_rhs()(0.0, y, a);
-  cm.serial_rhs()(0.0, y, b);
+  cm.make_kernel(exec::Backend::kReference).kernel()(0.0, y, a);
+  cm.make_kernel(exec::Backend::kInterp).kernel()(0.0, y, b);
 
   runtime::ParallelRhsOptions opts;
   opts.pool.num_workers = 3;
-  runtime::ParallelRhs par(cm.parallel_program, opts);
+  KernelOptions ko;
+  ko.lanes = 3;
+  exec::KernelInstance pk = cm.make_kernel(exec::Backend::kInterp, ko);
+  runtime::ParallelRhs par(pk.kernel(), opts);
   par.eval(0.0, y, c);
 
   for (std::size_t i = 0; i < cm.n(); ++i) {
@@ -69,15 +71,16 @@ TEST(Pipeline, SolveOscillatorThroughParallelRuntime) {
   CompiledModel cm = compile_model(models::build_oscillator, copts);
   runtime::ParallelRhsOptions opts;
   opts.pool.num_workers = 2;
-  runtime::ParallelRhs par(cm.parallel_program, opts);
+  KernelOptions ko;
+  ko.lanes = 2;
+  exec::KernelInstance pk = cm.make_kernel(exec::Backend::kInterp, ko);
+  runtime::ParallelRhs par(pk.kernel(), opts);
 
-  ode::Problem p = cm.make_problem(
-      [&par](double t, std::span<const double> y, std::span<double> f) {
-        par.eval(t, y, f);
-      },
-      0.0, 6.0);
-  ode::FixedStepOptions fo{.dt = 1e-3};
-  const ode::Solution s = ode::rk4(p, fo);
+  // ParallelRhs is itself a callable lvalue: bind it as the RHS view.
+  ode::Problem p = cm.make_problem(par, 0.0, 6.0);
+  ode::SolverOptions fo;
+  fo.dt = 1e-3;
+  const ode::Solution s = ode::solve(p, ode::Method::kRk4, fo);
   EXPECT_NEAR(s.final_state()[0], std::cos(6.0), 1e-6);
   EXPECT_EQ(par.rhs_calls(), s.stats.rhs_calls);
 }
@@ -87,13 +90,13 @@ TEST(Pipeline, SymbolicJacobianDrivesBdf) {
   copts.build_jacobian = true;
   CompiledModel cm = compile_model(models::build_oscillator, copts);
 
-  ode::Problem p = cm.make_problem(cm.serial_rhs(), 0.0, 2.0);
-  p.jacobian = cm.symbolic_jacobian();
-  ode::BdfOptions o;
-  o.max_order = 2;
+  ode::Problem p = cm.make_problem(exec::Backend::kInterp, 0.0, 2.0);
+  cm.bind_symbolic_jacobian(p);
+  ode::SolverOptions o;
+  o.bdf_max_order = 2;
   o.tol.rtol = 1e-8;
   o.tol.atol = 1e-10;
-  const ode::Solution s = ode::bdf(p, o);
+  const ode::Solution s = ode::solve(p, ode::Method::kBdf, o);
   EXPECT_NEAR(s.final_state()[0], std::cos(2.0), 1e-4);
   EXPECT_GT(s.stats.jac_calls, 0u);
 }
@@ -104,7 +107,9 @@ TEST(Pipeline, SymbolicJacobianMatchesStructure) {
   CompiledModel cm = compile_model(models::build_oscillator, copts);
   la::Matrix j(2, 2);
   std::vector<double> y{0.3, -0.2};
-  cm.symbolic_jacobian()(0.0, y, j);
+  ode::Problem p = cm.make_problem(exec::Backend::kInterp, 0.0, 1.0);
+  cm.bind_symbolic_jacobian(p);
+  p.jacobian(0.0, y, j);
   EXPECT_DOUBLE_EQ(j(0, 0), 0.0);
   EXPECT_DOUBLE_EQ(j(0, 1), 1.0);
   EXPECT_DOUBLE_EQ(j(1, 0), -1.0);
@@ -113,12 +118,14 @@ TEST(Pipeline, SymbolicJacobianMatchesStructure) {
 
 TEST(Pipeline, HydroSolvesIdenticallyViaAllRhsPaths) {
   CompiledModel cm = compile_model(models::build_hydro);
-  ode::FixedStepOptions fo{.dt = 0.01, .record_every = 1000};
+  ode::SolverOptions fo;
+  fo.dt = 0.01;
+  fo.record_every = 1000;
 
-  ode::Problem pr = cm.make_problem(cm.reference_rhs(), 0.0, 5.0);
-  ode::Problem ps = cm.make_problem(cm.serial_rhs(), 0.0, 5.0);
-  const ode::Solution sr = ode::rk4(pr, fo);
-  const ode::Solution ss = ode::rk4(ps, fo);
+  ode::Problem pr = cm.make_problem(exec::Backend::kReference, 0.0, 5.0);
+  ode::Problem ps = cm.make_problem(exec::Backend::kInterp, 0.0, 5.0);
+  const ode::Solution sr = ode::solve(pr, ode::Method::kRk4, fo);
+  const ode::Solution ss = ode::solve(ps, ode::Method::kRk4, fo);
   for (std::size_t i = 0; i < cm.n(); ++i) {
     EXPECT_NEAR(ss.final_state()[i], sr.final_state()[i],
                 1e-9 * std::max(1.0, std::fabs(sr.final_state()[i])));
@@ -127,11 +134,11 @@ TEST(Pipeline, HydroSolvesIdenticallyViaAllRhsPaths) {
 
 TEST(Pipeline, LsodaLikeSolvesHydro) {
   CompiledModel cm = compile_model(models::build_hydro);
-  ode::Problem p = cm.make_problem(cm.serial_rhs(), 0.0, 120.0);
+  ode::Problem p = cm.make_problem(exec::Backend::kInterp, 0.0, 120.0);
   ode::AutoSwitchOptions o;
   o.tol.rtol = 1e-6;
   o.record_every = 8;
-  const ode::AutoSwitchResult r = ode::lsoda_like(p, o);
+  const ode::AutoSwitchResult r = ode::auto_switch(p, o);
   const int level = cm.flat->state_index(cm.ctx->symbol("dam.level"));
   const double l =
       r.solution.final_state()[static_cast<std::size_t>(level)];

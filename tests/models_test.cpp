@@ -9,8 +9,7 @@
 #include "omx/models/hydro.hpp"
 #include "omx/models/oscillator.hpp"
 #include "omx/models/servo.hpp"
-#include "omx/ode/dopri5.hpp"
-#include "omx/ode/fixed_step.hpp"
+#include "omx/ode/solve.hpp"
 #include "omx/pipeline/pipeline.hpp"
 
 namespace omx::models {
@@ -20,10 +19,10 @@ TEST(Oscillator, TwoStatesCircleSolution) {
   pipeline::CompiledModel cm =
       pipeline::compile_model(build_oscillator);
   EXPECT_EQ(cm.n(), 2u);
-  ode::Problem p = cm.make_problem(cm.serial_rhs(), 0.0, 3.14159265358979);
-  ode::Dopri5Options o;
+  ode::Problem p = cm.make_problem(exec::Backend::kInterp, 0.0, 3.14159265358979);
+  ode::SolverOptions o;
   o.tol.rtol = 1e-10;
-  const ode::Solution s = ode::dopri5(p, o);
+  const ode::Solution s = ode::solve(p, ode::Method::kDopri5, o);
   EXPECT_NEAR(s.final_state()[0], -1.0, 1e-7);  // cos(pi)
   EXPECT_NEAR(s.final_state()[1], 0.0, 1e-7);
 }
@@ -31,10 +30,10 @@ TEST(Oscillator, TwoStatesCircleSolution) {
 TEST(Servo, TracksReferenceAfterTransient) {
   pipeline::CompiledModel cm = pipeline::compile_model(build_servo);
   ASSERT_EQ(cm.n(), 12u);
-  ode::Problem p = cm.make_problem(cm.serial_rhs(), 0.0, 20.0);
-  ode::Dopri5Options o;
+  ode::Problem p = cm.make_problem(exec::Backend::kInterp, 0.0, 20.0);
+  ode::SolverOptions o;
   o.tol.rtol = 1e-8;
-  const ode::Solution s = ode::dopri5(p, o);
+  const ode::Solution s = ode::solve(p, ode::Method::kDopri5, o);
   // After 3 closed-loop time constants each axis angle tracks its sin
   // reference to within a modest dynamic lag.
   for (const char* axis : {"axis[1]", "axis[2]", "boost"}) {
@@ -86,11 +85,11 @@ TEST(Hydro, MassBalanceHolds) {
 
 TEST(Hydro, LevelStaysNearTargetOverAnHour) {
   pipeline::CompiledModel cm = pipeline::compile_model(build_hydro);
-  ode::Problem p = cm.make_problem(cm.serial_rhs(), 0.0, 3600.0);
-  ode::Dopri5Options o;
+  ode::Problem p = cm.make_problem(exec::Backend::kInterp, 0.0, 3600.0);
+  ode::SolverOptions o;
   o.tol.rtol = 1e-6;
   o.record_every = 16;
-  const ode::Solution s = ode::dopri5(p, o);
+  const ode::Solution s = ode::solve(p, ode::Method::kDopri5, o);
   const int level = cm.flat->state_index(cm.ctx->symbol("dam.level"));
   for (std::size_t i = 0; i < s.size(); ++i) {
     const double l = s.state(i)[static_cast<std::size_t>(level)];
@@ -101,9 +100,9 @@ TEST(Hydro, LevelStaysNearTargetOverAnHour) {
 
 TEST(Hydro, GateServoTracksSetpoint) {
   pipeline::CompiledModel cm = pipeline::compile_model(build_hydro);
-  ode::Problem p = cm.make_problem(cm.serial_rhs(), 0.0, 60.0);
-  ode::Dopri5Options o;
-  const ode::Solution s = ode::dopri5(p, o);
+  ode::Problem p = cm.make_problem(exec::Backend::kInterp, 0.0, 60.0);
+  ode::SolverOptions o;
+  const ode::Solution s = ode::solve(p, ode::Method::kDopri5, o);
   const int angle = cm.flat->state_index(cm.ctx->symbol("g1.angle"));
   const double a = s.final_state()[static_cast<std::size_t>(angle)];
   const double sp = 0.4 + 0.3 * std::sin(0.2 * 60.0) +
@@ -189,9 +188,11 @@ TEST(Bearing, ShortTransientStaysBounded) {
         cfg.n_rollers = 6;
         return build_bearing(ctx, cfg);
       });
-  ode::Problem p = cm.make_problem(cm.serial_rhs(), 0.0, 5e-4);
-  ode::FixedStepOptions o{.dt = 1e-6, .record_every = 50};
-  const ode::Solution s = ode::rk4(p, o);
+  ode::Problem p = cm.make_problem(exec::Backend::kInterp, 0.0, 5e-4);
+  ode::SolverOptions o;
+  o.dt = 1e-6;
+  o.record_every = 50;
+  const ode::Solution s = ode::solve(p, ode::Method::kRk4, o);
   BearingConfig cfg;
   cfg.n_rollers = 6;
   const double Ro = cfg.outer_race_radius();

@@ -5,8 +5,7 @@
 #include <cmath>
 
 #include "omx/ode/auto_switch.hpp"
-#include "omx/ode/bdf.hpp"
-#include "omx/ode/dopri5.hpp"
+#include "omx/ode/solve.hpp"
 
 namespace omx::ode {
 namespace {
@@ -14,9 +13,8 @@ namespace {
 Problem decay(double lambda, double tend) {
   Problem p;
   p.n = 1;
-  p.rhs = [lambda](double, std::span<const double> y, std::span<double> f) {
-    f[0] = -lambda * y[0];
-  };
+  p.set_rhs([lambda](double, std::span<const double> y,
+                     std::span<double> f) { f[0] = -lambda * y[0]; });
   p.t0 = 0.0;
   p.tend = tend;
   p.y0 = {1.0};
@@ -27,12 +25,12 @@ Problem decay(double lambda, double tend) {
 Problem stiff_tracking(double tend) {
   Problem p;
   p.n = 1;
-  p.rhs = [](double t, std::span<const double> y, std::span<double> f) {
+  p.set_rhs([](double t, std::span<const double> y, std::span<double> f) {
     f[0] = -1000.0 * (y[0] - std::cos(t)) - std::sin(t);
-  };
-  p.jacobian = [](double, std::span<const double>, la::Matrix& j) {
+  });
+  p.set_jacobian([](double, std::span<const double>, la::Matrix& j) {
     j(0, 0) = -1000.0;
-  };
+  });
   p.t0 = 0.0;
   p.tend = tend;
   p.y0 = {0.0};
@@ -43,39 +41,48 @@ Problem stiff_tracking(double tend) {
 Problem van_der_pol(double mu, double tend) {
   Problem p;
   p.n = 2;
-  p.rhs = [mu](double, std::span<const double> y, std::span<double> f) {
+  p.set_rhs([mu](double, std::span<const double> y, std::span<double> f) {
     f[0] = y[1];
     f[1] = mu * (1.0 - y[0] * y[0]) * y[1] - y[0];
-  };
-  p.jacobian = [mu](double, std::span<const double> y, la::Matrix& j) {
+  });
+  p.set_jacobian([mu](double, std::span<const double> y, la::Matrix& j) {
     j(0, 0) = 0.0;
     j(0, 1) = 1.0;
     j(1, 0) = -2.0 * mu * y[0] * y[1] - 1.0;
     j(1, 1) = mu * (1.0 - y[0] * y[0]);
-  };
+  });
   p.t0 = 0.0;
   p.tend = tend;
   p.y0 = {2.0, 0.0};
   return p;
 }
 
+SolverOptions bdf_opts(int max_order, double fixed_h,
+                       Tolerances tol = {}) {
+  SolverOptions o;
+  o.tol = tol;
+  o.bdf_max_order = max_order;
+  o.bdf_fixed_h = fixed_h;
+  return o;
+}
+
 TEST(Bdf, Order1FixedStepConverges) {
   const Problem p = decay(1.0, 1.0);
-  BdfOptions o1{.max_order = 1, .fixed_h = 0.01};
-  BdfOptions o2{.max_order = 1, .fixed_h = 0.005};
   const double exact = std::exp(-1.0);
-  const double e1 = std::fabs(bdf(p, o1).final_state()[0] - exact);
-  const double e2 = std::fabs(bdf(p, o2).final_state()[0] - exact);
+  const double e1 = std::fabs(
+      solve(p, Method::kBdf, bdf_opts(1, 0.01)).final_state()[0] - exact);
+  const double e2 = std::fabs(
+      solve(p, Method::kBdf, bdf_opts(1, 0.005)).final_state()[0] - exact);
   EXPECT_NEAR(e1 / e2, 2.0, 0.2);
 }
 
 TEST(Bdf, Order2FixedStepConverges) {
   const Problem p = decay(1.0, 1.0);
-  BdfOptions o1{.max_order = 2, .fixed_h = 0.02};
-  BdfOptions o2{.max_order = 2, .fixed_h = 0.01};
   const double exact = std::exp(-1.0);
-  const double e1 = std::fabs(bdf(p, o1).final_state()[0] - exact);
-  const double e2 = std::fabs(bdf(p, o2).final_state()[0] - exact);
+  const double e1 = std::fabs(
+      solve(p, Method::kBdf, bdf_opts(2, 0.02)).final_state()[0] - exact);
+  const double e2 = std::fabs(
+      solve(p, Method::kBdf, bdf_opts(2, 0.01)).final_state()[0] - exact);
   EXPECT_NEAR(e1 / e2, 4.0, 0.8);
 }
 
@@ -83,11 +90,15 @@ TEST(Bdf, Order3FixedStepConverges) {
   const Problem p = decay(1.0, 1.0);
   // The truncation error at order 3 is tiny; tighten the tolerances so the
   // Newton displacement criterion iterates well below it.
-  BdfOptions o1{.tol = {1e-13, 1e-13}, .max_order = 3, .fixed_h = 0.02};
-  BdfOptions o2{.tol = {1e-13, 1e-13}, .max_order = 3, .fixed_h = 0.01};
   const double exact = std::exp(-1.0);
-  const double e1 = std::fabs(bdf(p, o1).final_state()[0] - exact);
-  const double e2 = std::fabs(bdf(p, o2).final_state()[0] - exact);
+  const double e1 = std::fabs(
+      solve(p, Method::kBdf, bdf_opts(3, 0.02, {1e-13, 1e-13}))
+          .final_state()[0] -
+      exact);
+  const double e2 = std::fabs(
+      solve(p, Method::kBdf, bdf_opts(3, 0.01, {1e-13, 1e-13}))
+          .final_state()[0] -
+      exact);
   EXPECT_NEAR(e1 / e2, 8.0, 2.5);
 }
 
@@ -96,11 +107,9 @@ TEST(Bdf, HighOrdersBeatLowOrdersAtSameStep) {
   const double exact = std::exp(-1.0);
   double prev_err = 1e9;
   for (int k = 1; k <= 4; ++k) {
-    BdfOptions o;
-    o.tol = {1e-13, 1e-13};
-    o.max_order = k;
-    o.fixed_h = 0.05;
-    const double err = std::fabs(bdf(p, o).final_state()[0] - exact);
+    const SolverOptions o = bdf_opts(k, 0.05, {1e-13, 1e-13});
+    const double err =
+        std::fabs(solve(p, Method::kBdf, o).final_state()[0] - exact);
     EXPECT_LT(err, prev_err) << "order " << k;
     prev_err = err;
   }
@@ -109,19 +118,18 @@ TEST(Bdf, HighOrdersBeatLowOrdersAtSameStep) {
 TEST(Bdf, StableOnVeryStiffDecayWithLargeSteps) {
   // lambda = 1e6; explicit methods would need h ~ 1e-6, BDF1 takes h=0.1.
   const Problem p = decay(1e6, 1.0);
-  BdfOptions o{.max_order = 1, .fixed_h = 0.1};
-  const Solution s = bdf(p, o);
+  const Solution s = solve(p, Method::kBdf, bdf_opts(1, 0.1));
   EXPECT_NEAR(s.final_state()[0], 0.0, 1e-6);
   EXPECT_LT(s.stats.steps, 20u);
 }
 
 TEST(Bdf, AdaptiveTracksStiffProblem) {
   const Problem p = stiff_tracking(3.0);
-  BdfOptions o;
+  SolverOptions o;
   o.tol.rtol = 1e-6;
   o.tol.atol = 1e-8;
-  o.max_order = 2;
-  const Solution s = bdf(p, o);
+  o.bdf_max_order = 2;
+  const Solution s = solve(p, Method::kBdf, o);
   EXPECT_NEAR(s.final_state()[0], std::cos(3.0), 1e-3);
 }
 
@@ -129,10 +137,10 @@ TEST(Bdf, AnalyticJacobianReducesRhsCalls) {
   const Problem with_jac = stiff_tracking(2.0);
   Problem without_jac = with_jac;
   without_jac.jacobian = nullptr;
-  BdfOptions o;
-  o.max_order = 2;
-  const Solution sj = bdf(with_jac, o);
-  const Solution sf = bdf(without_jac, o);
+  SolverOptions o;
+  o.bdf_max_order = 2;
+  const Solution sj = solve(with_jac, Method::kBdf, o);
+  const Solution sf = solve(without_jac, Method::kBdf, o);
   // Finite differencing costs n+1 extra RHS calls per Jacobian refresh —
   // the §3.2.1 argument for generating the Jacobian symbolically.
   EXPECT_LT(sj.stats.rhs_calls, sf.stats.rhs_calls);
@@ -141,11 +149,11 @@ TEST(Bdf, AnalyticJacobianReducesRhsCalls) {
 
 TEST(Bdf, VanDerPolLimitCycle) {
   const Problem p = van_der_pol(30.0, 10.0);
-  BdfOptions o;
+  SolverOptions o;
   o.tol.rtol = 1e-6;
   o.tol.atol = 1e-8;
-  o.max_order = 2;
-  const Solution s = bdf(p, o);
+  o.bdf_max_order = 2;
+  const Solution s = solve(p, Method::kBdf, o);
   // The limit cycle keeps |x| <= ~2.02.
   EXPECT_LE(std::fabs(s.final_state()[0]), 2.1);
   EXPECT_GT(s.stats.newton_iters, s.stats.steps);  // implicit work happened
@@ -153,9 +161,9 @@ TEST(Bdf, VanDerPolLimitCycle) {
 
 TEST(Bdf, NewtonStatsAccumulate) {
   const Problem p = stiff_tracking(1.0);
-  BdfOptions o;
-  o.max_order = 2;
-  const Solution s = bdf(p, o);
+  SolverOptions o;
+  o.bdf_max_order = 2;
+  const Solution s = solve(p, Method::kBdf, o);
   EXPECT_GT(s.stats.newton_iters, 0u);
   EXPECT_GT(s.stats.jac_calls, 0u);
 }
@@ -163,17 +171,17 @@ TEST(Bdf, NewtonStatsAccumulate) {
 TEST(AutoSwitch, StaysOnAdamsForNonStiff) {
   Problem p;
   p.n = 2;
-  p.rhs = [](double, std::span<const double> y, std::span<double> f) {
+  p.set_rhs([](double, std::span<const double> y, std::span<double> f) {
     f[0] = y[1];
     f[1] = -y[0];
-  };
+  });
   p.t0 = 0.0;
   p.tend = 10.0;
   p.y0 = {1.0, 0.0};
   AutoSwitchOptions o;
-  const AutoSwitchResult r = lsoda_like(p, o);
+  const AutoSwitchResult r = auto_switch(p, o);
   EXPECT_TRUE(r.switches.empty());
-  EXPECT_EQ(r.final_method, Method::kAdams);
+  EXPECT_EQ(r.final_method, SwitchMethod::kAdams);
   // Local-error-per-step control: global error ~ steps * tolerance.
   EXPECT_NEAR(r.solution.final_state()[0], std::cos(10.0), 1e-2);
 }
@@ -181,9 +189,9 @@ TEST(AutoSwitch, StaysOnAdamsForNonStiff) {
 TEST(AutoSwitch, SwitchesToBdfOnStiffProblem) {
   const Problem p = stiff_tracking(2.0);
   AutoSwitchOptions o;
-  const AutoSwitchResult r = lsoda_like(p, o);
+  const AutoSwitchResult r = auto_switch(p, o);
   ASSERT_FALSE(r.switches.empty());
-  EXPECT_EQ(r.switches.front().to, Method::kBdf);
+  EXPECT_EQ(r.switches.front().to, SwitchMethod::kBdf);
   EXPECT_NEAR(r.solution.final_state()[0], std::cos(2.0), 1e-2);
   EXPECT_GE(r.solution.stats.method_switches, 1u);
 }
@@ -193,15 +201,22 @@ TEST(AutoSwitch, SolvesVanDerPol) {
   AutoSwitchOptions o;
   o.tol.rtol = 1e-5;
   o.tol.atol = 1e-7;
-  const AutoSwitchResult r = lsoda_like(p, o);
+  const AutoSwitchResult r = auto_switch(p, o);
   EXPECT_LE(std::fabs(r.solution.final_state()[0]), 2.1);
 }
 
 TEST(AutoSwitch, RecordsMergedStats) {
   const Problem p = stiff_tracking(2.0);
-  const AutoSwitchResult r = lsoda_like(p, {});
+  const AutoSwitchResult r = auto_switch(p, {});
   EXPECT_GT(r.solution.stats.rhs_calls, 0u);
   EXPECT_GT(r.solution.stats.steps, 0u);
+}
+
+TEST(AutoSwitch, SolveDispatchesLsodaLike) {
+  const Problem p = stiff_tracking(2.0);
+  const Solution s = solve(p, Method::kLsodaLike, {});
+  EXPECT_NEAR(s.final_state()[0], std::cos(2.0), 1e-2);
+  EXPECT_GE(s.stats.method_switches, 1u);
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 // Non-stiff solver suite: exactness on known solutions, convergence
-// orders, error control, and the Solution container.
+// orders, error control, and the Solution container. All solves go
+// through the unified ode::solve entry point; one test pins the
+// deprecated per-driver wrappers to the same results.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -7,6 +9,7 @@
 #include "omx/ode/adams.hpp"
 #include "omx/ode/dopri5.hpp"
 #include "omx/ode/fixed_step.hpp"
+#include "omx/ode/solve.hpp"
 
 namespace omx::ode {
 namespace {
@@ -15,9 +18,9 @@ namespace {
 Problem decay() {
   Problem p;
   p.n = 1;
-  p.rhs = [](double, std::span<const double> y, std::span<double> f) {
+  p.set_rhs([](double, std::span<const double> y, std::span<double> f) {
     f[0] = -y[0];
-  };
+  });
   p.t0 = 0.0;
   p.tend = 2.0;
   p.y0 = {1.0};
@@ -28,10 +31,10 @@ Problem decay() {
 Problem oscillator(double tend) {
   Problem p;
   p.n = 2;
-  p.rhs = [](double, std::span<const double> y, std::span<double> f) {
+  p.set_rhs([](double, std::span<const double> y, std::span<double> f) {
     f[0] = y[1];
     f[1] = -y[0];
-  };
+  });
   p.t0 = 0.0;
   p.tend = tend;
   p.y0 = {1.0, 0.0};
@@ -40,6 +43,12 @@ Problem oscillator(double tend) {
 
 double final_error_decay(const Solution& s) {
   return std::fabs(s.final_state()[0] - std::exp(-2.0));
+}
+
+SolverOptions with_dt(double dt) {
+  SolverOptions o;
+  o.dt = dt;
+  return o;
 }
 
 TEST(ProblemValidate, RejectsBadSetups) {
@@ -54,60 +63,65 @@ TEST(ProblemValidate, RejectsBadSetups) {
   EXPECT_THROW(p.validate(), omx::Error);
 }
 
+TEST(ProblemValidate, RejectsKernelArityMismatch) {
+  Problem p = decay();
+  p.rhs_arity = 2;  // kernel says 2 states, problem says 1
+  EXPECT_THROW(p.validate(), omx::Error);
+  p.rhs_arity = 1;
+  p.validate();
+}
+
 TEST(Euler, FirstOrderConvergence) {
   const Problem p = decay();
-  FixedStepOptions o1{.dt = 1e-3};
-  FixedStepOptions o2{.dt = 5e-4};
-  const double e1 = final_error_decay(explicit_euler(p, o1));
-  const double e2 = final_error_decay(explicit_euler(p, o2));
+  const double e1 =
+      final_error_decay(solve(p, Method::kExplicitEuler, with_dt(1e-3)));
+  const double e2 =
+      final_error_decay(solve(p, Method::kExplicitEuler, with_dt(5e-4)));
   EXPECT_NEAR(e1 / e2, 2.0, 0.1);  // halving h halves the error
 }
 
 TEST(Rk4, FourthOrderConvergence) {
   const Problem p = decay();
-  FixedStepOptions o1{.dt = 0.1};
-  FixedStepOptions o2{.dt = 0.05};
-  const double e1 = final_error_decay(rk4(p, o1));
-  const double e2 = final_error_decay(rk4(p, o2));
+  const double e1 = final_error_decay(solve(p, Method::kRk4, with_dt(0.1)));
+  const double e2 = final_error_decay(solve(p, Method::kRk4, with_dt(0.05)));
   EXPECT_NEAR(e1 / e2, 16.0, 2.0);
 }
 
 TEST(Rk4, HitsTendExactlyWithNonDividingStep) {
   Problem p = decay();
   p.tend = 1.0;
-  FixedStepOptions o{.dt = 0.3};  // 0.3 * 4 > 1.0: final step clipped
-  const Solution s = rk4(p, o);
+  // 0.3 * 4 > 1.0: final step clipped
+  const Solution s = solve(p, Method::kRk4, with_dt(0.3));
   EXPECT_DOUBLE_EQ(s.final_time(), 1.0);
 }
 
 TEST(Rk4, EnergyNearlyConservedOnOscillator) {
   const Problem p = oscillator(20.0);
-  FixedStepOptions o{.dt = 1e-3};
-  const Solution s = rk4(p, o);
+  const Solution s = solve(p, Method::kRk4, with_dt(1e-3));
   const auto y = s.final_state();
   EXPECT_NEAR(y[0] * y[0] + y[1] * y[1], 1.0, 1e-9);
 }
 
 TEST(Dopri5, MeetsToleranceOnOscillator) {
   const Problem p = oscillator(10.0);
-  Dopri5Options o;
+  SolverOptions o;
   o.tol.rtol = 1e-8;
   o.tol.atol = 1e-10;
-  const Solution s = dopri5(p, o);
+  const Solution s = solve(p, Method::kDopri5, o);
   EXPECT_NEAR(s.final_state()[0], std::cos(10.0), 1e-6);
   EXPECT_NEAR(s.final_state()[1], -std::sin(10.0), 1e-6);
 }
 
 TEST(Dopri5, TighterToleranceCostsMoreAndHelps) {
   const Problem p = oscillator(10.0);
-  Dopri5Options loose;
+  SolverOptions loose;
   loose.tol.rtol = 1e-4;
   loose.tol.atol = 1e-6;
-  Dopri5Options tight;
+  SolverOptions tight;
   tight.tol.rtol = 1e-10;
   tight.tol.atol = 1e-12;
-  const Solution sl = dopri5(p, loose);
-  const Solution st = dopri5(p, tight);
+  const Solution sl = solve(p, Method::kDopri5, loose);
+  const Solution st = solve(p, Method::kDopri5, tight);
   EXPECT_GT(st.stats.rhs_calls, sl.stats.rhs_calls);
   const double el = std::fabs(sl.final_state()[0] - std::cos(10.0));
   const double et = std::fabs(st.final_state()[0] - std::cos(10.0));
@@ -115,19 +129,19 @@ TEST(Dopri5, TighterToleranceCostsMoreAndHelps) {
 }
 
 TEST(Dopri5, AdaptsToVaryingTimescale) {
-  // y' = -1000 (y - sin t) + cos t: fast transient, then slow tracking.
+  // y' = -50 (y - sin t) + cos t: fast transient, then slow tracking.
   Problem p;
   p.n = 1;
-  p.rhs = [](double t, std::span<const double> y, std::span<double> f) {
+  p.set_rhs([](double t, std::span<const double> y, std::span<double> f) {
     f[0] = -50.0 * (y[0] - std::sin(t)) + std::cos(t);
-  };
+  });
   p.t0 = 0.0;
   p.tend = 3.0;
   p.y0 = {1.0};
-  Dopri5Options o;
+  SolverOptions o;
   o.tol.rtol = 1e-7;
   o.tol.atol = 1e-9;
-  const Solution s = dopri5(p, o);
+  const Solution s = solve(p, Method::kDopri5, o);
   EXPECT_NEAR(s.final_state()[0], std::sin(3.0), 1e-4);
   EXPECT_GT(s.stats.steps, 10u);
 }
@@ -135,23 +149,22 @@ TEST(Dopri5, AdaptsToVaryingTimescale) {
 TEST(Dopri5, ReportsRejectionsUnderRoughness) {
   Problem p;
   p.n = 1;
-  p.rhs = [](double t, std::span<const double> y, std::span<double> f) {
+  p.set_rhs([](double t, std::span<const double> y, std::span<double> f) {
     f[0] = (t < 1.0 ? 1.0 : -300.0 * y[0]);  // kink at t = 1
-  };
+  });
   p.t0 = 0.0;
   p.tend = 2.0;
   p.y0 = {0.0};
-  Dopri5Options o;
-  const Solution s = dopri5(p, o);
+  const Solution s = solve(p, Method::kDopri5, {});
   EXPECT_GT(s.stats.rejected, 0u);
 }
 
 TEST(Adams, MatchesExactSolution) {
   const Problem p = oscillator(8.0);
-  AdamsOptions o;
+  SolverOptions o;
   o.tol.rtol = 1e-8;
   o.tol.atol = 1e-10;
-  const Solution s = adams_pece(p, o);
+  const Solution s = solve(p, Method::kAdamsPece, o);
   EXPECT_NEAR(s.final_state()[0], std::cos(8.0), 1e-5);
   EXPECT_NEAR(s.final_state()[1], -std::sin(8.0), 1e-5);
 }
@@ -161,12 +174,12 @@ TEST(Adams, FewerRhsCallsPerStepThanRk4) {
   // Pinning h (h0 == hmax) isolates the steady-state PECE cost from the
   // RK4-based history rebuilds that step-size changes require.
   const Problem p = oscillator(20.0);
-  AdamsOptions ao;
+  SolverOptions ao;
   ao.tol.rtol = 1e-6;
   ao.tol.atol = 1e-8;
   ao.h0 = 0.02;
   ao.hmax = 0.02;
-  const Solution sa = adams_pece(p, ao);
+  const Solution sa = solve(p, Method::kAdamsPece, ao);
   const double ea = std::fabs(sa.final_state()[0] - std::cos(20.0));
   EXPECT_LT(ea, 1e-3);
   EXPECT_LT(sa.stats.rhs_calls, 3u * sa.stats.steps);
@@ -188,6 +201,24 @@ TEST(Adams, StepperRestartWorks) {
   EXPECT_NEAR(st.y()[0], std::cos(10.0), 1e-4);
 }
 
+// The historical per-driver entry points must keep forwarding to the
+// same implementations ode::solve dispatches to.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(DeprecatedWrappers, ForwardToSolve) {
+  const Problem p = oscillator(5.0);
+  FixedStepOptions fo{.dt = 1e-3};
+  const Solution wrapped = rk4(p, fo);
+  const Solution unified = solve(p, Method::kRk4, with_dt(1e-3));
+  EXPECT_DOUBLE_EQ(wrapped.final_state()[0], unified.final_state()[0]);
+
+  Dopri5Options dopts;
+  const Solution dw = dopri5(p, dopts);
+  const Solution du = solve(p, Method::kDopri5, {});
+  EXPECT_DOUBLE_EQ(dw.final_state()[0], du.final_state()[0]);
+}
+#pragma GCC diagnostic pop
+
 TEST(Solution, InterpolatesLinearly) {
   Solution s;
   const std::vector<double> a{0.0}, b{10.0};
@@ -200,10 +231,12 @@ TEST(Solution, InterpolatesLinearly) {
 
 TEST(Solution, RecordEveryThinsOutput) {
   const Problem p = decay();
-  FixedStepOptions all{.dt = 1e-3, .record_every = 1};
-  FixedStepOptions thin{.dt = 1e-3, .record_every = 100};
-  const Solution sa = explicit_euler(p, all);
-  const Solution st = explicit_euler(p, thin);
+  SolverOptions all = with_dt(1e-3);
+  all.record_every = 1;
+  SolverOptions thin = with_dt(1e-3);
+  thin.record_every = 100;
+  const Solution sa = solve(p, Method::kExplicitEuler, all);
+  const Solution st = solve(p, Method::kExplicitEuler, thin);
   EXPECT_GT(sa.size(), 50u * st.size());
   EXPECT_DOUBLE_EQ(sa.final_time(), st.final_time());
 }

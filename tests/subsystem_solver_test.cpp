@@ -8,7 +8,7 @@
 #include "omx/model/flatten.hpp"
 #include "omx/models/hydro.hpp"
 #include "omx/models/servo.hpp"
-#include "omx/ode/dopri5.hpp"
+#include "omx/ode/solve.hpp"
 #include "omx/parser/parser.hpp"
 
 namespace omx::analysis {
@@ -46,17 +46,17 @@ std::vector<double> monolithic_final(const model::FlatSystem& flat,
                                      const ode::Tolerances& tol) {
   ode::Problem p;
   p.n = flat.num_states();
-  p.rhs = [&flat](double t, std::span<const double> y,
-                  std::span<double> f) { flat.eval_rhs(t, y, f); };
+  p.set_rhs([&flat](double t, std::span<const double> y,
+                   std::span<double> f) { flat.eval_rhs(t, y, f); });
   p.t0 = t0;
   p.tend = tend;
   for (const auto& s : flat.states()) {
     p.y0.push_back(s.start);
   }
-  ode::Dopri5Options o;
+  ode::SolverOptions o;
   o.tol = tol;
   o.record_every = 1u << 30;
-  const auto sol = ode::dopri5(p, o);
+  const auto sol = ode::solve(p, ode::Method::kDopri5, o);
   return {sol.final_state().begin(), sol.final_state().end()};
 }
 

@@ -197,11 +197,9 @@ end)");
 
   la::Matrix fd(2, 2);
   std::uint64_t calls = 0;
-  ode::finite_difference_jacobian(
-      [&](double t, std::span<const double> yy, std::span<double> yd) {
-        f.eval_rhs(t, yy, yd);
-      },
-      0.9, y, fd, calls);
+  auto ref_rhs = [&](double t, std::span<const double> yy,
+                     std::span<double> yd) { f.eval_rhs(t, yy, yd); };
+  ode::finite_difference_jacobian(ref_rhs, 0.9, y, fd, calls);
   for (std::size_t i = 0; i < 2; ++i) {
     for (std::size_t j = 0; j < 2; ++j) {
       EXPECT_NEAR(jbuf[i * 2 + j], fd(i, j),
