@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares the BENCH_*.json files produced by the bench binaries (obs JSON
+metrics exporter format: {"counters": ..., "gauges": ..., "histograms":
+...}) against the checked-in baselines in bench/baselines/ and fails when
+a gated throughput metric regresses by more than --tolerance (default
+15%).
+
+What is gated vs merely reported:
+
+* fig12.* gauges are *virtual-time* rates out of the simulated 1995
+  machines — deterministic and machine-independent — so every
+  calls_per_s series point and peak is gated against its baseline.
+* backends.native_over_interp and backends.pool.stealing_over_static are
+  same-machine *ratios*, so they transfer across hosts: native/interp is
+  gated against the repo's >= 2x bar (and the baseline when present);
+  stealing/static is gated against parity (>= 1 - tolerance), since the
+  LPT seed schedule is already balanced and stealing must not cost
+  throughput.
+* Absolute wall-clock rates (backends.*.calls_per_s) vary with CI
+  hardware and are reported for the log but never gated.
+
+Usage: scripts/bench_gate.py --current <dir with BENCH_*.json>
+                             [--baseline bench/baselines]
+                             [--tolerance 0.15]
+
+Exit status: 0 = all gates pass, 1 = regression, 2 = missing inputs.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+GATED_RATIO_BARS = {
+    # gauge name -> absolute floor that must hold regardless of baseline
+    "backends.native_over_interp": 2.0,
+}
+
+
+def load_gauges(path):
+    with open(path) as f:
+        return json.load(f).get("gauges", {})
+
+
+def fmt(v):
+    return f"{v:.4g}"
+
+
+class Gate:
+    def __init__(self, tolerance):
+        self.tolerance = tolerance
+        self.failures = []
+        self.rows = []
+
+    def check(self, name, current, floor, why):
+        ok = current >= floor
+        self.rows.append((name, fmt(current), fmt(floor), why,
+                          "ok" if ok else "FAIL"))
+        if not ok:
+            self.failures.append(
+                f"{name}: {fmt(current)} < floor {fmt(floor)} ({why})")
+
+    def report(self, name, current, baseline):
+        delta = ("n/a" if baseline is None or baseline == 0.0
+                 else f"{(current / baseline - 1.0) * 100:+.1f}%")
+        self.rows.append((name, fmt(current),
+                          fmt(baseline) if baseline is not None else "-",
+                          "report only", delta))
+
+
+def gate_fig12(gate, current, baseline):
+    for name, base in sorted(baseline.items()):
+        if not name.startswith("fig12."):
+            continue
+        if ".calls_per_s." not in name and not name.endswith(".peak"):
+            continue
+        if name not in current:
+            gate.failures.append(f"{name}: missing from current run")
+            continue
+        gate.check(name, current[name], base * (1.0 - gate.tolerance),
+                   f"baseline {fmt(base)} - {gate.tolerance:.0%}")
+
+
+def gate_backends(gate, current, baseline):
+    for name, bar in GATED_RATIO_BARS.items():
+        if name not in current:
+            gate.failures.append(f"{name}: missing from current run")
+            continue
+        floor = bar
+        why = f"repo bar {fmt(bar)}"
+        base = baseline.get(name)
+        if base is not None:
+            base_floor = base * (1.0 - gate.tolerance)
+            if base_floor > floor:
+                floor, why = base_floor, (
+                    f"baseline {fmt(base)} - {gate.tolerance:.0%}")
+        gate.check(name, current[name], floor, why)
+
+    name = "backends.pool.stealing_over_static"
+    if name in current:
+        gate.check(name, current[name], 1.0 - gate.tolerance,
+                   f"parity - {gate.tolerance:.0%}")
+    else:
+        gate.failures.append(f"{name}: missing from current run")
+
+    for name in sorted(current):
+        if name.endswith(".calls_per_s") and name.startswith("backends."):
+            gate.report(name, current[name], baseline.get(name))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--current", required=True,
+                    help="directory containing the fresh BENCH_*.json")
+    ap.add_argument("--baseline", default="bench/baselines",
+                    help="directory with the checked-in baselines")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed fractional regression (default 0.15)")
+    args = ap.parse_args()
+
+    gate = Gate(args.tolerance)
+    missing = []
+    for fname, fn in (("BENCH_fig12.json", gate_fig12),
+                      ("BENCH_backends.json", gate_backends)):
+        cur_path = os.path.join(args.current, fname)
+        base_path = os.path.join(args.baseline, fname)
+        if not os.path.exists(cur_path):
+            missing.append(cur_path)
+            continue
+        if not os.path.exists(base_path):
+            missing.append(base_path)
+            continue
+        fn(gate, load_gauges(cur_path), load_gauges(base_path))
+
+    if missing:
+        for m in missing:
+            print(f"bench_gate: missing {m}", file=sys.stderr)
+        return 2
+
+    width = max(len(r[0]) for r in gate.rows) if gate.rows else 10
+    print(f"{'metric':<{width}}  {'current':>10}  {'floor/base':>10}  "
+          f"{'rule':<22}  verdict")
+    for name, cur, floor, why, verdict in gate.rows:
+        print(f"{name:<{width}}  {cur:>10}  {floor:>10}  {why:<22}  "
+              f"{verdict}")
+
+    if gate.failures:
+        print(f"\nbench_gate: {len(gate.failures)} regression(s):",
+              file=sys.stderr)
+        for f in gate.failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nbench_gate: all gates pass (tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,38 +2,66 @@
 # CI entry point: configure with warnings-as-errors, build, run the tier-1
 # test suite, then run it once more with observability (metrics + tracing)
 # force-enabled to catch instrumentation regressions that only fire when a
-# trace is being recorded.
+# trace is being recorded. The default path finishes with the benchmark
+# regression gate (scripts/bench_gate.py against bench/baselines/).
 #
-# Usage: scripts/ci.sh [--sanitize] [build-dir]
-#   default build-dir: build-ci (build-asan with --sanitize)
+# Usage: scripts/ci.sh [--sanitize|--tsan] [build-dir]
+#   default build-dir: build-ci (build-asan with --sanitize,
+#                                build-tsan with --tsan)
 # With --sanitize the tree is built with -DOMX_SANITIZE=ON
 # (AddressSanitizer + UndefinedBehaviorSanitizer) and the tier-1 suite
 # runs once under halt-on-error sanitizer settings.
+# With --tsan the tree is built with -DOMX_SANITIZE=THREAD and the tier-1
+# suite runs under halt-on-error ThreadSanitizer, plus one extra pass of
+# the runtime stress suite with work stealing + tracing forced on (the
+# highest-contention configuration the runtime supports).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-SANITIZE=0
-if [[ "${1:-}" == "--sanitize" ]]; then
-  SANITIZE=1
-  shift
-fi
-BUILD_DIR="${1:-$([[ $SANITIZE == 1 ]] && echo build-asan || echo build-ci)}"
+MODE=default
+case "${1:-}" in
+  --sanitize) MODE=asan; shift ;;
+  --tsan)     MODE=tsan; shift ;;
+esac
+case "$MODE" in
+  asan) DEFAULT_DIR=build-asan ;;
+  tsan) DEFAULT_DIR=build-tsan ;;
+  *)    DEFAULT_DIR=build-ci ;;
+esac
+BUILD_DIR="${1:-$DEFAULT_DIR}"
 
 CMAKE_ARGS=(-DCMAKE_BUILD_TYPE=RelWithDebInfo -DCMAKE_CXX_FLAGS=-Werror)
-if [[ $SANITIZE == 1 ]]; then
-  CMAKE_ARGS+=(-DOMX_SANITIZE=ON)
+if command -v ccache >/dev/null 2>&1; then
+  CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
 fi
+case "$MODE" in
+  asan) CMAKE_ARGS+=(-DOMX_SANITIZE=ON) ;;
+  tsan) CMAKE_ARGS+=(-DOMX_SANITIZE=THREAD) ;;
+esac
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j
 
-if [[ $SANITIZE == 1 ]]; then
+if [[ $MODE == asan ]]; then
   echo "== tier-1 tests (ASan + UBSan, halt on error) =="
   ASAN_OPTIONS=halt_on_error=1:detect_leaks=1 \
   UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
     ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
   echo "CI OK (sanitized)"
+  exit 0
+fi
+
+if [[ $MODE == tsan ]]; then
+  export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+  echo "== tier-1 tests (ThreadSanitizer, halt on error) =="
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+  echo "== runtime stress (TSan + stealing + tracing forced on) =="
+  OMX_POOL_STEALING=1 OMX_OBS_ENABLED=1 OMX_OBS_TRACE=1 \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+      -R 'RuntimeStress|WorkerPool|ParallelRhs'
+  echo "CI OK (TSan)"
   exit 0
 fi
 
@@ -52,5 +80,12 @@ test -s "$BUILD_DIR"/trace.json
 echo "== smoke: backend shootout exports BENCH_backends.json =="
 (cd "$BUILD_DIR" && ./bench/backends)
 test -s "$BUILD_DIR"/BENCH_backends.json
+
+echo "== bench: Figure 12 virtual-time series =="
+(cd "$BUILD_DIR" && ./bench/fig12_speedup)
+test -s "$BUILD_DIR"/BENCH_fig12.json
+
+echo "== bench regression gate =="
+python3 scripts/bench_gate.py --current "$BUILD_DIR"
 
 echo "CI OK"

@@ -17,7 +17,10 @@
 // §3.2). `lane` selects one of the kernel's pre-built concurrency lanes
 // (private register files for the interpreter; native code is stateless
 // and ignores it). Calls on distinct lanes are thread-safe; eval and
-// same-lane calls are not.
+// same-lane calls are not. The task <-> lane pairing is the caller's
+// choice and may change call to call — the work-stealing pool runs any
+// task on whichever lane (worker) claimed it — so backends must not key
+// any per-task state off the lane index.
 //
 // Ownership: RhsKernel is a non-owning view. KernelInstance owns the
 // backend state (workspaces, dlopen handle) and guarantees a stable

@@ -29,12 +29,14 @@ TraceBuffer& TraceBuffer::global() {
   return *tb;
 }
 
-TraceBuffer::TraceBuffer() : epoch_ns_(steady_ns()) {}
+TraceBuffer::TraceBuffer() {
+  epoch_ns_.store(steady_ns(), std::memory_order_relaxed);
+}
 
 void TraceBuffer::start() {
   std::lock_guard<std::mutex> lock(mutex_);
   events_.clear();
-  epoch_ns_ = steady_ns();
+  epoch_ns_.store(steady_ns(), std::memory_order_relaxed);
   active_.store(true, std::memory_order_relaxed);
 }
 
@@ -42,7 +44,9 @@ void TraceBuffer::stop() {
   active_.store(false, std::memory_order_relaxed);
 }
 
-std::int64_t TraceBuffer::now_ns() const { return steady_ns() - epoch_ns_; }
+std::int64_t TraceBuffer::now_ns() const {
+  return steady_ns() - epoch_ns_.load(std::memory_order_relaxed);
+}
 
 void TraceBuffer::record(std::string name, const char* category,
                          std::int64_t start_ns, std::int64_t dur_ns) {

@@ -59,7 +59,9 @@ class TraceBuffer {
 
  private:
   std::atomic<bool> active_{false};
-  std::int64_t epoch_ns_ = 0;  // steady_clock reading at start()
+  // steady_clock reading at start(). Atomic: start() can race worker
+  // threads reading the epoch through now_ns() (found by TSan).
+  std::atomic<std::int64_t> epoch_ns_{0};
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
   std::map<std::uint32_t, std::string> thread_names_;

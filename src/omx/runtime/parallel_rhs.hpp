@@ -17,13 +17,14 @@
 namespace omx::runtime {
 
 struct ParallelRhsOptions {
+  /// Pool options, including `pool.stealing`: with stealing on, the
+  /// semi-dynamic LPT schedule is the *seed* for each call's Chase-Lev
+  /// deques, and idle workers rebalance within the call.
   WorkerPool::Options pool;
   sched::SemiDynamicOptions sched;
   /// false = static LPT from the kernel's cost estimates only, no
   /// re-scheduling.
   bool semi_dynamic = true;
-  /// 0 = parallel execution via the pool; >0 is unused (reserved).
-  int reserved = 0;
 };
 
 class ParallelRhs {
@@ -51,6 +52,8 @@ class ParallelRhs {
   /// Wall seconds spent measuring + rebuilding schedules (the <1% claim).
   double scheduling_seconds() const { return scheduling_seconds_; }
   std::size_t num_reschedules() const { return sched_->num_reschedules(); }
+  /// Tasks the pool's workers obtained by stealing (0 in static mode).
+  std::uint64_t tasks_stolen() const { return pool_->tasks_stolen(); }
   MessageStats& stats() { return pool_->stats(); }
 
   /// Measured RHS throughput: calls per second so far.

@@ -1,6 +1,9 @@
 #include "omx/runtime/worker_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <unordered_set>
 
 #include "omx/obs/trace.hpp"
@@ -12,6 +15,15 @@ namespace {
 // Fixed per-message envelope (header, tags) in bytes.
 constexpr std::size_t kHeaderBytes = 16;
 }  // namespace
+
+bool WorkerPool::stealing_env_default() {
+  const char* v = std::getenv("OMX_POOL_STEALING");
+  if (v == nullptr) {
+    return false;
+  }
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "false") == 0 ||
+           std::strcmp(v, "off") == 0);
+}
 
 WorkerPool::WorkerPool(const exec::RhsKernel& kernel, const Options& opts)
     : kernel_(&kernel), opts_(opts) {
@@ -34,16 +46,35 @@ void WorkerPool::init() {
               "WorkerPool needs a kernel with a task decomposition");
   OMX_REQUIRE(kernel_->num_lanes() >= opts_.num_workers,
               "kernel has fewer lanes than workers");
-  rhs_calls_metric_ = &obs::Registry::global().counter("rhs.calls");
-  tasks_run_metric_ = &obs::Registry::global().counter("rhs.tasks_run");
+  obs::Registry& reg = obs::Registry::global();
+  rhs_calls_metric_ = &reg.counter("rhs.calls");
+  tasks_run_metric_ = &reg.counter("rhs.tasks_run");
+  steals_metric_ = &reg.counter("pool.steals");
+  steal_failures_metric_ = &reg.counter("pool.steal_failures");
+  idle_metric_ = &reg.counter("pool.idle_nanos");
+  // Steal latency spans lock contention (~100 ns) up to a whole task on a
+  // loaded machine.
+  steal_latency_metric_ = &reg.histogram(
+      "pool.steal_latency_seconds",
+      {1e-7, 3e-7, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 1e-3, 1e-2});
 
   y_.resize(kernel_->n_state(), 0.0);
-  task_seconds_.assign(kernel_->num_tasks(), 0.0);
+  const exec::TaskTable& table = kernel_->tasks();
+  task_seconds_.assign(table.size(), 0.0);
+  task_result_offset_.resize(table.size() + 1);
+  std::size_t offset = 0;
+  for (std::size_t t = 0; t < table.size(); ++t) {
+    task_result_offset_[t] = offset;
+    offset += table.tasks[t].out_slots.size();
+  }
+  task_result_offset_[table.size()] = offset;
+  task_results_.assign(offset, 0.0);
 
   workers_.reserve(opts_.num_workers);
   for (std::size_t w = 0; w < opts_.num_workers; ++w) {
     auto ws = std::make_unique<WorkerState>();
     ws->task_out.assign(kernel_->n_out(), 0.0);
+    ws->deque.reserve(table.size());
     workers_.push_back(std::move(ws));
   }
   // Default schedule: round-robin, replaced by the caller via
@@ -62,14 +93,11 @@ void WorkerPool::init() {
 }
 
 WorkerPool::~WorkerPool() {
-  for (auto& w : workers_) {
-    {
-      std::lock_guard<std::mutex> lock(w->mutex);
-      shutdown_ = true;
-      ++w->requested;
-    }
-    w->cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(start_mutex_);
+    shutdown_ = true;
   }
+  start_cv_.notify_all();
   for (auto& w : workers_) {
     if (w->thread.joinable()) {
       w->thread.join();
@@ -82,15 +110,17 @@ void WorkerPool::set_schedule(const sched::Schedule& schedule) {
               "schedule/worker count mismatch");
   const exec::TaskTable& table = kernel_->tasks();
   for (std::size_t w = 0; w < workers_.size(); ++w) {
-    std::lock_guard<std::mutex> lock(workers_[w]->mutex);
     workers_[w]->tasks = schedule[w];
     std::size_t outputs = 0;
     for (std::uint32_t t : schedule[w]) {
       OMX_REQUIRE(t < table.size(), "task index out of range");
       outputs += table.tasks[t].out_slots.size();
     }
-    workers_[w]->results.assign(outputs, 0.0);
+    workers_[w]->result_bytes = kHeaderBytes + 16 * outputs;
   }
+  // A task the new schedule omits must contribute zero, not a stale
+  // value from an earlier schedule.
+  std::fill(task_results_.begin(), task_results_.end(), 0.0);
   recompute_message_sizes();
 }
 
@@ -98,7 +128,9 @@ void WorkerPool::recompute_message_sizes() {
   const exec::TaskTable& table = kernel_->tasks();
   for (auto& w : workers_) {
     std::size_t payload_states = kernel_->n_state();
-    if (opts_.communication_analysis) {
+    // Stealing needs the full broadcast: any worker may execute any task
+    // (the paper's own argument for sending everything, §3.2.3).
+    if (opts_.communication_analysis && !opts_.stealing) {
       std::unordered_set<std::uint32_t> needed;
       for (std::uint32_t t : w->tasks) {
         for (std::uint32_t s : table.tasks[t].in_states) {
@@ -109,67 +141,175 @@ void WorkerPool::recompute_message_sizes() {
     }
     // t plus the states; results carry (slot, value) pairs.
     w->state_bytes = kHeaderBytes + 8 * (payload_states + 1);
-    std::size_t outputs = 0;
-    for (std::uint32_t t : w->tasks) {
-      outputs += table.tasks[t].out_slots.size();
-    }
-    w->result_bytes = kHeaderBytes + 16 * outputs;
   }
+}
+
+void WorkerPool::execute_task(WorkerState& w, std::size_t index,
+                              std::uint32_t task) {
+  obs::TraceBuffer& tb = obs::TraceBuffer::global();
+  const exec::TaskMeta& meta = kernel_->tasks().tasks[task];
+  const bool tracing = tb.active();
+  const std::int64_t span_start = tracing ? tb.now_ns() : 0;
+  Stopwatch timer;
+  for (std::size_t rep = 0; rep < opts_.compute_scale; ++rep) {
+    // run_task accumulates, so its slots are re-zeroed per rep; only the
+    // final rep's values are kept.
+    for (std::uint32_t slot : meta.out_slots) {
+      w.task_out[slot] = 0.0;
+    }
+    kernel_->run_task(index, task, t_, y_.data(), w.task_out.data());
+  }
+  task_seconds_[task] = timer.seconds();
+  if (tracing) {
+    tb.record("task/" + std::to_string(task), "task", span_start,
+              tb.now_ns() - span_start);
+  }
+  double* dst = task_results_.data() + task_result_offset_[task];
+  for (std::uint32_t slot : meta.out_slots) {
+    *dst++ = w.task_out[slot];
+  }
+  w.outputs_produced += meta.out_slots.size();
+}
+
+bool WorkerPool::steal_task(std::size_t thief, std::uint32_t& task) {
+  // Victim: the most-loaded other worker by (racy) deque size.
+  std::size_t victim = thief;
+  std::size_t victim_size = 0;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (i == thief) {
+      continue;
+    }
+    const std::size_t s = workers_[i]->deque.size_estimate();
+    if (s > victim_size) {
+      victim_size = s;
+      victim = i;
+    }
+  }
+  if (victim == thief) {
+    return false;  // everything is empty or in flight
+  }
+  if (workers_[victim]->deque.steal(task)) {
+    return true;
+  }
+  steal_failures_metric_->add();
+  return false;
+}
+
+void WorkerPool::run_epoch(WorkerState& w, std::size_t index) {
+  std::size_t executed = 0;
+  w.outputs_produced = 0;
+
+  if (!opts_.stealing) {
+    // Static §3.2.3 mode: drain the fixed assignment, nothing else.
+    if (w.tasks.empty()) {
+      return;
+    }
+    stats_.charge(opts_.net, w.state_bytes);  // receive the state message
+    for (std::uint32_t task : w.tasks) {
+      if (abort_.load(std::memory_order_acquire)) {
+        break;
+      }
+      execute_task(w, index, task);
+      ++executed;
+    }
+    if (executed > 0) {
+      tasks_run_metric_->add(executed);
+      stats_.charge(opts_.net, w.result_bytes);  // send the results back
+    }
+    return;
+  }
+
+  // Stealing mode: drain the own deque, then steal until no task remains
+  // anywhere. Every worker participates (and pays the full-state receive)
+  // even with an empty seed — it may steal.
+  stats_.charge(opts_.net, w.state_bytes);
+  std::int64_t idle_ns = 0;
+  std::uint64_t steals = 0;
+  bool hunting = false;  // true while looking for a task to steal
+  Stopwatch hunt;
+  while (!abort_.load(std::memory_order_acquire)) {
+    std::uint32_t task = 0;
+    if (w.deque.pop(task)) {
+      execute_task(w, index, task);
+      ++executed;
+      tasks_remaining_.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+    if (tasks_remaining_.load(std::memory_order_acquire) == 0) {
+      break;  // epoch complete
+    }
+    if (!hunting) {
+      hunting = true;
+      hunt.reset();
+    }
+    if (steal_task(index, task)) {
+      steal_latency_metric_->observe(hunt.seconds());
+      hunting = false;
+      ++steals;
+      execute_task(w, index, task);
+      ++executed;
+      tasks_remaining_.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+    // Nothing stealable, but tasks are still in flight elsewhere: yield
+    // until the stragglers finish (or new steal opportunities appear —
+    // they cannot, tasks are only seeded between epochs, so this wait is
+    // bounded by the longest in-flight task).
+    Stopwatch idle;
+    std::this_thread::yield();
+    idle_ns += idle.nanos();
+  }
+  if (executed > 0) {
+    tasks_run_metric_->add(executed);
+  }
+  if (steals > 0) {
+    steals_metric_->add(steals);
+    tasks_stolen_.fetch_add(steals, std::memory_order_relaxed);
+  }
+  if (idle_ns > 0) {
+    idle_metric_->add(static_cast<std::uint64_t>(idle_ns));
+  }
+  // The response message doubles as the completion report, so it is sent
+  // even when this worker executed nothing — message counts stay
+  // deterministic under dynamic scheduling.
+  stats_.charge(opts_.net, kHeaderBytes + 16 * w.outputs_produced);
 }
 
 void WorkerPool::worker_main(WorkerState& w, std::size_t index) {
   obs::TraceBuffer& tb = obs::TraceBuffer::global();
   tb.set_thread_name("worker/" + std::to_string(index));
-  const exec::TaskTable& table = kernel_->tasks();
-  std::uint64_t last_done = 0;
+  std::uint64_t last_epoch = 0;
   while (true) {
     {
       const std::int64_t idle_start = tb.active() ? tb.now_ns() : -1;
-      std::unique_lock<std::mutex> lock(w.mutex);
-      w.cv.wait(lock, [&] { return w.requested > last_done || shutdown_; });
+      std::unique_lock<std::mutex> lock(start_mutex_);
+      start_cv_.wait(lock,
+                     [&] { return epoch_ > last_epoch || shutdown_; });
       if (idle_start >= 0 && tb.active()) {
         tb.record("idle", "worker", idle_start, tb.now_ns() - idle_start);
       }
       if (shutdown_) {
         return;
       }
-      last_done = w.requested;
+      last_epoch = epoch_;
     }
-    if (!w.tasks.empty()) {
-      const bool tracing = tb.active();
-      // Receive the state message.
-      stats_.charge(opts_.net, w.state_bytes);
-      std::size_t out_idx = 0;
-      for (std::uint32_t task : w.tasks) {
-        const exec::TaskMeta& meta = table.tasks[task];
-        const std::int64_t span_start = tracing ? tb.now_ns() : 0;
-        Stopwatch timer;
-        for (std::size_t rep = 0; rep < opts_.compute_scale; ++rep) {
-          // run_task accumulates, so its slots are re-zeroed per rep;
-          // only the final rep's values are marshalled.
-          for (std::uint32_t slot : meta.out_slots) {
-            w.task_out[slot] = 0.0;
-          }
-          kernel_->run_task(index, task, t_, y_.data(), w.task_out.data());
-        }
-        task_seconds_[task] = timer.seconds();
-        if (tracing) {
-          tb.record("task/" + std::to_string(task), "task", span_start,
-                    tb.now_ns() - span_start);
-        }
-        for (std::uint32_t slot : meta.out_slots) {
-          w.results[out_idx++] = w.task_out[slot];
-        }
-      }
-      tasks_run_metric_->add(w.tasks.size());
-      // Send the results back.
-      stats_.charge(opts_.net, w.result_bytes);
+    std::exception_ptr error;
+    try {
+      run_epoch(w, index);
+    } catch (...) {
+      // Abort the epoch: peers stop claiming tasks and park, and the
+      // supervisor re-throws after the finish handshake.
+      error = std::current_exception();
+      abort_.store(true, std::memory_order_release);
     }
     {
-      std::lock_guard<std::mutex> lock(w.mutex);
-      w.completed = last_done;
+      std::lock_guard<std::mutex> lock(done_mutex_);
+      if (error != nullptr && first_error_ == nullptr) {
+        first_error_ = error;
+      }
+      ++workers_done_;
     }
-    w.cv.notify_all();
+    done_cv_.notify_all();
   }
 }
 
@@ -191,42 +331,63 @@ void WorkerPool::eval(double t, std::span<const double> y,
   {
     // Distribution phase: the supervisor serializes the sends (it is one
     // processor writing to the interconnect), then each worker pays its
-    // receive cost concurrently.
+    // receive cost concurrently. All epoch inputs are published by the
+    // start_mutex_ acquisition below.
     obs::Span scatter("scatter", "runtime");
+    std::size_t total_tasks = 0;
     for (auto& w : workers_) {
-      if (!w->tasks.empty()) {
+      if (opts_.stealing) {
+        w->deque.seed(w->tasks);
+        total_tasks += w->tasks.size();
+        stats_.charge(opts_.net, w->state_bytes);  // full broadcast
+      } else if (!w->tasks.empty()) {
         stats_.charge(opts_.net, w->state_bytes);  // supervisor send cost
       }
-      {
-        std::lock_guard<std::mutex> lock(w->mutex);
-        w->requested = generation_;
-      }
-      w->cv.notify_all();
+    }
+    tasks_remaining_.store(static_cast<std::int64_t>(total_tasks),
+                           std::memory_order_relaxed);
+    abort_.store(false, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(done_mutex_);
+      workers_done_ = 0;
+    }
+    {
+      std::lock_guard<std::mutex> lock(start_mutex_);
+      epoch_ = generation_;
+    }
+    start_cv_.notify_all();
+  }
+
+  // Collection phase: wait for every worker, then accumulate the
+  // per-task results in task-id order — deterministic regardless of
+  // which worker executed which task.
+  std::exception_ptr error;
+  {
+    obs::Span gather("gather", "runtime");
+    std::unique_lock<std::mutex> lock(done_mutex_);
+    done_cv_.wait(lock, [&] { return workers_done_ == workers_.size(); });
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error != nullptr) {
+    std::rethrow_exception(error);
+  }
+
+  for (auto& w : workers_) {
+    if (opts_.stealing) {
+      // supervisor receive cost, mirroring the worker's send
+      stats_.charge(opts_.net, kHeaderBytes + 16 * w->outputs_produced);
+    } else if (!w->tasks.empty()) {
+      stats_.charge(opts_.net, w->result_bytes);
     }
   }
 
   std::fill(ydot.begin(), ydot.end(), 0.0);
-
-  {
-    // Collection phase: wait for workers in index order and accumulate
-    // their contributions deterministically.
-    obs::Span gather("gather", "runtime");
-    const exec::TaskTable& table = kernel_->tasks();
-    for (auto& w : workers_) {
-      {
-        std::unique_lock<std::mutex> lock(w->mutex);
-        w->cv.wait(lock, [&] { return w->completed == generation_; });
-      }
-      if (w->tasks.empty()) {
-        continue;
-      }
-      stats_.charge(opts_.net, w->result_bytes);  // supervisor receive cost
-      std::size_t out_idx = 0;
-      for (std::uint32_t task : w->tasks) {
-        for (std::uint32_t slot : table.tasks[task].out_slots) {
-          ydot[slot] += w->results[out_idx++];
-        }
-      }
+  const exec::TaskTable& table = kernel_->tasks();
+  for (std::size_t task = 0; task < table.size(); ++task) {
+    const double* src = task_results_.data() + task_result_offset_[task];
+    for (std::uint32_t slot : table.tasks[task].out_slots) {
+      ydot[slot] += *src++;
     }
   }
 

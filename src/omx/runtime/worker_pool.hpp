@@ -1,24 +1,54 @@
-// Supervisor/worker execution engine (§3.2, Figure 10).
+// Supervisor/worker execution engine (§3.2, Figure 10) with intra-call
+// work stealing.
 //
 // The supervisor (the caller of eval(), i.e. the ODE solver thread)
-// distributes the state vector to worker threads, each worker executes its
-// assigned tasks through the bound exec::RhsKernel (one concurrency lane
-// per worker), and the supervisor collects and accumulates the results.
-// Message costs are charged through the simulated Interconnect on both the
-// sending and receiving side.
+// distributes the state vector to worker threads, each worker executes
+// tasks through the bound exec::RhsKernel (one concurrency lane per
+// worker), and the supervisor collects and accumulates the results.
+// Message costs are charged through the simulated Interconnect on both
+// the sending and receiving side.
 //
-// The pool is backend-agnostic: it consumes any kernel with a task
-// decomposition — the tape interpreter or the runtime-compiled native
-// code — and schedules from the kernel's TaskTable metadata.
+// Start/finish protocol (epoch-based, ThreadSanitizer-clean):
+//  * The supervisor publishes the epoch inputs (t, y, seeded deques,
+//    outstanding-task count), then increments `epoch_` under
+//    `start_mutex_` and broadcasts `start_cv_`. The mutex acquisition
+//    that each worker performs to observe the new epoch is what makes
+//    every preceding plain write (inputs, schedules) visible to it.
+//  * Each worker runs until no runnable task remains (see below), then
+//    increments `workers_done_` under `done_mutex_` and signals
+//    `done_cv_`. The supervisor waits for all workers, which conversely
+//    publishes every worker-side plain write (per-task results, measured
+//    task times) back to the supervisor.
+//  * All remaining intra-epoch shared state is atomic: the Chase-Lev
+//    deques, `tasks_remaining_`, and the `abort_` flag.
+//
+// Scheduling: each worker owns a Chase-Lev-style deque (task_deque.hpp)
+// seeded from the current (semi-dynamic LPT) schedule. With
+// `stealing = false` a worker simply drains its static assignment — the
+// paper's §3.2.3 behavior. With `stealing = true` a worker that runs dry
+// steals the oldest (= largest predicted) task from the most-loaded
+// victim, so one mispredicted task no longer idles every other worker
+// for the rest of the call. Measured per-task times are recorded by
+// whichever worker executed the task, so the semi-dynamic LPT scheduler
+// keeps improving the static seed across calls either way.
+//
+// Determinism: every task writes its outputs into a private per-task
+// region of `task_results_` (claimed exactly once via the deque), each
+// worker accumulating through its own scratch buffer; the supervisor then
+// sums contributions in task-id order. Results are therefore bit-for-bit
+// identical across worker counts and scheduling modes, and equal to a
+// single-threaded reference that accumulates tasks in id order.
 //
 // By default the full state vector is sent to every worker — the paper
 // does the same "because of the dynamic scheduling strategy" (§3.2.3).
-// With `communication_analysis = true` only the states a worker's tasks
-// actually read are sent (the paper's planned optimization), shrinking
-// messages.
+// With `communication_analysis = true` (static mode only) each worker is
+// sent just the states its tasks read; stealing forces the full
+// broadcast, since any worker may end up executing any task.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -26,6 +56,7 @@
 #include "omx/exec/rhs_kernel.hpp"
 #include "omx/obs/registry.hpp"
 #include "omx/runtime/interconnect.hpp"
+#include "omx/runtime/task_deque.hpp"
 #include "omx/sched/lpt.hpp"
 #include "omx/support/diagnostics.hpp"
 #include "omx/vm/program.hpp"
@@ -43,8 +74,16 @@ class WorkerPool {
     /// to its real link).
     std::size_t compute_scale = 1;
     /// Send only the states each worker needs instead of the full vector.
+    /// Ignored (full broadcast) while stealing is enabled.
     bool communication_analysis = false;
+    /// Intra-call work stealing. Defaults from the OMX_POOL_STEALING
+    /// environment variable ("0"/"false"/"off" disable, anything else
+    /// enables; unset = disabled).
+    bool stealing = stealing_env_default();
   };
+
+  /// The Options::stealing default: OMX_POOL_STEALING, unset -> false.
+  static bool stealing_env_default();
 
   /// `kernel` must have a task decomposition, at least num_workers
   /// concurrency lanes, and must outlive the pool.
@@ -59,12 +98,17 @@ class WorkerPool {
 
   std::size_t num_workers() const { return workers_.size(); }
   const exec::RhsKernel& kernel() const { return *kernel_; }
+  bool stealing() const { return opts_.stealing; }
 
   /// Replaces the task assignment. `schedule.size()` must equal
-  /// num_workers(); task indices refer to kernel().tasks().
+  /// num_workers(); task indices refer to kernel().tasks(). Must not be
+  /// called while an eval() is in flight.
   void set_schedule(const sched::Schedule& schedule);
 
-  /// One parallel RHS evaluation.
+  /// One parallel RHS evaluation. If a worker throws while executing a
+  /// task, the epoch is aborted, every worker parks, and the first
+  /// exception is re-thrown here on the supervisor; the pool stays
+  /// usable (and destructible) afterwards.
   void eval(double t, std::span<const double> y, std::span<double> ydot);
 
   /// Measured seconds per task (indexed by task id) from the most recent
@@ -79,24 +123,39 @@ class WorkerPool {
     return task_seconds_;
   }
 
+  /// Tasks obtained via steal (vs static assignment) since construction.
+  std::uint64_t tasks_stolen() const {
+    return tasks_stolen_.load(std::memory_order_relaxed);
+  }
+
   MessageStats& stats() { return stats_; }
 
  private:
   struct WorkerState {
     std::thread thread;
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::uint64_t requested = 0;  // generation to execute
-    std::uint64_t completed = 0;  // last finished generation
+    TaskDeque deque;
+    /// Static assignment for the current schedule (LPT order).
     std::vector<std::uint32_t> tasks;
-    std::vector<double> results;   // one value per task output slot
-    std::vector<double> task_out;  // n_out accumulate scratch
+    /// Per-worker accumulation buffer: run_task() adds into these n_out
+    /// slots, which are then copied into the task's private result
+    /// region — no two workers ever write the same ydot slot.
+    std::vector<double> task_out;
     std::size_t state_bytes = 0;   // request message payload
-    std::size_t result_bytes = 0;  // response message payload
+    std::size_t result_bytes = 0;  // response payload (static schedule)
+    /// Out-slot values produced in the last epoch (stealing mode
+    /// response payload); written by the worker, read by the supervisor
+    /// after the finish handshake.
+    std::size_t outputs_produced = 0;
   };
 
   void init();
   void worker_main(WorkerState& w, std::size_t index);
+  /// One worker's share of one epoch; throws through to worker_main.
+  void run_epoch(WorkerState& w, std::size_t index);
+  void execute_task(WorkerState& w, std::size_t index, std::uint32_t task);
+  /// Steals from the most-loaded other worker. False = nothing stealable
+  /// right now (or the CAS lost a race).
+  bool steal_task(std::size_t thief, std::uint32_t& task);
   void recompute_message_sizes();
 
   exec::KernelInstance owned_;  // legacy-constructor keep-alive
@@ -105,16 +164,43 @@ class WorkerPool {
   MessageStats stats_;
   obs::Counter* rhs_calls_metric_ = nullptr;
   obs::Counter* tasks_run_metric_ = nullptr;
+  obs::Counter* steals_metric_ = nullptr;
+  obs::Counter* steal_failures_metric_ = nullptr;
+  obs::Counter* idle_metric_ = nullptr;  // pool.idle_nanos
+  obs::Histogram* steal_latency_metric_ = nullptr;
 
   std::vector<std::unique_ptr<WorkerState>> workers_;
+
+  // Per-task result storage: task t owns the half-open range
+  // [task_result_offset_[t], task_result_offset_[t + 1]) — one double per
+  // out slot. Written by the (single) executor of t, read by the
+  // supervisor after the finish handshake.
+  std::vector<double> task_results_;
+  std::vector<std::size_t> task_result_offset_;
   std::vector<double> task_seconds_;
   std::size_t evals_completed_ = 0;
+  std::uint64_t generation_ = 0;  // == epochs started; supervisor-only
 
-  // Shared eval inputs (stable while workers run one generation).
+  // Epoch inputs (plain writes published by the start handshake).
   double t_ = 0.0;
   std::vector<double> y_;
-  std::uint64_t generation_ = 0;
-  bool shutdown_ = false;
+
+  // Start handshake.
+  std::mutex start_mutex_;
+  std::condition_variable start_cv_;
+  std::uint64_t epoch_ = 0;  // guarded by start_mutex_
+  bool shutdown_ = false;    // guarded by start_mutex_
+
+  // Finish handshake.
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+  std::size_t workers_done_ = 0;     // guarded by done_mutex_
+  std::exception_ptr first_error_;   // guarded by done_mutex_
+
+  // Intra-epoch coordination (stealing-mode termination + abort).
+  std::atomic<std::int64_t> tasks_remaining_{0};
+  std::atomic<bool> abort_{false};
+  std::atomic<std::uint64_t> tasks_stolen_{0};
 };
 
 }  // namespace omx::runtime

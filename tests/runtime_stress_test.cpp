@@ -1,0 +1,281 @@
+// Work-stealing stress suite: a synthetic kernel with randomized task
+// durations runs under 1-16 workers with stealing on and off, asserting
+// the pool's result is bit-for-bit equal to a single-threaded reference
+// that accumulates tasks in id order through the same per-task
+// accumulation buffers. Also covers worker-exception propagation (the
+// old join-without-shutdown destructor hang) and the steal metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "omx/exec/rhs_kernel.hpp"
+#include "omx/obs/registry.hpp"
+#include "omx/runtime/parallel_rhs.hpp"
+#include "omx/runtime/worker_pool.hpp"
+#include "omx/sched/lpt.hpp"
+#include "omx/support/rng.hpp"
+
+namespace omx::runtime {
+namespace {
+
+constexpr std::uint32_t kNoThrow = 0xffffffffu;
+
+// Synthetic task kernel: task k spins through iters[k] transcendental
+// rounds (the randomized duration), then accumulates one partial sum per
+// out slot. Consecutive tasks share output slots, so floating-point
+// accumulation ORDER is observable in the result's low bits — exactly
+// what the bit-for-bit determinism check needs. The computation depends
+// only on (task, t, y), never on the lane or executing thread.
+struct StressKernel {
+  exec::TaskTable table;
+  std::vector<std::uint32_t> iters;
+  std::uint32_t n_state = 0;
+  std::uint32_t throw_task = kNoThrow;
+  exec::RhsKernel kernel;
+
+  static void task_fn(void* ctx, std::size_t /*lane*/, std::uint32_t task,
+                      double t, const double* y, double* ydot) {
+    auto* k = static_cast<StressKernel*>(ctx);
+    if (task == k->throw_task) {
+      throw std::runtime_error("stress task exploded");
+    }
+    const exec::TaskMeta& meta = k->table.tasks[task];
+    double acc = t + static_cast<double>(task) * 0.0625;
+    for (std::uint32_t i = 0; i < k->iters[task]; ++i) {
+      acc += std::sin(y[(task + i) % k->n_state] + acc * 1e-3);
+    }
+    for (std::uint32_t slot : meta.out_slots) {
+      ydot[slot] += acc * static_cast<double>(slot + 1);
+    }
+  }
+
+  static void eval_fn(void* ctx, double t, const double* y, double* ydot) {
+    auto* k = static_cast<StressKernel*>(ctx);
+    for (std::uint32_t s = 0; s < k->n_state; ++s) {
+      ydot[s] = 0.0;
+    }
+    for (std::uint32_t task = 0; task < k->table.size(); ++task) {
+      task_fn(ctx, 0, task, t, y, ydot);
+    }
+  }
+};
+
+std::unique_ptr<StressKernel> make_stress(std::size_t n_tasks,
+                                          std::uint32_t n_state,
+                                          std::uint64_t seed,
+                                          std::size_t lanes,
+                                          std::uint32_t max_iters) {
+  auto k = std::make_unique<StressKernel>();
+  k->n_state = n_state;
+  SplitMix64 rng(seed);
+  for (std::size_t t = 0; t < n_tasks; ++t) {
+    exec::TaskMeta meta;
+    // Two slots per task, overlapping the next task's first slot.
+    const auto a = static_cast<std::uint32_t>(t % n_state);
+    const auto b = static_cast<std::uint32_t>((t + 1) % n_state);
+    meta.out_slots = a < b ? std::vector<std::uint32_t>{a, b}
+                           : std::vector<std::uint32_t>{b, a};
+    meta.in_states = {a, b};
+    // Randomized duration, heavy-tailed: a few tasks dominate.
+    const std::uint32_t iters =
+        1 + static_cast<std::uint32_t>(
+                rng.next_double() * rng.next_double() * max_iters);
+    k->iters.push_back(iters);
+    meta.est_cost = static_cast<double>(iters);
+    k->table.tasks.push_back(std::move(meta));
+  }
+  k->kernel = exec::RhsKernel(exec::Backend::kReference, k.get(),
+                              &StressKernel::eval_fn,
+                              &StressKernel::task_fn, n_state, n_state,
+                              lanes, &k->table, nullptr);
+  return k;
+}
+
+std::vector<double> start_state(std::uint32_t n_state) {
+  std::vector<double> y(n_state);
+  for (std::uint32_t i = 0; i < n_state; ++i) {
+    y[i] = 0.1 * static_cast<double>(i) - 0.5;
+  }
+  return y;
+}
+
+// Single-threaded reference: accumulate tasks in id order through a
+// per-task scratch buffer, mirroring the pool's accumulation structure.
+std::vector<double> reference_eval(const StressKernel& k, double t,
+                                   std::span<const double> y) {
+  std::vector<double> ydot(k.n_state, 0.0);
+  std::vector<double> scratch(k.n_state, 0.0);
+  for (std::uint32_t task = 0; task < k.table.size(); ++task) {
+    for (std::uint32_t slot : k.table.tasks[task].out_slots) {
+      scratch[slot] = 0.0;
+    }
+    StressKernel::task_fn(const_cast<StressKernel*>(&k), 0, task, t,
+                          y.data(), scratch.data());
+    for (std::uint32_t slot : k.table.tasks[task].out_slots) {
+      ydot[slot] += scratch[slot];
+    }
+  }
+  return ydot;
+}
+
+sched::Schedule lpt_for(const StressKernel& k, std::size_t workers) {
+  std::vector<double> weights;
+  for (const exec::TaskMeta& m : k.table.tasks) {
+    weights.push_back(m.est_cost);
+  }
+  return sched::lpt_schedule(weights, workers);
+}
+
+TEST(RuntimeStress, BitForBitAcrossWorkerCountsAndModes) {
+  const auto k = make_stress(64, 24, /*seed=*/42, /*lanes=*/16,
+                             /*max_iters=*/2000);
+  const auto y = start_state(k->n_state);
+  const std::vector<double> ref0 = reference_eval(*k, 0.0, y);
+  const std::vector<double> ref1 = reference_eval(*k, 0.25, y);
+
+  for (const bool stealing : {false, true}) {
+    for (const std::size_t workers : {1u, 2u, 3u, 4u, 8u, 16u}) {
+      WorkerPool::Options opts;
+      opts.num_workers = workers;
+      opts.stealing = stealing;
+      WorkerPool pool(k->kernel, opts);
+      pool.set_schedule(lpt_for(*k, workers));
+      std::vector<double> got(k->n_state);
+      for (int round = 0; round < 3; ++round) {
+        const double t = round == 1 ? 0.25 : 0.0;
+        const std::vector<double>& ref = round == 1 ? ref1 : ref0;
+        pool.eval(t, y, got);
+        for (std::uint32_t i = 0; i < k->n_state; ++i) {
+          // EXPECT_EQ on double: exact, bit-for-bit comparison.
+          EXPECT_EQ(got[i], ref[i])
+              << "workers=" << workers << " stealing=" << stealing
+              << " round=" << round << " slot=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(RuntimeStress, RandomSeedsSweep) {
+  for (const std::uint64_t seed : {7ull, 1234ull, 987654321ull}) {
+    const auto k = make_stress(48, 16, seed, /*lanes=*/8,
+                               /*max_iters=*/1200);
+    const auto y = start_state(k->n_state);
+    const std::vector<double> ref = reference_eval(*k, 1.5, y);
+    WorkerPool::Options opts;
+    opts.num_workers = 1 + seed % 8;
+    opts.stealing = true;
+    WorkerPool pool(k->kernel, opts);
+    pool.set_schedule(lpt_for(*k, opts.num_workers));
+    std::vector<double> got(k->n_state);
+    pool.eval(1.5, y, got);
+    EXPECT_EQ(got, ref) << "seed=" << seed;
+  }
+}
+
+TEST(RuntimeStress, StealsHappenUnderPathologicalImbalance) {
+  obs::set_enabled(true);
+  const auto k = make_stress(48, 16, /*seed=*/3, /*lanes=*/4,
+                             /*max_iters=*/30000);
+  const auto y = start_state(k->n_state);
+  const std::vector<double> ref = reference_eval(*k, 0.0, y);
+
+  WorkerPool::Options opts;
+  opts.num_workers = 4;
+  opts.stealing = true;
+  WorkerPool pool(k->kernel, opts);
+  // Pathological seed: everything on worker 0; 1-3 can only steal.
+  sched::Schedule s(4);
+  for (std::uint32_t t = 0; t < k->table.size(); ++t) {
+    s[0].push_back(t);
+  }
+  pool.set_schedule(s);
+  std::vector<double> got(k->n_state);
+  pool.eval(0.0, y, got);
+  EXPECT_EQ(got, ref);
+  EXPECT_GT(pool.tasks_stolen(), 0u)
+      << "idle workers never stole from the loaded victim";
+}
+
+TEST(RuntimeStress, StolenTimingsFeedSemiDynamicLpt) {
+  const auto k = make_stress(32, 12, /*seed=*/11, /*lanes=*/4,
+                             /*max_iters=*/1500);
+  const auto y = start_state(k->n_state);
+  const std::vector<double> ref = reference_eval(*k, 0.0, y);
+
+  ParallelRhsOptions opts;
+  opts.pool.num_workers = 4;
+  opts.pool.stealing = true;
+  opts.sched.reschedule_period = 2;
+  ParallelRhs rhs(k->kernel, opts);
+  std::vector<double> got(k->n_state);
+  const std::size_t initial = rhs.num_reschedules();
+  for (int i = 0; i < 8; ++i) {
+    rhs.eval(0.0, y, got);
+    EXPECT_EQ(got, ref) << "call " << i;
+  }
+  // Measured (possibly stolen) task times drove schedule rebuilds.
+  EXPECT_EQ(rhs.num_reschedules(), initial + 4);
+}
+
+TEST(RuntimeStress, WorkerExceptionPropagatesAndPoolSurvives) {
+  for (const bool stealing : {false, true}) {
+    const auto k = make_stress(24, 8, /*seed=*/5, /*lanes=*/4,
+                               /*max_iters=*/200);
+    const auto y = start_state(k->n_state);
+    const std::vector<double> ref = reference_eval(*k, 0.0, y);
+    WorkerPool::Options opts;
+    opts.num_workers = 4;
+    opts.stealing = stealing;
+    WorkerPool pool(k->kernel, opts);
+    pool.set_schedule(lpt_for(*k, 4));
+    std::vector<double> got(k->n_state);
+
+    k->throw_task = 13;
+    EXPECT_THROW(pool.eval(0.0, y, got), std::runtime_error)
+        << "stealing=" << stealing;
+
+    // The pool must stay usable after the failed epoch...
+    k->throw_task = kNoThrow;
+    pool.eval(0.0, y, got);
+    EXPECT_EQ(got, ref) << "stealing=" << stealing;
+
+    // ...and throwing again right before destruction must not hang the
+    // destructor (the old code joined without signaling shutdown).
+    k->throw_task = 13;
+    EXPECT_THROW(pool.eval(0.0, y, got), std::runtime_error);
+  }
+}
+
+TEST(RuntimeStress, MessageCountsAreDeterministicUnderStealing) {
+  const auto k = make_stress(40, 16, /*seed=*/21, /*lanes=*/8,
+                             /*max_iters=*/500);
+  const auto y = start_state(k->n_state);
+  for (const std::size_t workers : {2u, 5u}) {
+    WorkerPool::Options opts;
+    opts.num_workers = workers;
+    opts.stealing = true;
+    WorkerPool pool(k->kernel, opts);
+    pool.set_schedule(lpt_for(*k, workers));
+    std::vector<double> got(k->n_state);
+    pool.stats().reset();
+    pool.eval(0.0, y, got);
+    // Per worker: supervisor send + worker receive + worker (completion)
+    // send + supervisor receive — regardless of who stole what.
+    EXPECT_EQ(pool.stats().messages.load(), 4 * workers);
+  }
+}
+
+TEST(RuntimeStress, StealingHonorsEnvDefault) {
+  // The option default is captured from OMX_POOL_STEALING at Options
+  // construction; unset in the test environment means disabled.
+  WorkerPool::Options opts;
+  EXPECT_EQ(opts.stealing, WorkerPool::stealing_env_default());
+}
+
+}  // namespace
+}  // namespace omx::runtime

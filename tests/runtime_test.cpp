@@ -76,6 +76,49 @@ TEST(WorkerPool, RepeatedEvalsAreDeterministic) {
   EXPECT_EQ(a, b);  // bitwise: same schedule, same accumulation order
 }
 
+TEST(WorkerPool, BitForBitIdenticalAcrossWorkerCountsAndStealing) {
+  // Per-task result buffers + task-id-order accumulation make the result
+  // bit-for-bit identical no matter how many workers run or who steals
+  // what — a stronger guarantee than the seed's EXPECT_NEAR checks.
+  const Compiled c = compile_bearing(6);
+  const auto y = start_state(*c.flat);
+  WorkerPool::Options base_opts;
+  base_opts.num_workers = 1;
+  WorkerPool base(c.program, base_opts);
+  std::vector<double> ref(y.size());
+  base.eval(0.2, y, ref);
+
+  for (const std::size_t workers : {2u, 4u, 8u}) {
+    for (const bool stealing : {false, true}) {
+      WorkerPool::Options opts;
+      opts.num_workers = workers;
+      opts.stealing = stealing;
+      WorkerPool pool(c.program, opts);
+      std::vector<double> got(y.size());
+      pool.eval(0.2, y, got);
+      EXPECT_EQ(got, ref)
+          << "workers=" << workers << " stealing=" << stealing;
+    }
+  }
+}
+
+TEST(ParallelRhs, StealingKeepsSemiDynamicCadence) {
+  const Compiled c = compile_bearing(3);
+  const auto y = start_state(*c.flat);
+  ParallelRhsOptions opts;
+  opts.pool.num_workers = 3;
+  opts.pool.stealing = true;
+  opts.sched.reschedule_period = 4;
+  ParallelRhs rhs(c.program, opts);
+  std::vector<double> out(y.size());
+  const std::size_t initial = rhs.num_reschedules();
+  for (int i = 0; i < 12; ++i) {
+    rhs.eval(0.0, y, out);
+  }
+  // Stolen-task timings feed sched::semidynamic exactly like static ones.
+  EXPECT_EQ(rhs.num_reschedules(), initial + 3);
+}
+
 TEST(WorkerPool, CountsMessages) {
   const Compiled c = compile_bearing(3);
   const auto y = start_state(*c.flat);
