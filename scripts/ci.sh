@@ -5,9 +5,10 @@
 # trace is being recorded. The default path finishes with the benchmark
 # regression gate (scripts/bench_gate.py against bench/baselines/).
 #
-# Usage: scripts/ci.sh [--sanitize|--tsan] [build-dir]
+# Usage: scripts/ci.sh [--sanitize|--tsan|--coverage] [build-dir]
 #   default build-dir: build-ci (build-asan with --sanitize,
-#                                build-tsan with --tsan)
+#                                build-tsan with --tsan,
+#                                build-cov with --coverage)
 # With --sanitize the tree is built with -DOMX_SANITIZE=ON
 # (AddressSanitizer + UndefinedBehaviorSanitizer) and the tier-1 suite
 # runs once under halt-on-error sanitizer settings.
@@ -15,6 +16,10 @@
 # suite runs under halt-on-error ThreadSanitizer, plus one extra pass of
 # the runtime stress suite with work stealing + tracing forced on (the
 # highest-contention configuration the runtime supports).
+# With --coverage the tree is built with gcov instrumentation, the tier-1
+# suite runs once, and scripts/coverage_report.py writes a line-coverage
+# summary to <build-dir>/coverage.txt. Report-only: low coverage does not
+# fail the job, only missing coverage data does.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,11 +28,13 @@ MODE=default
 case "${1:-}" in
   --sanitize) MODE=asan; shift ;;
   --tsan)     MODE=tsan; shift ;;
+  --coverage) MODE=coverage; shift ;;
 esac
 case "$MODE" in
-  asan) DEFAULT_DIR=build-asan ;;
-  tsan) DEFAULT_DIR=build-tsan ;;
-  *)    DEFAULT_DIR=build-ci ;;
+  asan)     DEFAULT_DIR=build-asan ;;
+  tsan)     DEFAULT_DIR=build-tsan ;;
+  coverage) DEFAULT_DIR=build-cov ;;
+  *)        DEFAULT_DIR=build-ci ;;
 esac
 BUILD_DIR="${1:-$DEFAULT_DIR}"
 
@@ -38,6 +45,12 @@ fi
 case "$MODE" in
   asan) CMAKE_ARGS+=(-DOMX_SANITIZE=ON) ;;
   tsan) CMAKE_ARGS+=(-DOMX_SANITIZE=THREAD) ;;
+  coverage)
+    # -O0 keeps line attribution exact; the later -D overrides the
+    # defaults set above.
+    CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE=Debug
+                 "-DCMAKE_CXX_FLAGS=-Werror --coverage -O0")
+    ;;
 esac
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
@@ -65,6 +78,17 @@ if [[ $MODE == tsan ]]; then
   exit 0
 fi
 
+if [[ $MODE == coverage ]]; then
+  echo "== tier-1 tests (gcov instrumented) =="
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+  echo "== line-coverage summary (report-only) =="
+  python3 scripts/coverage_report.py "$BUILD_DIR" \
+    --out "$BUILD_DIR"/coverage.txt
+  echo "CI OK (coverage)"
+  exit 0
+fi
+
 echo "== tier-1 tests (default observability) =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
@@ -80,6 +104,10 @@ test -s "$BUILD_DIR"/trace.json
 echo "== smoke: backend shootout exports BENCH_backends.json =="
 (cd "$BUILD_DIR" && ./bench/backends)
 test -s "$BUILD_DIR"/BENCH_backends.json
+
+echo "== bench: ensemble sweep =="
+(cd "$BUILD_DIR" && ./bench/ensemble)
+test -s "$BUILD_DIR"/BENCH_ensemble.json
 
 echo "== bench: Figure 12 virtual-time series =="
 (cd "$BUILD_DIR" && ./bench/fig12_speedup)

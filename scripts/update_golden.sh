@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerate the golden codegen snapshots in tests/golden/ from the
+# current emitters. Run this after an intentional code-generation change
+# and commit the resulting diff together with the emitter change, so the
+# review shows exactly what the generators now produce.
+#
+# Usage: scripts/update_golden.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake --build "$BUILD_DIR" -j --target codegen_emit_test
+OMX_UPDATE_GOLDEN=1 "$BUILD_DIR"/tests/codegen_emit_test \
+  --gtest_filter='Golden.*'
+echo "golden snapshots regenerated under tests/golden/"

@@ -103,6 +103,10 @@ std::string compose_source(const model::FlatSystem& flat,
   eo.with_prelude = false;
   const codegen::EmitResult serial = codegen::emit_cpp_serial(flat, set, eo);
   const codegen::EmitResult par = codegen::emit_cpp_parallel(flat, plan, eo);
+  const codegen::EmitResult serial_b =
+      codegen::emit_cpp_serial_batch(flat, set, eo);
+  const codegen::EmitResult par_b =
+      codegen::emit_cpp_parallel_batch(flat, plan, eo);
 
   std::ostringstream os;
   os << "// Synthesized by omx::exec (native backend). Do not edit.\n"
@@ -114,12 +118,14 @@ std::string compose_source(const model::FlatSystem& flat,
      << "}  // namespace\n"
      << "namespace omx_serial {\n"
      << serial.code
+     << serial_b.code
      << "}  // namespace omx_serial\n"
      << "namespace omx_parallel {\n"
      << par.code
+     << par_b.code
      << "}  // namespace omx_parallel\n"
      << "extern \"C\" {\n"
-     << "int omx_abi_version() { return 1; }\n"
+     << "int omx_abi_version() { return 2; }\n"
      << "unsigned omx_n_state() { return " << flat.num_states() << "u; }\n"
      << "unsigned omx_num_tasks() { return " << plan.tasks.size()
      << "u; }\n"
@@ -130,6 +136,16 @@ std::string compose_source(const model::FlatSystem& flat,
      << "                  double* ydot) {\n"
      << "  omx_parallel::rhs(static_cast<int>(task) + 1, t, y, ydot);\n"
      << "}\n"
+     << "void omx_rhs_serial_batch(unsigned nb, const double* ts,\n"
+     << "                          const double* y, double* ydot) {\n"
+     << "  omx_serial::rhs_batch(static_cast<int>(nb), ts, y, ydot);\n"
+     << "}\n"
+     << "void omx_rhs_task_batch(unsigned task, unsigned nb,\n"
+     << "                        const double* ts, const double* y,\n"
+     << "                        double* ydot) {\n"
+     << "  omx_parallel::rhs_batch(static_cast<int>(task) + 1,\n"
+     << "                          static_cast<int>(nb), ts, y, ydot);\n"
+     << "}\n"
      << "}  // extern \"C\"\n";
   return os.str();
 }
@@ -138,11 +154,17 @@ std::string compose_source(const model::FlatSystem& flat,
 
 using SerialEntry = void (*)(double, const double*, double*);
 using TaskEntry = void (*)(unsigned, double, const double*, double*);
+using SerialBatchEntry = void (*)(unsigned, const double*, const double*,
+                                  double*);
+using TaskBatchEntry = void (*)(unsigned, unsigned, const double*,
+                                const double*, double*);
 
 struct NativeState {
   void* handle = nullptr;
   SerialEntry serial = nullptr;
   TaskEntry task = nullptr;
+  SerialBatchEntry serial_batch = nullptr;
+  TaskBatchEntry task_batch = nullptr;
   TaskTable table;
 
   ~NativeState() {
@@ -159,6 +181,20 @@ void native_eval(void* ctx, double t, const double* y, double* ydot) {
 void native_task(void* ctx, std::size_t /*lane*/, std::uint32_t task,
                  double t, const double* y, double* ydot) {
   static_cast<NativeState*>(ctx)->task(task, t, y, ydot);
+}
+
+void native_eval_batch(void* ctx, std::size_t /*lane*/, std::size_t nb,
+                       const double* t, const double* y_soa,
+                       double* ydot_soa) {
+  static_cast<NativeState*>(ctx)->serial_batch(static_cast<unsigned>(nb), t,
+                                               y_soa, ydot_soa);
+}
+
+void native_task_batch(void* ctx, std::size_t /*lane*/, std::uint32_t task,
+                       std::size_t nb, const double* t, const double* y_soa,
+                       double* ydot_soa) {
+  static_cast<NativeState*>(ctx)->task_batch(task, static_cast<unsigned>(nb),
+                                             t, y_soa, ydot_soa);
 }
 
 void diag(const std::string& why) {
@@ -254,12 +290,20 @@ std::shared_ptr<NativeState> build_module(const std::string& source,
   auto* n_tasks = reinterpret_cast<unsigned (*)()>(sym("omx_num_tasks"));
   state->serial = reinterpret_cast<SerialEntry>(sym("omx_rhs_serial"));
   state->task = reinterpret_cast<TaskEntry>(sym("omx_rhs_task"));
+  state->serial_batch =
+      reinterpret_cast<SerialBatchEntry>(sym("omx_rhs_serial_batch"));
+  state->task_batch =
+      reinterpret_cast<TaskBatchEntry>(sym("omx_rhs_task_batch"));
   if (abi == nullptr || n_state == nullptr || n_tasks == nullptr ||
-      state->serial == nullptr || state->task == nullptr) {
+      state->serial == nullptr || state->task == nullptr ||
+      state->serial_batch == nullptr || state->task_batch == nullptr) {
     why = "missing export in " + so.string();
     return nullptr;
   }
-  if (abi() != 1) {
+  // ABI 2 added the batched (SoA) entry points. Pre-batch cache entries
+  // can't satisfy this loader; their source hash differs anyway, so they
+  // simply never match — the check guards hand-placed or corrupt objects.
+  if (abi() != 2) {
     why = "ABI version mismatch in " + so.string();
     return nullptr;
   }
@@ -317,7 +361,8 @@ KernelInstance make_native_kernel(const model::FlatSystem& flat,
   auto view = std::make_shared<RhsKernel>(
       Backend::kNative, state.get(), &native_eval, &native_task,
       parallel.n_state, parallel.n_out,
-      /*num_lanes=*/SIZE_MAX, &state->table, &calls);
+      /*num_lanes=*/SIZE_MAX, &state->table, &calls, &native_eval_batch,
+      &native_task_batch);
   return KernelInstance(std::move(view), std::move(state));
 }
 

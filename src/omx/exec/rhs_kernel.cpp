@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include <vector>
+
 #include "omx/model/flat_system.hpp"
+#include "omx/vm/batch.hpp"
 #include "omx/vm/interp.hpp"
 #include "omx/vm/program.hpp"
 
@@ -35,6 +38,10 @@ struct InterpState {
   const vm::Program* serial = nullptr;  // may be null
   vm::Workspace eval_ws;
   std::vector<vm::Workspace> lane_ws;  // one private register file per lane
+  // Batched counterparts: per-lane SoA register files so eval_batch /
+  // run_task_batch calls on distinct lanes are thread-safe.
+  std::vector<vm::BatchWorkspace> eval_batch_ws;  // serial-or-parallel tape
+  std::vector<vm::BatchWorkspace> task_batch_ws;  // parallel tape
   TaskTable table;
 
   InterpState(const vm::Program& par, const vm::Program* ser,
@@ -43,6 +50,8 @@ struct InterpState {
         serial(ser),
         eval_ws(ser != nullptr ? *ser : par),
         lane_ws(lanes, vm::Workspace(par)),
+        eval_batch_ws(lanes),
+        task_batch_ws(lanes),
         table(task_table_from_program(par)) {}
 };
 
@@ -62,6 +71,25 @@ void interp_task(void* ctx, std::size_t lane, std::uint32_t task, double t,
   vm::apply_outputs(p, task, ws.regs(), {ydot, p.n_out});
 }
 
+void interp_eval_batch(void* ctx, std::size_t lane, std::size_t nb,
+                       const double* t, const double* y_soa,
+                       double* ydot_soa) {
+  auto* s = static_cast<InterpState*>(ctx);
+  const vm::Program& p = s->serial != nullptr ? *s->serial : *s->parallel;
+  vm::eval_rhs_batch(p, nb, t, y_soa, ydot_soa, s->eval_batch_ws[lane]);
+}
+
+void interp_task_batch(void* ctx, std::size_t lane, std::uint32_t task,
+                       std::size_t nb, const double* t, const double* y_soa,
+                       double* ydot_soa) {
+  auto* s = static_cast<InterpState*>(ctx);
+  const vm::Program& p = *s->parallel;
+  vm::BatchWorkspace& ws = s->task_batch_ws[lane];
+  ws.load_state(p, nb, t, y_soa);
+  vm::run_task_batch(p, task, nb, ws.regs());
+  vm::apply_outputs_batch(p, task, nb, ws.regs(), ydot_soa);
+}
+
 struct ReferenceState {
   const model::FlatSystem* flat = nullptr;
 };
@@ -69,6 +97,28 @@ struct ReferenceState {
 void reference_eval(void* ctx, double t, const double* y, double* ydot) {
   const model::FlatSystem* f = static_cast<ReferenceState*>(ctx)->flat;
   f->eval_rhs(t, {y, f->num_states()}, {ydot, f->num_states()});
+}
+
+// Oracle path: loop-over-lanes gather/scatter around the scalar
+// tree-walking evaluator. Allocates per call so any lane value is safe
+// under concurrent use; the differential suite compares the batched
+// backends against this.
+void reference_eval_batch(void* ctx, std::size_t /*lane*/, std::size_t nb,
+                          const double* t, const double* y_soa,
+                          double* ydot_soa) {
+  const model::FlatSystem* f = static_cast<ReferenceState*>(ctx)->flat;
+  const std::size_t n = f->num_states();
+  std::vector<double> y(n);
+  std::vector<double> ydot(n);
+  for (std::size_t j = 0; j < nb; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] = y_soa[i * nb + j];
+    }
+    f->eval_rhs(t[j], y, ydot);
+    for (std::size_t i = 0; i < n; ++i) {
+      ydot_soa[i * nb + j] = ydot[i];
+    }
+  }
 }
 
 }  // namespace
@@ -84,7 +134,8 @@ KernelInstance make_interp_kernel(const vm::Program& parallel,
       obs::Registry::global().counter("rhs.calls.interp");
   auto view = std::make_shared<RhsKernel>(
       Backend::kInterp, state.get(), &interp_eval, &interp_task,
-      parallel.n_state, parallel.n_out, opts.lanes, &state->table, &calls);
+      parallel.n_state, parallel.n_out, opts.lanes, &state->table, &calls,
+      &interp_eval_batch, &interp_task_batch);
   return KernelInstance(std::move(view), std::move(state));
 }
 
@@ -96,7 +147,7 @@ KernelInstance make_reference_kernel(const model::FlatSystem& flat) {
   const auto n = static_cast<std::uint32_t>(flat.num_states());
   auto view = std::make_shared<RhsKernel>(
       Backend::kReference, state.get(), &reference_eval, nullptr, n, n,
-      /*num_lanes=*/1, /*tasks=*/nullptr, &calls);
+      /*num_lanes=*/1, /*tasks=*/nullptr, &calls, &reference_eval_batch);
   return KernelInstance(std::move(view), std::move(state));
 }
 

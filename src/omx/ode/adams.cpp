@@ -132,6 +132,12 @@ bool AdamsStepper::step() {
   }
   error_weights(yc, opts_.tol, w);
   const double e = la::wrms_norm(err, w);
+  if (!std::isfinite(e)) {
+    // A NaN/Inf from the RHS fails every accept test; report the real
+    // cause instead of rejecting down to a step-size underflow.
+    throw omx::Error("adams_pece: non-finite state or RHS at t = " +
+                     std::to_string(t_));
+  }
 
   if (e <= 1.0) {
     t_ += h;

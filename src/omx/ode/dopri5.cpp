@@ -102,6 +102,13 @@ Solution dopri5(const Problem& p, const Dopri5Options& opts) {
     }
     error_weights(ytmp, opts.tol, w);
     const double err = la::wrms_norm(yerr, w);
+    if (!std::isfinite(err)) {
+      // A NaN/Inf from the RHS fails every accept test, so without this
+      // check the controller would shrink h to underflow and report a
+      // misleading "step size underflow"; fail with the real cause.
+      throw omx::Error("dopri5: non-finite state or RHS at t = " +
+                       std::to_string(t));
+    }
 
     if (err <= 1.0) {
       t += h;

@@ -14,6 +14,18 @@ std::size_t num_steps(const Problem& p, double dt) {
   return static_cast<std::size_t>(std::ceil((p.tend - p.t0) / dt - 1e-12));
 }
 
+// Fixed-step methods have no error control to notice a NaN/Inf from the
+// RHS, so without this check they silently integrate garbage to tend.
+void check_finite(std::span<const double> y, const char* method, double t) {
+  for (const double v : y) {
+    if (!std::isfinite(v)) {
+      throw omx::Error(std::string(method) +
+                       ": non-finite state or RHS at t = " +
+                       std::to_string(t));
+    }
+  }
+}
+
 }  // namespace
 
 namespace detail {
@@ -38,6 +50,7 @@ Solution explicit_euler(const Problem& p, const FixedStepOptions& opts) {
     }
     t += h;
     ++sol.stats.steps;
+    check_finite(y, "explicit_euler", t);
     if (k % opts.record_every == opts.record_every - 1 || k + 1 == steps) {
       sol.append(t, y);
     }
@@ -78,6 +91,7 @@ Solution rk4(const Problem& p, const FixedStepOptions& opts) {
     }
     t += h;
     ++sol.stats.steps;
+    check_finite(y, "rk4", t);
     if (k % opts.record_every == opts.record_every - 1 || k + 1 == steps) {
       sol.append(t, y);
     }

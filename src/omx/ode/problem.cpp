@@ -40,6 +40,11 @@ void Problem::validate() const {
                      std::to_string(rhs_arity) +
                      ") does not match n = " + std::to_string(n));
   }
+  if (batch_arity != 0 && batch_arity != n) {
+    throw omx::Error("ODE problem: bound batched kernel arity (" +
+                     std::to_string(batch_arity) +
+                     ") does not match n = " + std::to_string(n));
+  }
 }
 
 void Solution::reserve(std::size_t steps, std::size_t n) {

@@ -30,6 +30,15 @@ using RhsFn = support::FunctionRef<void(double t, std::span<const double> y,
 /// Writes J(i,j) = d f_i / d y_j into `jac` (preallocated n x n).
 using JacFn = support::FunctionRef<void(double t, std::span<const double> y,
                                         la::Matrix& jac)>;
+/// Batched RHS over `nb` scenarios in structure-of-arrays layout: state i
+/// of scenario j at y_soa[i*nb+j], output slot likewise, per-scenario
+/// time t[j]. `lane` selects a private workspace (the ensemble driver
+/// passes its worker index); calls on distinct lanes must be thread-safe.
+/// Lane results must be bitwise identical to a scalar rhs call on the
+/// same (t[j], y[:, j]) — see exec::RhsKernel::eval_batch.
+using BatchRhsFn = support::FunctionRef<void(
+    std::size_t lane, std::size_t nb, const double* t, const double* y_soa,
+    double* ydot_soa)>;
 
 struct Problem {
   std::size_t n = 0;
@@ -42,6 +51,18 @@ struct Problem {
   /// pipeline::CompiledModel::make_problem fills it from the kernel;
   /// validate() rejects a mismatch against n.
   std::size_t rhs_arity = 0;
+
+  /// Optional batched RHS for ode::solve_ensemble; plain solve() ignores
+  /// it. When absent the ensemble driver falls back to lane-by-lane
+  /// scalar rhs calls (then `rhs` must be thread-safe if workers > 1).
+  BatchRhsFn batch_rhs;
+  /// Arity declared by the bound batched kernel (0 = unknown); validate()
+  /// rejects a mismatch against n, catching a batched kernel bound to a
+  /// problem of a different model.
+  std::size_t batch_arity = 0;
+  /// Concurrency lanes the batched callable supports (0 = unlimited);
+  /// solve_ensemble clamps its worker count to this.
+  std::size_t batch_lanes = 0;
 
   /// Copies `f` into a keep-alive owned by this Problem and points `rhs`
   /// at it. Use for capturing lambdas and other short-lived callables;
@@ -60,12 +81,20 @@ struct Problem {
     jac_keepalive_ = std::move(owned);
   }
 
+  template <typename F>
+  void set_batch_rhs(F f) {
+    auto owned = std::make_shared<F>(std::move(f));
+    batch_rhs = BatchRhsFn(*owned);
+    batch_keepalive_ = std::move(owned);
+  }
+
   void validate() const;
 
  private:
   // Shared so that copies of the Problem keep the bound callables alive.
   std::shared_ptr<void> rhs_keepalive_;
   std::shared_ptr<void> jac_keepalive_;
+  std::shared_ptr<void> batch_keepalive_;
 };
 
 struct Tolerances {

@@ -1,0 +1,204 @@
+#include "omx/parser/unparse.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <system_error>
+
+#include "omx/support/diagnostics.hpp"
+
+namespace omx::parser {
+namespace {
+
+// Binding strength of a node when it appears inside a larger expression.
+// Mirrors the parser's ladder: additive(1) < multiplicative(2) < unary(3)
+// < power(4) < atoms(5). A negative literal prints with a leading '-', so
+// it binds like unary minus rather than like an atom.
+int prec(const expr::Pool& pool, expr::ExprId id) {
+  const expr::Node& n = pool.node(id);
+  switch (n.op) {
+    case expr::Op::kAdd:
+    case expr::Op::kSub:
+      return 1;
+    case expr::Op::kMul:
+    case expr::Op::kDiv:
+      return 2;
+    case expr::Op::kNeg:
+      return 3;
+    case expr::Op::kPow:
+      return 4;
+    case expr::Op::kConst:
+      return std::signbit(pool.const_value(id)) ? 3 : 5;
+    default:
+      return 5;
+  }
+}
+
+// Shortest decimal that round-trips through from_chars — so a constant
+// survives any number of parse/print cycles bit-for-bit.
+std::string number(double v) {
+  char buf[32];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  OMX_REQUIRE(ec == std::errc(), "number formatting failed");
+  return std::string(buf, p);
+}
+
+void render(const expr::Context& ctx, expr::ExprId id, std::string& out);
+
+// Renders `id`, parenthesized iff it binds looser than the slot requires.
+void child(const expr::Context& ctx, expr::ExprId id, int min_prec,
+           std::string& out) {
+  if (prec(ctx.pool, id) < min_prec) {
+    out += '(';
+    render(ctx, id, out);
+    out += ')';
+  } else {
+    render(ctx, id, out);
+  }
+}
+
+void render(const expr::Context& ctx, expr::ExprId id, std::string& out) {
+  const expr::Pool& pool = ctx.pool;
+  const expr::Node& n = pool.node(id);
+  switch (n.op) {
+    case expr::Op::kConst:
+      out += number(pool.const_value(id));
+      return;
+    case expr::Op::kSym:
+      out += ctx.names.name(pool.sym_of(id));
+      return;
+    case expr::Op::kAdd:
+    case expr::Op::kSub:
+      // Left-associative: the right operand needs parens at equal
+      // precedence (a - (b + c) must not flatten to a - b + c).
+      child(ctx, n.a, 1, out);
+      out += n.op == expr::Op::kAdd ? " + " : " - ";
+      child(ctx, n.b, 2, out);
+      return;
+    case expr::Op::kMul:
+    case expr::Op::kDiv:
+      child(ctx, n.a, 2, out);
+      out += n.op == expr::Op::kMul ? " * " : " / ";
+      child(ctx, n.b, 3, out);
+      return;
+    case expr::Op::kNeg:
+      out += '-';
+      child(ctx, n.a, 3, out);
+      return;
+    case expr::Op::kPow:
+      // The parser's power() takes a primary base, so any compound base
+      // needs parens; the exponent slot is unary(), so -x and nested ^
+      // (right-associative) stand bare.
+      child(ctx, n.a, 5, out);
+      out += " ^ ";
+      child(ctx, n.b, 3, out);
+      return;
+    case expr::Op::kCall1:
+      out += expr::func1_name(static_cast<expr::Func1>(n.fn));
+      out += '(';
+      render(ctx, n.a, out);
+      out += ')';
+      return;
+    case expr::Op::kCall2:
+      out += expr::func2_name(static_cast<expr::Func2>(n.fn));
+      out += '(';
+      render(ctx, n.a, out);
+      out += ", ";
+      render(ctx, n.b, out);
+      out += ')';
+      return;
+    case expr::Op::kDer:
+      out += "der(";
+      out += ctx.names.name(pool.sym_of(n.a));
+      out += ')';
+      return;
+  }
+  OMX_REQUIRE(false, "unhandled expression op in unparse");
+}
+
+// "(a, b, ...)" — or nothing at all for an empty list, matching the
+// grammar's optional argument clause.
+void render_args(const expr::Context& ctx,
+                 const std::vector<expr::ExprId>& args, std::string& out) {
+  if (args.empty()) {
+    return;
+  }
+  out += '(';
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    render(ctx, args[i], out);
+  }
+  out += ')';
+}
+
+}  // namespace
+
+std::string unparse_expr(const expr::Context& ctx, expr::ExprId id) {
+  std::string out;
+  render(ctx, id, out);
+  return out;
+}
+
+std::string unparse_model(const model::Model& m) {
+  const expr::Context& ctx = m.ctx();
+  std::string out = "model " + m.name() + "\n";
+  for (const model::ClassDef& c : m.classes()) {
+    out += "  class " + c.name();
+    if (!c.formals().empty()) {
+      out += '(';
+      for (std::size_t i = 0; i < c.formals().size(); ++i) {
+        if (i > 0) {
+          out += ", ";
+        }
+        out += ctx.names.name(c.formals()[i]);
+      }
+      out += ')';
+    }
+    if (!c.base().empty()) {
+      out += " inherits " + c.base();
+      render_args(ctx, c.base_args(), out);
+    }
+    out += '\n';
+    for (const model::Variable& v : c.variables()) {
+      out += "    var " + ctx.names.name(v.name);
+      if (v.start != expr::kNoExpr) {
+        out += " start ";
+        render(ctx, v.start, out);
+      }
+      out += ";\n";
+    }
+    for (const model::Parameter& p : c.parameters()) {
+      out += "    param " + ctx.names.name(p.name) + " = ";
+      render(ctx, p.value, out);
+      out += ";\n";
+    }
+    for (const model::Part& p : c.parts()) {
+      out += "    part " + ctx.names.name(p.name) + " : " + p.class_name;
+      render_args(ctx, p.args, out);
+      out += ";\n";
+    }
+    for (const model::Equation& e : c.equations()) {
+      out += "    eq ";
+      render(ctx, e.lhs, out);
+      out += " == ";
+      render(ctx, e.rhs, out);
+      out += ";\n";
+    }
+    out += "  end\n";
+  }
+  for (const model::Instance& inst : m.instances()) {
+    out += "  instance " + inst.name;
+    if (inst.is_array) {
+      out += '[' + std::to_string(inst.lo) + ".." + std::to_string(inst.hi) +
+             ']';
+    }
+    out += " : " + inst.class_name;
+    render_args(ctx, inst.args, out);
+    out += ";\n";
+  }
+  out += "end\n";
+  return out;
+}
+
+}  // namespace omx::parser

@@ -1,0 +1,27 @@
+// Renders models back into the modeling language's concrete syntax.
+//
+// The output is deterministic and re-parseable: unparsing a model, parsing
+// the text, and unparsing again yields byte-identical source (unparse is a
+// fixpoint of the parse/print loop — the property the parser fuzz suite
+// leans on). Member order inside a class is normalized to vars, params,
+// parts, equations — the grouping the AST stores — so the fixpoint holds
+// even when the original source interleaved members.
+//
+// Note this is distinct from expr::to_infix, which targets Mathematica
+// notation (x'[t]) and is not re-parseable by omx::parser.
+#pragma once
+
+#include <string>
+
+#include "omx/model/model.hpp"
+
+namespace omx::parser {
+
+/// Renders `id` in concrete expression syntax with minimal parentheses
+/// (precedence-aware). `ctx` supplies the pool and symbol names.
+std::string unparse_expr(const expr::Context& ctx, expr::ExprId id);
+
+/// Renders the whole model as parseable source text.
+std::string unparse_model(const model::Model& m);
+
+}  // namespace omx::parser

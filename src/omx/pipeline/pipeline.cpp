@@ -34,11 +34,25 @@ exec::KernelInstance CompiledModel::make_kernel(
 ode::Problem CompiledModel::make_problem(const exec::KernelInstance& kernel,
                                          double t0, double tend) const {
   ode::Problem p = make_problem(ode::RhsFn(), t0, tend);
-  p.rhs_arity = kernel.kernel().n_state();
+  const exec::RhsKernel& k = kernel.kernel();
+  p.rhs_arity = k.n_state();
   // The capture shares ownership of the kernel state, so the problem
   // (and its copies) keep the backend alive.
   p.set_rhs([kernel](double t, std::span<const double> y,
                      std::span<double> ydot) { kernel.kernel()(t, y, ydot); });
+  if (k.has_batch()) {
+    p.batch_arity = k.n_state();
+    // The interpreter's batch workspaces are per-lane; native code is
+    // stateless and the reference oracle allocates per call, so only the
+    // interpreter bounds solve_ensemble's worker count.
+    p.batch_lanes =
+        k.backend() == exec::Backend::kInterp ? k.num_lanes() : 0;
+    p.set_batch_rhs([kernel](std::size_t lane, std::size_t nb,
+                             const double* t, const double* y_soa,
+                             double* ydot_soa) {
+      kernel.kernel().eval_batch(lane, nb, t, y_soa, ydot_soa);
+    });
+  }
   return p;
 }
 

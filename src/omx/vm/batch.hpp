@@ -1,0 +1,73 @@
+// Batched (structure-of-arrays) tape interpreter: the ensemble-execution
+// counterpart of interp.hpp.
+//
+// Where the scalar interpreter evaluates one (t, y) point per tape pass,
+// the batched interpreter carries `nb` independent scenarios through the
+// same instruction stream. The register file becomes a matrix in SoA
+// layout — register r of lane j lives at regs[r * nb + j] — so each
+// instruction turns into one contiguous inner loop over lanes that the
+// host compiler can vectorize, and the per-instruction decode cost is
+// amortized over the whole batch (the array-aware batching argument of
+// Fioravanti et al., applied to the tape).
+//
+// Lane independence: lane j's results depend only on lane j's (t_j, y_j)
+// and are bitwise identical to a scalar interpretation of the same
+// inputs, regardless of nb or of which other scenarios share the batch.
+// The ensemble driver and the differential test suite both rely on this.
+//
+// SoA conventions (shared with exec::RhsKernel's batched entry points):
+//   y_soa[i * nb + j]     state i of lane j
+//   ydot_soa[s * nb + j]  output slot s of lane j
+//   t[j]                  the free variable of lane j
+#pragma once
+
+#include "omx/vm/program.hpp"
+
+namespace omx::vm {
+
+/// A batched register file. Reusable across calls; prepare() grows the
+/// backing store as needed and (re)splats the constant registers when the
+/// batch width changes.
+class BatchWorkspace {
+ public:
+  BatchWorkspace() = default;
+  explicit BatchWorkspace(const Program& p, std::size_t nb = 0) {
+    if (nb > 0) {
+      resize(p, nb);
+    }
+  }
+
+  /// Ensures the workspace matches `nb` lanes of `p` and loads
+  /// (t[j], y_soa[:, j]) into the designated register rows.
+  void load_state(const Program& p, std::size_t nb, const double* t,
+                  const double* y_soa);
+
+  std::size_t width() const { return nb_; }
+  std::span<double> regs() { return regs_; }
+
+ private:
+  void resize(const Program& p, std::size_t nb);
+
+  std::vector<double> regs_;  // n_regs rows x nb lanes, SoA
+  std::size_t nb_ = 0;
+};
+
+/// Executes one task's instructions across all lanes of `regs`
+/// (SoA, width nb). Results stay in registers.
+void run_task_batch(const Program& p, std::size_t task_index,
+                    std::size_t nb, std::span<double> regs);
+
+/// Accumulates one task's outputs into ydot_soa:
+/// ydot_soa[slot * nb + j] += regs[reg * nb + j]. The ydot rows must be
+/// pre-zeroed once per batched RHS evaluation.
+void apply_outputs_batch(const Program& p, std::size_t task_index,
+                         std::size_t nb, std::span<const double> regs,
+                         double* ydot_soa);
+
+/// Whole-system batched evaluation: for every lane j,
+/// ydot[:, j] = f(t[j], y[:, j]); every output row written.
+void eval_rhs_batch(const Program& p, std::size_t nb, const double* t,
+                    const double* y_soa, double* ydot_soa,
+                    BatchWorkspace& ws);
+
+}  // namespace omx::vm

@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "omx/codegen/code_printer.hpp"
 #include "omx/model/flatten.hpp"
@@ -206,6 +210,93 @@ TEST(Emit, BearingStatisticsHaveTheRightShape) {
   EXPECT_GT(par.num_cse_temps, ser.num_cse_temps / 2);
   EXPECT_GT(par.total_lines, ser.total_lines);
   EXPECT_GT(par.decl_lines * 3, par.total_lines / 3);
+}
+
+// ------------------------------------------------ golden snapshots
+//
+// Full-text snapshots of the emitted code for two models across every
+// emitter. A drifted snapshot means the generated-code surface changed:
+// if the change is intentional, regenerate with scripts/update_golden.sh
+// (or OMX_UPDATE_GOLDEN=1) and commit the diff alongside the emitter
+// change so review sees exactly what the generators now produce.
+
+std::string golden_path(const std::string& name) {
+  return std::string(OMX_GOLDEN_DIR) + "/" + name;
+}
+
+void expect_matches_golden(const std::string& name,
+                           const std::string& code) {
+  const std::string path = golden_path(name);
+  if (std::getenv("OMX_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << code;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << "; run scripts/update_golden.sh";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string want = buf.str();
+  if (want == code) {
+    return;
+  }
+  // Point at the first drifted line instead of dumping both files.
+  std::istringstream a(want), b(code);
+  std::string la, lb;
+  std::size_t line = 0;
+  while (true) {
+    ++line;
+    const bool ga = static_cast<bool>(std::getline(a, la));
+    const bool gb = static_cast<bool>(std::getline(b, lb));
+    if (!ga && !gb) {
+      break;
+    }
+    if (la != lb || ga != gb) {
+      FAIL() << name << " drifted at line " << line << ":\n  golden: "
+             << (ga ? la : "<eof>") << "\n  emitted: "
+             << (gb ? lb : "<eof>")
+             << "\nrun scripts/update_golden.sh if this is intentional";
+    }
+    la.clear();
+    lb.clear();
+  }
+  FAIL() << name << ": content differs only in trailing bytes; run "
+            "scripts/update_golden.sh if this is intentional";
+}
+
+model::FlatSystem golden_bearing(expr::Context& ctx) {
+  models::BearingConfig cfg;
+  cfg.n_rollers = 4;  // small enough for reviewable snapshots
+  return model::flatten(models::build_bearing(ctx, cfg));
+}
+
+void check_model_goldens(const std::string& stem,
+                         const model::FlatSystem& f) {
+  const Prepared p = prepare(f);
+  expect_matches_golden(stem + "_serial.cpp.golden",
+                        emit_cpp_serial(f, p.set).code);
+  expect_matches_golden(stem + "_parallel.cpp.golden",
+                        emit_cpp_parallel(f, p.plan).code);
+  expect_matches_golden(stem + "_serial_batch.cpp.golden",
+                        emit_cpp_serial_batch(f, p.set).code);
+  expect_matches_golden(stem + "_parallel_batch.cpp.golden",
+                        emit_cpp_parallel_batch(f, p.plan).code);
+  expect_matches_golden(stem + "_serial.f90.golden",
+                        emit_fortran_serial(f, p.set).code);
+  expect_matches_golden(stem + "_parallel.f90.golden",
+                        emit_fortran_parallel(f, p.plan).code);
+}
+
+TEST(Golden, OscillatorEmittersAreStable) {
+  expr::Context ctx;
+  check_model_goldens("oscillator", flatten_src(ctx, kOscillator));
+}
+
+TEST(Golden, BearingEmittersAreStable) {
+  expr::Context ctx;
+  check_model_goldens("bearing", golden_bearing(ctx));
 }
 
 TEST(Emit, GeneratedCppOscillatorCompilesConceptually) {

@@ -15,6 +15,7 @@
 #include "omx/models/hydro.hpp"
 #include "omx/models/oscillator.hpp"
 #include "omx/obs/registry.hpp"
+#include "omx/ode/ensemble.hpp"
 #include "omx/ode/solve.hpp"
 #include "omx/pipeline/pipeline.hpp"
 #include "omx/runtime/parallel_rhs.hpp"
@@ -232,6 +233,280 @@ TEST(Kernels, SolveThroughEveryBackendAgrees) {
   }
   EXPECT_NEAR(sols[1].final_state()[0], sols[0].final_state()[0], 1e-12);
   EXPECT_NEAR(sols[2].final_state()[0], sols[0].final_state()[0], 1e-12);
+}
+
+// ------------------------------------------------ batched (SoA) kernels
+//
+// Differential suite for the ensemble execution engine: every backend's
+// eval_batch must agree with the scalar reference evaluator lane by
+// lane, and a lane's result must not depend on the batch it rides in.
+
+/// nb perturbed start states with distinct per-lane times, SoA-packed.
+struct BatchFixture {
+  std::size_t nb = 0;
+  std::vector<double> ts;
+  std::vector<double> y_soa;                   // n x nb
+  std::vector<std::vector<double>> lane_y;     // per-lane copies
+
+  BatchFixture(const pipeline::CompiledModel& cm, std::size_t lanes)
+      : nb(lanes), ts(lanes) {
+    const std::size_t n = cm.n();
+    y_soa.resize(n * nb);
+    for (std::size_t j = 0; j < nb; ++j) {
+      ts[j] = 0.01 + 0.05 * static_cast<double>(j);
+      std::vector<double> y = start_state(cm);
+      for (std::size_t i = 0; i < n; ++i) {
+        y[i] += 1e-3 * static_cast<double>((i + 3 * j) % 7) +
+                1e-4 * static_cast<double>(j);
+        y_soa[i * nb + j] = y[i];
+      }
+      lane_y.push_back(std::move(y));
+    }
+  }
+};
+
+void expect_batched_backends_agree(const pipeline::CompiledModel& cm) {
+  const KernelInstance ref = cm.make_kernel(Backend::kReference);
+  const KernelInstance interp = cm.make_kernel(Backend::kInterp);
+  const KernelInstance native =
+      cm.make_kernel(Backend::kNative, test_kernel_opts());
+  ASSERT_TRUE(ref.kernel().has_batch());
+  ASSERT_TRUE(interp.kernel().has_batch());
+
+  const std::size_t n = cm.n();
+  const BatchFixture fx(cm, 6);
+  std::vector<double> br(n * fx.nb), bi(n * fx.nb), bn(n * fx.nb);
+  ref.kernel().eval_batch(0, fx.nb, fx.ts.data(), fx.y_soa.data(),
+                          br.data());
+  interp.kernel().eval_batch(0, fx.nb, fx.ts.data(), fx.y_soa.data(),
+                             bi.data());
+  const bool have_native = native.backend() == Backend::kNative;
+  if (have_native) {
+    ASSERT_TRUE(native.kernel().has_batch());
+    native.kernel().eval_batch(0, fx.nb, fx.ts.data(), fx.y_soa.data(),
+                               bn.data());
+  }
+
+  for (std::size_t j = 0; j < fx.nb; ++j) {
+    // Oracle: a scalar reference eval of this lane alone.
+    std::vector<double> expected(n), scalar_interp(n);
+    ref.kernel()(fx.ts[j], fx.lane_y[j], expected);
+    interp.kernel()(fx.ts[j], fx.lane_y[j], scalar_interp);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double scale = std::max(1.0, std::fabs(expected[i]));
+      EXPECT_NEAR(br[i * fx.nb + j], expected[i], 1e-12 * scale)
+          << "reference batch, lane " << j << " slot " << i;
+      EXPECT_NEAR(bi[i * fx.nb + j], expected[i], 1e-12 * scale)
+          << "interp batch, lane " << j << " slot " << i;
+      // The batched interpreter runs the identical instruction sequence
+      // per lane: bitwise equal to the scalar interpreter, not just close.
+      EXPECT_EQ(bi[i * fx.nb + j], scalar_interp[i])
+          << "interp batch not bitwise, lane " << j << " slot " << i;
+      if (have_native) {
+        EXPECT_NEAR(bn[i * fx.nb + j], expected[i], 1e-12 * scale)
+            << "native batch, lane " << j << " slot " << i;
+      }
+    }
+  }
+}
+
+TEST(BatchedKernels, MatchScalarReferenceOnOscillator) {
+  expect_batched_backends_agree(
+      pipeline::compile_model(models::build_oscillator));
+}
+
+TEST(BatchedKernels, MatchScalarReferenceOnBearing2d) {
+  expect_batched_backends_agree(pipeline::compile_model(
+      [](expr::Context& ctx) {
+        models::BearingConfig cfg;
+        cfg.n_rollers = 5;
+        return models::build_bearing(ctx, cfg);
+      }));
+}
+
+TEST(BatchedKernels, MatchScalarReferenceOnHeat1d) {
+  expect_batched_backends_agree(pipeline::compile_model(
+      [](expr::Context& ctx) {
+        models::Heat1dConfig cfg;
+        cfg.n_cells = 24;
+        return models::build_heat1d(ctx, cfg);
+      }));
+}
+
+TEST(BatchedKernels, LaneResultsInvariantUnderRepacking) {
+  // Mixed scenario lifetimes: after some lanes retire mid-sweep the
+  // ensemble driver compacts the batch; the surviving lanes' results
+  // must be bitwise unchanged in the narrower batch.
+  pipeline::CompiledModel cm = pipeline::compile_model(
+      [](expr::Context& ctx) {
+        models::BearingConfig cfg;
+        cfg.n_rollers = 4;
+        return models::build_bearing(ctx, cfg);
+      });
+  const std::size_t n = cm.n();
+  const BatchFixture fx(cm, 6);
+  const std::vector<std::size_t> survivors = {0, 2, 5};  // 1, 3, 4 retired
+
+  std::vector<KernelInstance> kernels;
+  kernels.push_back(cm.make_kernel(Backend::kInterp));
+  const KernelInstance native =
+      cm.make_kernel(Backend::kNative, test_kernel_opts());
+  if (native.backend() == Backend::kNative) {
+    kernels.push_back(native);
+  }
+  for (const KernelInstance& k : kernels) {
+    std::vector<double> full(n * fx.nb);
+    k.kernel().eval_batch(0, fx.nb, fx.ts.data(), fx.y_soa.data(),
+                          full.data());
+
+    const std::size_t nb2 = survivors.size();
+    std::vector<double> ts2(nb2), y2(n * nb2), out2(n * nb2);
+    for (std::size_t j = 0; j < nb2; ++j) {
+      ts2[j] = fx.ts[survivors[j]];
+      for (std::size_t i = 0; i < n; ++i) {
+        y2[i * nb2 + j] = fx.y_soa[i * fx.nb + survivors[j]];
+      }
+    }
+    k.kernel().eval_batch(0, nb2, ts2.data(), y2.data(), out2.data());
+    for (std::size_t j = 0; j < nb2; ++j) {
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out2[i * nb2 + j], full[i * fx.nb + survivors[j]])
+            << to_string(k.backend()) << " lane " << survivors[j]
+            << " slot " << i;
+      }
+    }
+  }
+}
+
+TEST(BatchedKernels, BatchedTaskCompositionReproducesEvalBatch) {
+  // run_task_batch has the same accumulate semantics as run_task:
+  // composing every task over pre-zeroed SoA output reproduces
+  // eval_batch.
+  pipeline::CompiledModel cm = pipeline::compile_model(
+      [](expr::Context& ctx) {
+        models::BearingConfig cfg;
+        cfg.n_rollers = 4;
+        return models::build_bearing(ctx, cfg);
+      });
+  const std::size_t n = cm.n();
+  const BatchFixture fx(cm, 4);
+  std::vector<KernelInstance> kernels;
+  kernels.push_back(cm.make_kernel(Backend::kInterp));
+  const KernelInstance native =
+      cm.make_kernel(Backend::kNative, test_kernel_opts());
+  if (native.backend() == Backend::kNative) {
+    kernels.push_back(native);
+  }
+  for (const KernelInstance& ki : kernels) {
+    const RhsKernel& k = ki.kernel();
+    ASSERT_TRUE(k.has_batch_tasks());
+    std::vector<double> whole(n * fx.nb), composed(n * fx.nb, 0.0);
+    k.eval_batch(0, fx.nb, fx.ts.data(), fx.y_soa.data(), whole.data());
+    for (std::uint32_t t = 0; t < k.num_tasks(); ++t) {
+      k.run_task_batch(0, t, fx.nb, fx.ts.data(), fx.y_soa.data(),
+                       composed.data());
+    }
+    for (std::size_t i = 0; i < n * fx.nb; ++i) {
+      EXPECT_NEAR(composed[i], whole[i],
+                  1e-12 * std::max(1.0, std::fabs(whole[i])))
+          << to_string(ki.backend()) << " flat index " << i;
+    }
+  }
+}
+
+TEST(Ensemble, AgreesAcrossBackendsAndIsStableAcrossWorkerCounts) {
+  pipeline::CompiledModel cm = pipeline::compile_model(
+      [](expr::Context& ctx) {
+        models::BearingConfig cfg;
+        cfg.n_rollers = 4;
+        return models::build_bearing(ctx, cfg);
+      });
+  const std::size_t n = cm.n();
+
+  ode::EnsembleSpec spec;
+  for (std::size_t s = 0; s < 6; ++s) {
+    std::vector<double> y = start_state(cm);
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] += 1e-3 * static_cast<double>((i + s) % 5);
+    }
+    spec.initial_states.push_back(std::move(y));
+  }
+  spec.workers = 2;
+  spec.max_batch = 4;
+
+  ode::SolverOptions o;
+  o.record_every = 1000;
+  // Tight tolerance keeps the backend-rounding divergence (amplified by
+  // the bearing's contact dynamics) well below the comparison bar.
+  o.tol.rtol = 1e-10;
+  o.tol.atol = 1e-12;
+
+  pipeline::KernelOptions ko = test_kernel_opts();
+  ko.lanes = 4;
+
+  // Cross-backend agreement per scenario. The kernels agree to 1e-12 per
+  // RHS call (BatchedKernels.* above), but adaptive step control turns
+  // last-bit RHS differences into different accept/reject sequences, so
+  // integrated trajectories only agree to the solver's own accuracy.
+  std::vector<ode::EnsembleResult> results;
+  std::vector<Backend> backends = {Backend::kReference, Backend::kInterp};
+  if (cm.make_kernel(Backend::kNative, ko).backend() == Backend::kNative) {
+    backends.push_back(Backend::kNative);
+  }
+  for (Backend b : backends) {
+    const KernelInstance k = cm.make_kernel(b, ko);
+    const ode::Problem p = cm.make_problem(k, 0.0, 0.01);
+    results.push_back(
+        ode::solve_ensemble(p, ode::Method::kDopri5, o, spec));
+  }
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    for (std::size_t s = 0; s < spec.initial_states.size(); ++s) {
+      const auto a = results[0].solutions[s].final_state();
+      const auto b = results[r].solutions[s].final_state();
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(b[i], a[i], 1e-4 * std::max(1.0, std::fabs(a[i])))
+            << to_string(backends[r]) << " scenario " << s << " slot " << i;
+      }
+    }
+  }
+
+  // Bit-for-bit stability across worker counts and batch widths within
+  // one backend: scenario trajectories are lane-independent, so the
+  // packing/scheduling must not change a single bit.
+  const KernelInstance k = cm.make_kernel(Backend::kInterp, ko);
+  const ode::Problem p = cm.make_problem(k, 0.0, 0.01);
+  ode::EnsembleSpec base = spec;
+  base.workers = 1;
+  base.max_batch = 1;
+  const ode::EnsembleResult golden =
+      ode::solve_ensemble(p, ode::Method::kDopri5, o, base);
+  for (const std::size_t workers : {std::size_t{2}, std::size_t{4}}) {
+    for (const std::size_t batch : {std::size_t{3}, std::size_t{8}}) {
+      ode::EnsembleSpec v = spec;
+      v.workers = workers;
+      v.max_batch = batch;
+      const ode::EnsembleResult got =
+          ode::solve_ensemble(p, ode::Method::kDopri5, o, v);
+      for (std::size_t s = 0; s < spec.initial_states.size(); ++s) {
+        const ode::Solution& ga = golden.solutions[s];
+        const ode::Solution& gb = got.solutions[s];
+        ASSERT_EQ(gb.size(), ga.size()) << "scenario " << s;
+        for (std::size_t i = 0; i < ga.size(); ++i) {
+          EXPECT_EQ(gb.time(i), ga.time(i));
+          const auto ya = ga.state(i);
+          const auto yb = gb.state(i);
+          for (std::size_t q = 0; q < n; ++q) {
+            EXPECT_EQ(yb[q], ya[q])
+                << "workers=" << workers << " batch=" << batch
+                << " scenario " << s << " step " << i << " slot " << q;
+          }
+        }
+        EXPECT_EQ(gb.stats.steps, ga.stats.steps);
+        EXPECT_EQ(gb.stats.rhs_calls, ga.stats.rhs_calls);
+      }
+    }
+  }
 }
 
 TEST(Kernels, InterpLanesAreIndependent) {

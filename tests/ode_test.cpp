@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <string>
 
 #include "omx/ode/adams.hpp"
 #include "omx/ode/dopri5.hpp"
+#include "omx/ode/ensemble.hpp"
 #include "omx/ode/fixed_step.hpp"
 #include "omx/ode/solve.hpp"
 
@@ -227,6 +230,154 @@ TEST(Solution, InterpolatesLinearly) {
   EXPECT_DOUBLE_EQ(s.at(0.5)[0], 5.0);
   EXPECT_DOUBLE_EQ(s.at(-1.0)[0], 0.0);   // clamped
   EXPECT_DOUBLE_EQ(s.at(2.0)[0], 10.0);   // clamped
+}
+
+// --------------------------------------------------- edge cases
+
+TEST(ProblemValidate, RejectsEmptySystem) {
+  Problem p = decay();
+  p.n = 0;
+  p.y0.clear();
+  EXPECT_THROW(p.validate(), omx::Error);
+}
+
+TEST(ProblemValidate, RejectsBatchArityMismatch) {
+  Problem p = decay();
+  p.batch_arity = 2;  // batched kernel says 2 states, problem says 1
+  EXPECT_THROW(p.validate(), omx::Error);
+  p.batch_arity = 1;
+  p.validate();
+}
+
+/// y' = -y until t = 0.5, then the RHS returns `poison`.
+Problem poisoned_decay(double poison) {
+  Problem p;
+  p.n = 1;
+  p.set_rhs([poison](double t, std::span<const double> y,
+                     std::span<double> f) {
+    f[0] = t < 0.5 ? -y[0] : poison;
+  });
+  p.t0 = 0.0;
+  p.tend = 2.0;
+  p.y0 = {1.0};
+  return p;
+}
+
+void expect_nonfinite_diagnostic(Method m, const SolverOptions& o,
+                                 double poison) {
+  const Problem p = poisoned_decay(poison);
+  try {
+    solve(p, m, o);
+    FAIL() << "expected omx::Error for poison " << poison;
+  } catch (const omx::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos)
+        << "diagnostic should name the real cause, got: " << e.what();
+  }
+}
+
+TEST(SolverDiagnostics, NanRhsFailsWithCleanMessage) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  expect_nonfinite_diagnostic(Method::kExplicitEuler, with_dt(1e-2), nan);
+  expect_nonfinite_diagnostic(Method::kRk4, with_dt(1e-2), nan);
+  expect_nonfinite_diagnostic(Method::kDopri5, {}, nan);
+  expect_nonfinite_diagnostic(Method::kAdamsPece, {}, nan);
+}
+
+TEST(SolverDiagnostics, InfRhsFailsWithCleanMessage) {
+  const double inf = std::numeric_limits<double>::infinity();
+  expect_nonfinite_diagnostic(Method::kExplicitEuler, with_dt(1e-2), inf);
+  expect_nonfinite_diagnostic(Method::kRk4, with_dt(1e-2), inf);
+  expect_nonfinite_diagnostic(Method::kDopri5, {}, inf);
+}
+
+// ------------------------------------------------ ensemble driver
+//
+// solve_ensemble's scenario lanes are independent, so degenerate specs
+// must reproduce the plain scalar drivers bit for bit — not just to
+// tolerance.
+
+void expect_solutions_identical(const Solution& a, const Solution& b) {
+  ASSERT_EQ(b.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(b.time(i), a.time(i)) << "step " << i;
+    const auto ya = a.state(i);
+    const auto yb = b.state(i);
+    ASSERT_EQ(yb.size(), ya.size());
+    for (std::size_t q = 0; q < ya.size(); ++q) {
+      EXPECT_EQ(yb[q], ya[q]) << "step " << i << " slot " << q;
+    }
+  }
+  EXPECT_EQ(b.stats.steps, a.stats.steps);
+  EXPECT_EQ(b.stats.rhs_calls, a.stats.rhs_calls);
+  EXPECT_EQ(b.stats.rejected, a.stats.rejected);
+}
+
+TEST(Ensemble, ZeroScenariosYieldEmptyResult) {
+  const EnsembleResult r =
+      solve_ensemble(decay(), Method::kDopri5, {}, EnsembleSpec{});
+  EXPECT_TRUE(r.solutions.empty());
+}
+
+TEST(Ensemble, OneScenarioDegeneratesToPlainSolve) {
+  const Problem p = oscillator(3.0);
+  for (const Method m :
+       {Method::kExplicitEuler, Method::kRk4, Method::kDopri5}) {
+    const SolverOptions o = with_dt(1e-3);
+    const Solution plain = solve(p, m, o);
+    EnsembleSpec spec;
+    spec.initial_states = {p.y0};
+    spec.max_batch = 4;
+    const EnsembleResult r = solve_ensemble(p, m, o, spec);
+    ASSERT_EQ(r.solutions.size(), 1u);
+    expect_solutions_identical(plain, r.solutions[0]);
+  }
+}
+
+TEST(Ensemble, ScenariosMatchIndividualSolves) {
+  // Perturbed starts give every scenario its own adaptive step history,
+  // so lanes retire at different rounds and the batch repacks mid-run.
+  const Problem base = oscillator(4.0);
+  EnsembleSpec spec;
+  for (std::size_t s = 0; s < 5; ++s) {
+    spec.initial_states.push_back(
+        {1.0 + 0.2 * static_cast<double>(s),
+         0.05 * static_cast<double>(s)});
+  }
+  spec.workers = 2;
+  spec.max_batch = 3;
+  const EnsembleResult r =
+      solve_ensemble(base, Method::kDopri5, {}, spec);
+  ASSERT_EQ(r.solutions.size(), spec.initial_states.size());
+  for (std::size_t s = 0; s < spec.initial_states.size(); ++s) {
+    Problem p = base;
+    p.y0 = spec.initial_states[s];
+    expect_solutions_identical(solve(p, Method::kDopri5, {}),
+                               r.solutions[s]);
+  }
+}
+
+TEST(Ensemble, StiffMethodsFallBackToScenarioAtATime) {
+  const Problem base = oscillator(2.0);
+  EnsembleSpec spec;
+  spec.initial_states = {{1.0, 0.0}, {0.5, 0.25}, {2.0, -0.5}};
+  spec.workers = 2;
+  const EnsembleResult r =
+      solve_ensemble(base, Method::kAdamsPece, {}, spec);
+  ASSERT_EQ(r.solutions.size(), 3u);
+  for (std::size_t s = 0; s < 3; ++s) {
+    Problem p = base;
+    p.y0 = spec.initial_states[s];
+    expect_solutions_identical(solve(p, Method::kAdamsPece, {}),
+                               r.solutions[s]);
+  }
+}
+
+TEST(Ensemble, RejectsMismatchedScenarioSize) {
+  EnsembleSpec spec;
+  spec.initial_states = {{1.0, 0.0}, {1.0}};  // second lane has wrong n
+  EXPECT_THROW(solve_ensemble(oscillator(1.0), Method::kRk4, with_dt(1e-2),
+                              spec),
+               omx::Error);
 }
 
 TEST(Solution, RecordEveryThinsOutput) {
