@@ -11,14 +11,28 @@
 // two orders of magnitude (a multirate problem). Solved (a) as one
 // monolithic system, (b) as K independent systems (legal because the
 // dependency analysis proves independence).
+//
+// The second half measures point (3) *inside* a subsystem: the legacy
+// dense stiff path (dense FD Jacobian + dense LU) against the sparse
+// pipeline (structural pattern + colored FD + sparse LU) on the
+// tridiagonal heat-PDE stencil across sizes, exporting BENCH_sparse.json
+// for scripts/bench_gate.py (gate_sparse: parity at n <= 16, >= 2x at
+// the largest size).
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "omx/analysis/partition.hpp"
 #include "omx/model/flatten.hpp"
+#include "omx/models/heat1d.hpp"
+#include "omx/obs/export.hpp"
+#include "omx/obs/registry.hpp"
+#include "omx/ode/jacobian.hpp"
 #include "omx/ode/solve.hpp"
 #include "omx/parser/parser.hpp"
+#include "omx/pipeline/pipeline.hpp"
 
 namespace {
 
@@ -58,6 +72,101 @@ omx::ode::Problem monolithic(const std::vector<double>& lambdas,
     p.y0[2 * k] = 1.0;
   }
   return p;
+}
+
+// -- dense vs sparse stiff backend on the heat-PDE stencil -------------------
+
+double time_solve(const omx::ode::Problem& p, const omx::ode::SolverOptions& o,
+                  omx::ode::SolverStats* stats) {
+  using clock = std::chrono::steady_clock;
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = clock::now();
+    omx::ode::Solution s = omx::ode::solve(p, omx::ode::Method::kBdf, o);
+    const std::chrono::duration<double> dt = clock::now() - t0;
+    if (dt.count() < best) {
+      best = dt.count();
+      if (stats != nullptr) {
+        *stats = s.stats;
+      }
+    }
+  }
+  return best;
+}
+
+void bench_sparse_backends() {
+  using namespace omx;
+  const std::vector<int> sizes{8, 16, 32, 64, 128};
+  obs::Registry metrics;
+
+  std::printf("\nstiff backend inside one subsystem (heat PDE, BDF2):\n");
+  std::printf("  %6s %10s %10s %9s %7s %14s\n", "n", "dense ms", "sparse ms",
+              "speedup", "colors", "jac-build RHS");
+
+  for (int n : sizes) {
+    models::Heat1dConfig cfg;
+    cfg.n_cells = n;
+    pipeline::CompiledModel cm = pipeline::compile_model(
+        [&cfg](expr::Context& ctx) { return models::build_heat1d(ctx, cfg); });
+    ode::SolverOptions o;
+    o.tol.rtol = 1e-6;
+    o.tol.atol = 1e-9;
+    o.record_every = 1u << 30;
+
+    // Legacy dense path: no pattern, dense FD (n+1 calls) + dense LU.
+    ode::Problem dense_p = cm.make_problem(exec::Backend::kInterp, 0.0, 0.05);
+    dense_p.sparsity.reset();
+    ode::SolverStats dense_stats;
+    const double dense_s = time_solve(dense_p, o, &dense_stats);
+
+    // Sparse pipeline: structural pattern + colored FD + sparse LU.
+    ::setenv("OMX_SPARSE_FORCE", "1", 1);
+    ode::Problem sparse_p = cm.make_problem(exec::Backend::kInterp, 0.0, 0.05);
+    ode::SolverStats sparse_stats;
+    const double sparse_s = time_solve(sparse_p, o, &sparse_stats);
+    std::shared_ptr<const ode::JacPlan> plan = ode::make_jac_plan(sparse_p);
+    ::unsetenv("OMX_SPARSE_FORCE");
+
+    // One Jacobian build in isolation: colors+1 RHS calls vs n+1.
+    la::CsrMatrix jac(plan->pattern);
+    std::uint64_t build_calls = 0;
+    ode::colored_fd_jacobian(sparse_p, *plan, 0.0, sparse_p.y0, jac,
+                             build_calls);
+
+    const double speedup = sparse_s > 0.0 ? dense_s / sparse_s : 0.0;
+    std::printf("  %6d %10.3f %10.3f %8.2fx %7d %11llu/%llu\n", n,
+                dense_s * 1e3, sparse_s * 1e3, speedup,
+                plan->coloring.num_colors,
+                static_cast<unsigned long long>(build_calls),
+                static_cast<unsigned long long>(n + 1));
+
+    char name[96];
+    const auto g = [&metrics, &name](const char* suffix, double v) {
+      char full[128];
+      std::snprintf(full, sizeof full, "%s.%s", name, suffix);
+      metrics.gauge(full).set(v);
+    };
+    std::snprintf(name, sizeof name, "sparse.heat.n%d", n);
+    g("dense_wall_s", dense_s);
+    g("sparse_wall_s", sparse_s);
+    g("sparse_over_dense", speedup);
+    g("colors", static_cast<double>(plan->coloring.num_colors));
+    g("jac_build_rhs_calls", static_cast<double>(build_calls));
+    g("nnz", static_cast<double>(plan->pattern->nnz()));
+    g("dense_rhs_calls", static_cast<double>(dense_stats.rhs_calls));
+    g("sparse_rhs_calls", static_cast<double>(sparse_stats.rhs_calls));
+    g("sparse_reuse_hits", static_cast<double>(sparse_stats.jac_reuse_hits));
+  }
+  metrics.gauge("sparse.heat.largest_n")
+      .set(static_cast<double>(sizes.back()));
+
+  const char* out_path = "BENCH_sparse.json";
+  if (obs::write_file(out_path, obs::metrics_json(metrics.snapshot()))) {
+    std::printf("wrote %s\n", out_path);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    std::exit(1);
+  }
 }
 
 }  // namespace
@@ -156,5 +265,7 @@ int main() {
   std::printf("  monolithic/partitioned BDF RHS calls: %llu / %llu\n",
               static_cast<unsigned long long>(bmono.stats.rhs_calls),
               static_cast<unsigned long long>(bsplit_rhs));
+
+  bench_sparse_backends();
   return 0;
 }

@@ -23,6 +23,13 @@ What is gated vs merely reported:
   host actually has that many cores (the bench exports
   ensemble.hardware_concurrency). On smaller hosts the gate falls back
   to the worker-independent SoA batching amortization (>= 1.4x).
+* sparse.heat.n<N>.sparse_over_dense are same-machine wall-clock ratios
+  of the sparse stiff path (colored FD + sparse LU) over the legacy
+  dense path on the tridiagonal heat PDE: parity (>= 1 - tolerance) is
+  required at n <= 16, and the repo's >= 2x bar at the largest size.
+  The structural counts are gated as exact ceilings — jac_build_rhs_calls
+  <= colors + 1 and colors <= 5 for the tridiagonal stencil — because
+  they are machine-independent. Absolute *_wall_s values are report-only.
 * Absolute wall-clock rates (backends.*.calls_per_s,
   ensemble.*.scen_per_s) vary with CI hardware and are reported for the
   log but never gated.
@@ -67,6 +74,14 @@ class Gate:
         if not ok:
             self.failures.append(
                 f"{name}: {fmt(current)} < floor {fmt(floor)} ({why})")
+
+    def check_max(self, name, current, ceiling, why):
+        ok = current <= ceiling
+        self.rows.append((name, fmt(current), fmt(ceiling), why,
+                          "ok" if ok else "FAIL"))
+        if not ok:
+            self.failures.append(
+                f"{name}: {fmt(current)} > ceiling {fmt(ceiling)} ({why})")
 
     def report(self, name, current, baseline):
         delta = ("n/a" if baseline is None or baseline == 0.0
@@ -146,6 +161,55 @@ def gate_ensemble(gate, current, baseline):
             gate.report(name, current[name], baseline.get(name))
 
 
+def gate_sparse(gate, current, baseline):
+    sizes = []
+    for name in current:
+        if name.startswith("sparse.heat.n") and \
+                name.endswith(".sparse_over_dense"):
+            sizes.append(int(name[len("sparse.heat.n"):-len(
+                ".sparse_over_dense")]))
+    if not sizes:
+        gate.failures.append("sparse.heat.*: no sparse_over_dense gauges")
+        return
+    sizes.sort()
+    largest = int(current.get("sparse.heat.largest_n", sizes[-1]))
+
+    for n in sizes:
+        name = f"sparse.heat.n{n}.sparse_over_dense"
+        if n <= 16:
+            gate.check(name, current[name], 1.0 - gate.tolerance,
+                       f"parity - {gate.tolerance:.0%}")
+        elif n == largest:
+            floor, why = 2.0, "repo bar 2"
+            base = baseline.get(name)
+            if base is not None:
+                base_floor = base * (1.0 - gate.tolerance)
+                if base_floor > floor:
+                    floor, why = base_floor, (
+                        f"baseline {fmt(base)} - {gate.tolerance:.0%}")
+            gate.check(name, current[name], floor, why)
+        else:
+            gate.report(name, current[name], baseline.get(name))
+
+    # Machine-independent structural ceilings at the largest size: the
+    # colored FD build must cost colors+1 RHS calls, and the tridiagonal
+    # stencil must color with <= 5 colors (distance-2 optimum is 3).
+    colors = current.get(f"sparse.heat.n{largest}.colors")
+    builds = current.get(f"sparse.heat.n{largest}.jac_build_rhs_calls")
+    if colors is None or builds is None:
+        gate.failures.append(
+            f"sparse.heat.n{largest}: missing colors/jac_build_rhs_calls")
+    else:
+        gate.check_max(f"sparse.heat.n{largest}.colors", colors, 5.0,
+                       "tridiagonal stencil")
+        gate.check_max(f"sparse.heat.n{largest}.jac_build_rhs_calls",
+                       builds, colors + 1.0, "colors + 1")
+
+    for name in sorted(current):
+        if name.startswith("sparse.heat.") and name.endswith("_wall_s"):
+            gate.report(name, current[name], baseline.get(name))
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--current", required=True,
@@ -160,7 +224,8 @@ def main():
     missing = []
     for fname, fn in (("BENCH_fig12.json", gate_fig12),
                       ("BENCH_backends.json", gate_backends),
-                      ("BENCH_ensemble.json", gate_ensemble)):
+                      ("BENCH_ensemble.json", gate_ensemble),
+                      ("BENCH_sparse.json", gate_sparse)):
         cur_path = os.path.join(args.current, fname)
         base_path = os.path.join(args.baseline, fname)
         if not os.path.exists(cur_path):

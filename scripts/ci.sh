@@ -73,7 +73,7 @@ if [[ $MODE == tsan ]]; then
   echo "== runtime stress (TSan + stealing + tracing forced on) =="
   OMX_POOL_STEALING=1 OMX_OBS_ENABLED=1 OMX_OBS_TRACE=1 \
     ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
-      -R 'RuntimeStress|WorkerPool|ParallelRhs'
+      -R 'RuntimeStress|WorkerPool|ParallelRhs|ParallelColoredFd'
   echo "CI OK (TSan)"
   exit 0
 fi
@@ -112,6 +112,10 @@ test -s "$BUILD_DIR"/BENCH_ensemble.json
 echo "== bench: Figure 12 virtual-time series =="
 (cd "$BUILD_DIR" && ./bench/fig12_speedup)
 test -s "$BUILD_DIR"/BENCH_fig12.json
+
+echo "== bench: partitioned solver + sparse stiff backend =="
+(cd "$BUILD_DIR" && ./bench/partitioned_solver)
+test -s "$BUILD_DIR"/BENCH_sparse.json
 
 echo "== bench regression gate =="
 python3 scripts/bench_gate.py --current "$BUILD_DIR"

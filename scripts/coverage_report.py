@@ -13,6 +13,11 @@ Report-only by design: the exit status is 0 whatever the percentages say.
 It is non-zero only when there is no coverage data at all, which means
 the build was not instrumented or the tests never ran — a broken job, not
 low coverage. Uses plain gcov JSON so no lcov/gcovr install is needed.
+
+Files under src/omx/la/ and src/omx/analysis/ (the numerical substrate of
+the sparse Jacobian pipeline) are additionally flagged in the summary when
+their line coverage falls below 70% — still report-only, the flag is a
+nudge in the log, not a gate.
 """
 import argparse
 import collections
@@ -110,13 +115,30 @@ def main():
         total_cov += covered
         total_lines += len(lines)
 
+    flag_prefixes = (os.path.join("src", "omx", "la") + os.sep,
+                     os.path.join("src", "omx", "analysis") + os.sep)
+    flag_floor = 70.0
+    flagged = []
+
     width = max(len(r[0]) for r in rows)
     out = [f"{'file':<{width}}  {'covered':>9}  {'%':>6}"]
     for rel, covered, total in rows:
         pct = 100.0 * covered / total if total else 0.0
-        out.append(f"{rel:<{width}}  {covered:>4}/{total:<4}  {pct:>5.1f}")
+        mark = ""
+        if rel.startswith(flag_prefixes) and pct < flag_floor:
+            mark = f"  << below {flag_floor:.0f}% (la/analysis floor)"
+            flagged.append((rel, pct))
+        out.append(f"{rel:<{width}}  {covered:>4}/{total:<4}  {pct:>5.1f}{mark}")
     pct = 100.0 * total_cov / total_lines
     out.append(f"{'TOTAL':<{width}}  {total_cov:>4}/{total_lines:<4}  {pct:>5.1f}")
+    if flagged:
+        out.append("")
+        out.append(
+            f"{len(flagged)} la/analysis file(s) below {flag_floor:.0f}% "
+            "line coverage (report-only):"
+        )
+        for rel, p in flagged:
+            out.append(f"  {rel}  {p:.1f}%")
     text = "\n".join(out) + "\n"
 
     sys.stdout.write(text)

@@ -1,0 +1,67 @@
+#include "omx/analysis/sparsity.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace omx::analysis {
+
+la::SparsityPattern structural_sparsity(const DependencyInfo& info,
+                                        std::size_t n) {
+  OMX_REQUIRE(info.deps.size() == n, "dependency info size mismatch");
+  la::SparsityPattern p;
+  p.rows = n;
+  p.cols = n;
+  p.row_ptr.resize(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.row_ptr[i] = p.col_idx.size();
+    for (int j : info.deps[i]) {  // already sorted and deduplicated
+      p.col_idx.push_back(static_cast<std::size_t>(j));
+    }
+  }
+  p.row_ptr[n] = p.col_idx.size();
+  return p;
+}
+
+la::SparsityPattern probe_sparsity(const ode::RhsFn& rhs, std::size_t n,
+                                   double t, std::span<const double> y,
+                                   int probes) {
+  OMX_REQUIRE(y.size() == n, "state size mismatch");
+  OMX_REQUIRE(probes >= 1, "need at least one probe");
+  std::vector<std::vector<bool>> mask(n, std::vector<bool>(n, false));
+
+  // Two base points: the caller's state and a deterministic shift of it,
+  // so a dependency that happens to cancel at one point (e.g. d/dx of
+  // x^2 at x = 0) is still caught at the other.
+  std::vector<std::vector<double>> bases;
+  bases.emplace_back(y.begin(), y.end());
+  std::vector<double> shifted(y.begin(), y.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    shifted[i] = shifted[i] + 0.5 + 0.125 * static_cast<double>(i % 7);
+  }
+  bases.push_back(std::move(shifted));
+
+  std::vector<double> f0(n), f1(n);
+  for (const std::vector<double>& base : bases) {
+    std::vector<double> yp(base);
+    rhs(t, base, f0);
+    for (std::size_t j = 0; j < n; ++j) {
+      for (int p = 0; p < probes; ++p) {
+        // Spread probe magnitudes: ~1e-6, ~1e-3, ... of the state scale.
+        const double scale = std::max(std::fabs(base[j]), 1.0);
+        const double dj = scale * std::pow(10.0, -6.0 + 3.0 * p);
+        const double saved = yp[j];
+        yp[j] = saved + dj;
+        rhs(t, yp, f1);
+        yp[j] = saved;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (f1[i] != f0[i]) {
+            mask[i][j] = true;
+          }
+        }
+      }
+    }
+  }
+  return la::SparsityPattern::from_dense_mask(mask);
+}
+
+}  // namespace omx::analysis

@@ -1,0 +1,34 @@
+// Jacobian sparsity-pattern derivation for the stiff solvers.
+//
+// The exact structural pattern comes for free from the equation
+// dependency analysis (analysis/dependency): entry (i, j) is present iff
+// RHS i transitively reads state j. For opaque RhsFns (hand-written
+// callbacks with no model behind them) a finite-difference probe
+// estimates the pattern by perturbing each state at several magnitudes
+// and recording which outputs move.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "omx/analysis/dependency.hpp"
+#include "omx/la/sparse.hpp"
+#include "omx/ode/problem.hpp"
+
+namespace omx::analysis {
+
+/// Exact structural Jacobian pattern from the dependency analysis.
+la::SparsityPattern structural_sparsity(const DependencyInfo& info,
+                                        std::size_t n);
+
+/// Finite-difference probe for opaque RHS callbacks: perturbs each state
+/// with `probes` different increments around `y` (plus a shifted base
+/// point) and marks entry (i, j) when output i moves. Sound only up to
+/// coincidental cancellation at the probe points — prefer
+/// structural_sparsity whenever a model is available. Costs
+/// (2 * probes) * n + 2 RHS evaluations.
+la::SparsityPattern probe_sparsity(const ode::RhsFn& rhs, std::size_t n,
+                                   double t, std::span<const double> y,
+                                   int probes = 2);
+
+}  // namespace omx::analysis

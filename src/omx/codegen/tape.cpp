@@ -295,4 +295,41 @@ vm::Program compile_jacobian_tape(const model::FlatSystem& flat) {
   return b.take();
 }
 
+vm::Program compile_sparse_jacobian_tape(const model::FlatSystem& flat,
+                                         const la::SparsityPattern& pattern) {
+  expr::Context& ctx = flat.ctx();
+  const std::size_t n = flat.num_states();
+  OMX_REQUIRE(pattern.rows == n && pattern.cols == n,
+              "sparsity pattern shape does not match the flat system");
+
+  TapeBuilder b(flat);
+  b.set_num_outputs(static_cast<std::uint32_t>(pattern.nnz()));
+  const std::uint32_t begin = b.begin_task();
+  std::vector<vm::Output> outputs;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const expr::ExprId rhs =
+        inline_algebraics(flat, flat.states()[i].rhs);
+    for (std::size_t k = pattern.row_ptr[i]; k < pattern.row_ptr[i + 1];
+         ++k) {
+      const std::size_t j = pattern.col_idx[k];
+      const expr::ExprId d = expr::simplify(
+          ctx.pool,
+          expr::differentiate(ctx.pool, rhs, flat.states()[j].name));
+      if (ctx.pool.is_const(d, 0.0)) {
+        continue;  // in-pattern but analytically zero: slot stays 0
+      }
+      const std::uint32_t reg = b.compile_expr(d);
+      outputs.push_back(vm::Output{reg, static_cast<std::uint32_t>(k)});
+    }
+  }
+  std::vector<std::uint32_t> in_states;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    in_states.push_back(i);
+  }
+  b.finish_task(begin, std::move(outputs), std::move(in_states),
+                "jacobian_sparse");
+  return b.take();
+}
+
 }  // namespace omx::codegen

@@ -6,20 +6,24 @@
 #include <span>
 #include <vector>
 
+#include "omx/la/linear_solver.hpp"
 #include "omx/la/matrix.hpp"
 
 namespace omx::la {
 
 /// In-place LU factorization of a square matrix, PA = LU.
-class LuFactors {
+class LuFactors final : public LinearSolver {
  public:
   /// Factorizes `a` (copied). Throws omx::Error on a singular pivot.
   explicit LuFactors(Matrix a);
 
-  std::size_t size() const { return lu_.rows(); }
+  std::size_t size() const override { return lu_.rows(); }
 
   /// Solves A x = b; `x` may alias `b`.
-  void solve(std::span<const double> b, std::span<double> x) const;
+  void solve(std::span<const double> b, std::span<double> x) const override;
+
+  const char* kind() const override { return "dense_lu"; }
+  std::size_t factor_nnz() const override { return lu_.rows() * lu_.cols(); }
 
   /// Reciprocal condition estimate via max-norm of pivots (cheap heuristic,
   /// good enough to detect near-singularity for Newton restarts).

@@ -1,6 +1,7 @@
 #include "omx/ode/auto_switch.hpp"
 
 #include "omx/obs/trace.hpp"
+#include "omx/ode/jacobian.hpp"
 
 namespace omx::ode {
 
@@ -12,14 +13,23 @@ void merge_stats(SolverStats& into, const SolverStats& from) {
   into.steps += from.steps;
   into.rejected += from.rejected;
   into.newton_iters += from.newton_iters;
+  into.jac_factorizations += from.jac_factorizations;
+  into.jac_reuse_hits += from.jac_reuse_hits;
 }
 
 }  // namespace
 
-AutoSwitchResult auto_switch(const Problem& p,
+AutoSwitchResult auto_switch(const Problem& p_in,
                              const AutoSwitchOptions& opts) {
-  p.validate();
+  p_in.validate();
   obs::Span solve_span("lsoda_like", "ode");
+  // Prepare the Jacobian plan (pattern + coloring + backend choice) once
+  // up front; every stiff segment's BdfStepper inherits it through the
+  // Problem copy instead of re-deriving it per switch.
+  Problem p = p_in;
+  if (!p.jac_plan) {
+    p.jac_plan = make_jac_plan(p);
+  }
   AutoSwitchResult result;
   Solution& sol = result.solution;
   sol.reserve(1024, p.n);

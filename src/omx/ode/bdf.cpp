@@ -53,7 +53,11 @@ void extrapolate(const std::vector<std::vector<double>>& hist, int points,
 }  // namespace
 
 BdfStepper::BdfStepper(const Problem& p, const BdfOptions& opts)
-    : p_(p), opts_(opts), jac_eval_(p), jac_(p.n, p.n) {
+    : p_(p),
+      opts_(opts),
+      jac_engine_(p, JacobianEngine::Config{opts.jac_threads,
+                                           opts.jac_max_age,
+                                           /*slow_iters=*/5}) {
   OMX_REQUIRE(opts_.max_order >= 1 && opts_.max_order <= 5,
               "BDF order must be in 1..5");
   double h = opts.fixed_h > 0.0 ? opts.fixed_h : opts.h0;
@@ -65,8 +69,7 @@ void BdfStepper::restart(double t, std::span<const double> y, double h) {
   history_.clear();
   history_.emplace_back(y.begin(), y.end());
   order_ = 1;
-  lu_.reset();
-  lu_beta_h_ = -1.0;
+  jac_engine_.invalidate();
   if (h > 0.0) {
     h_ = h;
   } else {
@@ -119,20 +122,6 @@ void BdfStepper::restart(double t, std::span<const double> y, double h) {
   }
 }
 
-void BdfStepper::refresh_iteration_matrix(double t1,
-                                          std::span<const double> y1,
-                                          double beta_h) {
-  jac_eval_(t1, y1, jac_, stats_);
-  la::Matrix m(p_.n, p_.n);
-  for (std::size_t i = 0; i < p_.n; ++i) {
-    for (std::size_t j = 0; j < p_.n; ++j) {
-      m(i, j) = (i == j ? 1.0 : 0.0) - beta_h * jac_(i, j);
-    }
-  }
-  lu_ = std::make_unique<la::LuFactors>(std::move(m));
-  lu_beta_h_ = beta_h;
-}
-
 bool BdfStepper::newton_solve(double t1, std::span<const double> predictor,
                               std::span<const double> rhs_const,
                               double beta_h, std::span<double> out) {
@@ -141,9 +130,7 @@ bool BdfStepper::newton_solve(double t1, std::span<const double> predictor,
   std::vector<double> f(n), g(n), dy(n), w(n);
   error_weights(predictor, opts_.tol, w);
 
-  if (!lu_ || lu_beta_h_ != beta_h) {
-    refresh_iteration_matrix(t1, y1, beta_h);
-  }
+  la::LinearSolver* solver = &jac_engine_.prepare(t1, y1, beta_h, stats_);
 
   bool refreshed_this_call = false;
   double prev_norm = std::numeric_limits<double>::infinity();
@@ -155,7 +142,7 @@ bool BdfStepper::newton_solve(double t1, std::span<const double> predictor,
     for (std::size_t i = 0; i < n; ++i) {
       g[i] = y1[i] - beta_h * f[i] - rhs_const[i];
     }
-    lu_->solve(g, dy);
+    solver->solve(g, dy);
     for (std::size_t i = 0; i < n; ++i) {
       y1[i] -= dy[i];
     }
@@ -166,7 +153,8 @@ bool BdfStepper::newton_solve(double t1, std::span<const double> predictor,
     }
     if (dn > prev_norm && !refreshed_this_call) {
       // Diverging: refresh Jacobian at the current iterate once.
-      refresh_iteration_matrix(t1, y1, beta_h);
+      jac_engine_.force_refresh();
+      solver = &jac_engine_.prepare(t1, y1, beta_h, stats_);
       refreshed_this_call = true;
       prev_norm = std::numeric_limits<double>::infinity();
       continue;
@@ -234,7 +222,7 @@ bool BdfStepper::step() {
     // Newton failed: refresh everything with a smaller step.
     ++stats_.rejected;
     h_ *= 0.25;
-    lu_.reset();
+    jac_engine_.invalidate();
     if (h_ < 1e-14 * std::max(1.0, std::fabs(t_))) {
       throw omx::Error("bdf: Newton failure with vanishing step at t = " +
                        std::to_string(t_));
@@ -275,6 +263,7 @@ bool BdfStepper::step() {
       ++order_;
     }
     ++stats_.steps;
+    jac_engine_.on_step_accepted(last_newton_iters_);
     // Step growth: double h by SUBSAMPLING the uniform history (every
     // second point is exactly a history at spacing 2h) — no reset, no
     // interpolation error, no order collapse.
@@ -293,7 +282,8 @@ bool BdfStepper::step() {
         h_ *= 2.0;
         order_ = std::min<int>(order_,
                                static_cast<int>(history_.size()));
-        lu_.reset();
+        // No invalidate: the beta*h change alone makes the next
+        // prepare() refactor, reusing the still-fresh Jacobian values.
       }
     }
     return true;
@@ -303,7 +293,7 @@ bool BdfStepper::step() {
   h_ *= std::clamp(0.9 * std::pow(err, -1.0 / (k + 1)), 0.1, 0.5);
   history_.resize(1);
   order_ = 1;
-  lu_.reset();
+  jac_engine_.invalidate();
   if (h_ < 1e-14 * std::max(1.0, std::fabs(t_))) {
     throw omx::Error("bdf: step size underflow at t = " + std::to_string(t_));
   }

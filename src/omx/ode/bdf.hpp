@@ -5,8 +5,11 @@
 // after every (re)start or step-size change the history is reset and the
 // order climbs 1 -> target as uniform points accumulate; this is the
 // classical fixed-leading-coefficient strategy in its simplest robust
-// form. The iteration matrix I - h*beta*J is LU-factored once per step
-// and refreshed when Newton stalls.
+// form. The iteration matrix I - h*beta*J lives in a JacobianEngine:
+// factorizations are reused across Newton iterations and steps, a
+// beta*h change alone refactors with the existing Jacobian values, and
+// only divergence, slow convergence, or age re-evaluates the Jacobian
+// (LSODA-style; see ode/jacobian.hpp).
 #pragma once
 
 #include <memory>
@@ -28,6 +31,11 @@ struct BdfOptions {
   /// Fixed-step mode (no error control) when > 0 — used by the
   /// convergence-order tests.
   double fixed_h = 0.0;
+  /// Color-group evaluation threads for the compressed-FD Jacobian
+  /// (takes effect only with a bound batch_rhs; see colored_fd_jacobian).
+  int jac_threads = 1;
+  /// Accepted steps a Jacobian may age before a forced re-evaluation.
+  std::size_t jac_max_age = 20;
 };
 
 class BdfStepper {
@@ -53,21 +61,16 @@ class BdfStepper {
   bool newton_solve(double t1, std::span<const double> predictor,
                     std::span<const double> rhs_const, double beta_h,
                     std::span<double> out);
-  void refresh_iteration_matrix(double t1, std::span<const double> y1,
-                                double beta_h);
 
   const Problem& p_;
   BdfOptions opts_;
-  JacobianEvaluator jac_eval_;
+  JacobianEngine jac_engine_;
 
   double t_ = 0.0;
   double h_ = 0.0;
   int order_ = 1;  // current ramped order
   // history_[0] = y_n, history_[1] = y_{n-1}, ...
   std::vector<std::vector<double>> history_;
-  la::Matrix jac_;
-  std::unique_ptr<la::LuFactors> lu_;
-  double lu_beta_h_ = -1.0;  // beta*h the factorization was built with
   std::size_t last_newton_iters_ = 0;
   SolverStats stats_;
 };

@@ -14,6 +14,7 @@
 #include "omx/la/matrix.hpp"
 #include "omx/obs/registry.hpp"
 #include "omx/obs/trace.hpp"
+#include "omx/ode/jacobian.hpp"
 #include "omx/runtime/task_deque.hpp"
 #include "omx/sched/lpt.hpp"
 
@@ -39,6 +40,18 @@ obs::Gauge& rate_gauge() {
   static obs::Gauge& g =
       obs::Registry::global().gauge("ensemble.rhs_calls_per_sec");
   return g;
+}
+
+obs::Counter& jac_plans_built_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("ensemble.jac_plans_built");
+  return c;
+}
+
+obs::Counter& jac_plan_reuse_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("ensemble.jac_plan_reuses");
+  return c;
 }
 
 // ---------------------------------------------------------- batched RHS
@@ -668,6 +681,20 @@ EnsembleResult solve_ensemble(const Problem& p, Method method,
   }
 
   obs::Span span("solve_ensemble", "ode");
+
+  // Stiff methods go scenario-at-a-time; derive the sparsity pattern,
+  // coloring, and backend choice ONCE here and share the immutable plan
+  // across every lane's solver instead of re-deriving it per scenario.
+  Problem base = p;
+  if ((method == Method::kBdf || method == Method::kLsodaLike) &&
+      !base.jac_plan) {
+    base.jac_plan = make_jac_plan(base);
+    if (base.jac_plan) {
+      jac_plans_built_counter().add();
+      jac_plan_reuse_counter().add(ns - 1);
+    }
+  }
+
   std::size_t nw = std::clamp<std::size_t>(spec.workers, 1, ns);
   if (p.batch_lanes > 0) {
     nw = std::min(nw, p.batch_lanes);
@@ -696,7 +723,7 @@ EnsembleResult solve_ensemble(const Problem& p, Method method,
         while (ws.next(w, s)) {
           occupancy_hist().observe(1.0);
           res.solutions[s] =
-              solve_single(p, method, opts, spec.initial_states[s], w);
+              solve_single(base, method, opts, spec.initial_states[s], w);
         }
       }
     } catch (...) {

@@ -1,8 +1,27 @@
 #include "omx/ode/jacobian.hpp"
 
-#include <cmath>
+#include <cstdlib>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "omx/obs/registry.hpp"
 
 namespace omx::ode {
+
+namespace {
+
+/// Environment flag: set to anything but "", "0", "false", "off".
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return false;
+  }
+  const std::string_view s(v);
+  return s != "0" && s != "false" && s != "off";
+}
+
+}  // namespace
 
 void finite_difference_jacobian(const RhsFn& rhs, double t,
                                 std::span<const double> y, la::Matrix& jac,
@@ -14,9 +33,8 @@ void finite_difference_jacobian(const RhsFn& rhs, double t,
   rhs(t, y, f0);
   ++rhs_calls;
 
-  const double sqrt_eps = std::sqrt(2.220446049250313e-16);
   for (std::size_t j = 0; j < n; ++j) {
-    const double dj = sqrt_eps * std::max(std::fabs(y[j]), 1.0);
+    const double dj = fd_increment(y[j]);
     const double saved = yp[j];
     yp[j] = saved + dj;
     rhs(t, yp, f1);
@@ -26,6 +44,262 @@ void finite_difference_jacobian(const RhsFn& rhs, double t,
     for (std::size_t i = 0; i < n; ++i) {
       jac(i, j) = (f1[i] - f0[i]) * inv;
     }
+  }
+}
+
+std::shared_ptr<const JacPlan> make_jac_plan(const Problem& p) {
+  if (!p.sparsity) {
+    return nullptr;
+  }
+  OMX_REQUIRE(p.sparsity->rows == p.n && p.sparsity->cols == p.n,
+              "sparsity pattern shape does not match problem size");
+  auto plan = std::make_shared<JacPlan>();
+  plan->pattern =
+      std::make_shared<la::SparsityPattern>(p.sparsity->with_diagonal());
+  plan->coloring = la::color_columns(*plan->pattern);
+  plan->cols = la::columns(*plan->pattern);
+
+  // Backend selection: sparse pays off once the pattern is actually
+  // sparse and the system large enough that O(n^3) dense factorization
+  // dominates. OMX_SPARSE_DISABLE is the escape hatch (keeps the colored
+  // FD compression, forces dense LU); OMX_SPARSE_FORCE overrides the
+  // heuristic the other way (benches use it to measure both backends).
+  const double fill = plan->pattern->fill_ratio();
+  plan->use_sparse = p.n >= 8 && fill <= 0.25;
+  if (env_flag("OMX_SPARSE_FORCE")) {
+    plan->use_sparse = true;
+  }
+  if (env_flag("OMX_SPARSE_DISABLE")) {
+    plan->use_sparse = false;
+  }
+  if (const char* ord = std::getenv("OMX_SPARSE_ORDERING");
+      ord != nullptr && std::string_view(ord) == "rcm") {
+    plan->ordering = la::SparseLu::Ordering::kRcm;
+  }
+
+  obs::Registry& reg = obs::Registry::global();
+  static obs::Gauge& colors = reg.gauge("jac.colors");
+  static obs::Gauge& nnz = reg.gauge("jac.nnz");
+  colors.set(static_cast<double>(plan->coloring.num_colors));
+  nnz.set(static_cast<double>(plan->pattern->nnz()));
+  return plan;
+}
+
+void colored_fd_jacobian(const Problem& p, const JacPlan& plan, double t,
+                         std::span<const double> y, la::CsrMatrix& jac,
+                         std::uint64_t& rhs_calls, int threads) {
+  const std::size_t n = p.n;
+  OMX_REQUIRE(jac.rows() == n && jac.cols() == n, "jacobian shape mismatch");
+  OMX_REQUIRE(jac.values().size() == plan.pattern->nnz(),
+              "jacobian values do not match the plan pattern");
+
+  std::vector<double> f0(n);
+  p.rhs(t, y, f0);
+  ++rhs_calls;
+
+  const auto& groups = plan.coloring.groups;
+  std::span<double> values = jac.values();
+
+  // One color group: perturb all its columns at once, evaluate, scatter
+  // each column's compressed differences through the CSC view. Every
+  // equation depends on at most one perturbed column (that is what the
+  // distance-2 coloring guarantees), so each difference is bitwise what
+  // a one-column evaluation would have produced.
+  auto process_group = [&](const std::vector<std::size_t>& group,
+                           std::vector<double>& yp, std::vector<double>& f1,
+                           auto&& eval) {
+    for (std::size_t j : group) {
+      yp[j] = y[j] + fd_increment(y[j]);
+    }
+    eval(yp, f1);
+    for (std::size_t j : group) {
+      const double inv = 1.0 / fd_increment(y[j]);
+      for (std::size_t k = plan.cols.col_ptr[j]; k < plan.cols.col_ptr[j + 1];
+           ++k) {
+        const std::size_t r = plan.cols.row_idx[k];
+        values[plan.cols.csr_pos[k]] = (f1[r] - f0[r]) * inv;
+      }
+      yp[j] = y[j];
+    }
+  };
+
+  std::size_t nt = 1;
+  if (threads > 1 && p.batch_rhs && groups.size() > 1) {
+    nt = std::min<std::size_t>(static_cast<std::size_t>(threads),
+                               groups.size());
+    if (p.batch_lanes > 0) {
+      nt = std::min(nt, p.batch_lanes);
+    }
+  }
+
+  if (nt <= 1) {
+    std::vector<double> yp(y.begin(), y.end()), f1(n);
+    for (const auto& group : groups) {
+      process_group(group, yp, f1,
+                    [&](const std::vector<double>& state,
+                        std::vector<double>& out) { p.rhs(t, state, out); });
+      ++rhs_calls;
+    }
+    return;
+  }
+
+  // Parallel color groups on distinct batched-kernel lanes. The lane
+  // contract (problem.hpp) makes concurrent calls on distinct lanes safe
+  // and each width-1 result bitwise equal to the scalar rhs; scattered
+  // CSR slots are disjoint across groups, so no synchronization is
+  // needed beyond the joins.
+  std::vector<std::uint64_t> calls(nt, 0);
+  auto run = [&](std::size_t lane) {
+    std::vector<double> yp(y.begin(), y.end()), f1(n);
+    for (std::size_t g = lane; g < groups.size(); g += nt) {
+      process_group(groups[g], yp, f1,
+                    [&](const std::vector<double>& state,
+                        std::vector<double>& out) {
+                      p.batch_rhs(lane, 1, &t, state.data(), out.data());
+                    });
+      ++calls[lane];
+    }
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(nt - 1);
+  for (std::size_t w = 1; w < nt; ++w) {
+    workers.emplace_back(run, w);
+  }
+  run(0);
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  for (std::uint64_t c : calls) {
+    rhs_calls += c;
+  }
+}
+
+JacobianEngine::JacobianEngine(const Problem& p, const Config& cfg)
+    : p_(p), cfg_(cfg) {
+  plan_ = p.jac_plan ? p.jac_plan : make_jac_plan(p);
+  if (plan_) {
+    jac_csr_ = la::CsrMatrix(plan_->pattern);
+    if (plan_->use_sparse) {
+      m_csr_ = la::CsrMatrix(plan_->pattern);
+    }
+  }
+  if (!plan_ || !plan_->use_sparse) {
+    jac_dense_ = la::Matrix(p.n, p.n);
+  }
+}
+
+void JacobianEngine::eval_jacobian(double t, std::span<const double> y,
+                                   SolverStats& stats) {
+  if (!plan_) {
+    // Legacy dense path: analytic JacFn or n+1-call forward differences.
+    obs::Span span(p_.jacobian ? "jacobian" : "jacobian_fd", "ode");
+    if (p_.jacobian) {
+      p_.jacobian(t, y, jac_dense_);
+    } else {
+      finite_difference_jacobian(p_.rhs, t, y, jac_dense_, stats.rhs_calls);
+    }
+    ++stats.jac_calls;
+    return;
+  }
+
+  const la::SparsityPattern& pat = *plan_->pattern;
+  if (p_.sparse_jacobian) {
+    obs::Span span("jacobian_sparse", "ode");
+    p_.sparse_jacobian(t, y, jac_csr_);
+  } else if (p_.jacobian) {
+    obs::Span span("jacobian", "ode");
+    if (!plan_->use_sparse) {
+      p_.jacobian(t, y, jac_dense_);
+      ++stats.jac_calls;
+      return;
+    }
+    // Sparse backend with a dense analytic JacFn: evaluate dense once
+    // and gather the pattern entries (the pattern is structural, so it
+    // covers every possible nonzero).
+    la::Matrix dense(p_.n, p_.n);
+    p_.jacobian(t, y, dense);
+    for (std::size_t r = 0; r < pat.rows; ++r) {
+      for (std::size_t k = pat.row_ptr[r]; k < pat.row_ptr[r + 1]; ++k) {
+        jac_csr_.values()[k] = dense(r, pat.col_idx[k]);
+      }
+    }
+    ++stats.jac_calls;
+    return;
+  } else {
+    obs::Span span("jacobian_fd_colored", "ode");
+    colored_fd_jacobian(p_, *plan_, t, y, jac_csr_, stats.rhs_calls,
+                        cfg_.jac_threads);
+  }
+  if (!plan_->use_sparse) {
+    // Dense backend over a known pattern: same colored/symbolic values,
+    // scattered into the dense mirror (off-pattern entries stay the
+    // exact zeros construction gave them).
+    for (std::size_t r = 0; r < pat.rows; ++r) {
+      for (std::size_t k = pat.row_ptr[r]; k < pat.row_ptr[r + 1]; ++k) {
+        jac_dense_(r, pat.col_idx[k]) = jac_csr_.values()[k];
+      }
+    }
+  }
+  ++stats.jac_calls;
+}
+
+void JacobianEngine::factorize(double beta_h) {
+  if (plan_ && plan_->use_sparse) {
+    const la::SparsityPattern& pat = *plan_->pattern;
+    std::span<const double> jv = jac_csr_.values();
+    std::span<double> mv = m_csr_.values();
+    for (std::size_t r = 0; r < pat.rows; ++r) {
+      for (std::size_t k = pat.row_ptr[r]; k < pat.row_ptr[r + 1]; ++k) {
+        mv[k] = (pat.col_idx[k] == r ? 1.0 : 0.0) - beta_h * jv[k];
+      }
+    }
+    solver_ = std::make_unique<la::SparseLu>(m_csr_, plan_->ordering);
+  } else {
+    la::Matrix m(p_.n, p_.n);
+    for (std::size_t i = 0; i < p_.n; ++i) {
+      for (std::size_t j = 0; j < p_.n; ++j) {
+        m(i, j) = (i == j ? 1.0 : 0.0) - beta_h * jac_dense_(i, j);
+      }
+    }
+    solver_ = std::make_unique<la::LuFactors>(std::move(m));
+  }
+  factored_beta_h_ = beta_h;
+}
+
+la::LinearSolver& JacobianEngine::prepare(double t,
+                                          std::span<const double> y,
+                                          double beta_h,
+                                          SolverStats& stats) {
+  const bool need_jac =
+      !have_jac_ || refresh_requested_ || age_ >= cfg_.max_age;
+  const bool need_factor =
+      need_jac || !solver_ || factored_beta_h_ != beta_h;
+  if (need_jac) {
+    eval_jacobian(t, y, stats);
+    have_jac_ = true;
+    age_ = 0;
+    refresh_requested_ = false;
+  } else if (need_factor) {
+    ++stats.jac_reuse_hits;  // beta*h changed; Jacobian still fresh
+  }
+  if (need_factor) {
+    factorize(beta_h);
+    ++stats.jac_factorizations;
+  }
+  return *solver_;
+}
+
+void JacobianEngine::invalidate() {
+  solver_.reset();
+  have_jac_ = false;
+  refresh_requested_ = false;
+  age_ = 0;
+}
+
+void JacobianEngine::on_step_accepted(std::size_t newton_iters) {
+  ++age_;
+  if (newton_iters >= cfg_.slow_iters) {
+    refresh_requested_ = true;  // convergence-rate degradation
   }
 }
 

@@ -16,6 +16,9 @@ void publish_solver_stats(const SolverStats& stats) {
   static obs::Counter& jac_evals = reg.counter("ode.jac_evals");
   static obs::Counter& newton_iters = reg.counter("ode.newton_iters");
   static obs::Counter& switches = reg.counter("ode.method_switches");
+  static obs::Counter& jac_evaluations = reg.counter("jac.evaluations");
+  static obs::Counter& jac_factorizations = reg.counter("jac.factorizations");
+  static obs::Counter& jac_reuse_hits = reg.counter("jac.reuse_hits");
   solves.add();
   steps.add(stats.steps);
   rejected.add(stats.rejected);
@@ -23,6 +26,9 @@ void publish_solver_stats(const SolverStats& stats) {
   jac_evals.add(stats.jac_calls);
   newton_iters.add(stats.newton_iters);
   switches.add(stats.method_switches);
+  jac_evaluations.add(stats.jac_calls);
+  jac_factorizations.add(stats.jac_factorizations);
+  jac_reuse_hits.add(stats.jac_reuse_hits);
 }
 
 void Problem::validate() const {

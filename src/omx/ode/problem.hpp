@@ -23,7 +23,14 @@
 #include "omx/support/diagnostics.hpp"
 #include "omx/support/function_ref.hpp"
 
+namespace omx::la {
+class CsrMatrix;
+struct SparsityPattern;
+}  // namespace omx::la
+
 namespace omx::ode {
+
+struct JacPlan;  // ode/jacobian.hpp: pattern + coloring + backend choice
 
 using RhsFn = support::FunctionRef<void(double t, std::span<const double> y,
                                         std::span<double> ydot)>;
@@ -39,6 +46,10 @@ using JacFn = support::FunctionRef<void(double t, std::span<const double> y,
 using BatchRhsFn = support::FunctionRef<void(
     std::size_t lane, std::size_t nb, const double* t, const double* y_soa,
     double* ydot_soa)>;
+/// Writes the structurally nonzero Jacobian entries into `jac` (CSR
+/// values aligned with the pattern the matrix was built over).
+using SparseJacFn = support::FunctionRef<void(
+    double t, std::span<const double> y, la::CsrMatrix& jac)>;
 
 struct Problem {
   std::size_t n = 0;
@@ -64,6 +75,21 @@ struct Problem {
   /// solve_ensemble clamps its worker count to this.
   std::size_t batch_lanes = 0;
 
+  /// Structural Jacobian sparsity: entry (i, j) present iff df_i/dy_j
+  /// can be nonzero. pipeline::CompiledModel::make_problem attaches it
+  /// from the dependency analysis; hand-built problems may set it
+  /// directly (or via analysis::probe_sparsity). When absent the stiff
+  /// solvers keep the legacy dense Jacobian path.
+  std::shared_ptr<const la::SparsityPattern> sparsity;
+  /// Optional pattern-aligned symbolic Jacobian (CSR values only); used
+  /// in preference to `jacobian` when the sparse backend is active.
+  SparseJacFn sparse_jacobian;
+  /// Prepared Jacobian plan (pattern + coloring + dense/sparse backend
+  /// choice). Built lazily by the stiff solvers from `sparsity` when
+  /// absent; ode::solve_ensemble and ode::auto_switch prepare it once
+  /// and share it across lanes / switch segments via Problem copies.
+  std::shared_ptr<const JacPlan> jac_plan;
+
   /// Copies `f` into a keep-alive owned by this Problem and points `rhs`
   /// at it. Use for capturing lambdas and other short-lived callables;
   /// one allocation at setup time, none per evaluation.
@@ -88,6 +114,13 @@ struct Problem {
     batch_keepalive_ = std::move(owned);
   }
 
+  template <typename F>
+  void set_sparse_jacobian(F f) {
+    auto owned = std::make_shared<F>(std::move(f));
+    sparse_jacobian = SparseJacFn(*owned);
+    sparse_jac_keepalive_ = std::move(owned);
+  }
+
   void validate() const;
 
  private:
@@ -95,6 +128,7 @@ struct Problem {
   std::shared_ptr<void> rhs_keepalive_;
   std::shared_ptr<void> jac_keepalive_;
   std::shared_ptr<void> batch_keepalive_;
+  std::shared_ptr<void> sparse_jac_keepalive_;
 };
 
 struct Tolerances {
@@ -109,6 +143,11 @@ struct SolverStats {
   std::uint64_t rejected = 0;
   std::uint64_t newton_iters = 0;
   std::uint64_t method_switches = 0;
+  /// Iteration-matrix factorizations (dense or sparse LU).
+  std::uint64_t jac_factorizations = 0;
+  /// Factorizations that reused previously evaluated Jacobian values
+  /// (beta*h changed but the Jacobian was still fresh — LSODA-style).
+  std::uint64_t jac_reuse_hits = 0;
 };
 
 /// Adds one completed solve's statistics to the process-wide telemetry

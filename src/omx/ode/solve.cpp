@@ -46,6 +46,7 @@ Solution solve(const Problem& p, Method method, const SolverOptions& o) {
       b.newton_max_iters = o.newton_max_iters;
       b.record_every = o.record_every;
       b.fixed_h = o.bdf_fixed_h;
+      b.jac_threads = o.jac_threads;
       return detail::bdf(p, b);
     }
     case Method::kLsodaLike: {

@@ -51,6 +51,10 @@ struct SolverOptions {
   /// kBdf only: fixed-step mode without error control when > 0
   /// (convergence-order studies).
   double bdf_fixed_h = 0.0;
+  /// Stiff methods: color-group evaluation threads for the compressed-FD
+  /// Jacobian (effective only with a bound batch_rhs; the plain RhsFn
+  /// carries no thread-safety guarantee).
+  int jac_threads = 1;
 };
 
 /// Integrates `p` with the chosen method. Statistics are on the returned

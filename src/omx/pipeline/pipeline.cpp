@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "omx/analysis/sparsity.hpp"
 #include "omx/obs/registry.hpp"
 #include "omx/obs/trace.hpp"
 #include "omx/vm/interp.hpp"
@@ -72,6 +73,7 @@ ode::Problem CompiledModel::make_problem(ode::RhsFn rhs, double t0,
   for (const model::FlatState& s : flat->states()) {
     p.y0.push_back(s.start);
   }
+  p.sparsity = sparsity;
   return p;
 }
 
@@ -91,6 +93,22 @@ void CompiledModel::bind_symbolic_jacobian(ode::Problem& p) const {
       }
     }
   });
+  if (sparse_jacobian_program.n_regs > 0) {
+    const vm::Program* sp = &sparse_jacobian_program;
+    auto sws = std::make_shared<vm::Workspace>(sparse_jacobian_program);
+    auto sbuf = std::make_shared<std::vector<double>>(sp->n_out, 0.0);
+    p.set_sparse_jacobian([sp, sws, sbuf](double t,
+                                          std::span<const double> y,
+                                          la::CsrMatrix& jac) {
+      OMX_REQUIRE(jac.pattern().nnz() == sp->n_out,
+                  "sparse jacobian pattern mismatch");
+      // Analytically-zero slots have no output instruction; clear first
+      // so they stay exact 0.0.
+      std::fill(sbuf->begin(), sbuf->end(), 0.0);
+      vm::eval_rhs_serial(*sp, t, y, *sbuf, *sws);
+      std::copy(sbuf->begin(), sbuf->end(), jac.values().begin());
+    });
+  }
 }
 
 CompiledModel compile_model(const ModelBuilder& builder,
@@ -110,6 +128,8 @@ CompiledModel compile_model(const ModelBuilder& builder,
     obs::Span s("dependency+scc", "pipeline");
     cm.deps = analysis::analyze_dependencies(*cm.flat);
     cm.partition = analysis::partition_by_scc(*cm.flat, cm.deps);
+    cm.sparsity = std::make_shared<la::SparsityPattern>(
+        analysis::structural_sparsity(cm.deps, cm.flat->num_states()));
   }
   {
     obs::Span s("assignments+cse", "pipeline");
@@ -128,6 +148,10 @@ CompiledModel compile_model(const ModelBuilder& builder,
     }
     if (opts.build_jacobian) {
       cm.jacobian_program = codegen::compile_jacobian_tape(*cm.flat);
+      cm.jac_sparsity = std::make_shared<la::SparsityPattern>(
+          cm.sparsity->with_diagonal());
+      cm.sparse_jacobian_program =
+          codegen::compile_sparse_jacobian_tape(*cm.flat, *cm.jac_sparsity);
     }
   }
   compiles.add();

@@ -43,6 +43,17 @@ struct CompiledModel {
   vm::Program parallel_program;
   vm::Program serial_program;    // empty unless build_serial
   vm::Program jacobian_program;  // empty unless build_jacobian
+  /// Structural Jacobian sparsity derived from the dependency graph:
+  /// (i, j) present iff state j appears in the (algebraic-inlined) RHS of
+  /// state i. Attached to every Problem this model produces.
+  std::shared_ptr<const la::SparsityPattern> sparsity;
+  /// `sparsity` with the diagonal forced present — the pattern the stiff
+  /// engine stores its Jacobian over, and the slot map of
+  /// `sparse_jacobian_program`. Empty unless build_jacobian.
+  std::shared_ptr<const la::SparsityPattern> jac_sparsity;
+  /// Analytic Jacobian compiled to nnz(jac_sparsity) output slots (CSR
+  /// order) instead of n*n. Empty unless build_jacobian.
+  vm::Program sparse_jacobian_program;
 
   std::size_t n() const { return flat->num_states(); }
 
@@ -68,7 +79,9 @@ struct CompiledModel {
   ode::Problem make_problem(ode::RhsFn rhs, double t0, double tend) const;
 
   /// Binds the analytic Jacobian from the compiled Jacobian tape into
-  /// `p` (owning: copies of `p` keep it alive).
+  /// `p` (owning: copies of `p` keep it alive). Also binds the sparse
+  /// (pattern-aligned, nnz-output) variant when it was compiled, so the
+  /// sparse stiff backend evaluates only structural nonzeros.
   void bind_symbolic_jacobian(ode::Problem& p) const;
 };
 

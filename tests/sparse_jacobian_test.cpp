@@ -1,0 +1,440 @@
+// Differential tests for the sparse Jacobian pipeline: structural
+// patterns vs finite-difference probes, colored compressed FD vs the
+// dense one-column-at-a-time Jacobian, sparse LU vs dense LU (bitwise,
+// by design), dense-vs-sparse BDF trajectories, and the LSODA-style
+// reuse policy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "omx/analysis/sparsity.hpp"
+#include "omx/la/lu.hpp"
+#include "omx/la/sparse.hpp"
+#include "omx/models/heat1d.hpp"
+#include "omx/models/hydro.hpp"
+#include "omx/models/oscillator.hpp"
+#include "omx/models/servo.hpp"
+#include "omx/ode/jacobian.hpp"
+#include "omx/ode/solve.hpp"
+#include "omx/pipeline/pipeline.hpp"
+
+namespace omx {
+namespace {
+
+using la::CsrMatrix;
+using la::SparsityPattern;
+
+/// RAII environment override; restores the previous value on scope exit.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) {
+      old_ = old;
+    }
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+pipeline::CompiledModel compile_with_jacobian(
+    const pipeline::ModelBuilder& builder) {
+  pipeline::CompileOptions opts;
+  opts.build_jacobian = true;
+  return pipeline::compile_model(builder, opts);
+}
+
+pipeline::ModelBuilder heat_builder(int n_cells) {
+  return [n_cells](expr::Context& ctx) {
+    models::Heat1dConfig cfg;
+    cfg.n_cells = n_cells;
+    return models::build_heat1d(ctx, cfg);
+  };
+}
+
+// -- structural pattern vs FD probe ------------------------------------------
+
+void expect_pattern_matches_probe(const pipeline::ModelBuilder& builder,
+                                  const char* label) {
+  SCOPED_TRACE(label);
+  pipeline::CompiledModel cm = pipeline::compile_model(builder);
+  ode::Problem p = cm.make_problem(exec::Backend::kReference, 0.0, 1.0);
+  ASSERT_TRUE(p.sparsity != nullptr);
+  const SparsityPattern probed =
+      analysis::probe_sparsity(p.rhs, p.n, p.t0, p.y0);
+  EXPECT_EQ(*p.sparsity, probed);
+}
+
+TEST(SparsityPattern, MatchesFdProbeOnAllModels) {
+  expect_pattern_matches_probe(models::build_oscillator, "oscillator");
+  expect_pattern_matches_probe(models::build_servo, "servo");
+  expect_pattern_matches_probe(models::build_hydro, "hydro");
+  expect_pattern_matches_probe(heat_builder(10), "heat1d");
+}
+
+TEST(SparsityPattern, HeatPdeIsTridiagonal) {
+  pipeline::CompiledModel cm = pipeline::compile_model(heat_builder(16));
+  ASSERT_TRUE(cm.sparsity != nullptr);
+  EXPECT_EQ(cm.sparsity->lower_bandwidth(), 1u);
+  EXPECT_EQ(cm.sparsity->upper_bandwidth(), 1u);
+  EXPECT_EQ(cm.sparsity->nnz(), 3u * 16 - 2);
+}
+
+// -- FD increment (LSODA-style scaling) --------------------------------------
+
+TEST(FdIncrement, ScalesWithStateAndCarriesSign) {
+  const double sqrt_eps = std::sqrt(2.220446049250313e-16);
+  EXPECT_DOUBLE_EQ(ode::fd_increment(0.0), sqrt_eps);
+  EXPECT_DOUBLE_EQ(ode::fd_increment(1e8), sqrt_eps * 1e8);
+  EXPECT_DOUBLE_EQ(ode::fd_increment(-1e8), -sqrt_eps * 1e8);
+  EXPECT_DOUBLE_EQ(ode::fd_increment(0.5), sqrt_eps);       // typ floor
+  EXPECT_DOUBLE_EQ(ode::fd_increment(0.5, 0.1), sqrt_eps * 0.5);
+}
+
+TEST(FdIncrement, DenseFdAccurateForLargeStates) {
+  // f(y) = y^2 at y = 1e8: a fixed absolute increment would lose every
+  // significant digit; the scaled increment keeps ~8 digits.
+  ode::Problem p;
+  p.n = 1;
+  p.set_rhs([](double, std::span<const double> y, std::span<double> f) {
+    f[0] = y[0] * y[0];
+  });
+  p.y0 = {1e8};
+  la::Matrix jac(1, 1);
+  std::uint64_t calls = 0;
+  ode::finite_difference_jacobian(p.rhs, 0.0, p.y0, jac, calls);
+  EXPECT_EQ(calls, 2u);
+  EXPECT_NEAR(jac(0, 0), 2e8, 2e8 * 1e-7);
+}
+
+// -- colored compressed FD vs dense FD ---------------------------------------
+
+TEST(ColoredFd, MatchesDenseFdOnHeatPde) {
+  pipeline::CompiledModel cm = pipeline::compile_model(heat_builder(24));
+  ode::Problem p = cm.make_problem(exec::Backend::kReference, 0.0, 1.0);
+  std::shared_ptr<const ode::JacPlan> plan = ode::make_jac_plan(p);
+  ASSERT_TRUE(plan != nullptr);
+  // Distance-2 coloring of a tridiagonal pattern needs exactly 3 colors.
+  EXPECT_EQ(plan->coloring.num_colors, 3);
+
+  // Evaluate off the initial condition so no state is exactly zero.
+  std::vector<double> y = p.y0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] += 0.25 + 0.01 * static_cast<double>(i);
+  }
+
+  CsrMatrix colored(plan->pattern);
+  std::uint64_t colored_calls = 0;
+  ode::colored_fd_jacobian(p, *plan, 0.0, y, colored, colored_calls);
+  EXPECT_EQ(colored_calls,
+            static_cast<std::uint64_t>(plan->coloring.num_colors) + 1);
+
+  la::Matrix dense(p.n, p.n);
+  std::uint64_t dense_calls = 0;
+  ode::finite_difference_jacobian(p.rhs, 0.0, y, dense, dense_calls);
+  EXPECT_EQ(dense_calls, static_cast<std::uint64_t>(p.n) + 1);
+
+  // The compression is exact, not approximate: each equation reads at
+  // most one perturbed column per color group, so every compressed
+  // difference is the same floating-point expression as the dense one.
+  for (std::size_t i = 0; i < p.n; ++i) {
+    for (std::size_t j = 0; j < p.n; ++j) {
+      EXPECT_EQ(colored.at(i, j), dense(i, j)) << "entry " << i << "," << j;
+    }
+  }
+}
+
+TEST(ParallelColoredFd, ThreadedGroupsMatchSerial) {
+  pipeline::CompiledModel cm = pipeline::compile_model(heat_builder(32));
+  pipeline::KernelOptions kopts;
+  kopts.lanes = 4;
+  exec::KernelInstance kernel = cm.make_kernel(exec::Backend::kInterp, kopts);
+  ode::Problem p = cm.make_problem(kernel, 0.0, 1.0);
+  ASSERT_TRUE(p.batch_rhs);
+  std::shared_ptr<const ode::JacPlan> plan = ode::make_jac_plan(p);
+  ASSERT_TRUE(plan != nullptr);
+
+  std::vector<double> y = p.y0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] += 0.5 + 0.03 * static_cast<double>(i);
+  }
+
+  CsrMatrix serial(plan->pattern);
+  std::uint64_t serial_calls = 0;
+  ode::colored_fd_jacobian(p, *plan, 0.0, y, serial, serial_calls,
+                           /*threads=*/1);
+  CsrMatrix threaded(plan->pattern);
+  std::uint64_t threaded_calls = 0;
+  ode::colored_fd_jacobian(p, *plan, 0.0, y, threaded, threaded_calls,
+                           /*threads=*/4);
+  EXPECT_EQ(serial_calls, threaded_calls);
+  ASSERT_EQ(serial.values().size(), threaded.values().size());
+  for (std::size_t k = 0; k < serial.values().size(); ++k) {
+    EXPECT_EQ(serial.values()[k], threaded.values()[k]) << "slot " << k;
+  }
+}
+
+// -- symbolic sparse Jacobian tape -------------------------------------------
+
+TEST(SparseJacobianTape, MatchesDenseTapeOnHeatPde) {
+  pipeline::CompiledModel cm = compile_with_jacobian(heat_builder(12));
+  ASSERT_GT(cm.sparse_jacobian_program.n_regs, 0u);
+  ASSERT_TRUE(cm.jac_sparsity != nullptr);
+  ode::Problem p = cm.make_problem(exec::Backend::kReference, 0.0, 1.0);
+  cm.bind_symbolic_jacobian(p);
+  ASSERT_TRUE(p.jacobian);
+  ASSERT_TRUE(p.sparse_jacobian);
+
+  std::vector<double> y = p.y0;
+  la::Matrix dense(p.n, p.n);
+  p.jacobian(0.0, y, dense);
+  CsrMatrix sparse(cm.jac_sparsity);
+  p.sparse_jacobian(0.0, y, sparse);
+
+  for (std::size_t i = 0; i < p.n; ++i) {
+    for (std::size_t j = 0; j < p.n; ++j) {
+      EXPECT_EQ(sparse.at(i, j), dense(i, j)) << "entry " << i << "," << j;
+    }
+  }
+}
+
+// -- sparse LU vs dense LU ---------------------------------------------------
+
+CsrMatrix tridiagonal_matrix(std::size_t n) {
+  std::vector<std::pair<std::size_t, std::size_t>> trips;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) trips.emplace_back(i, i - 1);
+    trips.emplace_back(i, i);
+    if (i + 1 < n) trips.emplace_back(i, i + 1);
+  }
+  auto pat = std::make_shared<SparsityPattern>(
+      SparsityPattern::from_triplets(n, n, std::move(trips)));
+  CsrMatrix a(pat);
+  const SparsityPattern& sp = a.pattern();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = sp.row_ptr[i]; k < sp.row_ptr[i + 1]; ++k) {
+      const std::size_t j = sp.col_idx[k];
+      // Deterministic, non-symmetric, diagonally non-dominant enough to
+      // exercise pivoting on some columns.
+      a.values()[k] = (i == j)
+                          ? 0.5 + 0.125 * static_cast<double>(i % 4)
+                          : 1.0 + 0.0625 * static_cast<double>((i + j) % 5);
+    }
+  }
+  return a;
+}
+
+TEST(SparseLu, BitwiseIdenticalToDenseLuOnBandedMatrix) {
+  const std::size_t n = 12;
+  CsrMatrix a = tridiagonal_matrix(n);
+  la::SparseLu sparse(a);
+  la::LuFactors dense(a.to_dense());
+
+  std::vector<double> b(n), xs(n), xd(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = 1.0 - 0.25 * static_cast<double>(i % 3);
+  }
+  sparse.solve(b, xs);
+  dense.solve(b, xd);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Same floating-point operations in the same order: exact equality,
+    // not just 1e-12 closeness.
+    EXPECT_EQ(xs[i], xd[i]) << "component " << i;
+  }
+  // Banded fast path: tridiagonal factors stay tridiagonal (plus pivot
+  // spill into the first superdiagonals), far below n^2.
+  EXPECT_LT(sparse.factor_nnz(), n * n / 2);
+  EXPECT_EQ(std::string(sparse.kind()), "sparse_lu");
+}
+
+TEST(SparseLu, SingularColumnThrowsDiagnostic) {
+  auto pat = std::make_shared<SparsityPattern>(SparsityPattern::from_triplets(
+      3, 3, {{0, 0}, {1, 1}, {1, 2}, {2, 2}}));
+  CsrMatrix a(pat);
+  a.values()[pat->find(0, 0)] = 1.0;
+  a.values()[pat->find(1, 1)] = 0.0;  // structurally present, numerically 0
+  a.values()[pat->find(1, 2)] = 1.0;
+  a.values()[pat->find(2, 2)] = 1.0;
+  try {
+    la::SparseLu lu(a);
+    FAIL() << "expected omx::Error";
+  } catch (const omx::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("singular at column"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+CsrMatrix arrow_matrix(std::size_t n) {
+  // Dense first row and column: the natural elimination order fills the
+  // whole matrix; RCM pushes the hub to the end, keeping fill minimal.
+  std::vector<std::pair<std::size_t, std::size_t>> trips;
+  for (std::size_t i = 0; i < n; ++i) {
+    trips.emplace_back(0, i);
+    trips.emplace_back(i, 0);
+    trips.emplace_back(i, i);
+  }
+  auto pat = std::make_shared<SparsityPattern>(
+      SparsityPattern::from_triplets(n, n, std::move(trips)));
+  CsrMatrix a(pat);
+  const SparsityPattern& sp = a.pattern();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = sp.row_ptr[i]; k < sp.row_ptr[i + 1]; ++k) {
+      const std::size_t j = sp.col_idx[k];
+      a.values()[k] = (i == j) ? 8.0 + static_cast<double>(i)
+                               : 1.0 / static_cast<double>(2 + i + j);
+    }
+  }
+  return a;
+}
+
+TEST(SparseLu, PathologicalFillStaysCorrectAndRcmReducesIt) {
+  const std::size_t n = 16;
+  CsrMatrix a = arrow_matrix(n);
+  la::SparseLu natural(a, la::SparseLu::Ordering::kNatural);
+  la::SparseLu rcm(a, la::SparseLu::Ordering::kRcm);
+  la::LuFactors dense(a.to_dense());
+
+  std::vector<double> b(n), xn(n), xr(n), xd(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = 0.5 + 0.125 * static_cast<double>(i % 7);
+  }
+  natural.solve(b, xn);
+  rcm.solve(b, xr);
+  dense.solve(b, xd);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(xn[i], xd[i]) << "natural component " << i;
+    // RCM reorders the arithmetic, so identity is only up to rounding.
+    EXPECT_NEAR(xr[i], xd[i], 1e-12 * (1.0 + std::fabs(xd[i])))
+        << "rcm component " << i;
+  }
+  // Natural elimination of the hub-first arrow fills everything; RCM
+  // eliminates the spokes first and stays near the original nnz.
+  EXPECT_EQ(natural.factor_nnz(), n * n);
+  EXPECT_LT(rcm.factor_nnz(), a.pattern().nnz() + n);
+}
+
+// -- dense vs sparse BDF trajectories ----------------------------------------
+
+TEST(StiffPath, DenseAndSparseBackendsBitwiseIdentical) {
+  pipeline::CompiledModel cm = pipeline::compile_model(heat_builder(24));
+  ode::SolverOptions opts;
+  opts.tol.rtol = 1e-7;
+  opts.tol.atol = 1e-10;
+
+  ode::Solution dense_sol;
+  {
+    ScopedEnv disable("OMX_SPARSE_DISABLE", "1");
+    ode::Problem p = cm.make_problem(exec::Backend::kReference, 0.0, 0.25);
+    dense_sol = ode::solve(p, ode::Method::kBdf, opts);
+  }
+  ode::Solution sparse_sol;
+  {
+    ScopedEnv force("OMX_SPARSE_FORCE", "1");
+    ode::Problem p = cm.make_problem(exec::Backend::kReference, 0.0, 0.25);
+    sparse_sol = ode::solve(p, ode::Method::kBdf, opts);
+  }
+
+  ASSERT_EQ(dense_sol.size(), sparse_sol.size());
+  EXPECT_EQ(dense_sol.stats.steps, sparse_sol.stats.steps);
+  EXPECT_EQ(dense_sol.stats.rhs_calls, sparse_sol.stats.rhs_calls);
+  EXPECT_EQ(dense_sol.stats.newton_iters, sparse_sol.stats.newton_iters);
+  for (std::size_t s = 0; s < dense_sol.size(); ++s) {
+    ASSERT_EQ(dense_sol.time(s), sparse_sol.time(s)) << "step " << s;
+    std::span<const double> yd = dense_sol.state(s);
+    std::span<const double> ys = sparse_sol.state(s);
+    for (std::size_t i = 0; i < yd.size(); ++i) {
+      ASSERT_EQ(yd[i], ys[i]) << "step " << s << " component " << i;
+    }
+  }
+}
+
+TEST(StiffPath, ColoredFdCutsRhsCalls) {
+  // n = 40 tridiagonal: a dense FD Jacobian costs 41 RHS calls per
+  // evaluation, the colored one costs 4. The total over a solve must
+  // reflect that.
+  pipeline::CompiledModel cm = pipeline::compile_model(heat_builder(40));
+  ode::SolverOptions opts;
+  opts.tol.rtol = 1e-6;
+  opts.tol.atol = 1e-9;
+
+  ode::Problem with_pattern = cm.make_problem(exec::Backend::kReference,
+                                              0.0, 0.2);
+  ode::Solution colored = ode::solve(with_pattern, ode::Method::kBdf, opts);
+
+  ode::Problem no_pattern = cm.make_problem(exec::Backend::kReference,
+                                            0.0, 0.2);
+  no_pattern.sparsity.reset();  // legacy dense path
+  ode::Solution legacy = ode::solve(no_pattern, ode::Method::kBdf, opts);
+
+  EXPECT_EQ(colored.stats.steps, legacy.stats.steps);
+  EXPECT_EQ(colored.stats.jac_calls, legacy.stats.jac_calls);
+  // Each Jacobian evaluation: 4 extra RHS calls instead of 41.
+  EXPECT_LT(colored.stats.rhs_calls,
+            legacy.stats.rhs_calls -
+                30 * std::max<std::uint64_t>(colored.stats.jac_calls, 1));
+}
+
+// -- reuse policy ------------------------------------------------------------
+
+TEST(ReusePolicy, RefactorsWithoutReevaluatingOnStepChanges) {
+  // Linear RHS (no libm): step counts and Newton behaviour are exactly
+  // reproducible across platforms.
+  pipeline::CompiledModel cm = pipeline::compile_model(heat_builder(16));
+  ode::Problem p = cm.make_problem(exec::Backend::kReference, 0.0, 0.5);
+  ode::SolverOptions opts;
+  opts.tol.rtol = 1e-6;
+  opts.tol.atol = 1e-9;
+  ode::Solution sol = ode::solve(p, ode::Method::kBdf, opts);
+
+  // The controller changes h (and thus beta*h) far more often than the
+  // Jacobian goes stale; most factorizations must be reuse hits. For a
+  // linear system the Jacobian never changes, so age is the only
+  // refresh trigger.
+  EXPECT_GT(sol.stats.jac_factorizations, sol.stats.jac_calls);
+  EXPECT_GT(sol.stats.jac_reuse_hits, 0u);
+  EXPECT_EQ(sol.stats.jac_factorizations,
+            sol.stats.jac_calls + sol.stats.jac_reuse_hits);
+  // Age-based refresh: at most ceil(steps / max_age) + rejection-driven
+  // evaluations; with the LSODA default of 20 the count stays small.
+  EXPECT_LE(sol.stats.jac_calls,
+            sol.stats.steps / 20 + sol.stats.rejected + 2);
+}
+
+TEST(ReusePolicy, FixedStepLinearProblemPinsCounts) {
+  // Fixed h, linear RHS: every quantity is deterministic. 50 steps at
+  // max_age 20 -> exactly 3 Jacobian evaluations (steps 0, 20, 40). The
+  // order ramp BDF1 -> BDF2 changes beta once, forcing one refactor with
+  // the still-fresh Jacobian — the prototypical reuse hit.
+  pipeline::CompiledModel cm = pipeline::compile_model(heat_builder(8));
+  ode::Problem p = cm.make_problem(exec::Backend::kReference, 0.0, 0.5);
+  ode::SolverOptions opts;
+  opts.bdf_fixed_h = 0.01;
+  opts.bdf_max_order = 2;
+  ode::Solution sol = ode::solve(p, ode::Method::kBdf, opts);
+
+  EXPECT_EQ(sol.stats.steps, 50u);
+  EXPECT_EQ(sol.stats.rejected, 0u);
+  EXPECT_EQ(sol.stats.jac_calls, 3u);
+  EXPECT_EQ(sol.stats.jac_factorizations, 4u);
+  EXPECT_EQ(sol.stats.jac_reuse_hits, 1u);
+}
+
+}  // namespace
+}  // namespace omx
