@@ -2,10 +2,21 @@
 // supervisor/worker runtime with tracing on, and dumps
 //   * a Chrome trace_event JSON (open in chrome://tracing or
 //     https://ui.perfetto.dev) with one track per worker showing task
-//     spans, idle gaps, and the supervisor's scatter/gather phases, and
-//   * the text metrics summary (RHS calls, messages, bytes, reschedules).
+//     spans, idle gaps, the supervisor's scatter/gather phases,
+//     per-worker utilization counter tracks (when OMX_OBS_SAMPLE_HZ or
+//     --sample-hz is set), and named process/thread rows,
+//   * the text metrics summary (RHS calls, messages, bytes, reschedules,
+//     histogram percentiles),
+//   * with --profile: the aggregated span profile (text to stdout, JSON
+//     plus metrics JSON next to the trace), and
+//   * with --recorder: a stiff solve of the model with the flight
+//     recorder on, dumped as a step-decision event log.
+// Every JSON artifact is validated by obs::validate_json before being
+// written; a validation failure exits nonzero (CI smoke-tests this).
 //
 //   trace_explorer --model bearing2d --workers 4 --out trace.json
+//                  --profile profile.json --recorder recorder.json
+//                  --metrics metrics.json
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -15,6 +26,7 @@
 #include "omx/models/heat1d.hpp"
 #include "omx/models/hydro.hpp"
 #include "omx/obs/export.hpp"
+#include "omx/ode/solve.hpp"
 #include "omx/pipeline/pipeline.hpp"
 
 namespace {
@@ -22,9 +34,27 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--model bearing2d|hydro|heat1d] [--workers N]\n"
-               "          [--evals N] [--out trace.json]\n",
+               "          [--evals N] [--out trace.json]\n"
+               "          [--sample-hz HZ] [--profile profile.json]\n"
+               "          [--recorder recorder.json]"
+               " [--metrics metrics.json]\n",
                argv0);
   return 2;
+}
+
+/// Validates, then writes; any failure is fatal (the artifacts exist to
+/// be consumed by tooling, so a malformed one must fail loudly).
+bool emit_json(const std::string& path, const std::string& json,
+               const char* what) {
+  if (!omx::obs::validate_json(json)) {
+    std::fprintf(stderr, "%s output failed JSON validation\n", what);
+    return false;
+  }
+  if (!omx::obs::write_file(path, json)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -35,7 +65,11 @@ int main(int argc, char** argv) {
   std::string model = "bearing2d";
   std::size_t workers = 4;
   std::size_t evals = 64;
+  double sample_hz = -1.0;  // <0: leave the env/option default alone
   std::string out_path = "trace.json";
+  std::string profile_path;
+  std::string recorder_path;
+  std::string metrics_path;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -51,8 +85,16 @@ int main(int argc, char** argv) {
       workers = static_cast<std::size_t>(std::atoi(next("--workers")));
     } else if (std::strcmp(argv[i], "--evals") == 0) {
       evals = static_cast<std::size_t>(std::atoi(next("--evals")));
+    } else if (std::strcmp(argv[i], "--sample-hz") == 0) {
+      sample_hz = std::atof(next("--sample-hz"));
     } else if (std::strcmp(argv[i], "--out") == 0) {
       out_path = next("--out");
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile_path = next("--profile");
+    } else if (std::strcmp(argv[i], "--recorder") == 0) {
+      recorder_path = next("--recorder");
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics_path = next("--metrics");
     } else {
       return usage(argv[0]);
     }
@@ -79,8 +121,17 @@ int main(int argc, char** argv) {
   // Record everything from the first compile phase on.
   obs::TraceBuffer& tb = obs::TraceBuffer::global();
   tb.start();
+  tb.set_process_name("omx/" + model);
+  tb.set_thread_name("supervisor");
+  if (!recorder_path.empty()) {
+    obs::Recorder::global().start();
+  }
 
-  pipeline::CompiledModel cm = pipeline::compile_model(builder);
+  pipeline::CompileOptions copts;
+  // The --recorder solve feeds the BDF phase a symbolic Jacobian so the
+  // flight recorder sees evaluate/factorize/reuse traffic.
+  copts.build_jacobian = !recorder_path.empty();
+  pipeline::CompiledModel cm = pipeline::compile_model(builder, copts);
 
   pipeline::KernelOptions ko;
   ko.lanes = workers;
@@ -88,6 +139,9 @@ int main(int argc, char** argv) {
   runtime::ParallelRhsOptions popts;
   popts.pool.num_workers = workers;
   popts.sched.reschedule_period = 16;
+  if (sample_hz >= 0.0) {
+    popts.pool.sample_hz = sample_hz;
+  }
   runtime::ParallelRhs rhs(kern.kernel(), popts);
 
   std::vector<double> y(cm.n()), ydot(cm.n());
@@ -97,19 +151,59 @@ int main(int argc, char** argv) {
   for (std::size_t k = 0; k < evals; ++k) {
     rhs.eval(0.0, y, ydot);
   }
+
+  if (!recorder_path.empty()) {
+    // A short stiff-capable solve so the flight recorder sees real step
+    // control: accepts, rejections, Jacobian reuse, method switches.
+    ode::Problem prob = cm.make_problem(exec::Backend::kInterp, 0.0, 0.05);
+    cm.bind_symbolic_jacobian(prob);
+    ode::SolverOptions sopts;
+    ode::solve(prob, ode::Method::kLsodaLike, sopts);
+    obs::Recorder::global().stop();
+  }
   tb.stop();
 
   const std::string trace = obs::chrome_trace_json(tb);
-  if (!obs::write_file(out_path, trace)) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+  if (!emit_json(out_path, trace, "chrome_trace_json")) {
     return 1;
   }
 
   std::printf("model %s: %zu states, %zu tasks, %zu workers, %zu evals\n",
               model.c_str(), cm.n(), cm.plan.tasks.size(), workers, evals);
-  std::printf("wrote %s (%zu events, %zu bytes) — open in chrome://tracing"
-              " or https://ui.perfetto.dev\n",
-              out_path.c_str(), tb.events().size(), trace.size());
+  std::printf("wrote %s (%zu events, %zu counter samples, %zu bytes) — "
+              "open in chrome://tracing or https://ui.perfetto.dev\n",
+              out_path.c_str(), tb.events().size(),
+              tb.counter_samples().size(), trace.size());
+
+  if (!profile_path.empty()) {
+    const obs::Profile prof = obs::aggregate_profile(tb);
+    if (!emit_json(profile_path, obs::profile_json(prof), "profile_json")) {
+      return 1;
+    }
+    std::printf("wrote %s (%zu profile nodes)\n\n%s", profile_path.c_str(),
+                prof.nodes.size(), obs::profile_text(prof).c_str());
+  }
+
+  if (!recorder_path.empty()) {
+    const obs::Recorder& rec = obs::Recorder::global();
+    if (!emit_json(recorder_path, obs::recorder_json(rec),
+                   "recorder_json")) {
+      return 1;
+    }
+    std::printf("wrote %s (%zu step events, %llu dropped)\n",
+                recorder_path.c_str(), rec.events().size(),
+                static_cast<unsigned long long>(rec.dropped()));
+  }
+
+  if (!metrics_path.empty()) {
+    const std::string metrics =
+        obs::metrics_json(obs::Registry::global().snapshot());
+    if (!emit_json(metrics_path, metrics, "metrics_json")) {
+      return 1;
+    }
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
+
   std::printf("\n%s", obs::format_text(
                           obs::Registry::global().snapshot()).c_str());
   std::printf("\nscheduling overhead: %.2f%% of eval time"

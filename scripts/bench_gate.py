@@ -52,9 +52,25 @@ GATED_RATIO_BARS = {
 }
 
 
-def load_gauges(path):
+def load_metrics(path):
     with open(path) as f:
-        return json.load(f).get("gauges", {})
+        return json.load(f)
+
+
+def report_histograms(gate, fname, current, baseline):
+    """Report-only rows for the duration histograms the obs layer exports
+    (p50/p99 of pool.task_seconds, rhs.eval_seconds, ...). Percentiles are
+    wall-clock and machine-dependent, so they are never gated; the rows
+    exist so a CI log diff shows latency shifts next to the throughput
+    gates. Tolerates baselines predating the percentile fields."""
+    base_hists = baseline.get("histograms", {})
+    for name, hist in sorted(current.get("histograms", {}).items()):
+        if not hist.get("count"):
+            continue
+        base = base_hists.get(name, {})
+        for q in ("p50", "p99"):
+            if q in hist:
+                gate.report(f"{fname}:{name}.{q}", hist[q], base.get(q))
 
 
 def fmt(v):
@@ -234,7 +250,10 @@ def main():
         if not os.path.exists(base_path):
             missing.append(base_path)
             continue
-        fn(gate, load_gauges(cur_path), load_gauges(base_path))
+        cur, base = load_metrics(cur_path), load_metrics(base_path)
+        fn(gate, cur.get("gauges", {}), base.get("gauges", {}))
+        report_histograms(gate, fname.removeprefix("BENCH_")
+                          .removesuffix(".json"), cur, base)
 
     if missing:
         for m in missing:

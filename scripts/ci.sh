@@ -96,10 +96,30 @@ echo "== tier-1 tests (observability forced on: metrics + tracing) =="
 OMX_OBS_ENABLED=1 OMX_OBS_TRACE=1 \
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
-echo "== smoke: trace_explorer writes a valid Chrome trace =="
-"$BUILD_DIR"/examples/trace_explorer --model bearing2d --workers 4 \
-  --out "$BUILD_DIR"/trace.json
+echo "== smoke: trace_explorer writes valid observability artifacts =="
+# The binary validates every JSON artifact with obs::validate_json before
+# writing and exits nonzero on a malformed document, so this step is the
+# trace/profile/recorder schema check. --sample-hz forces the worker
+# utilization counter tracks into the Chrome trace; OMX_OBS_RECORDER
+# arms the flight recorder for the stiff solve.
+OMX_OBS_RECORDER=1 "$BUILD_DIR"/examples/trace_explorer \
+  --model bearing2d --workers 4 --sample-hz 2000 \
+  --out "$BUILD_DIR"/trace.json \
+  --profile "$BUILD_DIR"/profile.json \
+  --recorder "$BUILD_DIR"/recorder.json \
+  --metrics "$BUILD_DIR"/metrics.json
 test -s "$BUILD_DIR"/trace.json
+test -s "$BUILD_DIR"/profile.json
+test -s "$BUILD_DIR"/recorder.json
+test -s "$BUILD_DIR"/metrics.json
+
+echo "== smoke: obs_report renders the run report =="
+python3 scripts/obs_report.py \
+  --profile "$BUILD_DIR"/profile.json \
+  --metrics "$BUILD_DIR"/metrics.json \
+  --recorder "$BUILD_DIR"/recorder.json \
+  | tee "$BUILD_DIR"/obs_report.txt
+test -s "$BUILD_DIR"/obs_report.txt
 
 echo "== smoke: backend shootout exports BENCH_backends.json =="
 (cd "$BUILD_DIR" && ./bench/backends)

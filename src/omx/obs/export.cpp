@@ -64,8 +64,10 @@ std::string format_text(const Snapshot& snap) {
   }
   for (const auto& h : snap.histograms) {
     std::snprintf(buf, sizeof buf,
-                  "histogram %s: count=%llu sum=%.6g\n", h.name.c_str(),
-                  static_cast<unsigned long long>(h.count), h.sum);
+                  "histogram %s: count=%llu sum=%.6g p50=%.6g p99=%.6g\n",
+                  h.name.c_str(),
+                  static_cast<unsigned long long>(h.count), h.sum,
+                  h.quantile(0.50), h.quantile(0.99));
     out += buf;
     for (std::size_t i = 0; i < h.counts.size(); ++i) {
       if (i < h.bounds.size()) {
@@ -115,7 +117,10 @@ std::string metrics_json(const Snapshot& snap) {
       out += (i ? ", " : "") + std::to_string(h.counts[i]);
     }
     out += "], \"count\": " + std::to_string(h.count) +
-           ", \"sum\": " + json_number(h.sum) + "}";
+           ", \"sum\": " + json_number(h.sum) +
+           ", \"p50\": " + json_number(h.quantile(0.50)) +
+           ", \"p90\": " + json_number(h.quantile(0.90)) +
+           ", \"p99\": " + json_number(h.quantile(0.99)) + "}";
   }
   out += first ? "}" : "\n  }";
   out += "\n}\n";
@@ -125,8 +130,17 @@ std::string metrics_json(const Snapshot& snap) {
 std::string chrome_trace_json(const TraceBuffer& buffer) {
   const auto events = buffer.events();
   const auto names = buffer.thread_names();
+  const auto samples = buffer.counter_samples();
   std::string out = "{\"traceEvents\": [";
   bool first = true;
+  // Process-name metadata labels the whole row in Perfetto.
+  const std::string pname = buffer.process_name();
+  if (!pname.empty()) {
+    out += "\n {\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\", "
+           "\"args\": {\"name\": \"" +
+           json_escape(pname) + "\"}}";
+    first = false;
+  }
   // Thread-name metadata events give each worker its labeled track.
   for (const auto& [tid, name] : names) {
     out += first ? "\n" : ",\n";
@@ -134,6 +148,15 @@ std::string chrome_trace_json(const TraceBuffer& buffer) {
     out += " {\"ph\": \"M\", \"pid\": 1, \"tid\": " + std::to_string(tid) +
            ", \"name\": \"thread_name\", \"args\": {\"name\": \"" +
            json_escape(name) + "\"}}";
+  }
+  // Counter samples render as per-track value-over-time plots.
+  for (const CounterSample& s : samples) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += " {\"ph\": \"C\", \"pid\": 1, \"name\": \"" +
+           json_escape(s.track) +
+           "\", \"ts\": " + json_number(s.at_ns / 1e3) +
+           ", \"args\": {\"value\": " + json_number(s.value) + "}}";
   }
   for (const TraceEvent& ev : events) {
     out += first ? "\n" : ",\n";
@@ -147,6 +170,93 @@ std::string chrome_trace_json(const TraceBuffer& buffer) {
            ", \"dur\": " + json_number(ev.dur_ns / 1e3) + "}";
   }
   out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+namespace {
+
+std::string fmt_ms(std::int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+}  // namespace
+
+std::string profile_text(const Profile& profile) {
+  if (profile.nodes.empty()) {
+    return "(no spans recorded)\n";
+  }
+  std::string out;
+  char buf[224];
+  std::snprintf(buf, sizeof buf,
+                "%-40s %8s %10s %10s %9s %9s %9s\n", "span", "count",
+                "total_ms", "self_ms", "p50_ms", "p90_ms", "p99_ms");
+  out += buf;
+  for (const ProfileNode& n : profile.nodes) {
+    std::string label(static_cast<std::size_t>(n.depth) * 2, ' ');
+    label += n.name;
+    if (label.size() > 40) {
+      label.resize(40);
+    }
+    std::snprintf(buf, sizeof buf,
+                  "%-40s %8llu %10s %10s %9s %9s %9s\n", label.c_str(),
+                  static_cast<unsigned long long>(n.count),
+                  fmt_ms(n.total_ns).c_str(), fmt_ms(n.self_ns).c_str(),
+                  fmt_ms(n.p50_ns).c_str(), fmt_ms(n.p90_ns).c_str(),
+                  fmt_ms(n.p99_ns).c_str());
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, "wall: %s ms\n",
+                fmt_ms(profile.wall_ns).c_str());
+  out += buf;
+  return out;
+}
+
+std::string profile_json(const Profile& profile) {
+  std::string out =
+      "{\n  \"wall_ns\": " + std::to_string(profile.wall_ns) +
+      ",\n  \"nodes\": [";
+  bool first = true;
+  for (const ProfileNode& n : profile.nodes) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": \"" + json_escape(n.name) +
+           "\", \"depth\": " + std::to_string(n.depth) +
+           ", \"count\": " + std::to_string(n.count) +
+           ", \"total_ns\": " + std::to_string(n.total_ns) +
+           ", \"self_ns\": " + std::to_string(n.self_ns) +
+           ", \"p50_ns\": " + std::to_string(n.p50_ns) +
+           ", \"p90_ns\": " + std::to_string(n.p90_ns) +
+           ", \"p99_ns\": " + std::to_string(n.p99_ns) + "}";
+  }
+  out += first ? "]" : "\n  ]";
+  out += "\n}\n";
+  return out;
+}
+
+std::string recorder_json(const Recorder& recorder) {
+  std::string out =
+      "{\n  \"dropped\": " + std::to_string(recorder.dropped()) +
+      ",\n  \"capacity_per_thread\": " +
+      std::to_string(recorder.capacity_per_thread()) +
+      ",\n  \"events\": [";
+  bool first = true;
+  for (const StepEvent& ev : recorder.events()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"kind\": \"" + std::string(to_string(ev.kind)) +
+           "\", \"method\": \"" + json_escape(ev.method) +
+           "\", \"t\": " + json_number(ev.t) +
+           ", \"h\": " + json_number(ev.h) +
+           ", \"err\": " + json_number(ev.err) +
+           ", \"order\": " + std::to_string(ev.order) +
+           ", \"lane\": " + std::to_string(ev.lane) +
+           ", \"tid\": " + std::to_string(ev.tid) +
+           ", \"when_ns\": " + std::to_string(ev.when_ns) + "}";
+  }
+  out += first ? "]" : "\n  ]";
+  out += "\n}\n";
   return out;
 }
 

@@ -9,6 +9,8 @@
 #include <string>
 #include <string_view>
 
+#include "omx/obs/profile.hpp"
+#include "omx/obs/recorder.hpp"
 #include "omx/obs/registry.hpp"
 #include "omx/obs/trace.hpp"
 
@@ -17,6 +19,18 @@ namespace omx::obs {
 std::string format_text(const Snapshot& snap);
 std::string metrics_json(const Snapshot& snap);
 std::string chrome_trace_json(const TraceBuffer& buffer);
+
+/// Aggregated span profile as an indented tree: one line per call-path
+/// node with count, total/self time, and p50/p90/p99.
+std::string profile_text(const Profile& profile);
+/// Same data as JSON: {"wall_ns": ..., "nodes": [{...}]} with nodes in
+/// depth-first order (each node directly follows its parent).
+std::string profile_json(const Profile& profile);
+
+/// Flight-recorder log as JSON: {"dropped": N, "capacity_per_thread": C,
+/// "events": [{"kind", "method", "t", "h", "err", "order", "lane",
+/// "tid", "when_ns"}]}, events time-sorted.
+std::string recorder_json(const Recorder& recorder);
 
 /// JSON string escaping for callers composing their own documents.
 std::string json_escape(std::string_view s);

@@ -1,0 +1,134 @@
+#include "omx/obs/profile.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <utility>
+
+namespace omx::obs {
+namespace {
+
+// Build node in the merge tree keyed by span name under one parent.
+struct BuildNode {
+  std::string name;
+  int depth = 0;
+  std::vector<std::int64_t> durations;
+  std::int64_t child_ns = 0;  // sum of direct children's totals
+  std::map<std::string, std::unique_ptr<BuildNode>, std::less<>> children;
+};
+
+std::int64_t percentile(std::vector<std::int64_t>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  // Nearest-rank on the sorted durations; exact, no interpolation needed
+  // for the small per-node populations profiles deal in.
+  const auto n = static_cast<double>(sorted.size());
+  auto idx = static_cast<std::size_t>(q * n);
+  if (idx >= sorted.size()) {
+    idx = sorted.size() - 1;
+  }
+  return sorted[idx];
+}
+
+void flatten(BuildNode& node, Profile& out) {
+  ProfileNode pn;
+  pn.name = node.name;
+  pn.depth = node.depth;
+  pn.count = node.durations.size();
+  for (std::int64_t d : node.durations) {
+    pn.total_ns += d;
+  }
+  pn.self_ns = pn.total_ns - node.child_ns;
+  std::sort(node.durations.begin(), node.durations.end());
+  pn.p50_ns = percentile(node.durations, 0.50);
+  pn.p90_ns = percentile(node.durations, 0.90);
+  pn.p99_ns = percentile(node.durations, 0.99);
+  out.nodes.push_back(std::move(pn));
+
+  // Children depth-first, heaviest first, so the text rendering reads
+  // top-down like a flame graph.
+  std::vector<BuildNode*> kids;
+  for (auto& [_, child] : node.children) {
+    kids.push_back(child.get());
+  }
+  std::stable_sort(kids.begin(), kids.end(),
+                   [](const BuildNode* a, const BuildNode* b) {
+                     std::int64_t ta = 0;
+                     std::int64_t tb = 0;
+                     for (std::int64_t d : a->durations) ta += d;
+                     for (std::int64_t d : b->durations) tb += d;
+                     return ta > tb;
+                   });
+  for (BuildNode* child : kids) {
+    flatten(*child, out);
+  }
+}
+
+}  // namespace
+
+Profile aggregate_profile(const std::vector<TraceEvent>& events) {
+  Profile out;
+
+  // Group by thread: containment only means nesting within one thread.
+  std::map<std::uint32_t, std::vector<const TraceEvent*>> by_tid;
+  for (const TraceEvent& ev : events) {
+    by_tid[ev.tid].push_back(&ev);
+    out.wall_ns = std::max(out.wall_ns, ev.start_ns + ev.dur_ns);
+  }
+
+  BuildNode root;
+  root.depth = -1;
+  for (auto& [tid, evs] : by_tid) {
+    // Sort by start ascending; ties put the longer (enclosing) span
+    // first so a parent precedes children it starts simultaneously with.
+    std::stable_sort(evs.begin(), evs.end(),
+                     [](const TraceEvent* a, const TraceEvent* b) {
+                       if (a->start_ns != b->start_ns) {
+                         return a->start_ns < b->start_ns;
+                       }
+                       return a->dur_ns > b->dur_ns;
+                     });
+    // Containment stack: pop spans that ended before this one starts;
+    // whatever remains on top encloses it.
+    std::vector<std::pair<const TraceEvent*, BuildNode*>> stack;
+    for (const TraceEvent* ev : evs) {
+      while (!stack.empty() &&
+             stack.back().first->start_ns + stack.back().first->dur_ns <=
+                 ev->start_ns) {
+        stack.pop_back();
+      }
+      BuildNode* parent = stack.empty() ? &root : stack.back().second;
+      auto it = parent->children.find(ev->name);
+      if (it == parent->children.end()) {
+        auto node = std::make_unique<BuildNode>();
+        node->name = ev->name;
+        node->depth = parent->depth + 1;
+        it = parent->children.emplace(ev->name, std::move(node)).first;
+      }
+      it->second->durations.push_back(ev->dur_ns);
+      parent->child_ns += ev->dur_ns;
+      stack.emplace_back(ev, it->second.get());
+    }
+  }
+
+  std::vector<BuildNode*> roots;
+  for (auto& [_, child] : root.children) {
+    roots.push_back(child.get());
+  }
+  std::stable_sort(roots.begin(), roots.end(),
+                   [](const BuildNode* a, const BuildNode* b) {
+                     std::int64_t ta = 0;
+                     std::int64_t tb = 0;
+                     for (std::int64_t d : a->durations) ta += d;
+                     for (std::int64_t d : b->durations) tb += d;
+                     return ta > tb;
+                   });
+  for (BuildNode* r : roots) {
+    flatten(*r, out);
+  }
+  return out;
+}
+
+}  // namespace omx::obs

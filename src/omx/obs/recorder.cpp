@@ -1,0 +1,178 @@
+#include "omx/obs/recorder.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "omx/obs/trace.hpp"
+
+namespace omx::obs {
+
+const char* to_string(StepEventKind kind) {
+  switch (kind) {
+    case StepEventKind::kStepAccepted: return "step_accepted";
+    case StepEventKind::kStepRejected: return "step_rejected";
+    case StepEventKind::kNewtonFail: return "newton_fail";
+    case StepEventKind::kJacEvaluate: return "jac_evaluate";
+    case StepEventKind::kJacFactorize: return "jac_factorize";
+    case StepEventKind::kJacReuse: return "jac_reuse";
+    case StepEventKind::kMethodSwitch: return "method_switch";
+    case StepEventKind::kLanePack: return "lane_pack";
+    case StepEventKind::kLaneRefill: return "lane_refill";
+    case StepEventKind::kLaneRetire: return "lane_retire";
+  }
+  return "unknown";
+}
+
+// Single-producer ring with fill-then-drop semantics: the owning thread
+// stores slot `head` plainly and then publishes with a release store of
+// head+1; a snapshotting reader acquires `head` and reads only slots
+// below it. Slots are never overwritten, so reader and writer can never
+// touch the same slot concurrently — no per-slot atomics needed.
+struct Recorder::Ring {
+  explicit Ring(std::size_t capacity) : slots(capacity) {}
+  std::vector<StepEvent> slots;
+  std::atomic<std::size_t> head{0};
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+namespace {
+
+std::size_t env_capacity() {
+  if (const char* env = std::getenv("OMX_OBS_RECORDER_CAP")) {
+    const long v = std::atol(env);
+    if (v > 0) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  return 65536;
+}
+
+bool env_recorder_on() {
+  const char* env = std::getenv("OMX_OBS_RECORDER");
+  return env != nullptr && std::strcmp(env, "0") != 0;
+}
+
+// Generations are drawn from one process-wide counter so the pair
+// (owner pointer, generation) cached per thread can never alias: a new
+// Recorder constructed at a recycled address still gets a generation no
+// cached slot has seen (the classic ABA with stack-allocated recorders
+// in tests).
+std::atomic<std::uint64_t> g_recorder_generation{0};
+
+std::uint64_t next_generation() {
+  return g_recorder_generation.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+Recorder& Recorder::global() {
+  static Recorder* instance = [] {
+    auto* r = new Recorder(env_capacity());
+    if (env_recorder_on()) {
+      r->start();
+    }
+    return r;
+  }();
+  return *instance;
+}
+
+Recorder::Recorder(std::size_t capacity_per_thread)
+    : capacity_(capacity_per_thread == 0 ? 1 : capacity_per_thread) {
+  generation_.store(next_generation(), std::memory_order_relaxed);
+}
+
+void Recorder::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rings_.clear();  // retired rings stay alive through thread caches
+  generation_.store(next_generation(), std::memory_order_relaxed);
+  epoch_ns_.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count(),
+                  std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Recorder::stop() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+std::int64_t Recorder::now_ns() const {
+  const std::int64_t now =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return now - epoch_ns_.load(std::memory_order_relaxed);
+}
+
+Recorder::Ring& Recorder::ring_for_this_thread() {
+  // Per-thread cache of the ring handed out by the current generation.
+  // Holding the shared_ptr keeps a retired ring alive until its writer
+  // thread re-checks the generation, so start() can swap rings without
+  // racing in-flight record() calls.
+  struct ThreadSlot {
+    std::uint64_t generation = 0;
+    std::shared_ptr<Ring> ring;
+    Recorder* owner = nullptr;
+  };
+  thread_local ThreadSlot slot;
+  const std::uint64_t gen = generation_.load(std::memory_order_relaxed);
+  if (slot.owner != this || slot.generation != gen || !slot.ring) {
+    auto fresh = std::make_shared<Ring>(capacity_);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // Re-read under the lock: a start() may have raced the relaxed
+      // load above; registering under the current generation keeps the
+      // ring visible to events().
+      slot.generation = generation_.load(std::memory_order_relaxed);
+      rings_.push_back(fresh);
+    }
+    slot.ring = std::move(fresh);
+    slot.owner = this;
+  }
+  return *slot.ring;
+}
+
+void Recorder::record(StepEvent ev) {
+  if (!enabled()) {
+    return;
+  }
+  Ring& ring = ring_for_this_thread();
+  const std::size_t h = ring.head.load(std::memory_order_relaxed);
+  if (h >= ring.slots.size()) {
+    ring.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ev.tid = TraceBuffer::thread_id();
+  ev.when_ns = now_ns();
+  ring.slots[h] = ev;
+  ring.head.store(h + 1, std::memory_order_release);
+}
+
+std::uint64_t Recorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    total += ring->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<StepEvent> Recorder::events() const {
+  std::vector<StepEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& ring : rings_) {
+      const std::size_t h = ring->head.load(std::memory_order_acquire);
+      out.insert(out.end(), ring->slots.begin(), ring->slots.begin() + h);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const StepEvent& a, const StepEvent& b) {
+                     return a.when_ns < b.when_ns;
+                   });
+  return out;
+}
+
+}  // namespace omx::obs

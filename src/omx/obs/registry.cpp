@@ -1,5 +1,7 @@
 #include "omx/obs/registry.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 
@@ -31,6 +33,57 @@ std::atomic<bool>& enabled_flag() {
 
 void set_enabled(bool on) {
   detail::enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+std::vector<double> log_spaced_bounds(double lo, double hi) {
+  OMX_REQUIRE(lo > 0.0 && hi > lo,
+              "log_spaced_bounds needs 0 < lo < hi");
+  // Walk {1, 2, 5} * 10^k from the decade at or below `lo`, keeping the
+  // first edge >= lo through the first edge >= hi.
+  static constexpr double kMantissas[] = {1.0, 2.0, 5.0};
+  int k = static_cast<int>(std::floor(std::log10(lo)));
+  std::vector<double> bounds;
+  for (;; ++k) {
+    for (double m : kMantissas) {
+      const double edge = m * std::pow(10.0, k);
+      if (edge < lo * (1.0 - 1e-12)) {
+        continue;
+      }
+      bounds.push_back(edge);
+      if (edge >= hi * (1.0 - 1e-12)) {
+        return bounds;
+      }
+    }
+  }
+}
+
+double histogram_quantile(const std::vector<double>& bounds,
+                          const std::vector<std::uint64_t>& counts,
+                          double q) {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) {
+    total += c;
+  }
+  if (total == 0 || bounds.empty()) {
+    return 0.0;
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double next = cum + static_cast<double>(counts[i]);
+    if (next >= rank && counts[i] > 0) {
+      if (i >= bounds.size()) {
+        return bounds.back();  // overflow bucket: clamp to the last edge
+      }
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double frac =
+          (rank - cum) / static_cast<double>(counts[i]);
+      return lower + frac * (bounds[i] - lower);
+    }
+    cum = next;
+  }
+  return bounds.back();
 }
 
 Histogram::Histogram(std::vector<double> upper_bounds)

@@ -71,6 +71,22 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// Log-spaced default histogram bounds: the {1, 2, 5} decade pattern
+/// (…, 1e-4, 2e-4, 5e-4, 1e-3, …) covering [lo, hi] — the edges stay
+/// human-readable in bench footers while spanning several orders of
+/// magnitude, which is what duration distributions need. `lo` and `hi`
+/// must be positive with lo < hi.
+std::vector<double> log_spaced_bounds(double lo, double hi);
+
+/// Interpolated quantile estimate from fixed-bucket data: counts has
+/// bounds.size() + 1 entries (last = overflow), bucket i spans
+/// (bounds[i-1], bounds[i]] with an implicit lower edge of 0. The rank
+/// is placed by linear interpolation inside its bucket; ranks landing in
+/// the overflow bucket clamp to the last bound. Returns 0 when empty.
+double histogram_quantile(const std::vector<double>& bounds,
+                          const std::vector<std::uint64_t>& counts,
+                          double q);
+
 /// Fixed-bucket histogram. Bucket i counts observations v <= bounds[i]
 /// (first matching bound); the implicit final bucket catches everything
 /// above the last bound.
@@ -87,6 +103,10 @@ class Histogram {
     return count_.load(std::memory_order_relaxed);
   }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Interpolated quantile (q in [0,1]) over the current bucket counts.
+  double quantile(double q) const {
+    return histogram_quantile(bounds_, counts(), q);
+  }
   void reset();
 
  private:
@@ -104,6 +124,9 @@ struct Snapshot {
     std::vector<std::uint64_t> counts;
     std::uint64_t count = 0;
     double sum = 0.0;
+    double quantile(double q) const {
+      return histogram_quantile(bounds, counts, q);
+    }
   };
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;

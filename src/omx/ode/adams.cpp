@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "omx/obs/recorder.hpp"
 #include "omx/obs/trace.hpp"
 
 namespace omx::ode {
@@ -140,6 +141,8 @@ bool AdamsStepper::step() {
   }
 
   if (e <= 1.0) {
+    obs::record_step(obs::StepEventKind::kStepAccepted, "adams", 4, t_, h,
+                     e);
     t_ += h;
     std::copy(yc.begin(), yc.end(), y_.begin());
     // Shift history; final evaluation of PECE.
@@ -171,6 +174,8 @@ bool AdamsStepper::step() {
 
   ++stats_.rejected;
   ++consecutive_rejects_;
+  obs::record_step(obs::StepEventKind::kStepRejected, "adams", 4, t_, h,
+                   e);
   if (just_grew_) {
     // Accuracy misses after growth show e slightly above 1; an explicit
     // method pushed past its stability boundary rejects with an exploding

@@ -1,5 +1,6 @@
 #include "omx/ode/auto_switch.hpp"
 
+#include "omx/obs/recorder.hpp"
 #include "omx/obs/trace.hpp"
 #include "omx/ode/jacobian.hpp"
 
@@ -105,6 +106,8 @@ AutoSwitchResult auto_switch(const Problem& p_in,
       method = SwitchMethod::kBdf;
       ++sol.stats.method_switches;
       result.switches.push_back(SwitchEvent{t, SwitchMethod::kBdf});
+      obs::record_step(obs::StepEventKind::kMethodSwitch, "bdf", 0, t,
+                       stepper.h(), 0.0);
     } else {
       Problem sub = p;
       sub.t0 = t;
@@ -147,6 +150,8 @@ AutoSwitchResult auto_switch(const Problem& p_in,
       method = SwitchMethod::kAdams;
       ++sol.stats.method_switches;
       result.switches.push_back(SwitchEvent{t, SwitchMethod::kAdams});
+      obs::record_step(obs::StepEventKind::kMethodSwitch, "adams", 0, t,
+                       stepper.h(), 0.0);
     }
   }
   result.final_method = method;

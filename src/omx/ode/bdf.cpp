@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "omx/obs/recorder.hpp"
 #include "omx/obs/trace.hpp"
 
 namespace omx::ode {
@@ -221,6 +222,8 @@ bool BdfStepper::step() {
   if (!newton_solve(t_ + h, predictor, rhs_const, beta_h, ynew)) {
     // Newton failed: refresh everything with a smaller step.
     ++stats_.rejected;
+    obs::record_step(obs::StepEventKind::kNewtonFail, "bdf",
+                     static_cast<std::uint16_t>(k), t_, h, 0.0);
     h_ *= 0.25;
     jac_engine_.invalidate();
     if (h_ < 1e-14 * std::max(1.0, std::fabs(t_))) {
@@ -263,6 +266,8 @@ bool BdfStepper::step() {
       ++order_;
     }
     ++stats_.steps;
+    obs::record_step(obs::StepEventKind::kStepAccepted, "bdf",
+                     static_cast<std::uint16_t>(k), t_, h, err);
     jac_engine_.on_step_accepted(last_newton_iters_);
     // Step growth: double h by SUBSAMPLING the uniform history (every
     // second point is exactly a history at spacing 2h) — no reset, no
@@ -290,6 +295,8 @@ bool BdfStepper::step() {
   }
 
   ++stats_.rejected;
+  obs::record_step(obs::StepEventKind::kStepRejected, "bdf",
+                   static_cast<std::uint16_t>(k), t_, h, err);
   h_ *= std::clamp(0.9 * std::pow(err, -1.0 / (k + 1)), 0.1, 0.5);
   history_.resize(1);
   order_ = 1;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "omx/obs/recorder.hpp"
 #include "omx/obs/trace.hpp"
 
 namespace omx::ode {
@@ -111,6 +112,8 @@ Solution dopri5(const Problem& p, const Dopri5Options& opts) {
     }
 
     if (err <= 1.0) {
+      obs::record_step(obs::StepEventKind::kStepAccepted, "dopri5", 5, t,
+                       h, err);
       t += h;
       y = ytmp;
       k1 = k7;  // FSAL
@@ -128,6 +131,8 @@ Solution dopri5(const Problem& p, const Dopri5Options& opts) {
       err_prev = err_clamped;
     } else {
       ++sol.stats.rejected;
+      obs::record_step(obs::StepEventKind::kStepRejected, "dopri5", 5, t,
+                       h, err);
       const double fac =
           std::max(0.2, 0.9 * std::pow(err, -1.0 / 5.0));
       h *= fac;

@@ -12,11 +12,13 @@
 #include <vector>
 
 #include "omx/la/matrix.hpp"
+#include "omx/obs/recorder.hpp"
 #include "omx/obs/registry.hpp"
 #include "omx/obs/trace.hpp"
 #include "omx/ode/jacobian.hpp"
 #include "omx/runtime/task_deque.hpp"
 #include "omx/sched/lpt.hpp"
+#include "omx/support/timer.hpp"
 
 namespace omx::ode {
 
@@ -33,6 +35,12 @@ obs::Gauge& active_gauge() {
 obs::Histogram& occupancy_hist() {
   static obs::Histogram& h = obs::Registry::global().histogram(
       "ensemble.batch_occupancy", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+  return h;
+}
+
+obs::Histogram& lane_step_hist() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "ensemble.lane_step_seconds", obs::log_spaced_bounds(1e-7, 1e-1));
   return h;
 }
 
@@ -130,6 +138,7 @@ struct StepperBase {
   BatchEval rhs;
   std::vector<Solution>* out;
   std::atomic<std::int64_t>* active_count;
+  const char* method_name = "ensemble";  // literal; set by derived ctors
 
   StepperBase(const Problem& pp, const SolverOptions& oo, std::size_t lane,
               std::vector<Solution>* res,
@@ -138,6 +147,8 @@ struct StepperBase {
 
   void retire(std::uint32_t scenario, Solution&& sol) {
     publish_solver_stats(sol.stats);
+    obs::record_lane(obs::StepEventKind::kLaneRetire, method_name,
+                     scenario, p.tend);
     (*out)[scenario] = std::move(sol);
     active_count->fetch_sub(1, std::memory_order_relaxed);
     active_gauge().set(
@@ -160,6 +171,7 @@ class FixedStepper : public StepperBase {
                std::size_t lane, std::vector<Solution>* res,
                std::atomic<std::int64_t>* active)
       : StepperBase(pp, oo, lane, res, active), rk4_(method == Method::kRk4) {
+    method_name = rk4_ ? "rk4" : "explicit_euler";
     OMX_REQUIRE(oo.dt > 0.0, "dt must be positive");
     steps_ = static_cast<std::size_t>(
         std::ceil((pp.tend - pp.t0) / oo.dt - 1e-12));
@@ -329,6 +341,7 @@ class Dopri5Stepper : public StepperBase {
                 std::vector<Solution>* res,
                 std::atomic<std::int64_t>* active)
       : StepperBase(pp, oo, lane, res, active) {
+    method_name = "dopri5";
     hmax_ = oo.hmax > 0.0 ? oo.hmax : (pp.tend - pp.t0);
   }
 
@@ -642,15 +655,25 @@ template <typename Stepper>
 void run_batched_worker(Stepper& st, WorkSource& ws, std::size_t w,
                         std::size_t max_batch, const EnsembleSpec& spec) {
   std::uint32_t s = 0;
+  bool mid_flight = false;  // has this batch taken a round yet?
   for (;;) {
     while (st.active() < max_batch && ws.next(w, s)) {
+      obs::record_lane(mid_flight ? obs::StepEventKind::kLaneRefill
+                                  : obs::StepEventKind::kLanePack,
+                       st.method_name, s, st.p.t0);
       st.add(s, spec.initial_states[s]);
     }
-    if (st.active() == 0) {
+    const std::size_t nb = st.active();
+    if (nb == 0) {
+      mid_flight = false;
       break;
     }
-    occupancy_hist().observe(static_cast<double>(st.active()));
+    occupancy_hist().observe(static_cast<double>(nb));
+    Stopwatch timer;
     st.round();
+    // Per-lane share of the round: comparable across batch widths.
+    lane_step_hist().observe(timer.seconds() / static_cast<double>(nb));
+    mid_flight = true;
   }
 }
 
@@ -722,8 +745,17 @@ EnsembleResult solve_ensemble(const Problem& p, Method method,
         std::uint32_t s = 0;
         while (ws.next(w, s)) {
           occupancy_hist().observe(1.0);
+          obs::record_lane(obs::StepEventKind::kLanePack,
+                           to_string(method), s, base.t0);
+          Stopwatch timer;
           res.solutions[s] =
               solve_single(base, method, opts, spec.initial_states[s], w);
+          lane_step_hist().observe(
+              timer.seconds() /
+              static_cast<double>(
+                  std::max<std::uint64_t>(1, res.solutions[s].stats.steps)));
+          obs::record_lane(obs::StepEventKind::kLaneRetire,
+                           to_string(method), s, base.tend);
         }
       }
     } catch (...) {

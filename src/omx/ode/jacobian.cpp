@@ -5,7 +5,9 @@
 #include <thread>
 #include <vector>
 
+#include "omx/obs/recorder.hpp"
 #include "omx/obs/registry.hpp"
+#include "omx/support/timer.hpp"
 
 namespace omx::ode {
 
@@ -275,16 +277,25 @@ la::LinearSolver& JacobianEngine::prepare(double t,
   const bool need_factor =
       need_jac || !solver_ || factored_beta_h_ != beta_h;
   if (need_jac) {
+    static obs::Histogram& build_hist = obs::Registry::global().histogram(
+        "jac.build_seconds", obs::log_spaced_bounds(1e-6, 1.0));
+    Stopwatch timer;
     eval_jacobian(t, y, stats);
+    const double secs = timer.seconds();
+    build_hist.observe(secs);
+    obs::record_jac(obs::StepEventKind::kJacEvaluate, "bdf", t, beta_h,
+                    secs);
     have_jac_ = true;
     age_ = 0;
     refresh_requested_ = false;
   } else if (need_factor) {
     ++stats.jac_reuse_hits;  // beta*h changed; Jacobian still fresh
+    obs::record_jac(obs::StepEventKind::kJacReuse, "bdf", t, beta_h);
   }
   if (need_factor) {
     factorize(beta_h);
     ++stats.jac_factorizations;
+    obs::record_jac(obs::StepEventKind::kJacFactorize, "bdf", t, beta_h);
   }
   return *solver_;
 }

@@ -39,8 +39,7 @@ void ParallelRhs::eval(double t, std::span<const double> y,
   // Buckets span 10 us .. 1 s: the paper's headline granularity is
   // ~10 ms/call, and microbenchmark-sized systems land near the bottom.
   static obs::Histogram& eval_hist = obs::Registry::global().histogram(
-      "rhs.eval_seconds",
-      {1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 1.0});
+      "rhs.eval_seconds", obs::log_spaced_bounds(1e-5, 1.0));
   Stopwatch total;
   pool_->eval(t, y, ydot);
   if (opts_.semi_dynamic) {

@@ -1,6 +1,7 @@
 #include "omx/runtime/worker_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -23,6 +24,15 @@ bool WorkerPool::stealing_env_default() {
   }
   return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "false") == 0 ||
            std::strcmp(v, "off") == 0);
+}
+
+double WorkerPool::sample_hz_env_default() {
+  const char* v = std::getenv("OMX_OBS_SAMPLE_HZ");
+  if (v == nullptr) {
+    return 0.0;
+  }
+  const double hz = std::atof(v);
+  return hz > 0.0 ? hz : 0.0;
 }
 
 WorkerPool::WorkerPool(const exec::RhsKernel& kernel, const Options& opts)
@@ -55,8 +65,9 @@ void WorkerPool::init() {
   // Steal latency spans lock contention (~100 ns) up to a whole task on a
   // loaded machine.
   steal_latency_metric_ = &reg.histogram(
-      "pool.steal_latency_seconds",
-      {1e-7, 3e-7, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 1e-3, 1e-2});
+      "pool.steal_latency_seconds", obs::log_spaced_bounds(1e-7, 1e-2));
+  task_seconds_metric_ = &reg.histogram(
+      "pool.task_seconds", obs::log_spaced_bounds(1e-7, 1.0));
 
   y_.resize(kernel_->n_state(), 0.0);
   const exec::TaskTable& table = kernel_->tasks();
@@ -90,6 +101,9 @@ void WorkerPool::init() {
     workers_[i]->thread =
         std::thread([this, &w_ref, i] { worker_main(w_ref, i); });
   }
+  if (opts_.sample_hz > 0.0) {
+    sampler_thread_ = std::thread([this] { sampler_main(); });
+  }
 }
 
 WorkerPool::~WorkerPool() {
@@ -101,6 +115,38 @@ WorkerPool::~WorkerPool() {
   for (auto& w : workers_) {
     if (w->thread.joinable()) {
       w->thread.join();
+    }
+  }
+  if (sampler_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(sampler_mutex_);
+      sampler_shutdown_ = true;
+    }
+    sampler_cv_.notify_all();
+    sampler_thread_.join();
+  }
+}
+
+void WorkerPool::sampler_main() {
+  obs::TraceBuffer& tb = obs::TraceBuffer::global();
+  tb.set_thread_name("util-sampler");
+  const auto period = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(1.0 / opts_.sample_hz));
+  std::unique_lock<std::mutex> lock(sampler_mutex_);
+  while (!sampler_shutdown_) {
+    // wait_for rather than a plain sleep so the destructor returns in at
+    // most one shutdown-check latency, not one full period.
+    sampler_cv_.wait_for(lock, period, [&] { return sampler_shutdown_; });
+    if (sampler_shutdown_ || !tb.active()) {
+      continue;
+    }
+    const std::int64_t now = tb.now_ns();
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      const bool busy =
+          workers_[i]->busy.load(std::memory_order_relaxed);
+      tb.record_counter("util/worker-" + std::to_string(i), now,
+                        busy ? 1.0 : 0.0);
     }
   }
 }
@@ -160,6 +206,7 @@ void WorkerPool::execute_task(WorkerState& w, std::size_t index,
     kernel_->run_task(index, task, t_, y_.data(), w.task_out.data());
   }
   task_seconds_[task] = timer.seconds();
+  task_seconds_metric_->observe(task_seconds_[task]);
   if (tracing) {
     tb.record("task/" + std::to_string(task), "task", span_start,
               tb.now_ns() - span_start);
@@ -294,6 +341,7 @@ void WorkerPool::worker_main(WorkerState& w, std::size_t index) {
       last_epoch = epoch_;
     }
     std::exception_ptr error;
+    w.busy.store(true, std::memory_order_relaxed);
     try {
       run_epoch(w, index);
     } catch (...) {
@@ -302,6 +350,7 @@ void WorkerPool::worker_main(WorkerState& w, std::size_t index) {
       error = std::current_exception();
       abort_.store(true, std::memory_order_release);
     }
+    w.busy.store(false, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(done_mutex_);
       if (error != nullptr && first_error_ == nullptr) {

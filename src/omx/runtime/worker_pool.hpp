@@ -80,10 +80,17 @@ class WorkerPool {
     /// environment variable ("0"/"false"/"off" disable, anything else
     /// enables; unset = disabled).
     bool stealing = stealing_env_default();
+    /// Busy/idle utilization sampling rate for the Perfetto counter
+    /// tracks ("util/worker-N"). 0 disables the sampler thread entirely.
+    /// Defaults from OMX_OBS_SAMPLE_HZ (unset = 0). Samples are only
+    /// recorded while a trace is active.
+    double sample_hz = sample_hz_env_default();
   };
 
   /// The Options::stealing default: OMX_POOL_STEALING, unset -> false.
   static bool stealing_env_default();
+  /// The Options::sample_hz default: OMX_OBS_SAMPLE_HZ, unset -> 0.
+  static double sample_hz_env_default();
 
   /// `kernel` must have a task decomposition, at least num_workers
   /// concurrency lanes, and must outlive the pool.
@@ -146,10 +153,14 @@ class WorkerPool {
     /// response payload); written by the worker, read by the supervisor
     /// after the finish handshake.
     std::size_t outputs_produced = 0;
+    /// True while the worker is inside run_epoch(); read by the
+    /// utilization sampler thread.
+    std::atomic<bool> busy{false};
   };
 
   void init();
   void worker_main(WorkerState& w, std::size_t index);
+  void sampler_main();
   /// One worker's share of one epoch; throws through to worker_main.
   void run_epoch(WorkerState& w, std::size_t index);
   void execute_task(WorkerState& w, std::size_t index, std::uint32_t task);
@@ -168,8 +179,15 @@ class WorkerPool {
   obs::Counter* steal_failures_metric_ = nullptr;
   obs::Counter* idle_metric_ = nullptr;  // pool.idle_nanos
   obs::Histogram* steal_latency_metric_ = nullptr;
+  obs::Histogram* task_seconds_metric_ = nullptr;
 
   std::vector<std::unique_ptr<WorkerState>> workers_;
+
+  // Utilization sampler (active only when opts_.sample_hz > 0).
+  std::thread sampler_thread_;
+  std::mutex sampler_mutex_;
+  std::condition_variable sampler_cv_;
+  bool sampler_shutdown_ = false;  // guarded by sampler_mutex_
 
   // Per-task result storage: task t owns the half-open range
   // [task_result_offset_[t], task_result_offset_[t + 1]) — one double per

@@ -193,5 +193,347 @@ TEST(Export, TextSummaryListsEverything) {
   EXPECT_NE(text.find("histogram lat"), std::string::npos);
 }
 
+// -- JSON validator edge cases (the exporters lean on all of these) ---------
+
+TEST(ValidateJson, EscapedStringsAndExponents) {
+  EXPECT_TRUE(validate_json(R"({"a\"b": "c\\d"})"));
+  EXPECT_TRUE(validate_json(R"(["é", "\/", "\b\f"])"));
+  EXPECT_TRUE(validate_json("[1e3, 1E+3, 1.5e-300, -0.0, 0.001]"));
+  EXPECT_FALSE(validate_json(R"("bad \q escape")"));
+  EXPECT_FALSE(validate_json(R"("short \u00g0")"));
+  EXPECT_FALSE(validate_json("[1e]"));
+  EXPECT_FALSE(validate_json("[1.]"));
+  EXPECT_FALSE(validate_json("[.5]"));
+  EXPECT_FALSE(validate_json("[+1]"));
+}
+
+TEST(ValidateJson, DeepNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) {
+    deep += "[";
+  }
+  deep += "{\"leaf\": [0]}";
+  for (int i = 0; i < 200; ++i) {
+    deep += "]";
+  }
+  EXPECT_TRUE(validate_json(deep));
+  deep.pop_back();  // unbalanced
+  EXPECT_FALSE(validate_json(deep));
+}
+
+// -- log-spaced bounds + quantiles ------------------------------------------
+
+TEST(Histogram, LogSpacedBoundsWalkDecades) {
+  const std::vector<double> expect = {1e-3, 2e-3, 5e-3, 1e-2, 2e-2,
+                                      5e-2, 0.1,  0.2,  0.5,  1.0};
+  const std::vector<double> got = log_spaced_bounds(1e-3, 1.0);
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], expect[i], expect[i] * 1e-9) << "edge " << i;
+  }
+  // Endpoints that are not {1,2,5} mantissas still bracket the range.
+  const std::vector<double> odd = log_spaced_bounds(3e-4, 0.4);
+  EXPECT_GE(odd.front(), 3e-4);
+  EXPECT_GE(odd.back(), 0.4);
+  for (std::size_t i = 1; i < odd.size(); ++i) {
+    EXPECT_LT(odd[i - 1], odd[i]);
+  }
+  EXPECT_THROW(log_spaced_bounds(0.0, 1.0), omx::Bug);
+  EXPECT_THROW(log_spaced_bounds(1.0, 1.0), omx::Bug);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBucket) {
+  // bounds {1,2,4}: 2 samples in (0,1], 2 in (1,2], none beyond.
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  const std::vector<std::uint64_t> counts = {2, 2, 0, 0};
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, counts, 0.25), 0.5);
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, counts, 0.50), 1.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, counts, 0.75), 1.5);
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, counts, 1.00), 2.0);
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  const std::vector<double> bounds = {1.0, 2.0};
+  EXPECT_EQ(histogram_quantile(bounds, {0, 0, 0}, 0.5), 0.0);  // empty
+  EXPECT_EQ(histogram_quantile({}, {}, 0.5), 0.0);             // no bounds
+  // Everything in the overflow bucket clamps to the last edge.
+  EXPECT_EQ(histogram_quantile(bounds, {0, 0, 5}, 0.5), 2.0);
+  // Out-of-range q is clamped, not UB.
+  EXPECT_EQ(histogram_quantile(bounds, {4, 0, 0}, -1.0),
+            histogram_quantile(bounds, {4, 0, 0}, 0.0));
+  EXPECT_EQ(histogram_quantile(bounds, {4, 0, 0}, 2.0), 1.0);
+}
+
+TEST(Histogram, MemberQuantileMatchesFreeFunction) {
+  Registry reg;
+  Histogram& h = reg.histogram("q", log_spaced_bounds(1e-3, 1.0));
+  for (int i = 1; i <= 100; ++i) {
+    h.observe(i * 1e-3);  // ~uniform over (0, 0.1]
+  }
+  const double p50 = h.quantile(0.50);
+  EXPECT_GT(p50, 0.02);
+  EXPECT_LT(p50, 0.1);
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].quantile(0.50), p50);
+}
+
+TEST(Export, MetricsJsonCarriesPercentiles) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat", {1.0, 2.0, 4.0});
+  h.observe(0.5);
+  h.observe(0.6);
+  h.observe(1.5);
+  const std::string json = metrics_json(reg.snapshot());
+  EXPECT_TRUE(validate_json(json)) << json;
+  EXPECT_NE(json.find("\"p50\": "), std::string::npos);
+  EXPECT_NE(json.find("\"p90\": "), std::string::npos);
+  EXPECT_NE(json.find("\"p99\": "), std::string::npos);
+}
+
+TEST(Export, TextSummaryShowsPercentilesAndBounds) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat", {0.25, 1.0});
+  h.observe(0.2);
+  h.observe(0.2);
+  const std::string text = format_text(reg.snapshot());
+  EXPECT_NE(text.find("p50="), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+  EXPECT_NE(text.find("le 0.25"), std::string::npos);
+  EXPECT_NE(text.find("le 1 "), std::string::npos);
+  EXPECT_NE(text.find("overflow"), std::string::npos);
+}
+
+// -- span profile aggregation -----------------------------------------------
+
+namespace {
+
+TraceEvent make_event(const char* name, std::uint32_t tid,
+                      std::int64_t start_ns, std::int64_t dur_ns) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.tid = tid;
+  ev.start_ns = start_ns;
+  ev.dur_ns = dur_ns;
+  return ev;
+}
+
+}  // namespace
+
+TEST(Profile, MergesNestedSpansAcrossThreads) {
+  // Thread 1: solve [0,1000) containing two jac spans; thread 2: a
+  // second solve [0,500). Same-name spans under the same parent merge.
+  const std::vector<TraceEvent> events = {
+      make_event("solve", 1, 0, 1000),
+      make_event("jac", 1, 100, 200),
+      make_event("jac", 1, 400, 100),
+      make_event("solve", 2, 0, 500),
+  };
+  const Profile prof = aggregate_profile(events);
+  EXPECT_EQ(prof.wall_ns, 1000);
+  ASSERT_EQ(prof.nodes.size(), 2u);
+  const ProfileNode& solve = prof.nodes[0];
+  EXPECT_EQ(solve.name, "solve");
+  EXPECT_EQ(solve.depth, 0);
+  EXPECT_EQ(solve.count, 2u);
+  EXPECT_EQ(solve.total_ns, 1500);
+  EXPECT_EQ(solve.self_ns, 1200);  // 1500 minus the 300 ns of jac
+  const ProfileNode& jac = prof.nodes[1];
+  EXPECT_EQ(jac.name, "jac");
+  EXPECT_EQ(jac.depth, 1);
+  EXPECT_EQ(jac.count, 2u);
+  EXPECT_EQ(jac.total_ns, 300);
+  EXPECT_EQ(jac.self_ns, 300);
+}
+
+TEST(Profile, SiblingsDoNotNestAndPercentilesAreNearestRank) {
+  // Back-to-back spans at the same level (the second starts exactly when
+  // the first ends) must be siblings, not parent/child.
+  const std::vector<TraceEvent> events = {
+      make_event("a", 1, 0, 100),
+      make_event("a", 1, 100, 300),
+  };
+  const Profile prof = aggregate_profile(events);
+  ASSERT_EQ(prof.nodes.size(), 1u);
+  EXPECT_EQ(prof.nodes[0].count, 2u);
+  EXPECT_EQ(prof.nodes[0].depth, 0);
+  EXPECT_EQ(prof.nodes[0].p50_ns, 300);  // nearest-rank of {100, 300}
+  EXPECT_EQ(prof.nodes[0].p99_ns, 300);
+}
+
+TEST(Profile, EmptyBufferYieldsEmptyProfile) {
+  const Profile prof = aggregate_profile(std::vector<TraceEvent>{});
+  EXPECT_TRUE(prof.nodes.empty());
+  EXPECT_EQ(prof.wall_ns, 0);
+  EXPECT_NE(profile_text(prof).find("no spans"), std::string::npos);
+  EXPECT_TRUE(validate_json(profile_json(prof)));
+}
+
+TEST(Export, ProfileJsonAndTextRoundTrip) {
+  const std::vector<TraceEvent> events = {
+      make_event("outer \"q\"", 1, 0, 1000),
+      make_event("inner", 1, 200, 400),
+  };
+  const Profile prof = aggregate_profile(events);
+  const std::string json = profile_json(prof);
+  EXPECT_TRUE(validate_json(json)) << json;
+  EXPECT_NE(json.find("\"wall_ns\": 1000"), std::string::npos);
+  EXPECT_NE(json.find("\"self_ns\": 600"), std::string::npos);
+  const std::string text = profile_text(prof);
+  EXPECT_NE(text.find("outer"), std::string::npos);
+  EXPECT_NE(text.find("  inner"), std::string::npos);  // indented child
+  EXPECT_NE(text.find("wall:"), std::string::npos);
+}
+
+// -- chrome trace metadata + counter tracks ---------------------------------
+
+TEST(Export, ChromeTracePinsMetadataAndCounterTracks) {
+  TraceBuffer tb;
+  tb.start();
+  tb.set_process_name("omx/test \"proc\"");
+  tb.set_thread_name("driver");
+  tb.record("span/a", "test", 1000, 500);
+  tb.record_counter("util/worker-0", 2000, 1.0);
+  tb.record_counter("util/worker-0", 3000, 0.0);
+  tb.stop();
+  const std::string json = chrome_trace_json(tb);
+  EXPECT_TRUE(validate_json(json)) << json;
+  // Metadata: a tid-less process_name record and a thread_name record
+  // bound to this thread's dense id.
+  EXPECT_NE(json.find("{\"ph\": \"M\", \"pid\": 1, \"name\": "
+                      "\"process_name\", \"args\": {\"name\": "
+                      "\"omx/test \\\"proc\\\"\"}}"),
+            std::string::npos)
+      << json;
+  const std::string tid = std::to_string(TraceBuffer::thread_id());
+  EXPECT_NE(json.find("{\"ph\": \"M\", \"pid\": 1, \"tid\": " + tid +
+                      ", \"name\": \"thread_name\", \"args\": {\"name\": "
+                      "\"driver\"}}"),
+            std::string::npos)
+      << json;
+  // Counter samples: ns timestamps exported as fractional microseconds.
+  EXPECT_NE(json.find("{\"ph\": \"C\", \"pid\": 1, \"name\": "
+                      "\"util/worker-0\", \"ts\": 2, "
+                      "\"args\": {\"value\": 1}}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"ts\": 3, \"args\": {\"value\": 0}}"),
+            std::string::npos)
+      << json;
+  // The span itself still exports as a complete event.
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("span/a"), std::string::npos);
+}
+
+TEST(Trace, CounterSamplesIgnoredWhileInactive) {
+  TraceBuffer tb;
+  tb.record_counter("util/worker-0", 0, 1.0);  // before start
+  tb.start();
+  tb.record_counter("util/worker-0", 10, 0.5);
+  tb.stop();
+  tb.record_counter("util/worker-0", 20, 0.25);  // after stop
+  ASSERT_EQ(tb.counter_samples().size(), 1u);
+  EXPECT_EQ(tb.counter_samples()[0].at_ns, 10);
+  tb.start();  // restart clears old samples
+  tb.stop();
+  EXPECT_TRUE(tb.counter_samples().empty());
+}
+
+// -- flight recorder --------------------------------------------------------
+
+TEST(Recorder, DisabledRecordsNothing) {
+  Recorder rec(16);
+  StepEvent ev;
+  ev.kind = StepEventKind::kStepAccepted;
+  rec.record(ev);  // never started: must be a no-op
+  EXPECT_FALSE(rec.enabled());
+  EXPECT_TRUE(rec.events().empty());
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(Recorder, OverflowDropsAndCountsInsteadOfBlocking) {
+  Recorder rec(8);
+  rec.start();
+  for (int i = 0; i < 20; ++i) {
+    StepEvent ev;
+    ev.kind = StepEventKind::kStepAccepted;
+    ev.method = "bdf";
+    ev.t = i;
+    rec.record(ev);
+  }
+  rec.stop();
+  const std::vector<StepEvent> events = rec.events();
+  ASSERT_EQ(events.size(), 8u);  // first `capacity` kept, rest dropped
+  EXPECT_EQ(rec.dropped(), 12u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(events[i].t, i);  // startup survives, in order
+  }
+}
+
+TEST(Recorder, StartResetsEventsAndDrops) {
+  Recorder rec(4);
+  rec.start();
+  for (int i = 0; i < 6; ++i) {
+    rec.record(StepEvent{});
+  }
+  EXPECT_EQ(rec.events().size(), 4u);
+  EXPECT_EQ(rec.dropped(), 2u);
+  rec.start();  // fresh rings
+  EXPECT_TRUE(rec.events().empty());
+  EXPECT_EQ(rec.dropped(), 0u);
+  rec.record(StepEvent{});
+  EXPECT_EQ(rec.events().size(), 1u);
+}
+
+TEST(Recorder, MergedEventsAreTimeSortedAcrossThreads) {
+  Recorder rec(4096);
+  rec.start();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&rec] {
+      for (int i = 0; i < 100; ++i) {
+        StepEvent ev;
+        ev.kind = StepEventKind::kStepAccepted;
+        ev.method = "adams";
+        rec.record(ev);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  rec.stop();
+  const std::vector<StepEvent> events = rec.events();
+  ASSERT_EQ(events.size(), 400u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].when_ns, events[i].when_ns);
+  }
+}
+
+TEST(Export, RecorderJsonRoundTrips) {
+  Recorder rec(16);
+  rec.start();
+  StepEvent ev;
+  ev.kind = StepEventKind::kJacEvaluate;
+  ev.method = "bdf";
+  ev.order = 3;
+  ev.t = 0.25;
+  ev.h = 1e-4;
+  ev.err = 0.5;
+  rec.record(ev);
+  rec.stop();
+  const std::string json = recorder_json(rec);
+  EXPECT_TRUE(validate_json(json)) << json;
+  EXPECT_NE(json.find("\"dropped\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"capacity_per_thread\": 16"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"jac_evaluate\""), std::string::npos);
+  EXPECT_NE(json.find("\"method\": \"bdf\""), std::string::npos);
+  EXPECT_NE(json.find("\"order\": 3"), std::string::npos);
+  // An empty recorder is still a valid document.
+  Recorder empty(4);
+  EXPECT_TRUE(validate_json(recorder_json(empty)));
+}
+
 }  // namespace
 }  // namespace omx::obs

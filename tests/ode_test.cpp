@@ -8,6 +8,7 @@
 #include <limits>
 #include <string>
 
+#include "omx/obs/recorder.hpp"
 #include "omx/ode/adams.hpp"
 #include "omx/ode/dopri5.hpp"
 #include "omx/ode/ensemble.hpp"
@@ -370,6 +371,45 @@ TEST(Ensemble, StiffMethodsFallBackToScenarioAtATime) {
     expect_solutions_identical(solve(p, Method::kAdamsPece, {}),
                                r.solutions[s]);
   }
+}
+
+TEST(Ensemble, FlightRecorderStaysWithinRingBudgetAt256Scenarios) {
+  // The ISSUE acceptance bar: a 256-scenario ensemble with the flight
+  // recorder armed must fit the default per-thread ring (no drops), and
+  // every scenario's pack and retire must be on the log.
+  obs::Recorder& rec = obs::Recorder::global();
+  rec.start();
+  const Problem base = oscillator(2.0);
+  EnsembleSpec spec;
+  for (std::size_t s = 0; s < 256; ++s) {
+    spec.initial_states.push_back(
+        {1.0 + 0.01 * static_cast<double>(s),
+         -0.5 + 0.005 * static_cast<double>(s)});
+  }
+  spec.workers = 4;
+  spec.max_batch = 16;
+  const EnsembleResult r =
+      solve_ensemble(base, Method::kDopri5, {}, spec);
+  rec.stop();
+  ASSERT_EQ(r.solutions.size(), 256u);
+
+  EXPECT_EQ(rec.dropped(), 0u) << "ensemble run overflowed the ring";
+  std::size_t packs = 0;
+  std::size_t retires = 0;
+  std::size_t refills = 0;
+  for (const obs::StepEvent& ev : rec.events()) {
+    switch (ev.kind) {
+      case obs::StepEventKind::kLanePack: ++packs; break;
+      case obs::StepEventKind::kLaneRefill: ++refills; break;
+      case obs::StepEventKind::kLaneRetire: ++retires; break;
+      default: break;
+    }
+  }
+  // Every scenario enters a batch exactly once (first fill or mid-run
+  // refill) and leaves exactly once.
+  EXPECT_EQ(packs + refills, 256u);
+  EXPECT_EQ(retires, 256u);
+  EXPECT_GT(refills, 0u) << "staggered retirement never refilled a lane";
 }
 
 TEST(Ensemble, RejectsMismatchedScenarioSize) {

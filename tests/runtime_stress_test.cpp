@@ -6,13 +6,16 @@
 // old join-without-shutdown destructor hang) and the steal metrics.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "omx/exec/rhs_kernel.hpp"
+#include "omx/obs/recorder.hpp"
 #include "omx/obs/registry.hpp"
 #include "omx/runtime/parallel_rhs.hpp"
 #include "omx/runtime/worker_pool.hpp"
@@ -275,6 +278,57 @@ TEST(RuntimeStress, StealingHonorsEnvDefault) {
   // construction; unset in the test environment means disabled.
   WorkerPool::Options opts;
   EXPECT_EQ(opts.stealing, WorkerPool::stealing_env_default());
+}
+
+TEST(RuntimeStress, RecorderConcurrentWritersAndReaders) {
+  // Flight-recorder race gate (runs under TSan via the RuntimeStress
+  // filter): 8 writer threads hammer small rings to overflow while a
+  // reader concurrently snapshots events() and dropped(). record() must
+  // never block and every event must land exactly once or be counted as
+  // dropped.
+  constexpr std::size_t kCapacity = 1024;
+  constexpr int kWriters = 8;
+  constexpr int kRecordsPerWriter = 10000;
+  obs::Recorder rec(kCapacity);
+  rec.start();
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const std::vector<obs::StepEvent> snap = rec.events();
+      // A concurrent snapshot sees a time-sorted prefix of each ring.
+      for (std::size_t i = 1; i < snap.size(); ++i) {
+        ASSERT_LE(snap[i - 1].when_ns, snap[i].when_ns);
+      }
+      (void)rec.dropped();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&rec, w] {
+      for (int i = 0; i < kRecordsPerWriter; ++i) {
+        obs::StepEvent ev;
+        ev.kind = obs::StepEventKind::kStepAccepted;
+        ev.method = "bdf";
+        ev.lane = static_cast<std::uint32_t>(w);
+        ev.t = i;
+        rec.record(ev);
+      }
+    });
+  }
+  for (auto& t : writers) {
+    t.join();
+  }
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+  rec.stop();
+
+  // Accounting is exact: each writer fills its ring, then drops.
+  EXPECT_EQ(rec.events().size(), kWriters * kCapacity);
+  EXPECT_EQ(rec.dropped(),
+            static_cast<std::uint64_t>(kWriters) *
+                (kRecordsPerWriter - kCapacity));
 }
 
 }  // namespace
