@@ -92,12 +92,16 @@ int main() {
     }
     const ode::Problem p = cm.make_problem(k, 0.0, kTend);
 
+    // All three configurations stream through StatsOnlySink so the
+    // comparison measures solver throughput, not trajectory
+    // materialization (no Solution rows are retained).
     {
+      ode::StatsOnlySink sink(1);
       const auto t0 = clock_type::now();
       for (const std::vector<double>& y : starts) {
         ode::Problem ps = p;
         ps.y0 = y;
-        ode::solve(ps, ode::Method::kDopri5, o);
+        ode::solve(ps, ode::Method::kDopri5, o, sink);
       }
       *sequential = scen_per_sec(t0, kScenarios);
     }
@@ -106,8 +110,9 @@ int main() {
     spec.workers = kWorkers;
     for (const std::size_t width : {std::size_t{1}, kMaxBatch}) {
       spec.max_batch = width;
+      ode::StatsOnlySink sink(kScenarios);
       const auto t0 = clock_type::now();
-      ode::solve_ensemble(p, ode::Method::kDopri5, o, spec);
+      ode::solve_ensemble(p, ode::Method::kDopri5, o, spec, sink);
       *(width == 1 ? width1 : batched) = scen_per_sec(t0, kScenarios);
     }
     return true;

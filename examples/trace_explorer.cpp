@@ -28,6 +28,7 @@
 #include "omx/obs/export.hpp"
 #include "omx/ode/solve.hpp"
 #include "omx/pipeline/pipeline.hpp"
+#include "omx/support/config.hpp"
 
 namespace {
 
@@ -37,7 +38,10 @@ int usage(const char* argv0) {
                "          [--evals N] [--out trace.json]\n"
                "          [--sample-hz HZ] [--profile profile.json]\n"
                "          [--recorder recorder.json]"
-               " [--metrics metrics.json]\n",
+               " [--metrics metrics.json]\n"
+               "       %s --config   (list every OMX_* env knob and its\n"
+               "                      current value, then exit)\n",
+               argv0,
                argv0);
   return 2;
 }
@@ -79,7 +83,10 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (std::strcmp(argv[i], "--model") == 0) {
+    if (std::strcmp(argv[i], "--config") == 0) {
+      std::fputs(config::describe().c_str(), stdout);
+      return 0;
+    } else if (std::strcmp(argv[i], "--model") == 0) {
       model = next("--model");
     } else if (std::strcmp(argv[i], "--workers") == 0) {
       workers = static_cast<std::size_t>(std::atoi(next("--workers")));
@@ -155,10 +162,13 @@ int main(int argc, char** argv) {
   if (!recorder_path.empty()) {
     // A short stiff-capable solve so the flight recorder sees real step
     // control: accepts, rejections, Jacobian reuse, method switches.
+    // Only the recorder events matter here, so stream through a
+    // StatsOnlySink instead of materializing a trajectory.
     ode::Problem prob = cm.make_problem(exec::Backend::kInterp, 0.0, 0.05);
     cm.bind_symbolic_jacobian(prob);
     ode::SolverOptions sopts;
-    ode::solve(prob, ode::Method::kLsodaLike, sopts);
+    ode::StatsOnlySink stats_sink(1);
+    ode::solve(prob, ode::Method::kLsodaLike, sopts, stats_sink);
     obs::Recorder::global().stop();
   }
   tb.stop();

@@ -137,6 +137,10 @@ echo "== bench: partitioned solver + sparse stiff backend =="
 (cd "$BUILD_DIR" && ./bench/partitioned_solver)
 test -s "$BUILD_DIR"/BENCH_sparse.json
 
+echo "== bench: SIMD lane throughput =="
+(cd "$BUILD_DIR" && ./bench/simd)
+test -s "$BUILD_DIR"/BENCH_simd.json
+
 echo "== bench regression gate =="
 python3 scripts/bench_gate.py --current "$BUILD_DIR"
 

@@ -25,19 +25,23 @@ int precedence(const expr::Node& n) {
 }
 
 const char* func1_code_name(expr::Func1 f, Lang lang) {
-  const bool cxx = lang == Lang::kCxx;
+  const bool cxx = lang != Lang::kFortran90;
+  const bool simd = lang == Lang::kCxxSimd;
   switch (f) {
-    case expr::Func1::kSin: return cxx ? "std::sin" : "sin";
-    case expr::Func1::kCos: return cxx ? "std::cos" : "cos";
+    case expr::Func1::kSin: return simd ? "omx_sin" : cxx ? "std::sin" : "sin";
+    case expr::Func1::kCos: return simd ? "omx_cos" : cxx ? "std::cos" : "cos";
     case expr::Func1::kTan: return cxx ? "std::tan" : "tan";
     case expr::Func1::kAsin: return cxx ? "std::asin" : "asin";
     case expr::Func1::kAcos: return cxx ? "std::acos" : "acos";
     case expr::Func1::kAtan: return cxx ? "std::atan" : "atan";
     case expr::Func1::kSinh: return cxx ? "std::sinh" : "sinh";
     case expr::Func1::kCosh: return cxx ? "std::cosh" : "cosh";
-    case expr::Func1::kTanh: return cxx ? "std::tanh" : "tanh";
-    case expr::Func1::kExp: return cxx ? "std::exp" : "exp";
-    case expr::Func1::kLog: return cxx ? "std::log" : "log";
+    case expr::Func1::kTanh:
+      return simd ? "omx_tanh" : cxx ? "std::tanh" : "tanh";
+    case expr::Func1::kExp: return simd ? "omx_exp" : cxx ? "std::exp" : "exp";
+    case expr::Func1::kLog: return simd ? "omx_log" : cxx ? "std::log" : "log";
+    // sqrt/fabs lower to single instructions under -fno-math-errno, so
+    // the std:: spellings stay vectorizable even in kCxxSimd.
     case expr::Func1::kSqrt: return cxx ? "std::sqrt" : "sqrt";
     case expr::Func1::kAbs: return cxx ? "std::fabs" : "abs";
     // Neither language has the mathematical sign() intrinsic with one
@@ -48,12 +52,17 @@ const char* func1_code_name(expr::Func1 f, Lang lang) {
 }
 
 const char* func2_code_name(expr::Func2 f, Lang lang) {
-  const bool cxx = lang == Lang::kCxx;
+  const bool cxx = lang != Lang::kFortran90;
+  const bool simd = lang == Lang::kCxxSimd;
   switch (f) {
     case expr::Func2::kAtan2: return cxx ? "std::atan2" : "atan2";
-    case expr::Func2::kMin: return cxx ? "std::fmin" : "min";
-    case expr::Func2::kMax: return cxx ? "std::fmax" : "max";
-    case expr::Func2::kHypot: return cxx ? "std::hypot" : "omx_hypot";
+    // std::fmin/fmax stay libm calls the vectorizer cannot widen (IEEE
+    // NaN rules do not map onto vminpd/vmaxpd); the omx_ forms are
+    // compare+blend selects that vectorize.
+    case expr::Func2::kMin: return simd ? "omx_fmin" : cxx ? "std::fmin" : "min";
+    case expr::Func2::kMax: return simd ? "omx_fmax" : cxx ? "std::fmax" : "max";
+    case expr::Func2::kHypot:
+      return simd ? "omx_hypot" : cxx ? "std::hypot" : "omx_hypot";
   }
   return "?";
 }
@@ -110,8 +119,8 @@ class CodePrinter {
         os << ')';
         return;
       case expr::Op::kPow:
-        if (lang_ == Lang::kCxx) {
-          os << "std::pow(";
+        if (lang_ != Lang::kFortran90) {
+          os << (lang_ == Lang::kCxxSimd ? "omx_pow(" : "std::pow(");
           print(os, n.a, 0, false);
           os << ", ";
           print(os, n.b, 0, false);

@@ -10,7 +10,13 @@
 
 namespace omx::codegen {
 
-enum class Lang { kFortran90, kCxx };
+// kCxxSimd renders the same C++ as kCxx except that the transcendental
+// intrinsics with no vectorizable libm entry point (sin, cos, tanh, exp,
+// log, pow, hypot) are printed as their omx_* vector-math runtime names
+// (exec/vmath_functions.h): branch-free straight-line implementations
+// the host compiler can clone per SIMD lane. Used by the native backend;
+// standalone artifacts keep the self-contained std:: spellings.
+enum class Lang { kFortran90, kCxx, kCxxSimd };
 
 std::string to_code(const expr::Pool& pool, const Interner& names,
                     expr::ExprId id, Lang lang);

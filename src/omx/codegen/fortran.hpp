@@ -34,6 +34,14 @@ struct EmitOptions {
   /// each body with with_prelude = false. (C++ emitter only; the Fortran
   /// emitter has no prelude.)
   bool with_prelude = true;
+  /// C++ emitters only: print transcendental intrinsics as the omx_*
+  /// vector-math runtime names (Lang::kCxxSimd) instead of std:: libm,
+  /// so the rhs_batch lane loops vectorize without scalarizing on math
+  /// calls. The caller must provide the vmath definitions in the same
+  /// translation unit (the native backend embeds exec/vmath_functions.h;
+  /// see exec::vmath_source()). Standalone artifacts keep the default
+  /// self-contained std:: spellings.
+  bool simd_math = false;
 };
 
 EmitResult emit_fortran_parallel(const model::FlatSystem& flat,

@@ -12,7 +12,9 @@
 #include <string>
 
 #include "omx/codegen/cpp_emit.hpp"
+#include "omx/exec/vmath_embed.hpp"
 #include "omx/model/flat_system.hpp"
+#include "omx/support/config.hpp"
 #include "omx/vm/program.hpp"
 
 namespace omx::exec {
@@ -42,10 +44,9 @@ obs::Counter& native_fallbacks() {
 // ------------------------------------------------------------- toolchain
 
 std::string detect_compiler() {
-  if (const char* env = std::getenv("OMX_NATIVE_CXX")) {
-    if (env[0] != '\0') {
-      return env;
-    }
+  const std::string env = config::get_string("OMX_NATIVE_CXX", "");
+  if (!env.empty()) {
+    return env;
   }
   for (const char* cand : {"c++", "g++", "clang++"}) {
     const std::string probe =
@@ -62,14 +63,92 @@ const std::string& compiler() {
   return cxx;
 }
 
+/// Host-tuning flag for the kernel compile. -march=native unlocks the
+/// wide vector units (AVX2/AVX-512) for the `#pragma omp simd` lane
+/// loops; it is probed once per process because some toolchains
+/// (cross compilers, very old gcc) reject it, and OMX_NATIVE_MARCH can
+/// pick another ISA or disable the flag entirely. Note the compiled
+/// objects are host-specific either way — the cache key includes the
+/// flag string, and the default cache lives in the machine-local tmp.
+std::string detect_march_flag(const std::string& cxx) {
+  const std::string want = config::get_string("OMX_NATIVE_MARCH", "native");
+  if (want.empty() || want == "off" || want == "none" || want == "0") {
+    return {};
+  }
+  const std::string flag = "-march=" + want;
+  const std::string probe = cxx + " " + flag +
+                            " -x c++ -fsyntax-only /dev/null"
+                            " > /dev/null 2>&1";
+  return std::system(probe.c_str()) == 0 ? flag : std::string();
+}
+
+const std::string& march_flag() {
+  static const std::string flag = detect_march_flag(compiler());
+  return flag;
+}
+
+/// Preferred vector width for the lane loops. gcc defaults to 256-bit
+/// vectors even on AVX-512 hardware (a throughput-downclock heuristic
+/// tuned for mixed workloads); the emitted kernels are exactly the
+/// all-lanes-hot case where 512-bit wins, so prefer it when the
+/// toolchain accepts the flag. Width only changes how many lanes ride
+/// one instruction — each lane's operation sequence, and therefore
+/// every result bit, is identical at any width.
+std::string detect_vecwidth_flag(const std::string& cxx) {
+  const std::string want = config::get_string("OMX_NATIVE_VECWIDTH", "512");
+  if (want.empty() || want == "off" || want == "none" || want == "0") {
+    return {};
+  }
+  const std::string flag = "-mprefer-vector-width=" + want;
+  const std::string probe = cxx + " " + flag +
+                            " -x c++ -fsyntax-only /dev/null"
+                            " > /dev/null 2>&1";
+  return std::system(probe.c_str()) == 0 ? flag : std::string();
+}
+
+const std::string& vecwidth_flag() {
+  static const std::string flag = detect_vecwidth_flag(compiler());
+  return flag;
+}
+
+/// Flags that make the lane loops vectorize WITHOUT changing per-lane
+/// IEEE arithmetic:
+///   -ffp-contract=off  no FMA contraction, so scalar rhs and rhs_batch
+///                      (and the interpreter) execute identical mul/add
+///                      sequences even on FMA hardware;
+///   -fno-math-errno    sqrt/fabs lower to single instructions instead
+///                      of errno-setting libm calls;
+///   -fno-trapping-math FP compares/divides may be speculated across
+///                      blends. This only relaxes *exception-flag*
+///                      semantics (we never read feraiseexcept state);
+///                      computed values are untouched. Without it,
+///                      gcc's if-conversion refuses to flatten the
+///                      guard blends in the vmath runtime ("tree could
+///                      trap") and every lane loop with a log/sin/pow
+///                      stays scalar;
+///   -fopenmp-simd      honor the emitted `#pragma omp simd` (pragma
+///                      only, no OpenMP runtime).
+/// Deliberately still no -ffast-math/-funsafe-math-optimizations: no
+/// reassociation, so results stay bitwise reproducible run to run.
+std::string codegen_flags() {
+  std::string flags =
+      " -ffp-contract=off -fno-math-errno -fno-trapping-math -fopenmp-simd";
+  if (!march_flag().empty()) {
+    flags += " " + march_flag();
+  }
+  if (!vecwidth_flag().empty()) {
+    flags += " " + vecwidth_flag();
+  }
+  return flags;
+}
+
 fs::path cache_dir(const NativeOptions& opts) {
   if (!opts.cache_dir.empty()) {
     return opts.cache_dir;
   }
-  if (const char* env = std::getenv("OMX_NATIVE_CACHE_DIR")) {
-    if (env[0] != '\0') {
-      return env;
-    }
+  const std::string env = config::get_string("OMX_NATIVE_CACHE_DIR", "");
+  if (!env.empty()) {
+    return env;
   }
   return fs::temp_directory_path() / "omx-native-cache";
 }
@@ -101,6 +180,10 @@ std::string compose_source(const model::FlatSystem& flat,
   codegen::EmitOptions eo;
   eo.with_helpers = false;
   eo.with_prelude = false;
+  // Transcendentals print as the omx_* vmath runtime names; the
+  // definitions are embedded below so every kernel ships its own
+  // branch-free math and rhs/rhs_batch stay bitwise identical per lane.
+  eo.simd_math = true;
   const codegen::EmitResult serial = codegen::emit_cpp_serial(flat, set, eo);
   const codegen::EmitResult par = codegen::emit_cpp_parallel(flat, plan, eo);
   const codegen::EmitResult serial_b =
@@ -111,6 +194,10 @@ std::string compose_source(const model::FlatSystem& flat,
   std::ostringstream os;
   os << "// Synthesized by omx::exec (native backend). Do not edit.\n"
      << "#include <cmath>\n"
+     << "#define OMX_SIMD_LOOP _Pragma(\"omp simd\")\n"
+     << "// ---- omx vector-math runtime (exec/vmath_functions.h) ----\n"
+     << vmath_source()
+     << "// ---- end vector-math runtime ----\n"
      << "namespace {\n"
      << "inline double omx_sign(double x) {\n"
      << "  return x > 0.0 ? 1.0 : (x < 0.0 ? -1.0 : 0.0);\n"
@@ -125,7 +212,7 @@ std::string compose_source(const model::FlatSystem& flat,
      << par_b.code
      << "}  // namespace omx_parallel\n"
      << "extern \"C\" {\n"
-     << "int omx_abi_version() { return 2; }\n"
+     << "int omx_abi_version() { return 3; }\n"
      << "unsigned omx_n_state() { return " << flat.num_states() << "u; }\n"
      << "unsigned omx_num_tasks() { return " << plan.tasks.size()
      << "u; }\n"
@@ -224,8 +311,9 @@ std::shared_ptr<NativeState> build_module(const std::string& source,
     return nullptr;
   }
 
-  const std::string key =
-      hex(fnv1a(source + "\x1f" + cxx + "\x1f" + opts.extra_flags));
+  const std::string key = hex(fnv1a(source + "\x1f" + cxx + "\x1f" +
+                                    codegen_flags() + "\x1f" +
+                                    opts.extra_flags));
   const fs::path so = dir / ("omx_" + key + ".so");
   const fs::path cpp = dir / ("omx_" + key + ".cpp");
   const fs::path log = dir / ("omx_" + key + ".log");
@@ -241,10 +329,8 @@ std::shared_ptr<NativeState> build_module(const std::string& source,
         return nullptr;
       }
     }
-    // Plain -O2, no -march / -ffast-math: keeps the native arithmetic
-    // bitwise-comparable with the tape interpreter (no FMA contraction,
-    // no reassociation), which the differential tests rely on.
-    std::string cmd = cxx + " -std=c++17 -O2 -fPIC -shared";
+    std::string cmd =
+        cxx + " -std=c++17 -O2 -fPIC -shared" + codegen_flags();
     if (!opts.extra_flags.empty()) {
       cmd += " " + opts.extra_flags;
     }
@@ -300,10 +386,11 @@ std::shared_ptr<NativeState> build_module(const std::string& source,
     why = "missing export in " + so.string();
     return nullptr;
   }
-  // ABI 2 added the batched (SoA) entry points. Pre-batch cache entries
-  // can't satisfy this loader; their source hash differs anyway, so they
-  // simply never match — the check guards hand-placed or corrupt objects.
-  if (abi() != 2) {
+  // ABI 3 = batched (SoA) entry points + embedded vmath runtime with
+  // vectorized lane loops. Stale cache entries can't satisfy this
+  // loader; their source hash differs anyway, so they simply never
+  // match — the check guards hand-placed or corrupt objects.
+  if (abi() != 3) {
     why = "ABI version mismatch in " + so.string();
     return nullptr;
   }
@@ -317,8 +404,7 @@ std::shared_ptr<NativeState> build_module(const std::string& source,
 }
 
 bool env_disabled() {
-  const char* env = std::getenv("OMX_NATIVE_DISABLE");
-  return env != nullptr && env[0] == '1';
+  return config::get_bool("OMX_NATIVE_DISABLE", false);
 }
 
 }  // namespace

@@ -1,0 +1,14 @@
+// Access to the vector-math runtime (vmath_functions.h) as source text.
+// The native backend embeds this text into every synthesized translation
+// unit so the compiled kernels carry their own branch-free math runtime;
+// the text is generated at configure time from vmath_functions.h itself
+// (see src/CMakeLists.txt), so the compiled-in functions and the emitted
+// ones can never drift apart.
+#pragma once
+
+namespace omx::exec {
+
+/// The full text of vmath_functions.h, NUL-terminated.
+const char* vmath_source();
+
+}  // namespace omx::exec

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "omx/obs/trace.hpp"
+#include "omx/support/config.hpp"
 
 namespace omx::obs {
 
@@ -40,18 +41,12 @@ struct Recorder::Ring {
 namespace {
 
 std::size_t env_capacity() {
-  if (const char* env = std::getenv("OMX_OBS_RECORDER_CAP")) {
-    const long v = std::atol(env);
-    if (v > 0) {
-      return static_cast<std::size_t>(v);
-    }
-  }
-  return 65536;
+  const long v = config::get_int("OMX_OBS_RECORDER_CAP", 65536);
+  return static_cast<std::size_t>(v > 0 ? v : 65536);
 }
 
 bool env_recorder_on() {
-  const char* env = std::getenv("OMX_OBS_RECORDER");
-  return env != nullptr && std::strcmp(env, "0") != 0;
+  return config::get_bool("OMX_OBS_RECORDER", false);
 }
 
 // Generations are drawn from one process-wide counter so the pair

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "omx/support/config.hpp"
 #include "omx/support/diagnostics.hpp"
 
 namespace omx::obs {
@@ -13,12 +14,7 @@ namespace detail {
 
 namespace {
 bool env_enabled() {
-  const char* v = std::getenv("OMX_OBS_ENABLED");
-  if (v == nullptr) {
-    return true;
-  }
-  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "false") == 0 ||
-           std::strcmp(v, "off") == 0);
+  return config::get_bool("OMX_OBS_ENABLED", true);
 }
 }  // namespace
 

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "omx/support/config.hpp"
+
 namespace omx::obs {
 
 namespace {
@@ -20,8 +22,7 @@ TraceBuffer& TraceBuffer::global() {
   static TraceBuffer* tb = [] {
     auto* t = new TraceBuffer();  // leaked: worker threads may record
                                   // during static destruction otherwise
-    const char* v = std::getenv("OMX_OBS_TRACE");
-    if (v != nullptr && std::strcmp(v, "0") != 0) {
+    if (config::get_bool("OMX_OBS_TRACE", false)) {
       t->start();
     }
     return t;

@@ -233,15 +233,15 @@ double AdamsStepper::stiffness_ratio() {
 
 namespace detail {
 
-Solution adams_pece(const Problem& p, const AdamsOptions& opts) {
+SolverStats adams_pece(const Problem& p, const AdamsOptions& opts,
+                       TrajectorySink& sink, std::uint32_t scenario) {
   p.validate();
   obs::Span solve_span("adams_pece", "ode");
   AdamsStepper stepper(p, opts);
-  Solution sol;
-  sol.reserve(1024, p.n);
-  sol.append(p.t0, p.y0);
+  TrajectoryWriter rec(sink, scenario, p.n);
+  rec.append(p.t0, p.y0);
   // The history rebuild already advanced a few RK4 steps; record them.
-  sol.append(stepper.t(), stepper.y());
+  rec.append(stepper.t(), stepper.y());
 
   std::size_t accepted = 0;
   std::size_t attempts = 0;
@@ -252,13 +252,20 @@ Solution adams_pece(const Problem& p, const AdamsOptions& opts) {
     if (stepper.step()) {
       ++accepted;
       if (accepted % opts.record_every == 0 || stepper.t() >= p.tend) {
-        sol.append(stepper.t(), stepper.y());
+        rec.append(stepper.t(), stepper.y());
       }
     }
   }
-  sol.stats = stepper.stats();
-  publish_solver_stats(sol.stats);
-  return sol;
+  const SolverStats stats = stepper.stats();
+  publish_solver_stats(stats);
+  rec.finish(stats);
+  return stats;
+}
+
+Solution adams_pece(const Problem& p, const AdamsOptions& opts) {
+  SolutionSink sink;
+  adams_pece(p, opts, sink);
+  return sink.take();
 }
 
 }  // namespace detail

@@ -7,7 +7,7 @@
 // the predictor/corrector difference scaled by the method constant.
 #pragma once
 
-#include "omx/ode/problem.hpp"
+#include "omx/ode/sink.hpp"
 
 namespace omx::ode {
 
@@ -72,12 +72,12 @@ class AdamsStepper {
 };
 
 namespace detail {
+/// Streaming core: accepted steps flow to `sink` under scenario id
+/// `scenario`; the returned statistics are also delivered via finish().
+SolverStats adams_pece(const Problem& p, const AdamsOptions& opts,
+                       TrajectorySink& sink, std::uint32_t scenario = 0);
+/// Compatibility wrapper: collects the stream into a Solution.
 Solution adams_pece(const Problem& p, const AdamsOptions& opts);
 }  // namespace detail
-
-[[deprecated("use ode::solve(p, Method::kAdamsPece, opts)")]]
-inline Solution adams_pece(const Problem& p, const AdamsOptions& opts) {
-  return detail::adams_pece(p, opts);
-}
 
 }  // namespace omx::ode

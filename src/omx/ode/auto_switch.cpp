@@ -1,5 +1,7 @@
 #include "omx/ode/auto_switch.hpp"
 
+#include <utility>
+
 #include "omx/obs/recorder.hpp"
 #include "omx/obs/trace.hpp"
 #include "omx/ode/jacobian.hpp"
@@ -20,8 +22,8 @@ void merge_stats(SolverStats& into, const SolverStats& from) {
 
 }  // namespace
 
-AutoSwitchResult auto_switch(const Problem& p_in,
-                             const AutoSwitchOptions& opts) {
+AutoSwitchRun auto_switch(const Problem& p_in, const AutoSwitchOptions& opts,
+                          TrajectorySink& sink, std::uint32_t scenario) {
   p_in.validate();
   obs::Span solve_span("lsoda_like", "ode");
   // Prepare the Jacobian plan (pattern + coloring + backend choice) once
@@ -31,10 +33,9 @@ AutoSwitchResult auto_switch(const Problem& p_in,
   if (!p.jac_plan) {
     p.jac_plan = make_jac_plan(p);
   }
-  AutoSwitchResult result;
-  Solution& sol = result.solution;
-  sol.reserve(1024, p.n);
-  sol.append(p.t0, p.y0);
+  AutoSwitchRun result;
+  TrajectoryWriter rec(sink, scenario, p.n);
+  rec.append(p.t0, p.y0);
 
   const double span = p.tend - p.t0;
 
@@ -71,7 +72,7 @@ AutoSwitchResult auto_switch(const Problem& p_in,
           ++accepts_total;
           if (accepted % opts.record_every == 0 ||
               stepper.t() >= p.tend) {
-            sol.append(stepper.t(), stepper.y());
+            rec.append(stepper.t(), stepper.y());
           }
           if (++accepts_since_check >= opts.stiffness_check_interval &&
               stepper.t() < p.tend) {
@@ -97,14 +98,14 @@ AutoSwitchResult auto_switch(const Problem& p_in,
           break;
         }
       }
-      merge_stats(sol.stats, stepper.stats());
+      merge_stats(result.stats, stepper.stats());
       t = stepper.t();
       y.assign(stepper.y().begin(), stepper.y().end());
       if (!stiff) {
         break;  // reached tend
       }
       method = SwitchMethod::kBdf;
-      ++sol.stats.method_switches;
+      ++result.stats.method_switches;
       result.switches.push_back(SwitchEvent{t, SwitchMethod::kBdf});
       obs::record_step(obs::StepEventKind::kMethodSwitch, "bdf", 0, t,
                        stepper.h(), 0.0);
@@ -124,7 +125,7 @@ AutoSwitchResult auto_switch(const Problem& p_in,
           ++accepted;
           if (accepted % opts.record_every == 0 ||
               stepper.t() >= p.tend) {
-            sol.append(stepper.t(), stepper.y());
+            rec.append(stepper.t(), stepper.y());
           }
           if (stepper.last_newton_iters() <= 2 &&
               stepper.h() >= opts.nonstiff_h_fraction * span) {
@@ -141,21 +142,33 @@ AutoSwitchResult auto_switch(const Problem& p_in,
           break;
         }
       }
-      merge_stats(sol.stats, stepper.stats());
+      merge_stats(result.stats, stepper.stats());
       t = stepper.t();
       y.assign(stepper.y().begin(), stepper.y().end());
       if (!relaxed || t >= p.tend) {
         break;
       }
       method = SwitchMethod::kAdams;
-      ++sol.stats.method_switches;
+      ++result.stats.method_switches;
       result.switches.push_back(SwitchEvent{t, SwitchMethod::kAdams});
       obs::record_step(obs::StepEventKind::kMethodSwitch, "adams", 0, t,
                        stepper.h(), 0.0);
     }
   }
   result.final_method = method;
-  publish_solver_stats(sol.stats);
+  publish_solver_stats(result.stats);
+  rec.finish(result.stats);
+  return result;
+}
+
+AutoSwitchResult auto_switch(const Problem& p,
+                             const AutoSwitchOptions& opts) {
+  SolutionSink sink;
+  AutoSwitchRun run = auto_switch(p, opts, sink);
+  AutoSwitchResult result;
+  result.solution = sink.take();
+  result.switches = std::move(run.switches);
+  result.final_method = run.final_method;
   return result;
 }
 

@@ -51,15 +51,22 @@ struct AutoSwitchResult {
   SwitchMethod final_method = SwitchMethod::kAdams;
 };
 
+/// What the streaming overload returns: the trajectory itself went to
+/// the sink, so only the statistics and the switch record remain.
+struct AutoSwitchRun {
+  SolverStats stats;
+  std::vector<SwitchEvent> switches;
+  SwitchMethod final_method = SwitchMethod::kAdams;
+};
+
+/// Streaming core: accepted steps flow to `sink` under scenario id
+/// `scenario`; the returned statistics are also delivered via finish().
+AutoSwitchRun auto_switch(const Problem& p, const AutoSwitchOptions& opts,
+                          TrajectorySink& sink, std::uint32_t scenario = 0);
+
 /// The switching driver with the full per-switch event record. The plain
 /// trajectory is also available as ode::solve(p, Method::kLsodaLike, ...).
 AutoSwitchResult auto_switch(const Problem& p,
                              const AutoSwitchOptions& opts);
-
-[[deprecated("use ode::auto_switch, or ode::solve(p, Method::kLsodaLike)")]]
-inline AutoSwitchResult lsoda_like(const Problem& p,
-                                   const AutoSwitchOptions& opts) {
-  return auto_switch(p, opts);
-}
 
 }  // namespace omx::ode

@@ -309,13 +309,13 @@ bool BdfStepper::step() {
 
 namespace detail {
 
-Solution bdf(const Problem& p, const BdfOptions& opts) {
+SolverStats bdf(const Problem& p, const BdfOptions& opts,
+                TrajectorySink& sink, std::uint32_t scenario) {
   p.validate();
   obs::Span solve_span("bdf", "ode");
   BdfStepper stepper(p, opts);
-  Solution sol;
-  sol.reserve(1024, p.n);
-  sol.append(p.t0, p.y0);
+  TrajectoryWriter rec(sink, scenario, p.n);
+  rec.append(p.t0, p.y0);
 
   std::size_t accepted = 0;
   std::size_t attempts = 0;
@@ -326,13 +326,20 @@ Solution bdf(const Problem& p, const BdfOptions& opts) {
     if (stepper.step()) {
       ++accepted;
       if (accepted % opts.record_every == 0 || stepper.t() >= p.tend) {
-        sol.append(stepper.t(), stepper.y());
+        rec.append(stepper.t(), stepper.y());
       }
     }
   }
-  sol.stats = stepper.stats();
-  publish_solver_stats(sol.stats);
-  return sol;
+  const SolverStats stats = stepper.stats();
+  publish_solver_stats(stats);
+  rec.finish(stats);
+  return stats;
+}
+
+Solution bdf(const Problem& p, const BdfOptions& opts) {
+  SolutionSink sink;
+  bdf(p, opts, sink);
+  return sink.take();
 }
 
 }  // namespace detail

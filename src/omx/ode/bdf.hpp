@@ -16,7 +16,7 @@
 
 #include "omx/la/lu.hpp"
 #include "omx/ode/jacobian.hpp"
-#include "omx/ode/problem.hpp"
+#include "omx/ode/sink.hpp"
 
 namespace omx::ode {
 
@@ -76,12 +76,12 @@ class BdfStepper {
 };
 
 namespace detail {
+/// Streaming core: accepted steps flow to `sink` under scenario id
+/// `scenario`; the returned statistics are also delivered via finish().
+SolverStats bdf(const Problem& p, const BdfOptions& opts,
+                TrajectorySink& sink, std::uint32_t scenario = 0);
+/// Compatibility wrapper: collects the stream into a Solution.
 Solution bdf(const Problem& p, const BdfOptions& opts);
 }  // namespace detail
-
-[[deprecated("use ode::solve(p, Method::kBdf, opts)")]]
-inline Solution bdf(const Problem& p, const BdfOptions& opts) {
-  return detail::bdf(p, opts);
-}
 
 }  // namespace omx::ode

@@ -30,12 +30,13 @@ constexpr double e1 = 71.0 / 57600, e3 = -71.0 / 16695, e4 = 71.0 / 1920,
 
 namespace detail {
 
-Solution dopri5(const Problem& p, const Dopri5Options& opts) {
+SolverStats dopri5(const Problem& p, const Dopri5Options& opts,
+                   TrajectorySink& sink, std::uint32_t scenario) {
   p.validate();
   obs::Span solve_span("dopri5", "ode");
   const std::size_t n = p.n;
-  Solution sol;
-  sol.reserve(1024, n);
+  TrajectoryWriter rec(sink, scenario, n);
+  SolverStats stats;
 
   std::vector<double> y = p.y0;
   std::vector<double> k1(n), k2(n), k3(n), k4(n), k5(n), k6(n), k7(n);
@@ -43,10 +44,10 @@ Solution dopri5(const Problem& p, const Dopri5Options& opts) {
 
   double t = p.t0;
   const double hmax = opts.hmax > 0.0 ? opts.hmax : (p.tend - p.t0);
-  sol.append(t, y);
+  rec.append(t, y);
 
   p.rhs(t, y, k1);
-  ++sol.stats.rhs_calls;
+  ++stats.rhs_calls;
 
   // Automatic initial step (Hairer's d0/d1 heuristic): h ~ 1% of the
   // solution's characteristic time scale ||y||_w / ||y'||_w.
@@ -77,7 +78,7 @@ Solution dopri5(const Problem& p, const Dopri5Options& opts) {
         ytmp[i] = acc;
       }
       p.rhs(t + ci * h, ytmp, k);
-      ++sol.stats.rhs_calls;
+      ++stats.rhs_calls;
     };
 
     stage(k2, c2, {{k1.data(), a21}});
@@ -95,7 +96,7 @@ Solution dopri5(const Problem& p, const Dopri5Options& opts) {
                             a75 * k5[i] + a76 * k6[i]);
     }
     p.rhs(t + h, ytmp, k7);
-    ++sol.stats.rhs_calls;
+    ++stats.rhs_calls;
 
     for (std::size_t i = 0; i < n; ++i) {
       yerr[i] = h * (e1 * k1[i] + e3 * k3[i] + e4 * k4[i] + e5 * k5[i] +
@@ -117,10 +118,10 @@ Solution dopri5(const Problem& p, const Dopri5Options& opts) {
       t += h;
       y = ytmp;
       k1 = k7;  // FSAL
-      ++sol.stats.steps;
+      ++stats.steps;
       ++recorded;
       if (recorded % opts.record_every == 0 || t >= p.tend) {
-        sol.append(t, y);
+        rec.append(t, y);
       }
       // PI controller (Gustafsson).
       const double err_clamped = std::max(err, 1e-10);
@@ -130,7 +131,7 @@ Solution dopri5(const Problem& p, const Dopri5Options& opts) {
       h = std::min(h * fac, hmax);
       err_prev = err_clamped;
     } else {
-      ++sol.stats.rejected;
+      ++stats.rejected;
       obs::record_step(obs::StepEventKind::kStepRejected, "dopri5", 5, t,
                        h, err);
       const double fac =
@@ -145,8 +146,15 @@ Solution dopri5(const Problem& p, const Dopri5Options& opts) {
   if (t < p.tend) {
     throw omx::Error("dopri5: max_steps exceeded before reaching tend");
   }
-  publish_solver_stats(sol.stats);
-  return sol;
+  publish_solver_stats(stats);
+  rec.finish(stats);
+  return stats;
+}
+
+Solution dopri5(const Problem& p, const Dopri5Options& opts) {
+  SolutionSink sink;
+  dopri5(p, opts, sink);
+  return sink.take();
 }
 
 }  // namespace detail

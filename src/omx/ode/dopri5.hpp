@@ -2,7 +2,7 @@
 // controller. The workhorse non-stiff solver of the suite.
 #pragma once
 
-#include "omx/ode/problem.hpp"
+#include "omx/ode/sink.hpp"
 
 namespace omx::ode {
 
@@ -15,12 +15,12 @@ struct Dopri5Options {
 };
 
 namespace detail {
+/// Streaming core: accepted steps flow to `sink` under scenario id
+/// `scenario`; the returned statistics are also delivered via finish().
+SolverStats dopri5(const Problem& p, const Dopri5Options& opts,
+                   TrajectorySink& sink, std::uint32_t scenario = 0);
+/// Compatibility wrapper: collects the stream into a Solution.
 Solution dopri5(const Problem& p, const Dopri5Options& opts);
 }  // namespace detail
-
-[[deprecated("use ode::solve(p, Method::kDopri5, opts)")]]
-inline Solution dopri5(const Problem& p, const Dopri5Options& opts) {
-  return detail::dopri5(p, opts);
-}
 
 }  // namespace omx::ode

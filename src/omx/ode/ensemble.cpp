@@ -18,6 +18,7 @@
 #include "omx/ode/jacobian.hpp"
 #include "omx/runtime/task_deque.hpp"
 #include "omx/sched/lpt.hpp"
+#include "omx/support/simd.hpp"
 #include "omx/support/timer.hpp"
 
 namespace omx::ode {
@@ -99,7 +100,7 @@ class BatchEval {
  private:
   const Problem* p_;
   std::size_t lane_;
-  std::vector<double> y_, f_;  // scalar-fallback scratch
+  simd::aligned_vector<double> y_, f_;  // scalar-fallback scratch
 };
 
 void pack_col(std::span<const double> v, double* soa, std::size_t nb,
@@ -131,25 +132,35 @@ void unpack_col(const double* soa, std::size_t nb, std::size_t j,
 // together with kernel lane-independence makes every lane's trajectory
 // bitwise equal to a plain ode::solve of the same scenario.
 
-/// Shared per-scenario retirement plumbing.
+/// Shared per-scenario retirement plumbing. Trajectories stream to the
+/// caller's TrajectorySink (one TrajectoryWriter per in-flight lane);
+/// nothing is accumulated solver-side.
 struct StepperBase {
   const Problem& p;
   const SolverOptions& o;
   BatchEval rhs;
-  std::vector<Solution>* out;
+  TrajectorySink* sink;
   std::atomic<std::int64_t>* active_count;
+  std::atomic<std::uint64_t>* rhs_total;
   const char* method_name = "ensemble";  // literal; set by derived ctors
 
   StepperBase(const Problem& pp, const SolverOptions& oo, std::size_t lane,
-              std::vector<Solution>* res,
-              std::atomic<std::int64_t>* active)
-      : p(pp), o(oo), rhs(pp, lane), out(res), active_count(active) {}
+              TrajectorySink* out_sink, std::atomic<std::int64_t>* active,
+              std::atomic<std::uint64_t>* total_rhs)
+      : p(pp),
+        o(oo),
+        rhs(pp, lane),
+        sink(out_sink),
+        active_count(active),
+        rhs_total(total_rhs) {}
 
-  void retire(std::uint32_t scenario, Solution&& sol) {
-    publish_solver_stats(sol.stats);
+  void retire(std::uint32_t scenario, TrajectoryWriter& rec,
+              const SolverStats& stats) {
+    publish_solver_stats(stats);
     obs::record_lane(obs::StepEventKind::kLaneRetire, method_name,
                      scenario, p.tend);
-    (*out)[scenario] = std::move(sol);
+    rec.finish(stats);
+    rhs_total->fetch_add(stats.rhs_calls, std::memory_order_relaxed);
     active_count->fetch_sub(1, std::memory_order_relaxed);
     active_gauge().set(
         static_cast<double>(active_count->load(std::memory_order_relaxed)));
@@ -168,9 +179,11 @@ struct StepperBase {
 class FixedStepper : public StepperBase {
  public:
   FixedStepper(const Problem& pp, const SolverOptions& oo, Method method,
-               std::size_t lane, std::vector<Solution>* res,
-               std::atomic<std::int64_t>* active)
-      : StepperBase(pp, oo, lane, res, active), rk4_(method == Method::kRk4) {
+               std::size_t lane, TrajectorySink* out_sink,
+               std::atomic<std::int64_t>* active,
+               std::atomic<std::uint64_t>* total_rhs)
+      : StepperBase(pp, oo, lane, out_sink, active, total_rhs),
+        rk4_(method == Method::kRk4) {
     method_name = rk4_ ? "rk4" : "explicit_euler";
     OMX_REQUIRE(oo.dt > 0.0, "dt must be positive");
     steps_ = static_cast<std::size_t>(
@@ -191,8 +204,8 @@ class FixedStepper : public StepperBase {
       L.k3.resize(n);
       L.tmp.resize(n);
     }
-    L.sol.reserve(steps_ / o.record_every + 2, n);
-    L.sol.append(L.t, L.y);
+    L.rec = TrajectoryWriter(*sink, scenario, n);
+    L.rec.append(L.t, L.y);
     lanes_.push_back(std::move(L));
     on_add();
   }
@@ -205,7 +218,8 @@ class FixedStepper : public StepperBase {
     double t = 0.0, h = 0.0;
     std::size_t k = 0;  // completed steps
     std::vector<double> y, k1, k2, k3, tmp;
-    Solution sol;
+    TrajectoryWriter rec;
+    SolverStats stats;
   };
 
   void pack_states(std::size_t nb) {
@@ -226,7 +240,7 @@ class FixedStepper : public StepperBase {
       Lane& L = lanes_[j];
       unpack_col(fbuf_.data(), nb, j, L.k1);
       const double h = std::min(o.dt, p.tend - L.t);
-      ++L.sol.stats.rhs_calls;
+      ++L.stats.rhs_calls;
       for (std::size_t i = 0; i < p.n; ++i) {
         L.y[i] += h * L.k1[i];
       }
@@ -289,7 +303,7 @@ class FixedStepper : public StepperBase {
     for (std::size_t j = 0; j < nb; ++j) {
       Lane& L = lanes_[j];
       unpack_col(fbuf_.data(), nb, j, L.tmp);  // k4
-      L.sol.stats.rhs_calls += 4;
+      L.stats.rhs_calls += 4;
       for (std::size_t i = 0; i < p.n; ++i) {
         L.y[i] += L.h / 6.0 *
                   (L.k1[i] + 2.0 * L.k2[i] + 2.0 * L.k3[i] + L.tmp[i]);
@@ -301,14 +315,14 @@ class FixedStepper : public StepperBase {
   }
 
   void finish_step(Lane& L, const char* method) {
-    ++L.sol.stats.steps;
+    ++L.stats.steps;
     for (const double v : L.y) {
       if (!std::isfinite(v)) {
         throw_nonfinite(method, L.t);
       }
     }
     if (L.k % o.record_every == o.record_every - 1 || L.k + 1 == steps_) {
-      L.sol.append(L.t, L.y);
+      L.rec.append(L.t, L.y);
     }
     ++L.k;
   }
@@ -317,7 +331,7 @@ class FixedStepper : public StepperBase {
     std::size_t w = 0;
     for (std::size_t j = 0; j < lanes_.size(); ++j) {
       if (lanes_[j].k >= steps_) {
-        retire(lanes_[j].scenario, std::move(lanes_[j].sol));
+        retire(lanes_[j].scenario, lanes_[j].rec, lanes_[j].stats);
       } else {
         if (w != j) {
           lanes_[w] = std::move(lanes_[j]);
@@ -331,16 +345,18 @@ class FixedStepper : public StepperBase {
   bool rk4_;
   std::size_t steps_ = 0;
   std::vector<Lane> lanes_;
-  std::vector<double> ts_, ybuf_, fbuf_;
+  // SoA staging buffers (64-byte aligned per the simd.hpp contract; the
+  // batched kernels' lane loops vectorize over them).
+  simd::aligned_vector<double> ts_, ybuf_, fbuf_;
 };
 
 /// kDopri5: per-lane PI step control over batched stage evaluations.
 class Dopri5Stepper : public StepperBase {
  public:
   Dopri5Stepper(const Problem& pp, const SolverOptions& oo, std::size_t lane,
-                std::vector<Solution>* res,
-                std::atomic<std::int64_t>* active)
-      : StepperBase(pp, oo, lane, res, active) {
+                TrajectorySink* out_sink, std::atomic<std::int64_t>* active,
+                std::atomic<std::uint64_t>* total_rhs)
+      : StepperBase(pp, oo, lane, out_sink, active, total_rhs) {
     method_name = "dopri5";
     hmax_ = oo.hmax > 0.0 ? oo.hmax : (pp.tend - pp.t0);
   }
@@ -357,8 +373,8 @@ class Dopri5Stepper : public StepperBase {
                     &L.ytmp, &L.yerr, &L.w}) {
       v->resize(n);
     }
-    L.sol.reserve(1024, n);
-    L.sol.append(L.t, L.y);
+    L.rec = TrajectoryWriter(*sink, scenario, n);
+    L.rec.append(L.t, L.y);
     lanes_.push_back(std::move(L));
     on_add();
   }
@@ -434,7 +450,8 @@ class Dopri5Stepper : public StepperBase {
     bool fresh = true, done = false;
     std::size_t recorded = 0, attempts = 0;
     std::vector<double> y, k1, k2, k3, k4, k5, k6, k7, ytmp, yerr, w;
-    Solution sol;
+    TrajectoryWriter rec;
+    SolverStats stats;
   };
 
   using Terms = std::vector<std::pair<const double*, double>>;
@@ -485,7 +502,7 @@ class Dopri5Stepper : public StepperBase {
     for (std::size_t j = 0; j < nbf; ++j) {
       Lane& L = lanes_[fresh[j]];
       unpack_col(fbuf_.data(), nbf, j, L.k1);
-      ++L.sol.stats.rhs_calls;
+      ++L.stats.rhs_calls;
       double h = o.h0;
       if (h <= 0.0) {
         error_weights(L.y, o.tol, L.w);
@@ -508,7 +525,7 @@ class Dopri5Stepper : public StepperBase {
     }
     error_weights(L.ytmp, o.tol, L.w);
     const double err = la::wrms_norm(L.yerr, L.w);
-    L.sol.stats.rhs_calls += 6;
+    L.stats.rhs_calls += 6;
     if (!std::isfinite(err)) {
       throw_nonfinite("dopri5", L.t);
     }
@@ -516,10 +533,10 @@ class Dopri5Stepper : public StepperBase {
       L.t += L.h;
       L.y.swap(L.ytmp);
       L.k1.swap(L.k7);  // FSAL
-      ++L.sol.stats.steps;
+      ++L.stats.steps;
       ++L.recorded;
       if (L.recorded % o.record_every == 0 || L.t >= p.tend) {
-        L.sol.append(L.t, L.y);
+        L.rec.append(L.t, L.y);
       }
       // PI controller (Gustafsson), as in the scalar driver.
       const double err_clamped = std::max(err, 1e-10);
@@ -529,7 +546,7 @@ class Dopri5Stepper : public StepperBase {
       L.h = std::min(L.h * fac, hmax_);
       L.err_prev = err_clamped;
     } else {
-      ++L.sol.stats.rejected;
+      ++L.stats.rejected;
       const double fac = std::max(0.2, 0.9 * std::pow(err, -1.0 / 5.0));
       L.h *= fac;
       if (L.h < 1e-14 * std::max(1.0, std::fabs(L.t))) {
@@ -549,7 +566,7 @@ class Dopri5Stepper : public StepperBase {
     std::size_t w = 0;
     for (std::size_t j = 0; j < lanes_.size(); ++j) {
       if (lanes_[j].done) {
-        retire(lanes_[j].scenario, std::move(lanes_[j].sol));
+        retire(lanes_[j].scenario, lanes_[j].rec, lanes_[j].stats);
       } else {
         if (w != j) {
           lanes_[w] = std::move(lanes_[j]);
@@ -562,7 +579,8 @@ class Dopri5Stepper : public StepperBase {
 
   double hmax_ = 0.0;
   std::vector<Lane> lanes_;
-  std::vector<double> ts_, ybuf_, fbuf_;
+  // SoA staging buffers (64-byte aligned per the simd.hpp contract).
+  simd::aligned_vector<double> ts_, ybuf_, fbuf_;
 
   // Dormand & Prince RK5(4)7M coefficients (as in dopri5.cpp).
   static constexpr double c2 = 1.0 / 5, c3 = 3.0 / 10, c4 = 4.0 / 5,
@@ -634,11 +652,13 @@ struct WorkSource {
 };
 
 /// Scenario-at-a-time path for the multistep/stiff methods: a plain
-/// solve per scenario, routed through the batched kernel at width 1 when
-/// one is bound so concurrent workers each use their own lane.
-Solution solve_single(const Problem& p, Method method,
-                      const SolverOptions& opts,
-                      std::span<const double> y0, std::size_t lane) {
+/// streaming solve per scenario, routed through the batched kernel at
+/// width 1 when one is bound so concurrent workers each use their own
+/// lane.
+SolverStats solve_single(const Problem& p, Method method,
+                         const SolverOptions& opts,
+                         std::span<const double> y0, std::size_t lane,
+                         TrajectorySink& sink, std::uint32_t scenario) {
   Problem q = p;
   q.y0.assign(y0.begin(), y0.end());
   if (p.batch_rhs) {
@@ -648,7 +668,7 @@ Solution solve_single(const Problem& p, Method method,
       base->batch_rhs(lane, 1, &t, y.data(), ydot.data());
     });
   }
-  return solve(q, method, opts);
+  return solve(q, method, opts, sink, scenario);
 }
 
 template <typename Stepper>
@@ -679,14 +699,12 @@ void run_batched_worker(Stepper& st, WorkSource& ws, std::size_t w,
 
 }  // namespace
 
-EnsembleResult solve_ensemble(const Problem& p, Method method,
-                              const SolverOptions& opts,
-                              const EnsembleSpec& spec) {
-  EnsembleResult res;
+void solve_ensemble(const Problem& p, Method method,
+                    const SolverOptions& opts, const EnsembleSpec& spec,
+                    TrajectorySink& sink) {
   const std::size_t ns = spec.initial_states.size();
-  res.solutions.resize(ns);
   if (ns == 0) {
-    return res;
+    return;
   }
 
   {
@@ -722,10 +740,20 @@ EnsembleResult solve_ensemble(const Problem& p, Method method,
   if (p.batch_lanes > 0) {
     nw = std::min(nw, p.batch_lanes);
   }
-  const std::size_t max_batch = std::max<std::size_t>(1, spec.max_batch);
+  // Round the batch width down to whole SIMD blocks: a max_batch that is
+  // not a lane_width multiple would make *every* full batch end in a
+  // partially filled vector block, wasting lanes on each RHS call. Tail
+  // batches (fewer scenarios left than max_batch) still shrink freely —
+  // lane independence keeps results identical either way.
+  std::size_t max_batch = std::max<std::size_t>(1, spec.max_batch);
+  const std::size_t lw = simd::lane_width();
+  if (max_batch > lw) {
+    max_batch -= max_batch % lw;
+  }
 
   WorkSource ws(nw, ns);
   std::atomic<std::int64_t> active{0};
+  std::atomic<std::uint64_t> total_rhs{0};
   std::mutex err_mutex;
   std::exception_ptr first_error;
 
@@ -736,10 +764,10 @@ EnsembleResult solve_ensemble(const Problem& p, Method method,
   auto worker = [&](std::size_t w) {
     try {
       if (method == Method::kDopri5) {
-        Dopri5Stepper st(p, opts, w, &res.solutions, &active);
+        Dopri5Stepper st(p, opts, w, &sink, &active, &total_rhs);
         run_batched_worker(st, ws, w, max_batch, spec);
       } else if (batched_method) {
-        FixedStepper st(p, opts, method, w, &res.solutions, &active);
+        FixedStepper st(p, opts, method, w, &sink, &active, &total_rhs);
         run_batched_worker(st, ws, w, max_batch, spec);
       } else {
         std::uint32_t s = 0;
@@ -748,12 +776,12 @@ EnsembleResult solve_ensemble(const Problem& p, Method method,
           obs::record_lane(obs::StepEventKind::kLanePack,
                            to_string(method), s, base.t0);
           Stopwatch timer;
-          res.solutions[s] =
-              solve_single(base, method, opts, spec.initial_states[s], w);
+          const SolverStats st = solve_single(
+              base, method, opts, spec.initial_states[s], w, sink, s);
+          total_rhs.fetch_add(st.rhs_calls, std::memory_order_relaxed);
           lane_step_hist().observe(
               timer.seconds() /
-              static_cast<double>(
-                  std::max<std::uint64_t>(1, res.solutions[s].stats.steps)));
+              static_cast<double>(std::max<std::uint64_t>(1, st.steps)));
           obs::record_lane(obs::StepEventKind::kLaneRetire,
                            to_string(method), s, base.tend);
         }
@@ -788,13 +816,20 @@ EnsembleResult solve_ensemble(const Problem& p, Method method,
     std::rethrow_exception(first_error);
   }
 
-  std::uint64_t total_rhs = 0;
-  for (const Solution& s : res.solutions) {
-    total_rhs += s.stats.rhs_calls;
-  }
   if (secs > 0.0) {
-    rate_gauge().set(static_cast<double>(total_rhs) / secs);
+    rate_gauge().set(
+        static_cast<double>(total_rhs.load(std::memory_order_relaxed)) /
+        secs);
   }
+}
+
+EnsembleResult solve_ensemble(const Problem& p, Method method,
+                              const SolverOptions& opts,
+                              const EnsembleSpec& spec) {
+  EnsembleCollectSink sink(spec.initial_states.size());
+  solve_ensemble(p, method, opts, spec, sink);
+  EnsembleResult res;
+  res.solutions = sink.take();
   return res;
 }
 

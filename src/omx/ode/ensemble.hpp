@@ -39,7 +39,9 @@ struct EnsembleSpec {
   /// kernel declares finite Problem::batch_lanes, to that).
   std::size_t workers = 1;
   /// Scenarios integrated in SoA lockstep per worker; 1 degenerates to
-  /// scenario-at-a-time execution (the bench baseline).
+  /// scenario-at-a-time execution (the bench baseline). Values above
+  /// simd::lane_width() are rounded down to a lane-width multiple so
+  /// full batches divide into whole vector blocks.
   std::size_t max_batch = 16;
 };
 
@@ -56,5 +58,15 @@ struct EnsembleResult {
 EnsembleResult solve_ensemble(const Problem& p, Method method,
                               const SolverOptions& opts,
                               const EnsembleSpec& spec);
+
+/// Streaming form: every scenario's accepted steps flow to `sink`
+/// tagged with the scenario index (see ode/sink.hpp), and no
+/// EnsembleResult is built. Workers call the sink concurrently — at
+/// most one writer per scenario at any moment, but acquire/commit/
+/// finish must be thread-safe (EnsembleCollectSink and StatsOnlySink
+/// are; custom sinks must follow suit).
+void solve_ensemble(const Problem& p, Method method,
+                    const SolverOptions& opts, const EnsembleSpec& spec,
+                    TrajectorySink& sink);
 
 }  // namespace omx::ode

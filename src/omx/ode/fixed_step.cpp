@@ -30,46 +30,55 @@ void check_finite(std::span<const double> y, const char* method, double t) {
 
 namespace detail {
 
-Solution explicit_euler(const Problem& p, const FixedStepOptions& opts) {
+SolverStats explicit_euler(const Problem& p, const FixedStepOptions& opts,
+                           TrajectorySink& sink, std::uint32_t scenario) {
   p.validate();
   obs::Span solve_span("explicit_euler", "ode");
   const std::size_t steps = num_steps(p, opts.dt);
-  Solution sol;
-  sol.reserve(steps / opts.record_every + 2, p.n);
+  TrajectoryWriter rec(sink, scenario, p.n);
+  SolverStats stats;
 
   std::vector<double> y = p.y0;
   std::vector<double> f(p.n);
   double t = p.t0;
-  sol.append(t, y);
+  rec.append(t, y);
   for (std::size_t k = 0; k < steps; ++k) {
     const double h = std::min(opts.dt, p.tend - t);
     p.rhs(t, y, f);
-    ++sol.stats.rhs_calls;
+    ++stats.rhs_calls;
     for (std::size_t i = 0; i < p.n; ++i) {
       y[i] += h * f[i];
     }
     t += h;
-    ++sol.stats.steps;
+    ++stats.steps;
     check_finite(y, "explicit_euler", t);
     if (k % opts.record_every == opts.record_every - 1 || k + 1 == steps) {
-      sol.append(t, y);
+      rec.append(t, y);
     }
   }
-  publish_solver_stats(sol.stats);
-  return sol;
+  publish_solver_stats(stats);
+  rec.finish(stats);
+  return stats;
 }
 
-Solution rk4(const Problem& p, const FixedStepOptions& opts) {
+Solution explicit_euler(const Problem& p, const FixedStepOptions& opts) {
+  SolutionSink sink;
+  explicit_euler(p, opts, sink);
+  return sink.take();
+}
+
+SolverStats rk4(const Problem& p, const FixedStepOptions& opts,
+                TrajectorySink& sink, std::uint32_t scenario) {
   p.validate();
   obs::Span solve_span("rk4", "ode");
   const std::size_t steps = num_steps(p, opts.dt);
-  Solution sol;
-  sol.reserve(steps / opts.record_every + 2, p.n);
+  TrajectoryWriter rec(sink, scenario, p.n);
+  SolverStats stats;
 
   std::vector<double> y = p.y0;
   std::vector<double> k1(p.n), k2(p.n), k3(p.n), k4(p.n), tmp(p.n);
   double t = p.t0;
-  sol.append(t, y);
+  rec.append(t, y);
   for (std::size_t k = 0; k < steps; ++k) {
     const double h = std::min(opts.dt, p.tend - t);
     p.rhs(t, y, k1);
@@ -85,19 +94,26 @@ Solution rk4(const Problem& p, const FixedStepOptions& opts) {
       tmp[i] = y[i] + h * k3[i];
     }
     p.rhs(t + h, tmp, k4);
-    sol.stats.rhs_calls += 4;
+    stats.rhs_calls += 4;
     for (std::size_t i = 0; i < p.n; ++i) {
       y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
     }
     t += h;
-    ++sol.stats.steps;
+    ++stats.steps;
     check_finite(y, "rk4", t);
     if (k % opts.record_every == opts.record_every - 1 || k + 1 == steps) {
-      sol.append(t, y);
+      rec.append(t, y);
     }
   }
-  publish_solver_stats(sol.stats);
-  return sol;
+  publish_solver_stats(stats);
+  rec.finish(stats);
+  return stats;
+}
+
+Solution rk4(const Problem& p, const FixedStepOptions& opts) {
+  SolutionSink sink;
+  rk4(p, opts, sink);
+  return sink.take();
 }
 
 }  // namespace detail

@@ -5,7 +5,7 @@
 // like §4).
 #pragma once
 
-#include "omx/ode/problem.hpp"
+#include "omx/ode/sink.hpp"
 
 namespace omx::ode {
 
@@ -17,19 +17,15 @@ struct FixedStepOptions {
 };
 
 namespace detail {
+/// Streaming cores: accepted steps flow to `sink` under scenario id
+/// `scenario`; the returned statistics are also delivered via finish().
+SolverStats explicit_euler(const Problem& p, const FixedStepOptions& opts,
+                           TrajectorySink& sink, std::uint32_t scenario = 0);
+SolverStats rk4(const Problem& p, const FixedStepOptions& opts,
+                TrajectorySink& sink, std::uint32_t scenario = 0);
+/// Compatibility wrappers: collect the stream into a Solution.
 Solution explicit_euler(const Problem& p, const FixedStepOptions& opts);
 Solution rk4(const Problem& p, const FixedStepOptions& opts);
 }  // namespace detail
-
-[[deprecated("use ode::solve(p, Method::kExplicitEuler, opts)")]]
-inline Solution explicit_euler(const Problem& p,
-                               const FixedStepOptions& opts) {
-  return detail::explicit_euler(p, opts);
-}
-
-[[deprecated("use ode::solve(p, Method::kRk4, opts)")]]
-inline Solution rk4(const Problem& p, const FixedStepOptions& opts) {
-  return detail::rk4(p, opts);
-}
 
 }  // namespace omx::ode

@@ -38,8 +38,10 @@ void Problem::validate() const {
   if (y0.size() != n) {
     throw omx::Error("ODE problem: y0 size does not match n");
   }
-  if (!(tend > t0)) {
-    throw omx::Error("ODE problem: tend must be greater than t0");
+  // tend == t0 is a valid zero-step solve: the initial row streams to
+  // the sink and finish() fires with zero steps taken.
+  if (!(tend >= t0)) {
+    throw omx::Error("ODE problem: tend must not precede t0");
   }
   if (rhs_arity != 0 && rhs_arity != n) {
     throw omx::Error("ODE problem: bound kernel arity (" +

@@ -1,0 +1,102 @@
+#include "omx/ode/sink.hpp"
+
+namespace omx::ode {
+
+void TrajectoryChunk::reset(std::uint32_t scenario_id, std::size_t width,
+                            std::size_t rows) {
+  scenario = scenario_id;
+  n = width;
+  capacity = rows;
+  size = 0;
+  final = false;
+  if (times.size() < rows) {
+    times.resize(rows);
+  }
+  if (states.size() < rows * width) {
+    states.resize(rows * width);
+  }
+}
+
+namespace detail {
+
+TrajectoryChunk* ChunkPool::get(std::uint32_t scenario, std::size_t n) {
+  TrajectoryChunk* c = nullptr;
+  if (!free_.empty()) {
+    c = free_.back();
+    free_.pop_back();
+  } else {
+    all_.push_back(std::make_unique<TrajectoryChunk>());
+    c = all_.back().get();
+  }
+  c->reset(scenario, n, rows_);
+  return c;
+}
+
+}  // namespace detail
+
+// ----------------------------------------------------------- SolutionSink
+
+TrajectoryChunk* SolutionSink::acquire(std::uint32_t scenario,
+                                       std::size_t n) {
+  return pool_.get(scenario, n);
+}
+
+void SolutionSink::commit(TrajectoryChunk* chunk) {
+  for (std::size_t i = 0; i < chunk->size; ++i) {
+    sol_.append(chunk->times[i], chunk->row_view(i));
+  }
+  pool_.put(chunk);
+}
+
+void SolutionSink::finish(std::uint32_t /*scenario*/,
+                          const SolverStats& stats) {
+  sol_.stats = stats;
+}
+
+// ---------------------------------------------------- EnsembleCollectSink
+
+TrajectoryChunk* EnsembleCollectSink::acquire(std::uint32_t scenario,
+                                              std::size_t n) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return pool_.get(scenario, n);
+}
+
+void EnsembleCollectSink::commit(TrajectoryChunk* chunk) {
+  // One writer per scenario: the target Solution needs no lock.
+  Solution& sol = solutions_[chunk->scenario];
+  for (std::size_t i = 0; i < chunk->size; ++i) {
+    sol.append(chunk->times[i], chunk->row_view(i));
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  pool_.put(chunk);
+}
+
+void EnsembleCollectSink::finish(std::uint32_t scenario,
+                                 const SolverStats& stats) {
+  solutions_[scenario].stats = stats;
+}
+
+// --------------------------------------------------------- StatsOnlySink
+
+TrajectoryChunk* StatsOnlySink::acquire(std::uint32_t scenario,
+                                        std::size_t n) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return pool_.get(scenario, n);
+}
+
+void StatsOnlySink::commit(TrajectoryChunk* chunk) {
+  if (chunk->size > 0) {
+    Final& f = finals_[chunk->scenario];
+    f.t = chunk->times[chunk->size - 1];
+    const std::span<const double> last = chunk->row_view(chunk->size - 1);
+    f.y.assign(last.begin(), last.end());
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  pool_.put(chunk);
+}
+
+void StatsOnlySink::finish(std::uint32_t scenario, const SolverStats& stats) {
+  stats_[scenario] = stats;
+}
+
+}  // namespace omx::ode

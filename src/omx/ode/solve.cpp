@@ -8,15 +8,16 @@
 
 namespace omx::ode {
 
-Solution solve(const Problem& p, Method method, const SolverOptions& o) {
+SolverStats solve(const Problem& p, Method method, const SolverOptions& o,
+                  TrajectorySink& sink, std::uint32_t scenario) {
   switch (method) {
     case Method::kExplicitEuler: {
       FixedStepOptions fo{o.dt, o.record_every};
-      return detail::explicit_euler(p, fo);
+      return detail::explicit_euler(p, fo, sink, scenario);
     }
     case Method::kRk4: {
       FixedStepOptions fo{o.dt, o.record_every};
-      return detail::rk4(p, fo);
+      return detail::rk4(p, fo, sink, scenario);
     }
     case Method::kDopri5: {
       Dopri5Options d;
@@ -25,7 +26,7 @@ Solution solve(const Problem& p, Method method, const SolverOptions& o) {
       d.hmax = o.hmax;
       d.max_steps = o.max_steps;
       d.record_every = o.record_every;
-      return detail::dopri5(p, d);
+      return detail::dopri5(p, d, sink, scenario);
     }
     case Method::kAdamsPece: {
       AdamsOptions a;
@@ -34,7 +35,7 @@ Solution solve(const Problem& p, Method method, const SolverOptions& o) {
       a.hmax = o.hmax;
       a.max_steps = o.max_steps;
       a.record_every = o.record_every;
-      return detail::adams_pece(p, a);
+      return detail::adams_pece(p, a, sink, scenario);
     }
     case Method::kBdf: {
       BdfOptions b;
@@ -47,7 +48,7 @@ Solution solve(const Problem& p, Method method, const SolverOptions& o) {
       b.record_every = o.record_every;
       b.fixed_h = o.bdf_fixed_h;
       b.jac_threads = o.jac_threads;
-      return detail::bdf(p, b);
+      return detail::bdf(p, b, sink, scenario);
     }
     case Method::kLsodaLike: {
       AutoSwitchOptions s;
@@ -55,10 +56,16 @@ Solution solve(const Problem& p, Method method, const SolverOptions& o) {
       s.bdf_max_order = o.bdf_max_order;
       s.max_steps = o.max_steps;
       s.record_every = o.record_every;
-      return auto_switch(p, s).solution;
+      return auto_switch(p, s, sink, scenario).stats;
     }
   }
   throw omx::Bug("unknown ode::Method");
+}
+
+Solution solve(const Problem& p, Method method, const SolverOptions& o) {
+  SolutionSink sink;
+  solve(p, method, o, sink);
+  return sink.take();
 }
 
 }  // namespace omx::ode

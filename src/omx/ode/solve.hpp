@@ -1,14 +1,18 @@
 // The single solver entry point.
 //
-// ode::solve(problem, method, options) replaces the historical
-// per-driver free functions (explicit_euler, rk4, dopri5, adams_pece,
-// bdf, lsoda_like), which survive as deprecated thin wrappers. One
+// ode::solve(problem, method, options) is the only public way to run a
+// solver (the historical per-driver free functions are gone). One
 // options struct covers every method; fields a method does not use are
 // ignored (dt drives only the fixed-step methods, bdf_* only the stiff
 // ones, and so on).
+//
+// Two forms: the Solution-returning overload materializes the full
+// trajectory (internally a SolutionSink), and the TrajectorySink
+// overload streams accepted steps to the caller in recycled chunks
+// without building a trajectory at all — see ode/sink.hpp.
 #pragma once
 
-#include "omx/ode/problem.hpp"
+#include "omx/ode/sink.hpp"
 
 namespace omx::ode {
 
@@ -62,5 +66,11 @@ struct SolverOptions {
 /// event record of kLsodaLike use ode::auto_switch directly.
 Solution solve(const Problem& p, Method method,
                const SolverOptions& opts = {});
+
+/// Streaming form: accepted steps flow to `sink` (chunked, zero-copy;
+/// see ode/sink.hpp) tagged with `scenario`, and no Solution is built.
+/// Returns the solver statistics, which finish() also delivered.
+SolverStats solve(const Problem& p, Method method, const SolverOptions& opts,
+                  TrajectorySink& sink, std::uint32_t scenario = 0);
 
 }  // namespace omx::ode

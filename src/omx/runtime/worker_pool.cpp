@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "omx/obs/trace.hpp"
+#include "omx/support/config.hpp"
 #include "omx/support/timer.hpp"
 
 namespace omx::runtime {
@@ -18,20 +19,11 @@ constexpr std::size_t kHeaderBytes = 16;
 }  // namespace
 
 bool WorkerPool::stealing_env_default() {
-  const char* v = std::getenv("OMX_POOL_STEALING");
-  if (v == nullptr) {
-    return false;
-  }
-  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "false") == 0 ||
-           std::strcmp(v, "off") == 0);
+  return config::get_bool("OMX_POOL_STEALING", false);
 }
 
 double WorkerPool::sample_hz_env_default() {
-  const char* v = std::getenv("OMX_OBS_SAMPLE_HZ");
-  if (v == nullptr) {
-    return 0.0;
-  }
-  const double hz = std::atof(v);
+  const double hz = config::get_double("OMX_OBS_SAMPLE_HZ", 0.0);
   return hz > 0.0 ? hz : 0.0;
 }
 

@@ -1,0 +1,125 @@
+#include "omx/support/config.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <string_view>
+
+#include "omx/support/diagnostics.hpp"
+
+namespace omx::config {
+
+namespace {
+
+// One row per knob. Adding an env read anywhere in the tree means adding
+// a row here — the getters refuse undeclared names.
+const std::vector<Knob>& table() {
+  static const std::vector<Knob> t = {
+      {"OMX_OBS_ENABLED", "bool", "true",
+       "metrics registry on/off (counters, gauges, histograms)"},
+      {"OMX_OBS_TRACE", "bool", "false",
+       "start the global trace buffer at process start"},
+      {"OMX_OBS_SAMPLE_HZ", "double", "0",
+       "worker-pool utilization sampler rate (0 = off)"},
+      {"OMX_OBS_RECORDER", "bool", "false",
+       "arm the solver flight recorder at process start"},
+      {"OMX_OBS_RECORDER_CAP", "int", "65536",
+       "flight-recorder per-thread ring capacity (events)"},
+      {"OMX_POOL_STEALING", "bool", "false",
+       "default for WorkerPool intra-call work stealing"},
+      {"OMX_NATIVE_CXX", "string", "auto-detect",
+       "host C++ compiler for the native backend"},
+      {"OMX_NATIVE_CACHE_DIR", "string", "<tmp>/omx-native-cache",
+       "shared-object cache directory for compiled kernels"},
+      {"OMX_NATIVE_DISABLE", "bool", "false",
+       "force the interpreter fallback (skip native compilation)"},
+      {"OMX_NATIVE_MARCH", "string", "native",
+       "-march= value for native kernels (off/none disables; probed, "
+       "falls back to the baseline ISA if unsupported)"},
+      {"OMX_NATIVE_VECWIDTH", "string", "512",
+       "-mprefer-vector-width= for native kernels (off/none disables; "
+       "probed; lanes are value-identical at any width)"},
+      {"OMX_SPARSE_FORCE", "bool", "false",
+       "force the sparse stiff backend regardless of fill ratio"},
+      {"OMX_SPARSE_DISABLE", "bool", "false",
+       "force the dense stiff backend regardless of fill ratio"},
+      {"OMX_SPARSE_ORDERING", "string", "natural",
+       "sparse LU ordering: natural (bitwise == dense) or rcm"},
+      {"OMX_UPDATE_GOLDEN", "bool", "false",
+       "tests only: rewrite the golden codegen snapshots instead of "
+       "comparing"},
+  };
+  return t;
+}
+
+const Knob& lookup(const char* name) {
+  for (const Knob& k : table()) {
+    if (std::string_view(k.name) == name) {
+      return k;
+    }
+  }
+  const std::string err = std::string("undeclared config knob: ") + name +
+                          " (add it to omx/support/config.cpp)";
+  OMX_REQUIRE(false, err.c_str());
+}
+
+const char* raw(const char* name) {
+  lookup(name);  // undeclared names are a programming error
+  const char* v = std::getenv(name);
+  return (v != nullptr && v[0] != '\0') ? v : nullptr;
+}
+
+}  // namespace
+
+const std::vector<Knob>& knobs() { return table(); }
+
+bool is_set(const char* name) { return raw(name) != nullptr; }
+
+bool get_bool(const char* name, bool def) {
+  const char* v = raw(name);
+  if (v == nullptr) {
+    return def;
+  }
+  const std::string_view s(v);
+  return !(s == "0" || s == "false" || s == "off" || s == "no");
+}
+
+long get_int(const char* name, long def) {
+  const char* v = raw(name);
+  if (v == nullptr) {
+    return def;
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return (end == v) ? def : parsed;
+}
+
+double get_double(const char* name, double def) {
+  const char* v = raw(name);
+  if (v == nullptr) {
+    return def;
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end == v) ? def : parsed;
+}
+
+std::string get_string(const char* name, const std::string& def) {
+  const char* v = raw(name);
+  return v == nullptr ? def : std::string(v);
+}
+
+std::string describe() {
+  std::ostringstream os;
+  os << "OMX environment knobs (set in the environment; empty = unset):\n";
+  for (const Knob& k : table()) {
+    os << "  " << k.name << " (" << k.type << ", default " << k.default_text
+       << ")\n      " << k.help << "\n";
+    const char* v = std::getenv(k.name);
+    if (v != nullptr) {
+      os << "      currently: \"" << v << "\"\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace omx::config

@@ -31,11 +31,13 @@ void BatchWorkspace::load_state(const Program& p, std::size_t nb,
   for (std::uint32_t i = 0; i < p.n_state; ++i) {
     const double* src = y_soa + static_cast<std::size_t>(i) * nb;
     double* dst = r + static_cast<std::size_t>(i) * nb;
+    OMX_PRAGMA_SIMD
     for (std::size_t j = 0; j < nb; ++j) {
       dst[j] = src[j];
     }
   }
   double* trow = r + static_cast<std::size_t>(p.t_reg()) * nb;
+  OMX_PRAGMA_SIMD
   for (std::size_t j = 0; j < nb; ++j) {
     trow[j] = t[j];
   }
@@ -52,7 +54,14 @@ template <typename NbT>
 void run_code(const Program& p, const TaskCode& tc, double* r, NbT nbv) {
   const std::size_t nb = nbv;
   // One contiguous lane loop per instruction: dst/a/b rows are disjoint
-  // or identical whole rows, so every loop body is a pure elementwise op.
+  // or identical whole rows, so every loop body is a pure elementwise op
+  // and OMX_PRAGMA_SIMD is safe (packing lanes into vectors never
+  // reorders per-lane arithmetic). The kPow/kFunc1/kFunc2 lanes stay
+  // scalar on purpose: they route through the same libm calls as the
+  // scalar interpreter, which is what keeps interp-batch bitwise equal
+  // to interp-scalar; vectorized transcendentals live in the native
+  // backend's vmath runtime (exec/vmath_functions.h), where scalar and
+  // batched code share one branch-free implementation.
   for (std::uint32_t pc = tc.code_begin; pc < tc.code_end; ++pc) {
     const Instr& ins = p.code[pc];
     double* dst = r + static_cast<std::size_t>(ins.dst) * nb;
@@ -60,15 +69,19 @@ void run_code(const Program& p, const TaskCode& tc, double* r, NbT nbv) {
     const double* b = r + static_cast<std::size_t>(ins.b) * nb;
     switch (ins.op) {
       case OpCode::kAdd:
+        OMX_PRAGMA_SIMD
         for (std::size_t j = 0; j < nb; ++j) dst[j] = a[j] + b[j];
         break;
       case OpCode::kSub:
+        OMX_PRAGMA_SIMD
         for (std::size_t j = 0; j < nb; ++j) dst[j] = a[j] - b[j];
         break;
       case OpCode::kMul:
+        OMX_PRAGMA_SIMD
         for (std::size_t j = 0; j < nb; ++j) dst[j] = a[j] * b[j];
         break;
       case OpCode::kDiv:
+        OMX_PRAGMA_SIMD
         for (std::size_t j = 0; j < nb; ++j) dst[j] = a[j] / b[j];
         break;
       case OpCode::kPow:
@@ -77,6 +90,7 @@ void run_code(const Program& p, const TaskCode& tc, double* r, NbT nbv) {
         }
         break;
       case OpCode::kNeg:
+        OMX_PRAGMA_SIMD
         for (std::size_t j = 0; j < nb; ++j) dst[j] = -a[j];
         break;
       case OpCode::kFunc1: {
@@ -94,6 +108,7 @@ void run_code(const Program& p, const TaskCode& tc, double* r, NbT nbv) {
         break;
       }
       case OpCode::kCopy:
+        OMX_PRAGMA_SIMD
         for (std::size_t j = 0; j < nb; ++j) dst[j] = a[j];
         break;
     }
@@ -136,6 +151,7 @@ void apply_outputs_batch(const Program& p, std::size_t task_index,
   for (const Output& o : tc.outputs) {
     const double* src = regs.data() + static_cast<std::size_t>(o.reg) * nb;
     double* dst = ydot_soa + static_cast<std::size_t>(o.slot) * nb;
+    OMX_PRAGMA_SIMD
     for (std::size_t j = 0; j < nb; ++j) {
       dst[j] += src[j];
     }
@@ -147,6 +163,7 @@ void eval_rhs_batch(const Program& p, std::size_t nb, const double* t,
                     BatchWorkspace& ws) {
   ws.load_state(p, nb, t, y_soa);
   const std::size_t total = static_cast<std::size_t>(p.n_out) * nb;
+  OMX_PRAGMA_SIMD
   for (std::size_t i = 0; i < total; ++i) {
     ydot_soa[i] = 0.0;
   }

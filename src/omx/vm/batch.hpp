@@ -21,6 +21,7 @@
 //   t[j]                  the free variable of lane j
 #pragma once
 
+#include "omx/support/simd.hpp"
 #include "omx/vm/program.hpp"
 
 namespace omx::vm {
@@ -48,7 +49,9 @@ class BatchWorkspace {
  private:
   void resize(const Program& p, std::size_t nb);
 
-  std::vector<double> regs_;  // n_regs rows x nb lanes, SoA
+  // n_regs rows x nb lanes, SoA; 64-byte aligned so full lane blocks
+  // start on a vector-register boundary (simd.hpp alignment contract).
+  simd::aligned_vector<double> regs_;
   std::size_t nb_ = 0;
 };
 

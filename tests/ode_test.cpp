@@ -61,6 +61,8 @@ TEST(ProblemValidate, RejectsBadSetups) {
   EXPECT_THROW(p.validate(), omx::Error);
   p = decay();
   p.tend = p.t0;
+  p.validate();  // zero-step solve is legal (streams one row + finish)
+  p.tend = p.t0 - 1.0;
   EXPECT_THROW(p.validate(), omx::Error);
   p = decay();
   p.rhs = nullptr;
@@ -205,23 +207,21 @@ TEST(Adams, StepperRestartWorks) {
   EXPECT_NEAR(st.y()[0], std::cos(10.0), 1e-4);
 }
 
-// The historical per-driver entry points must keep forwarding to the
-// same implementations ode::solve dispatches to.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(DeprecatedWrappers, ForwardToSolve) {
+// ode::solve is the single public entry point (the historical
+// per-method wrappers are gone); its dispatch must reach the same
+// detail:: driver implementations bit for bit.
+TEST(SolveDispatch, MatchesDetailDrivers) {
   const Problem p = oscillator(5.0);
   FixedStepOptions fo{.dt = 1e-3};
-  const Solution wrapped = rk4(p, fo);
+  const Solution direct = detail::rk4(p, fo);
   const Solution unified = solve(p, Method::kRk4, with_dt(1e-3));
-  EXPECT_DOUBLE_EQ(wrapped.final_state()[0], unified.final_state()[0]);
+  EXPECT_DOUBLE_EQ(direct.final_state()[0], unified.final_state()[0]);
 
   Dopri5Options dopts;
-  const Solution dw = dopri5(p, dopts);
+  const Solution dd = detail::dopri5(p, dopts);
   const Solution du = solve(p, Method::kDopri5, {});
-  EXPECT_DOUBLE_EQ(dw.final_state()[0], du.final_state()[0]);
+  EXPECT_DOUBLE_EQ(dd.final_state()[0], du.final_state()[0]);
 }
-#pragma GCC diagnostic pop
 
 TEST(Solution, InterpolatesLinearly) {
   Solution s;
