@@ -5,10 +5,11 @@
 # trace is being recorded. The default path finishes with the benchmark
 # regression gate (scripts/bench_gate.py against bench/baselines/).
 #
-# Usage: scripts/ci.sh [--sanitize|--tsan|--coverage] [build-dir]
+# Usage: scripts/ci.sh [--sanitize|--tsan|--coverage|--service] [build-dir]
 #   default build-dir: build-ci (build-asan with --sanitize,
 #                                build-tsan with --tsan,
-#                                build-cov with --coverage)
+#                                build-cov with --coverage,
+#                                build-svc with --service)
 # With --sanitize the tree is built with -DOMX_SANITIZE=ON
 # (AddressSanitizer + UndefinedBehaviorSanitizer) and the tier-1 suite
 # runs once under halt-on-error sanitizer settings.
@@ -20,6 +21,12 @@
 # suite runs once, and scripts/coverage_report.py writes a line-coverage
 # summary to <build-dir>/coverage.txt. Report-only: low coverage does not
 # fail the job, only missing coverage data does.
+# With --service the tree is built, a real omxd daemon is booted on an
+# ephemeral port, bench/loadgen drives it (8 clients x 32 bearing jobs
+# over TCP), and the resulting BENCH_service.json is gated with
+# scripts/bench_gate.py --only service. The daemon's shutdown artifacts
+# (metrics + per-session service report) stay in the build dir for the
+# CI upload step.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,11 +36,13 @@ case "${1:-}" in
   --sanitize) MODE=asan; shift ;;
   --tsan)     MODE=tsan; shift ;;
   --coverage) MODE=coverage; shift ;;
+  --service)  MODE=service; shift ;;
 esac
 case "$MODE" in
   asan)     DEFAULT_DIR=build-asan ;;
   tsan)     DEFAULT_DIR=build-tsan ;;
   coverage) DEFAULT_DIR=build-cov ;;
+  service)  DEFAULT_DIR=build-svc ;;
   *)        DEFAULT_DIR=build-ci ;;
 esac
 BUILD_DIR="${1:-$DEFAULT_DIR}"
@@ -53,7 +62,33 @@ case "$MODE" in
     ;;
 esac
 
-cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+# Resolved-configuration header: the first thing every job log shows, so
+# a matrix entry that picked up the wrong compiler or a cold ccache is
+# visible at a glance instead of buried in cmake output.
+echo "== ci config =="
+echo "mode:       $MODE"
+echo "build dir:  $BUILD_DIR"
+echo "compiler:   ${CXX:-<default>} ($({ ${CXX:-c++} --version 2>/dev/null || echo 'not found'; } | head -n1))"
+case "$MODE" in
+  asan) echo "sanitizer:  address+undefined" ;;
+  tsan) echo "sanitizer:  thread" ;;
+  *)    echo "sanitizer:  none" ;;
+esac
+if command -v ccache >/dev/null 2>&1; then
+  echo "ccache:     $(ccache -s 2>/dev/null | grep -iE 'hit rate|hits' | head -n1 | sed 's/^ *//' || echo 'stats unavailable')"
+else
+  echo "ccache:     not installed"
+fi
+
+# Fail fast with an actionable message when configure dies (missing
+# compiler, broken toolchain probe) instead of letting the build step
+# fail later with a confusing "no such file" on the build dir.
+if ! cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"; then
+  echo "ci: cmake configure failed for mode=$MODE in $BUILD_DIR." >&2
+  echo "ci: check the compiler probe above — CXX=${CXX:-<default>};" >&2
+  echo "ci: see $BUILD_DIR/CMakeFiles/CMakeError.log for the probe log." >&2
+  exit 1
+fi
 cmake --build "$BUILD_DIR" -j
 
 if [[ $MODE == asan ]]; then
@@ -71,9 +106,11 @@ if [[ $MODE == tsan ]]; then
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
   echo "== runtime stress (TSan + stealing + tracing forced on) =="
+  # Svc covers the service daemon suite, including the 8-thread
+  # concurrent SUBMIT/CANCEL stress against a live in-process server.
   OMX_POOL_STEALING=1 OMX_OBS_ENABLED=1 OMX_OBS_TRACE=1 \
     ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
-      -R 'RuntimeStress|WorkerPool|ParallelRhs|ParallelColoredFd'
+      -R 'RuntimeStress|WorkerPool|ParallelRhs|ParallelColoredFd|Svc'
   echo "CI OK (TSan)"
   exit 0
 fi
@@ -86,6 +123,53 @@ if [[ $MODE == coverage ]]; then
   python3 scripts/coverage_report.py "$BUILD_DIR" \
     --out "$BUILD_DIR"/coverage.txt
   echo "CI OK (coverage)"
+  exit 0
+fi
+
+if [[ $MODE == service ]]; then
+  echo "== service: boot omxd on an ephemeral port =="
+  OMXD_LOG="$BUILD_DIR/omxd.log"
+  "$BUILD_DIR"/src/omxd --port 0 --executors 2 --queue-cap 8 \
+    --metrics "$BUILD_DIR"/svc_metrics.json \
+    --service-json "$BUILD_DIR"/svc_service.json \
+    >"$OMXD_LOG" 2>&1 &
+  OMXD_PID=$!
+  trap 'kill "$OMXD_PID" 2>/dev/null || true' EXIT
+  PORT=""
+  for _ in $(seq 1 50); do
+    PORT="$(sed -n 's/^omxd listening on \([0-9]*\)$/\1/p' "$OMXD_LOG")"
+    [[ -n $PORT ]] && break
+    kill -0 "$OMXD_PID" 2>/dev/null || { cat "$OMXD_LOG" >&2; exit 1; }
+    sleep 0.1
+  done
+  if [[ -z $PORT ]]; then
+    echo "ci: omxd never reported its port; log follows" >&2
+    cat "$OMXD_LOG" >&2
+    exit 1
+  fi
+  echo "omxd pid $OMXD_PID port $PORT"
+
+  echo "== service: loadgen smoke (8 clients x 32 bearing jobs) =="
+  (cd "$BUILD_DIR" && ./bench/loadgen --connect 127.0.0.1:"$PORT" \
+    --clients 8 --scenarios 32)
+  test -s "$BUILD_DIR"/BENCH_service.json
+
+  echo "== service: graceful daemon shutdown writes artifacts =="
+  kill -TERM "$OMXD_PID"
+  wait "$OMXD_PID"
+  trap - EXIT
+  cat "$OMXD_LOG"
+  test -s "$BUILD_DIR"/svc_metrics.json
+  test -s "$BUILD_DIR"/svc_service.json
+
+  echo "== service: per-session report =="
+  python3 scripts/obs_report.py --service "$BUILD_DIR"/svc_service.json \
+    | tee "$BUILD_DIR"/svc_report.txt
+  test -s "$BUILD_DIR"/svc_report.txt
+
+  echo "== service: bench gate =="
+  python3 scripts/bench_gate.py --current "$BUILD_DIR" --only service
+  echo "CI OK (service)"
   exit 0
 fi
 

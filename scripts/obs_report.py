@@ -11,10 +11,14 @@ omx binary using the obs exporters) writes:
 * --recorder recorder.json (obs::recorder_json) -> flight-recorder
   summary (event counts by kind, rejection rate, Jacobian reuse rate)
   and an ASCII step-size/order timeline of the solver run.
+* --service service.json   (svc::Server::service_json, written by omxd
+  on shutdown) -> daemon summary (sessions, rejects, cancellations),
+  a per-session table, and an ASCII queue-depth timeline.
 
 Stdlib only. Exit status: 0 on success, 2 when no input could be read.
 
 Usage: scripts/obs_report.py [--profile P] [--metrics M] [--recorder R]
+                             [--service S]
                              [--timeline-width 72] [--timeline-rows 12]
 """
 
@@ -161,12 +165,75 @@ def render_recorder(rec, width, rows):
     render_timeline(events, width, rows)
 
 
+def render_queue_timeline(timeline, width):
+    """ASCII sparkline of queued-job depth over daemon uptime. The
+    timeline is [[t_seconds, depth], ...] sampled by the event loop;
+    each column shows the max depth seen in its time slice."""
+    if len(timeline) < 2:
+        print("  (no queue depth samples)")
+        return
+    t0, t1 = timeline[0][0], timeline[-1][0]
+    if t1 <= t0:
+        print("  (degenerate time range)")
+        return
+    cols = [0] * width
+    for t, depth in timeline:
+        c = min(width - 1, int((t - t0) / (t1 - t0) * width))
+        cols[c] = max(cols[c], int(depth))
+    peak = max(cols)
+    glyphs = " .:-=+*#%@"
+    line = "".join(
+        glyphs[min(len(glyphs) - 1,
+                   (d * (len(glyphs) - 1) + peak - 1) // peak if peak else 0)]
+        for d in cols)
+    print(f"  depth 0..{peak} |{line}|")
+    print(f"  {'':>11} t = {t0:.2f}s .. {t1:.2f}s "
+          f"({len(timeline)} samples)")
+
+
+def render_service(svc, width):
+    summary = svc.get("summary", {})
+    print("== service summary ==")
+    for key in ("sessions", "jobs_submitted", "jobs_done",
+                "jobs_cancelled", "rejects", "frames", "bytes_sent"):
+        print(f"  {key:<16} {summary.get(key, 0)}")
+    submitted = summary.get("jobs_submitted", 0)
+    if submitted:
+        rejects = summary.get("rejects", 0)
+        cancelled = summary.get("jobs_cancelled", 0)
+        print(f"  reject rate:     "
+              f"{100.0 * rejects / (submitted + rejects):.1f}%")
+        print(f"  cancel rate:     {100.0 * cancelled / submitted:.1f}%")
+
+    sessions = svc.get("sessions", [])
+    if sessions:
+        print("== sessions ==")
+        print(f"  {'session':>7} {'open':>5} {'dur_s':>8} {'submit':>7} "
+              f"{'done':>6} {'cancel':>7} {'reject':>7} {'frames':>7} "
+              f"{'bytes':>10}")
+        for s in sessions:
+            print(f"  {s.get('session', 0):>7} "
+                  f"{'yes' if s.get('open') else 'no':>5} "
+                  f"{s.get('duration_s', 0.0):>8.2f} "
+                  f"{s.get('jobs_submitted', 0):>7} "
+                  f"{s.get('jobs_done', 0):>6} "
+                  f"{s.get('jobs_cancelled', 0):>7} "
+                  f"{s.get('rejects', 0):>7} "
+                  f"{s.get('frames', 0):>7} "
+                  f"{s.get('bytes_sent', 0):>10}")
+
+    print("== queue depth timeline ==")
+    render_queue_timeline(svc.get("queue_depth_timeline", []), width)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--profile", help="profile.json from obs::profile_json")
     ap.add_argument("--metrics", help="metrics.json from obs::metrics_json")
     ap.add_argument("--recorder",
                     help="recorder.json from obs::recorder_json")
+    ap.add_argument("--service",
+                    help="service.json written by omxd on shutdown")
     ap.add_argument("--timeline-width", type=int, default=72)
     ap.add_argument("--timeline-rows", type=int, default=12)
     args = ap.parse_args()
@@ -174,9 +241,11 @@ def main():
     prof = load(args.profile, "profile")
     metrics = load(args.metrics, "metrics")
     rec = load(args.recorder, "recorder")
-    if prof is None and metrics is None and rec is None:
+    svc = load(args.service, "service")
+    if prof is None and metrics is None and rec is None and svc is None:
         print("obs_report: nothing to report "
-              "(pass --profile/--metrics/--recorder)", file=sys.stderr)
+              "(pass --profile/--metrics/--recorder/--service)",
+              file=sys.stderr)
         return 2
 
     sections = []
@@ -187,6 +256,8 @@ def main():
     if rec is not None:
         sections.append(lambda: render_recorder(
             rec, args.timeline_width, args.timeline_rows))
+    if svc is not None:
+        sections.append(lambda: render_service(svc, args.timeline_width))
     for i, section in enumerate(sections):
         if i:
             print()

@@ -1,6 +1,9 @@
 #include "omx/exec/native.hpp"
 
 #include <dlfcn.h>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdint>
@@ -237,6 +240,39 @@ std::string compose_source(const model::FlatSystem& flat,
   return os.str();
 }
 
+// --------------------------------------------------------- cache locking
+
+/// Advisory inter-process lock on one cache key. Two processes (or two
+/// threads — flock is per open file description) compiling the same
+/// model otherwise race: both run the compiler, and the second rename
+/// clobbers an object the first may already have dlopen'ed. The loser
+/// blocks on the lockfile, then finds the published .so and takes the
+/// cache-hit path. The lockfile itself is left behind (removing it
+/// would race a third waiter locking the same inode).
+class CacheLock {
+ public:
+  explicit CacheLock(const fs::path& lockfile) {
+    fd_ = ::open(lockfile.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ >= 0 && ::flock(fd_, LOCK_EX) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~CacheLock() {
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+  }
+  CacheLock(const CacheLock&) = delete;
+  CacheLock& operator=(const CacheLock&) = delete;
+
+  bool held() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
 // -------------------------------------------------------- loaded module
 
 using SerialEntry = void (*)(double, const double*, double*);
@@ -319,46 +355,60 @@ std::shared_ptr<NativeState> build_module(const std::string& source,
   const fs::path log = dir / ("omx_" + key + ".log");
 
   if (fs::exists(so, ec)) {
+    // Published objects are immutable (rename is the atomic publish
+    // point), so the fast path needs no lock.
     native_cache_hits().add();
   } else {
-    {
-      std::ofstream out(cpp);
-      out << source;
-      if (!out) {
-        why = "cannot write " + cpp.string();
+    // Serialize compilers of the same key across threads AND processes;
+    // whoever loses the race finds the .so published and takes the
+    // cache-hit path on the re-check below.
+    CacheLock lock(dir / ("omx_" + key + ".lock"));
+    if (!lock.held()) {
+      why = "cannot lock cache key " + key + " in " + dir.string();
+      return nullptr;
+    }
+    if (fs::exists(so, ec)) {
+      native_cache_hits().add();
+    } else {
+      {
+        std::ofstream out(cpp);
+        out << source;
+        if (!out) {
+          why = "cannot write " + cpp.string();
+          return nullptr;
+        }
+      }
+      std::string cmd =
+          cxx + " -std=c++17 -O2 -fPIC -shared" + codegen_flags();
+      if (!opts.extra_flags.empty()) {
+        cmd += " " + opts.extra_flags;
+      }
+      const fs::path so_tmp = dir / ("omx_" + key + ".so.tmp");
+      cmd += " -o '" + so_tmp.string() + "' '" + cpp.string() + "' > '" +
+             log.string() + "' 2>&1";
+
+      const auto start = std::chrono::steady_clock::now();
+      const int rc = std::system(cmd.c_str());
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      static obs::Gauge& compile_seconds =
+          obs::Registry::global().gauge("backend.compile_seconds");
+      compile_seconds.set(secs);
+      if (rc != 0) {
+        why = "compile failed (see " + log.string() + ")";
         return nullptr;
       }
+      // Atomic publish so concurrent processes sharing the cache never
+      // dlopen a half-written object.
+      fs::rename(so_tmp, so, ec);
+      if (ec && !fs::exists(so)) {
+        why = "cannot publish " + so.string();
+        return nullptr;
+      }
+      native_compiles().add();
     }
-    std::string cmd =
-        cxx + " -std=c++17 -O2 -fPIC -shared" + codegen_flags();
-    if (!opts.extra_flags.empty()) {
-      cmd += " " + opts.extra_flags;
-    }
-    const fs::path so_tmp = dir / ("omx_" + key + ".so.tmp");
-    cmd += " -o '" + so_tmp.string() + "' '" + cpp.string() + "' > '" +
-           log.string() + "' 2>&1";
-
-    const auto start = std::chrono::steady_clock::now();
-    const int rc = std::system(cmd.c_str());
-    const double secs =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
-    static obs::Gauge& compile_seconds =
-        obs::Registry::global().gauge("backend.compile_seconds");
-    compile_seconds.set(secs);
-    if (rc != 0) {
-      why = "compile failed (see " + log.string() + ")";
-      return nullptr;
-    }
-    // Atomic publish so concurrent processes sharing the cache never
-    // dlopen a half-written object.
-    fs::rename(so_tmp, so, ec);
-    if (ec && !fs::exists(so)) {
-      why = "cannot publish " + so.string();
-      return nullptr;
-    }
-    native_compiles().add();
   }
 
   auto state = std::make_shared<NativeState>();

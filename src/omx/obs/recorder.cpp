@@ -22,6 +22,7 @@ const char* to_string(StepEventKind kind) {
     case StepEventKind::kLanePack: return "lane_pack";
     case StepEventKind::kLaneRefill: return "lane_refill";
     case StepEventKind::kLaneRetire: return "lane_retire";
+    case StepEventKind::kLaneCancel: return "lane_cancel";
   }
   return "unknown";
 }

@@ -37,6 +37,7 @@ enum class StepEventKind : std::uint8_t {
   kLanePack,       // ensemble: scenario seeded into an empty/new batch
   kLaneRefill,     // ensemble: scenario joined a batch mid-flight
   kLaneRetire,     // ensemble: scenario finished and left its batch
+  kLaneCancel,     // ensemble: scenario abandoned by a cancellation flag
 };
 
 /// Stable lowercase identifier ("step_accepted", ...) for exporters.

@@ -246,6 +246,7 @@ SolverStats adams_pece(const Problem& p, const AdamsOptions& opts,
   std::size_t accepted = 0;
   std::size_t attempts = 0;
   while (stepper.t() < p.tend) {
+    poll_cancel(opts.cancel, "adams");
     if (++attempts > opts.max_steps) {
       throw omx::Error("adams: max_steps exceeded");
     }

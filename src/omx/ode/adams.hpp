@@ -17,6 +17,8 @@ struct AdamsOptions {
   double hmax = 0.0;
   std::size_t max_steps = 1000000;
   std::size_t record_every = 1;
+  /// Polled once per step attempt; throws Cancelled when it reads true.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Single-step driver used by the auto-switching solver.

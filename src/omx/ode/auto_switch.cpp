@@ -63,6 +63,7 @@ AutoSwitchRun auto_switch(const Problem& p_in, const AutoSwitchOptions& opts,
       std::size_t sigma_hits = 0;
       std::size_t accepts_total = 0;
       while (stepper.t() < p.tend) {
+        poll_cancel(opts.cancel, "lsoda_like");
         if (++attempts > opts.max_steps) {
           throw omx::Error("lsoda_like: max_steps exceeded");
         }
@@ -117,6 +118,7 @@ AutoSwitchRun auto_switch(const Problem& p_in, const AutoSwitchOptions& opts,
       std::size_t easy_streak = 0;
       bool relaxed = false;
       while (stepper.t() < p.tend) {
+        poll_cancel(opts.cancel, "lsoda_like");
         if (++attempts > opts.max_steps) {
           throw omx::Error("lsoda_like: max_steps exceeded");
         }

@@ -36,6 +36,8 @@ struct AutoSwitchOptions {
   /// Newton converging in <= 2 iterations this many times in a row.
   double nonstiff_h_fraction = 1e-3;
   std::size_t nonstiff_streak = 20;
+  /// Polled once per step attempt; throws Cancelled when it reads true.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 enum class SwitchMethod { kAdams, kBdf };

@@ -320,6 +320,7 @@ SolverStats bdf(const Problem& p, const BdfOptions& opts,
   std::size_t accepted = 0;
   std::size_t attempts = 0;
   while (stepper.t() < p.tend) {
+    poll_cancel(opts.cancel, "bdf");
     if (++attempts > opts.max_steps) {
       throw omx::Error("bdf: max_steps exceeded");
     }

@@ -36,6 +36,8 @@ struct BdfOptions {
   int jac_threads = 1;
   /// Accepted steps a Jacobian may age before a forced re-evaluation.
   std::size_t jac_max_age = 20;
+  /// Polled once per step attempt; throws Cancelled when it reads true.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 class BdfStepper {

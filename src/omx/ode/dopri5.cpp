@@ -65,6 +65,7 @@ SolverStats dopri5(const Problem& p, const Dopri5Options& opts,
   std::size_t recorded = 0;
 
   for (std::size_t step = 0; step < opts.max_steps && t < p.tend; ++step) {
+    poll_cancel(opts.cancel, "dopri5");
     h = std::min(h, p.tend - t);
 
     auto stage = [&](std::span<double> k, double ci,

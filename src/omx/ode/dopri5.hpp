@@ -12,6 +12,8 @@ struct Dopri5Options {
   double hmax = 0.0;       // 0 = tend - t0
   std::size_t max_steps = 1000000;
   std::size_t record_every = 1;
+  /// Polled once per step attempt; throws Cancelled when it reads true.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 namespace detail {

@@ -63,6 +63,12 @@ obs::Counter& jac_plan_reuse_counter() {
   return c;
 }
 
+obs::Counter& lanes_cancelled_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("ensemble.lanes_cancelled");
+  return c;
+}
+
 // ---------------------------------------------------------- batched RHS
 
 /// Uniform batched view over a Problem: dispatches to the bound batched
@@ -171,6 +177,16 @@ struct StepperBase {
     active_gauge().set(
         static_cast<double>(active_count->load(std::memory_order_relaxed)));
   }
+
+  /// A lane dropped by cancellation: its TrajectoryWriter abandons the
+  /// partial chunk (the pool reclaims it) and finish() is never sent.
+  void abandon(std::uint32_t scenario, double t) {
+    obs::record_lane(obs::StepEventKind::kLaneCancel, method_name,
+                     scenario, t);
+    active_count->fetch_sub(1, std::memory_order_relaxed);
+    active_gauge().set(
+        static_cast<double>(active_count->load(std::memory_order_relaxed)));
+  }
 };
 
 /// kExplicitEuler / kRk4. All lanes share dt/t0/tend, so they take the
@@ -211,6 +227,15 @@ class FixedStepper : public StepperBase {
   }
 
   void round() { rk4_ ? round_rk4() : round_euler(); }
+
+  std::size_t abandon_all() {
+    for (const Lane& L : lanes_) {
+      abandon(L.scenario, L.t);
+    }
+    const std::size_t n = lanes_.size();
+    lanes_.clear();
+    return n;
+  }
 
  private:
   struct Lane {
@@ -441,6 +466,15 @@ class Dopri5Stepper : public StepperBase {
       control(L);
     }
     compact();
+  }
+
+  std::size_t abandon_all() {
+    for (const Lane& L : lanes_) {
+      abandon(L.scenario, L.t);
+    }
+    const std::size_t n = lanes_.size();
+    lanes_.clear();
+    return n;
   }
 
  private:
@@ -677,6 +711,12 @@ void run_batched_worker(Stepper& st, WorkSource& ws, std::size_t w,
   std::uint32_t s = 0;
   bool mid_flight = false;  // has this batch taken a round yet?
   for (;;) {
+    if (st.o.cancel != nullptr &&
+        st.o.cancel->load(std::memory_order_relaxed)) {
+      lanes_cancelled_counter().add(st.abandon_all());
+      throw Cancelled(std::string(st.method_name) +
+                      ": ensemble cancelled");
+    }
     while (st.active() < max_batch && ws.next(w, s)) {
       obs::record_lane(mid_flight ? obs::StepEventKind::kLaneRefill
                                   : obs::StepEventKind::kLanePack,
@@ -772,12 +812,21 @@ void solve_ensemble(const Problem& p, Method method,
       } else {
         std::uint32_t s = 0;
         while (ws.next(w, s)) {
+          poll_cancel(opts.cancel, "solve_ensemble");
           occupancy_hist().observe(1.0);
           obs::record_lane(obs::StepEventKind::kLanePack,
                            to_string(method), s, base.t0);
           Stopwatch timer;
-          const SolverStats st = solve_single(
-              base, method, opts, spec.initial_states[s], w, sink, s);
+          SolverStats st;
+          try {
+            st = solve_single(base, method, opts, spec.initial_states[s], w,
+                              sink, s);
+          } catch (const Cancelled&) {
+            obs::record_lane(obs::StepEventKind::kLaneCancel,
+                             to_string(method), s, base.t0);
+            lanes_cancelled_counter().add();
+            throw;
+          }
           total_rhs.fetch_add(st.rhs_calls, std::memory_order_relaxed);
           lane_step_hist().observe(
               timer.seconds() /

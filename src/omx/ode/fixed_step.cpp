@@ -43,6 +43,7 @@ SolverStats explicit_euler(const Problem& p, const FixedStepOptions& opts,
   double t = p.t0;
   rec.append(t, y);
   for (std::size_t k = 0; k < steps; ++k) {
+    poll_cancel(opts.cancel, "explicit_euler");
     const double h = std::min(opts.dt, p.tend - t);
     p.rhs(t, y, f);
     ++stats.rhs_calls;
@@ -80,6 +81,7 @@ SolverStats rk4(const Problem& p, const FixedStepOptions& opts,
   double t = p.t0;
   rec.append(t, y);
   for (std::size_t k = 0; k < steps; ++k) {
+    poll_cancel(opts.cancel, "rk4");
     const double h = std::min(opts.dt, p.tend - t);
     p.rhs(t, y, k1);
     for (std::size_t i = 0; i < p.n; ++i) {

@@ -14,6 +14,8 @@ struct FixedStepOptions {
   /// Record every k-th accepted step (1 = all). The final state is always
   /// recorded.
   std::size_t record_every = 1;
+  /// Polled once per step; throws Cancelled when it reads true.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 namespace detail {

@@ -13,6 +13,7 @@
 // Problem.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -50,6 +51,24 @@ using BatchRhsFn = support::FunctionRef<void(
 /// values aligned with the pattern the matrix was built over).
 using SparseJacFn = support::FunctionRef<void(
     double t, std::span<const double> y, la::CsrMatrix& jac)>;
+
+/// Thrown when a solve is aborted through a cancellation flag
+/// (SolverOptions::cancel). A distinct type so supervising layers — the
+/// ensemble driver, the service daemon — can tell a requested abort from
+/// a numerical failure.
+class Cancelled : public omx::Error {
+ public:
+  explicit Cancelled(std::string message) : Error(std::move(message)) {}
+};
+
+/// Driver-side poll of a cancellation flag: one relaxed load per step
+/// attempt when armed, nothing when `cancel` is null.
+inline void poll_cancel(const std::atomic<bool>* cancel,
+                        const char* method) {
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    throw Cancelled(std::string(method) + ": cancelled");
+  }
+}
 
 struct Problem {
   std::size_t n = 0;

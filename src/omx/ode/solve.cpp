@@ -12,11 +12,11 @@ SolverStats solve(const Problem& p, Method method, const SolverOptions& o,
                   TrajectorySink& sink, std::uint32_t scenario) {
   switch (method) {
     case Method::kExplicitEuler: {
-      FixedStepOptions fo{o.dt, o.record_every};
+      FixedStepOptions fo{o.dt, o.record_every, o.cancel};
       return detail::explicit_euler(p, fo, sink, scenario);
     }
     case Method::kRk4: {
-      FixedStepOptions fo{o.dt, o.record_every};
+      FixedStepOptions fo{o.dt, o.record_every, o.cancel};
       return detail::rk4(p, fo, sink, scenario);
     }
     case Method::kDopri5: {
@@ -26,6 +26,7 @@ SolverStats solve(const Problem& p, Method method, const SolverOptions& o,
       d.hmax = o.hmax;
       d.max_steps = o.max_steps;
       d.record_every = o.record_every;
+      d.cancel = o.cancel;
       return detail::dopri5(p, d, sink, scenario);
     }
     case Method::kAdamsPece: {
@@ -35,6 +36,7 @@ SolverStats solve(const Problem& p, Method method, const SolverOptions& o,
       a.hmax = o.hmax;
       a.max_steps = o.max_steps;
       a.record_every = o.record_every;
+      a.cancel = o.cancel;
       return detail::adams_pece(p, a, sink, scenario);
     }
     case Method::kBdf: {
@@ -48,6 +50,7 @@ SolverStats solve(const Problem& p, Method method, const SolverOptions& o,
       b.record_every = o.record_every;
       b.fixed_h = o.bdf_fixed_h;
       b.jac_threads = o.jac_threads;
+      b.cancel = o.cancel;
       return detail::bdf(p, b, sink, scenario);
     }
     case Method::kLsodaLike: {
@@ -56,6 +59,7 @@ SolverStats solve(const Problem& p, Method method, const SolverOptions& o,
       s.bdf_max_order = o.bdf_max_order;
       s.max_steps = o.max_steps;
       s.record_every = o.record_every;
+      s.cancel = o.cancel;
       return auto_switch(p, s, sink, scenario).stats;
     }
   }

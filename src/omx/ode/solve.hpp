@@ -59,6 +59,12 @@ struct SolverOptions {
   /// Jacobian (effective only with a bound batch_rhs; the plain RhsFn
   /// carries no thread-safety guarantee).
   int jac_threads = 1;
+  /// Cooperative cancellation: when non-null, every driver polls the flag
+  /// once per step attempt (and solve_ensemble once per batch round) and
+  /// throws Cancelled when it reads true. The flag object must outlive
+  /// the solve; the service daemon flips it on client CANCEL or
+  /// disconnect to abort in-flight work.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Integrates `p` with the chosen method. Statistics are on the returned

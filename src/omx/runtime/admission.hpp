@@ -1,0 +1,80 @@
+// Admission control for the service daemon (svc/server.hpp): a small
+// counting gate that decides, per submitted job, whether it runs now,
+// waits in the bounded queue, or is rejected with a retry hint.
+//
+// The policy is deliberately simple and lossless-first: up to
+// `max_active` jobs execute concurrently (one ensemble solve each, so
+// this bounds solver threads at max_active * job workers); up to
+// `queue_cap` more wait FIFO; beyond that the daemon answers RETRY_AFTER
+// instead of accepting unbounded work — backpressure reaches the client
+// as a protocol message, not as a growing queue and an eventual OOM.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+
+namespace omx::runtime {
+
+enum class Admission {
+  kRun,     // an executor slot is free; start immediately
+  kQueue,   // all slots busy; job accepted into the bounded queue
+  kReject,  // queue full; client should retry after a backoff
+};
+
+class AdmissionGate {
+ public:
+  AdmissionGate(std::size_t max_active, std::size_t queue_cap)
+      : max_active_(max_active), queue_cap_(queue_cap) {}
+
+  /// Decides the fate of one incoming job and reserves its slot (kRun
+  /// bumps active, kQueue bumps queued). kReject reserves nothing.
+  Admission admit() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (active_ < max_active_) {
+      ++active_;
+      return Admission::kRun;
+    }
+    if (queued_ < queue_cap_) {
+      ++queued_;
+      return Admission::kQueue;
+    }
+    return Admission::kReject;
+  }
+
+  /// A queued job was promoted to an executor slot.
+  void on_start() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    --queued_;
+    ++active_;
+  }
+
+  /// A running job finished (successfully, with an error, or cancelled).
+  void on_finish() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    --active_;
+  }
+
+  /// A queued job was abandoned before it ever started (client gone).
+  void on_abandon() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    --queued_;
+  }
+
+  std::size_t active() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return active_;
+  }
+  std::size_t queued() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return queued_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t max_active_;
+  std::size_t queue_cap_;
+  std::size_t active_ = 0;
+  std::size_t queued_ = 0;
+};
+
+}  // namespace omx::runtime

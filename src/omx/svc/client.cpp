@@ -1,0 +1,280 @@
+#include "omx/svc/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "omx/obs/export.hpp"
+#include "omx/support/json.hpp"
+
+namespace omx::svc {
+
+namespace {
+
+bool is_async(MsgType t) {
+  return t == MsgType::kFrame || t == MsgType::kDone;
+}
+
+}  // namespace
+
+void Client::connect(const std::string& host, std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  OMX_REQUIRE(fd_ >= 0, "svc client: cannot create socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw omx::Error("svc client: invalid address " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string why = std::strerror(errno);
+    close();
+    throw omx::Error("svc client: cannot connect " + host + ":" +
+                     std::to_string(port) + " (" + why + ")");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  reader_ = FrameReader();
+  pending_.clear();
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Message Client::read_message(int timeout_ms) {
+  OMX_REQUIRE(fd_ >= 0, "svc client: not connected");
+  char buf[64 * 1024];
+  for (;;) {
+    Message m;
+    if (reader_.next(m)) {
+      return m;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int nready = ::poll(&pfd, 1, timeout_ms);
+    if (nready == 0) {
+      throw omx::Error("svc client: timeout waiting for server");
+    }
+    const ssize_t got = ::recv(fd_, buf, sizeof(buf), 0);
+    if (got <= 0) {
+      throw omx::Error("svc client: connection closed by server");
+    }
+    reader_.feed(buf, static_cast<std::size_t>(got));
+  }
+}
+
+Message Client::request(const Message& m) {
+  OMX_REQUIRE(fd_ >= 0, "svc client: not connected");
+  const std::string bytes = encode(m);
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t put = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                               MSG_NOSIGNAL);
+    if (put <= 0) {
+      throw omx::Error("svc client: connection closed while sending");
+    }
+    off += static_cast<std::size_t>(put);
+  }
+  // The response to a request is the next NON-async message; FRAME/DONE
+  // of running jobs may interleave and are queued for next_event().
+  for (;;) {
+    Message r = read_message(-1);
+    if (is_async(r.type)) {
+      pending_.push_back(to_event(r));
+      continue;
+    }
+    return r;
+  }
+}
+
+Event Client::to_event(const Message& m) {
+  const support::json::Value v = support::json::parse(m.json);
+  Event ev;
+  ev.job = static_cast<std::uint64_t>(v.get_number("job", 0.0));
+  if (m.type == MsgType::kFrame) {
+    ev.kind = Event::Kind::kFrame;
+    ev.scenario =
+        static_cast<std::uint32_t>(v.get_number("scenario", 0.0));
+    ev.rows = static_cast<std::size_t>(v.get_number("rows", 0.0));
+    ev.n = static_cast<std::size_t>(v.get_number("n", 0.0));
+    ev.final_chunk = v.get_bool("final", false);
+    ev.times.resize(ev.rows);
+    ev.states.resize(ev.rows * ev.n);
+    read_f64(m.binary, 0, ev.times.data(), ev.rows);
+    read_f64(m.binary, ev.rows * 8, ev.states.data(), ev.rows * ev.n);
+  } else {
+    ev.kind = Event::Kind::kDone;
+    ev.cancelled = v.get_bool("cancelled", false);
+    ev.frames = static_cast<std::uint64_t>(v.get_number("frames", 0.0));
+    ev.error = v.get_string("error", "");
+    if (const support::json::Value* rows = v.find("rows")) {
+      for (const support::json::Value& r : rows->array) {
+        ev.row_counts.push_back(static_cast<std::uint64_t>(r.number));
+      }
+    }
+  }
+  return ev;
+}
+
+bool Client::next_event(Event& ev, int timeout_ms) {
+  if (!pending_.empty()) {
+    ev = std::move(pending_.front());
+    pending_.erase(pending_.begin());
+    return true;
+  }
+  try {
+    Message m = read_message(timeout_ms);
+    while (!is_async(m.type)) {
+      // Stray response with no request in flight: protocol violation.
+      throw omx::Error(std::string("svc client: unexpected ") +
+                       to_string(m.type));
+    }
+    ev = to_event(m);
+    return true;
+  } catch (const omx::Error& e) {
+    if (std::string_view(e.what()).find("timeout") !=
+        std::string_view::npos) {
+      return false;
+    }
+    throw;
+  }
+}
+
+ModelInfo Client::compile_builtin(const std::string& name, int rollers) {
+  Message m;
+  m.type = MsgType::kCompile;
+  std::ostringstream js;
+  js << "{\"builtin\": \"" << name << "\"";
+  if (rollers > 0) {
+    js << ", \"rollers\": " << rollers;
+  }
+  js << "}";
+  m.json = js.str();
+  const Message r = request(m);
+  if (r.type != MsgType::kOk) {
+    throw omx::Error("svc client: COMPILE failed: " + r.json);
+  }
+  const support::json::Value v = support::json::parse(r.json);
+  ModelInfo info;
+  info.model = v.get_string("model", "");
+  info.n = static_cast<std::size_t>(v.get_number("n", 0.0));
+  info.backend = v.get_string("backend", "");
+  info.cached = v.get_bool("cached", false);
+  if (const support::json::Value* y0 = v.find("y0")) {
+    for (const support::json::Value& x : y0->array) {
+      info.y0.push_back(x.number);
+    }
+  }
+  return info;
+}
+
+ModelInfo Client::compile_source(const std::string& source) {
+  Message m;
+  m.type = MsgType::kCompile;
+  m.json = "{\"source\": \"" + obs::json_escape(source) + "\"}";
+  const Message r = request(m);
+  if (r.type != MsgType::kOk) {
+    throw omx::Error("svc client: COMPILE failed: " + r.json);
+  }
+  const support::json::Value v = support::json::parse(r.json);
+  ModelInfo info;
+  info.model = v.get_string("model", "");
+  info.n = static_cast<std::size_t>(v.get_number("n", 0.0));
+  info.backend = v.get_string("backend", "");
+  info.cached = v.get_bool("cached", false);
+  if (const support::json::Value* y0 = v.find("y0")) {
+    for (const support::json::Value& x : y0->array) {
+      info.y0.push_back(x.number);
+    }
+  }
+  return info;
+}
+
+SubmitResult Client::submit(const SubmitRequest& req) {
+  Message m;
+  m.type = MsgType::kSubmit;
+  std::ostringstream js;
+  js << "{\"model\": \"" << req.model << "\", \"method\": \"" << req.method
+     << "\", \"t0\": " << req.t0 << ", \"tend\": " << req.tend
+     << ", \"scenarios\": " << req.scenarios
+     << ", \"stream\": " << (req.stream ? "true" : "false")
+     << ", \"record_every\": " << req.record_every << ", \"dt\": " << req.dt
+     << ", \"rtol\": " << req.rtol << ", \"atol\": " << req.atol;
+  if (req.workers > 0) {
+    js << ", \"workers\": " << req.workers;
+  }
+  if (req.max_batch > 0) {
+    js << ", \"max_batch\": " << req.max_batch;
+  }
+  js << "}";
+  m.json = js.str();
+  if (!req.y0s.empty()) {
+    append_f64(m.binary, req.y0s.data(), req.y0s.size());
+  }
+  const Message r = request(m);
+  SubmitResult res;
+  if (r.type == MsgType::kOk) {
+    const support::json::Value v = support::json::parse(r.json);
+    res.accepted = true;
+    res.job = static_cast<std::uint64_t>(v.get_number("job", 0.0));
+  } else if (r.type == MsgType::kRetry) {
+    const support::json::Value v = support::json::parse(r.json);
+    res.accepted = false;
+    res.retry_after_ms =
+        static_cast<int>(v.get_number("retry_after_ms", 0.0));
+  } else {
+    throw omx::Error("svc client: SUBMIT failed: " + r.json);
+  }
+  return res;
+}
+
+bool Client::cancel(std::uint64_t job) {
+  Message m;
+  m.type = MsgType::kCancel;
+  m.json = "{\"job\": " + std::to_string(job) + "}";
+  const Message r = request(m);
+  if (r.type != MsgType::kOk) {
+    throw omx::Error("svc client: CANCEL failed: " + r.json);
+  }
+  return support::json::parse(r.json).get_bool("cancelled", false);
+}
+
+std::string Client::stats() {
+  Message m;
+  m.type = MsgType::kStats;
+  const Message r = request(m);
+  if (r.type != MsgType::kOk) {
+    throw omx::Error("svc client: STATS failed: " + r.json);
+  }
+  return r.json;
+}
+
+void Client::ping() {
+  Message m;
+  m.type = MsgType::kPing;
+  const Message r = request(m);
+  if (r.type != MsgType::kPong) {
+    throw omx::Error("svc client: PING answered with " +
+                     std::string(to_string(r.type)));
+  }
+}
+
+void Client::bye() {
+  Message m;
+  m.type = MsgType::kBye;
+  request(m);
+  close();
+}
+
+}  // namespace omx::svc

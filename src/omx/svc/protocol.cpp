@@ -1,0 +1,149 @@
+#include "omx/svc/protocol.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace omx::svc {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xFF);
+  b[1] = static_cast<char>((v >> 8) & 0xFF);
+  b[2] = static_cast<char>((v >> 16) & 0xFF);
+  b[3] = static_cast<char>((v >> 24) & 0xFF);
+  out.append(b, 4);
+}
+
+std::uint32_t get_u32(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(u[0]) |
+         (static_cast<std::uint32_t>(u[1]) << 8) |
+         (static_cast<std::uint32_t>(u[2]) << 16) |
+         (static_cast<std::uint32_t>(u[3]) << 24);
+}
+
+bool known_type(std::uint8_t t) {
+  switch (static_cast<MsgType>(t)) {
+    case MsgType::kCompile:
+    case MsgType::kSubmit:
+    case MsgType::kCancel:
+    case MsgType::kStats:
+    case MsgType::kPing:
+    case MsgType::kBye:
+    case MsgType::kOk:
+    case MsgType::kError:
+    case MsgType::kRetry:
+    case MsgType::kFrame:
+    case MsgType::kDone:
+    case MsgType::kPong:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kCompile: return "COMPILE";
+    case MsgType::kSubmit: return "SUBMIT";
+    case MsgType::kCancel: return "CANCEL";
+    case MsgType::kStats: return "STATS";
+    case MsgType::kPing: return "PING";
+    case MsgType::kBye: return "BYE";
+    case MsgType::kOk: return "OK";
+    case MsgType::kError: return "ERROR";
+    case MsgType::kRetry: return "RETRY";
+    case MsgType::kFrame: return "FRAME";
+    case MsgType::kDone: return "DONE";
+    case MsgType::kPong: return "PONG";
+  }
+  return "?";
+}
+
+std::string encode(const Message& m) {
+  const std::size_t length = 1 + 4 + m.json.size() + m.binary.size();
+  std::string out;
+  out.reserve(4 + length);
+  put_u32(out, static_cast<std::uint32_t>(length));
+  out.push_back(static_cast<char>(m.type));
+  put_u32(out, static_cast<std::uint32_t>(m.json.size()));
+  out += m.json;
+  out += m.binary;
+  return out;
+}
+
+bool FrameReader::next(Message& out) {
+  if (buf_.size() < 4) {
+    return false;
+  }
+  const std::uint32_t length = get_u32(buf_.data());
+  // Validate the header before waiting for (or buffering) the payload:
+  // a hostile length field must not drive memory growth.
+  if (length < 5) {
+    throw omx::Error("svc: malformed frame (length " +
+                     std::to_string(length) + " below minimum)");
+  }
+  if (length > max_frame_) {
+    throw omx::Error("svc: frame of " + std::to_string(length) +
+                     " bytes exceeds the " + std::to_string(max_frame_) +
+                     "-byte limit");
+  }
+  if (buf_.size() < 4u + length) {
+    return false;
+  }
+  const char* p = buf_.data() + 4;
+  const std::uint8_t type = static_cast<std::uint8_t>(*p);
+  if (!known_type(type)) {
+    throw omx::Error("svc: unknown message type 0x" +
+                     std::to_string(static_cast<unsigned>(type)));
+  }
+  const std::uint32_t json_len = get_u32(p + 1);
+  if (5u + json_len > length) {
+    throw omx::Error("svc: malformed frame (json_len overruns frame)");
+  }
+  out.type = static_cast<MsgType>(type);
+  out.json.assign(p + 5, json_len);
+  out.binary.assign(p + 5 + json_len, length - 5 - json_len);
+  buf_.erase(0, 4u + length);
+  return true;
+}
+
+void append_f64(std::string& out, const double* src, std::size_t count) {
+  static_assert(sizeof(double) == 8);
+  if constexpr (std::endian::native == std::endian::little) {
+    out.append(reinterpret_cast<const char*>(src), count * 8);
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      std::uint64_t bits;
+      std::memcpy(&bits, &src[i], 8);
+      for (int b = 0; b < 8; ++b) {
+        out.push_back(static_cast<char>((bits >> (8 * b)) & 0xFF));
+      }
+    }
+  }
+}
+
+void read_f64(const std::string& in, std::size_t byte_offset, double* dst,
+              std::size_t count) {
+  if (byte_offset + count * 8 > in.size()) {
+    throw omx::Error("svc: binary payload shorter than declared shape");
+  }
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(dst, in.data() + byte_offset, count * 8);
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto* u = reinterpret_cast<const unsigned char*>(
+          in.data() + byte_offset + i * 8);
+      std::uint64_t bits = 0;
+      for (int b = 7; b >= 0; --b) {
+        bits = (bits << 8) | u[b];
+      }
+      std::memcpy(&dst[i], &bits, 8);
+    }
+  }
+}
+
+}  // namespace omx::svc

@@ -1,0 +1,95 @@
+// Wire protocol of the simulation service (omxd).
+//
+// Every message is one length-prefixed frame:
+//
+//   u32le  length     bytes that follow (type byte + payload)
+//   u8     type       MsgType
+//   u32le  json_len   control payload length
+//   ...    json       UTF-8 JSON control payload (may be empty)
+//   ...    binary     raw f64 payload, length = length - 5 - json_len
+//
+// The JSON half carries the control surface (model ids, job ids, solver
+// options, errors); the binary half carries bulk numerics — scenario
+// initial states on SUBMIT, trajectory rows on FRAME — as little-endian
+// IEEE doubles, so trajectory data crosses the socket without a text
+// round-trip. A zero `length`, a `length` above the negotiated maximum,
+// or a `json_len` overrunning the frame is malformed: the server
+// answers ERROR and closes.
+//
+// Request/response pairing is strict per connection: each request type
+// 0x0x gets exactly one 0x8x response. FRAME/DONE messages for a
+// streaming job are asynchronous and may interleave between a request
+// and its response; clients route them by the "job" member.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "omx/support/diagnostics.hpp"
+
+namespace omx::svc {
+
+enum class MsgType : std::uint8_t {
+  // Requests (client -> server).
+  kCompile = 0x01,  // model source/builtin -> model handle (cached)
+  kSubmit = 0x02,   // scenario batch -> job id (or RETRY backpressure)
+  kCancel = 0x03,   // abort a job's in-flight lanes
+  kStats = 0x04,    // server + per-session statistics snapshot
+  kPing = 0x05,     // keepalive
+  kBye = 0x06,      // orderly goodbye; server closes after OK
+  // Responses (server -> client).
+  kOk = 0x81,       // request succeeded; payload depends on request
+  kError = 0x82,    // request failed; {"error": reason}
+  kRetry = 0x83,    // admission rejected; {"retry_after_ms": backoff}
+  kFrame = 0x84,    // async: one trajectory chunk of a streaming job
+  kDone = 0x85,     // async: job finished; per-scenario row counts
+  kPong = 0x86,     // keepalive answer
+};
+
+const char* to_string(MsgType t);
+
+/// One decoded frame. `binary` is raw bytes (f64 payloads are encoded
+/// little-endian; see encode_f64 / decode_f64 below).
+struct Message {
+  MsgType type = MsgType::kPing;
+  std::string json;
+  std::string binary;
+};
+
+/// Default ceiling on one frame's size. Generous enough for a chunk of
+/// 256 rows x ~100 states; servers may configure it down (tests do, to
+/// exercise the oversize rejection without allocating).
+constexpr std::size_t kDefaultMaxFrame = 16u << 20;
+
+/// Serializes a frame, length prefix included.
+std::string encode(const Message& m);
+
+/// Incremental frame decoder over a byte stream. feed() appends raw
+/// socket bytes; next() extracts complete messages. Malformed input
+/// (zero length, oversize, json_len overrun, unknown type) throws
+/// omx::Error before the payload is buffered past the header — an
+/// attacker-controlled length field never drives an allocation above
+/// max_frame.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_frame = kDefaultMaxFrame)
+      : max_frame_(max_frame) {}
+
+  void feed(const char* data, std::size_t n) { buf_.append(data, n); }
+
+  /// Extracts the next complete message into `out`; false = need more
+  /// bytes. Throws on protocol violations.
+  bool next(Message& out);
+
+ private:
+  std::size_t max_frame_;
+  std::string buf_;
+};
+
+// f64 <-> bytes helpers for the binary payloads (little-endian on the
+// wire; byte-swapped on big-endian hosts).
+void append_f64(std::string& out, const double* src, std::size_t count);
+void read_f64(const std::string& in, std::size_t byte_offset, double* dst,
+              std::size_t count);
+
+}  // namespace omx::svc

@@ -8,6 +8,8 @@
 #include <cmath>
 #include <cstdlib>
 #include <filesystem>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "omx/models/bearing2d.hpp"
@@ -531,6 +533,71 @@ TEST(Kernels, InterpLanesAreIndependent) {
   }
   for (std::size_t i = 0; i < cm.n(); ++i) {
     EXPECT_DOUBLE_EQ(a[i], b[i]);
+  }
+}
+
+TEST(NativeBackend, ConcurrentBuildersCompileEachModuleOnce) {
+  // The .so cache is shared across processes (omxd executors, parallel
+  // test shards); the per-key lockfile must serialize builders so
+  // racing compiles of the same model neither clobber each other's
+  // artifacts nor compile redundantly. flock on distinct fds excludes
+  // within one process too, so racing threads exercise the same path.
+  namespace fs = std::filesystem;
+  pipeline::CompiledModel cm =
+      pipeline::compile_model(models::build_oscillator);
+  obs::Counter& compiles =
+      obs::Registry::global().counter("backend.native.compiles");
+
+  // Calibrate: how many modules does one cold build of this model
+  // compile? (The kernel may carry scalar + batch entry points.)
+  const fs::path calib_dir =
+      fs::temp_directory_path() / "omx-test-lock-calib";
+  fs::remove_all(calib_dir);
+  pipeline::KernelOptions ko;
+  ko.native.cache_dir = calib_dir.string();
+  const std::uint64_t before_calib = compiles.value();
+  const KernelInstance probe = cm.make_kernel(Backend::kNative, ko);
+  if (probe.backend() != Backend::kNative) {
+    GTEST_SKIP() << "no host compiler; native backend unavailable";
+  }
+  const std::uint64_t per_build = compiles.value() - before_calib;
+  ASSERT_GT(per_build, 0u);
+
+  const fs::path race_dir =
+      fs::temp_directory_path() / "omx-test-lock-race";
+  fs::remove_all(race_dir);
+  ko.native.cache_dir = race_dir.string();
+  const std::uint64_t before_race = compiles.value();
+  constexpr int kBuilders = 4;
+  std::vector<KernelInstance> kernels;
+  kernels.reserve(kBuilders);
+  std::mutex kernels_mutex;
+  std::vector<std::thread> threads;
+  threads.reserve(kBuilders);
+  for (int i = 0; i < kBuilders; ++i) {
+    threads.emplace_back([&] {
+      KernelInstance k = cm.make_kernel(Backend::kNative, ko);
+      const std::lock_guard<std::mutex> lock(kernels_mutex);
+      kernels.push_back(std::move(k));
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+
+  // Exactly one builder compiled; the rest blocked on the lock and then
+  // hit the published artifact.
+  EXPECT_EQ(compiles.value() - before_race, per_build);
+  const std::vector<double> y = start_state(cm);
+  std::vector<double> want(cm.n());
+  probe.kernel()(0.1, y, want);
+  for (const KernelInstance& k : kernels) {
+    ASSERT_EQ(k.backend(), Backend::kNative);
+    std::vector<double> got(cm.n());
+    k.kernel()(0.1, y, got);
+    for (std::size_t i = 0; i < cm.n(); ++i) {
+      EXPECT_DOUBLE_EQ(got[i], want[i]);
+    }
   }
 }
 

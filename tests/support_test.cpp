@@ -2,6 +2,7 @@
 
 #include "omx/support/diagnostics.hpp"
 #include "omx/support/interner.hpp"
+#include "omx/support/json.hpp"
 #include "omx/support/rng.hpp"
 #include "omx/support/timer.hpp"
 
@@ -113,6 +114,64 @@ TEST(Timer, SpinForWaitsApproximately) {
   Stopwatch sw;
   spin_for(1e-4);
   EXPECT_GE(sw.seconds(), 1e-4);
+}
+
+TEST(Json, ParsesNestedDocument) {
+  const support::json::Value v = support::json::parse(
+      "{\"model\": \"m1\", \"scenarios\": 3, \"stream\": true,"
+      " \"tol\": {\"rtol\": 1e-6}, \"rows\": [1, 2, 3], \"nil\": null}");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.get_string("model", ""), "m1");
+  EXPECT_EQ(v.get_number("scenarios", 0.0), 3.0);
+  EXPECT_TRUE(v.get_bool("stream", false));
+  const support::json::Value* tol = v.find("tol");
+  ASSERT_NE(tol, nullptr);
+  EXPECT_EQ(tol->get_number("rtol", 0.0), 1e-6);
+  const support::json::Value* rows = v.find("rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->array.size(), 3u);
+  EXPECT_EQ(rows->array[2].number, 3.0);
+  ASSERT_NE(v.find("nil"), nullptr);
+  EXPECT_TRUE(v.find("nil")->is_null());
+  EXPECT_EQ(v.find("absent"), nullptr);
+}
+
+TEST(Json, DecodesStringEscapes) {
+  const support::json::Value v = support::json::parse(
+      "{\"s\": \"a\\\"b\\\\c\\n\\t\\u0041\\u00e9\"}");
+  EXPECT_EQ(v.get_string("s", ""), "a\"b\\c\n\tA\xc3\xa9");
+}
+
+TEST(Json, TypedGettersDistinguishAbsentFromWrongType) {
+  const support::json::Value v =
+      support::json::parse("{\"n\": 4, \"s\": \"x\", \"nil\": null}");
+  // Absent or null -> fallback.
+  EXPECT_EQ(v.get_number("missing", 7.0), 7.0);
+  EXPECT_EQ(v.get_number("nil", 7.0), 7.0);
+  // Present with the wrong type -> malformed request, throws.
+  EXPECT_THROW(v.get_number("s", 0.0), omx::Error);
+  EXPECT_THROW(v.get_string("n", ""), omx::Error);
+  EXPECT_THROW(v.get_bool("n", false), omx::Error);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW(support::json::parse(""), omx::Error);
+  EXPECT_THROW(support::json::parse("{"), omx::Error);
+  EXPECT_THROW(support::json::parse("{\"a\": 1} trailing"), omx::Error);
+  EXPECT_THROW(support::json::parse("{'a': 1}"), omx::Error);
+  EXPECT_THROW(support::json::parse("{\"a\": 01}"), omx::Error);
+  EXPECT_THROW(support::json::parse("[1, 2,]"), omx::Error);
+  EXPECT_THROW(support::json::parse("\"\\x\""), omx::Error);
+}
+
+TEST(Json, RejectsRunawayNesting) {
+  // 64 levels against the 32-level cap: attacker-controlled recursion
+  // depth must not reach the stack guard.
+  std::string deep;
+  for (int i = 0; i < 64; ++i) {
+    deep += "[";
+  }
+  EXPECT_THROW(support::json::parse(deep), omx::Error);
 }
 
 }  // namespace
