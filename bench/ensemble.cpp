@@ -15,10 +15,13 @@
 // the exported hardware_concurrency tells the gate which bar applies).
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <span>
 #include <thread>
 #include <vector>
 
 #include "omx/models/bearing2d.hpp"
+#include "omx/models/hybrid.hpp"
 #include "omx/obs/export.hpp"
 #include "omx/obs/registry.hpp"
 #include "omx/ode/ensemble.hpp"
@@ -37,6 +40,26 @@ double scen_per_sec(clock_type::time_point t0, std::size_t n) {
   const double secs =
       std::chrono::duration<double>(clock_type::now() - t0).count();
   return static_cast<double>(n) / secs;
+}
+
+bool bitwise_equal(const omx::ode::Solution& a,
+                   const omx::ode::Solution& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double ta = a.time(i);
+    const double tb = b.time(i);
+    if (std::memcmp(&ta, &tb, sizeof(double)) != 0) {
+      return false;
+    }
+    const std::span<const double> ya = a.state(i);
+    const std::span<const double> yb = b.state(i);
+    if (std::memcmp(ya.data(), yb.data(), ya.size_bytes()) != 0) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -150,7 +173,67 @@ int main() {
                   .gauge("ensemble.rhs_calls_per_sec")
                   .value());
 
+  // --- hybrid section: event-carrying lanes through the ensemble ------
+  // 64 bouncing-ball scenarios with distinct drop heights: every lane
+  // localizes impacts on its own schedule, so the engine exercises
+  // desynchronized event sweeps, per-lane restarts and out-of-order
+  // retirement. Correctness is exported alongside throughput —
+  // bitwise_equal vs the sequential per-scenario solves and the total
+  // event count are machine-independent and gated by bench_gate.py.
+  constexpr std::size_t kHybridScenarios = 64;
+  const models::BouncingBall ball;
+  const ode::Problem hp = models::bouncing_ball_problem(ball, 1.8);
+  ode::EnsembleSpec hspec;
+  hspec.workers = kWorkers;
+  hspec.max_batch = kMaxBatch;
+  for (std::size_t i = 0; i < kHybridScenarios; ++i) {
+    hspec.initial_states.push_back(
+        {0.5 + 0.03 * static_cast<double>(i), 0.0});
+  }
+  ode::SolverOptions ho;  // default cadence: event rows are retained
+
+  std::vector<ode::Solution> sequential_runs;
+  double h_seq = 0.0;
+  {
+    const auto t0 = clock_type::now();
+    for (const std::vector<double>& y : hspec.initial_states) {
+      ode::Problem ps = hp;
+      ps.y0 = y;
+      sequential_runs.push_back(ode::solve(ps, ode::Method::kDopri5, ho));
+    }
+    h_seq = scen_per_sec(t0, kHybridScenarios);
+  }
+  double h_bat = 0.0;
+  ode::EnsembleResult hybrid;
+  {
+    const auto t0 = clock_type::now();
+    hybrid = ode::solve_ensemble(hp, ode::Method::kDopri5, ho, hspec);
+    h_bat = scen_per_sec(t0, kHybridScenarios);
+  }
+  bool h_bitwise = hybrid.solutions.size() == sequential_runs.size();
+  std::size_t h_events = 0;
+  for (std::size_t i = 0; h_bitwise && i < sequential_runs.size(); ++i) {
+    h_bitwise = bitwise_equal(hybrid.solutions[i], sequential_runs[i]);
+    h_events += hybrid.solutions[i].stats.events;
+  }
+
+  std::printf("\nHybrid: %zu bouncing-ball lanes (events on), dopri5\n",
+              kHybridScenarios);
+  report("hybrid, sequential", h_seq);
+  report("hybrid, batched", h_bat);
+  std::printf("hybrid events fired: %zu   ensemble == sequential: %s\n",
+              h_events, h_bitwise ? "bitwise [MATCH]" : "[MISMATCH]");
+
   obs::Registry metrics;
+  metrics.gauge("ensemble.hybrid.scenarios")
+      .set(static_cast<double>(kHybridScenarios));
+  metrics.gauge("ensemble.hybrid.bitwise_equal").set(h_bitwise ? 1.0 : 0.0);
+  metrics.gauge("ensemble.hybrid.events_fired")
+      .set(static_cast<double>(h_events));
+  metrics.gauge("ensemble.hybrid.sequential.scen_per_s").set(h_seq);
+  metrics.gauge("ensemble.hybrid.batched.scen_per_s").set(h_bat);
+  metrics.gauge("ensemble.hybrid.batched_over_sequential")
+      .set(h_seq > 0.0 ? h_bat / h_seq : 0.0);
   metrics.gauge("ensemble.scenarios")
       .set(static_cast<double>(kScenarios));
   metrics.gauge("ensemble.workers").set(static_cast<double>(kWorkers));

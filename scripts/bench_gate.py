@@ -23,6 +23,12 @@ What is gated vs merely reported:
   host actually has that many cores (the bench exports
   ensemble.hardware_concurrency). On smaller hosts the gate falls back
   to the worker-independent SoA batching amortization (>= 1.4x).
+* ensemble.hybrid.* gates the event-carrying lanes structurally:
+  bitwise_equal == 1 (the ensemble must reproduce the sequential
+  per-scenario hybrid solves bit for bit) and events_fired >= the
+  scenario count (every bouncing-ball lane localizes at least one
+  impact). Both are machine-independent; hybrid throughput and its
+  batched/sequential ratio are report-only.
 * sparse.heat.n<N>.sparse_over_dense are same-machine wall-clock ratios
   of the sparse stiff path (colored FD + sparse LU) over the legacy
   dense path on the tridiagonal heat PDE: parity (>= 1 - tolerance) is
@@ -194,6 +200,29 @@ def gate_ensemble(gate, current, baseline):
                 floor, why = base_floor, (
                     f"baseline {fmt(base)} - {gate.tolerance:.0%}")
         gate.check(name, current[name], floor, why)
+
+    # Hybrid lanes (events on): correctness invariants are
+    # machine-independent, so they gate exactly. The ensemble must
+    # reproduce the sequential per-scenario solves bitwise, and with
+    # every drop height bouncing at least once in the window the run
+    # must fire at least one event per scenario. Hybrid throughput and
+    # the batched/sequential ratio are report-only: event localization
+    # serializes bisection work inside each lane, so the ratio is
+    # noisier than the smooth-sweep one and carries no repo bar.
+    scenarios = current.get("ensemble.hybrid.scenarios", 0.0)
+    if scenarios <= 0.0:
+        gate.failures.append(
+            "ensemble.hybrid.scenarios: missing from current run")
+    else:
+        gate.check("ensemble.hybrid.bitwise_equal",
+                   current.get("ensemble.hybrid.bitwise_equal", 0.0), 1.0,
+                   "ensemble == sequential")
+        gate.check("ensemble.hybrid.events_fired",
+                   current.get("ensemble.hybrid.events_fired", 0.0),
+                   scenarios, ">= 1 event per lane")
+    name = "ensemble.hybrid.batched_over_sequential"
+    if name in current:
+        gate.report(name, current[name], baseline.get(name))
 
     for name in sorted(current):
         if name.endswith(".scen_per_s"):

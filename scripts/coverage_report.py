@@ -14,10 +14,11 @@ It is non-zero only when there is no coverage data at all, which means
 the build was not instrumented or the tests never ran — a broken job, not
 low coverage. Uses plain gcov JSON so no lcov/gcovr install is needed.
 
-Files under src/omx/la/ and src/omx/analysis/ (the numerical substrate of
-the sparse Jacobian pipeline) are additionally flagged in the summary when
-their line coverage falls below 70% — still report-only, the flag is a
-nudge in the log, not a gate.
+Files under src/omx/la/, src/omx/analysis/ (the numerical substrate of
+the sparse Jacobian pipeline) and src/omx/ode/ (the solver suite, whose
+event-localization branches are easy to leave untested) are additionally
+flagged in the summary when their line coverage falls below 70% — still
+report-only, the flag is a nudge in the log, not a gate.
 """
 import argparse
 import collections
@@ -116,7 +117,8 @@ def main():
         total_lines += len(lines)
 
     flag_prefixes = (os.path.join("src", "omx", "la") + os.sep,
-                     os.path.join("src", "omx", "analysis") + os.sep)
+                     os.path.join("src", "omx", "analysis") + os.sep,
+                     os.path.join("src", "omx", "ode") + os.sep)
     flag_floor = 70.0
     flagged = []
 
@@ -126,7 +128,7 @@ def main():
         pct = 100.0 * covered / total if total else 0.0
         mark = ""
         if rel.startswith(flag_prefixes) and pct < flag_floor:
-            mark = f"  << below {flag_floor:.0f}% (la/analysis floor)"
+            mark = f"  << below {flag_floor:.0f}% (la/analysis/ode floor)"
             flagged.append((rel, pct))
         out.append(f"{rel:<{width}}  {covered:>4}/{total:<4}  {pct:>5.1f}{mark}")
     pct = 100.0 * total_cov / total_lines
@@ -134,8 +136,8 @@ def main():
     if flagged:
         out.append("")
         out.append(
-            f"{len(flagged)} la/analysis file(s) below {flag_floor:.0f}% "
-            "line coverage (report-only):"
+            f"{len(flagged)} la/analysis/ode file(s) below "
+            f"{flag_floor:.0f}% line coverage (report-only):"
         )
         for rel, p in flagged:
             out.append(f"  {rel}  {p:.1f}%")

@@ -14,6 +14,10 @@
 
 #include "omx/expr/context.hpp"
 
+namespace omx::expr {
+class Env;
+}  // namespace omx::expr
+
 namespace omx::model {
 
 struct FlatState {
@@ -25,6 +29,17 @@ struct FlatState {
 struct FlatAlgebraic {
   SymbolId name = kInvalidSymbol;
   expr::ExprId rhs = expr::kNoExpr;  // name == rhs (explicit)
+};
+
+/// A flattened `when` clause: a zero-crossing guard over the flat
+/// symbols plus the state resets applied when it fires. Guards and
+/// resets are evaluated through the expression pool (eval_event_guard /
+/// apply_event_resets) — deliberately backend-independent, so every
+/// execution backend localizes the same event at the same time.
+struct FlatEvent {
+  expr::ExprId guard = expr::kNoExpr;
+  int direction = 0;  // +1 up (rising), -1 down (falling), 0 cross
+  std::vector<std::pair<SymbolId, expr::ExprId>> resets;
 };
 
 class FlatSystem {
@@ -39,6 +54,10 @@ class FlatSystem {
   /// Algebraics may be added in any order; finalize() sorts them.
   void add_algebraic(SymbolId name, expr::ExprId rhs);
   void bind_parameter(SymbolId name, double value);
+  /// Adds a when-clause event; finalize() validates that the guard and
+  /// reset expressions reference known symbols and that every reset
+  /// target is a state.
+  void add_event(FlatEvent ev);
 
   /// Validates symbol references, topologically sorts algebraics (throws
   /// omx::Error on an algebraic loop), and freezes the system.
@@ -53,6 +72,7 @@ class FlatSystem {
   const std::vector<std::pair<SymbolId, double>>& parameters() const {
     return parameters_;
   }
+  const std::vector<FlatEvent>& events() const { return events_; }
 
   /// State index of symbol, or -1.
   int state_index(SymbolId s) const;
@@ -69,11 +89,26 @@ class FlatSystem {
   void eval_rhs(double t, std::span<const double> y,
                 std::span<double> ydot) const;
 
+  /// Guard value of events()[k] at (t, y) — algebraics are evaluated in
+  /// topological order first, so guards may reference them.
+  double eval_event_guard(std::size_t k, double t,
+                          std::span<const double> y) const;
+  /// Applies events()[k]'s resets to y in place. All reset right-hand
+  /// sides are evaluated against the pre-reset state (simultaneous
+  /// assignment), then written.
+  void apply_event_resets(std::size_t k, double t,
+                          std::span<double> y) const;
+
  private:
+  /// Environment with time, parameters, states, and algebraics bound.
+  void build_env(double t, std::span<const double> y,
+                 expr::Env& env) const;
+
   expr::Context* ctx_;
   SymbolId time_;
   std::vector<FlatState> states_;
   std::vector<FlatAlgebraic> algebraics_;
+  std::vector<FlatEvent> events_;
   std::vector<std::pair<SymbolId, double>> parameters_;
   std::unordered_map<SymbolId, int> state_index_;
   std::unordered_map<SymbolId, int> algebraic_index_;

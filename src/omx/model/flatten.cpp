@@ -44,6 +44,11 @@ void FlatSystem::bind_parameter(SymbolId name, double value) {
   parameters_.emplace_back(name, value);
 }
 
+void FlatSystem::add_event(FlatEvent ev) {
+  OMX_REQUIRE(!finalized_, "FlatSystem is finalized");
+  events_.push_back(std::move(ev));
+}
+
 int FlatSystem::state_index(SymbolId s) const {
   auto it = state_index_.find(s);
   return it == state_index_.end() ? -1 : it->second;
@@ -86,6 +91,21 @@ void FlatSystem::finalize() {
   }
   for (const FlatAlgebraic& al : algebraics_) {
     check_expr(al.rhs, al.name);
+  }
+  for (const FlatEvent& ev : events_) {
+    for (const auto& [target, value] : ev.resets) {
+      if (!state_index_.count(target)) {
+        throw omx::Error("when-clause reset target '" +
+                         ctx_->names.name(target) + "' is not a state");
+      }
+      check_expr(value, target);
+    }
+    // The guard has no named target; report against its first reset's
+    // target (a when clause must reset something to be well-formed).
+    if (ev.resets.empty()) {
+      throw omx::Error("when clause has no resets");
+    }
+    check_expr(ev.guard, ev.resets.front().first);
   }
 
   // 2. Topologically order the algebraic assignments. An algebraic cycle is
@@ -141,12 +161,8 @@ void FlatSystem::finalize() {
   finalized_ = true;
 }
 
-void FlatSystem::eval_rhs(double t, std::span<const double> y,
-                          std::span<double> ydot) const {
-  OMX_REQUIRE(finalized_, "FlatSystem not finalized");
-  OMX_REQUIRE(y.size() == states_.size() && ydot.size() == states_.size(),
-              "state vector size mismatch");
-  expr::Env env;
+void FlatSystem::build_env(double t, std::span<const double> y,
+                           expr::Env& env) const {
   env.set(time_, t);
   for (const auto& [name, value] : parameters_) {
     env.set(name, value);
@@ -157,8 +173,44 @@ void FlatSystem::eval_rhs(double t, std::span<const double> y,
   for (const FlatAlgebraic& al : algebraics_) {
     env.set(al.name, expr::eval(ctx_->pool, al.rhs, env));
   }
+}
+
+void FlatSystem::eval_rhs(double t, std::span<const double> y,
+                          std::span<double> ydot) const {
+  OMX_REQUIRE(finalized_, "FlatSystem not finalized");
+  OMX_REQUIRE(y.size() == states_.size() && ydot.size() == states_.size(),
+              "state vector size mismatch");
+  expr::Env env;
+  build_env(t, y, env);
   for (std::size_t i = 0; i < states_.size(); ++i) {
     ydot[i] = expr::eval(ctx_->pool, states_[i].rhs, env);
+  }
+}
+
+double FlatSystem::eval_event_guard(std::size_t k, double t,
+                                    std::span<const double> y) const {
+  OMX_REQUIRE(finalized_, "FlatSystem not finalized");
+  OMX_REQUIRE(k < events_.size(), "event index out of range");
+  expr::Env env;
+  build_env(t, y, env);
+  return expr::eval(ctx_->pool, events_[k].guard, env);
+}
+
+void FlatSystem::apply_event_resets(std::size_t k, double t,
+                                    std::span<double> y) const {
+  OMX_REQUIRE(finalized_, "FlatSystem not finalized");
+  OMX_REQUIRE(k < events_.size(), "event index out of range");
+  expr::Env env;
+  build_env(t, y, env);
+  // Simultaneous assignment: every RHS sees the pre-reset state.
+  std::vector<std::pair<int, double>> writes;
+  writes.reserve(events_[k].resets.size());
+  for (const auto& [target, value] : events_[k].resets) {
+    writes.emplace_back(state_index(target),
+                        expr::eval(ctx_->pool, value, env));
+  }
+  for (const auto& [idx, value] : writes) {
+    y[static_cast<std::size_t>(idx)] = value;
   }
 }
 
@@ -175,6 +227,7 @@ struct Members {
   std::vector<Parameter> params;
   std::vector<Part> parts;
   std::vector<Equation> equations;
+  std::vector<WhenClause> whens;
 };
 
 class Flattener {
@@ -196,6 +249,9 @@ class Flattener {
     }
     bind_parameters();
     classify_equations();
+    for (FlatEvent& ev : events_) {
+      flat_.add_event(std::move(ev));
+    }
     flat_.finalize();
     return std::move(flat_);
   }
@@ -276,6 +332,13 @@ class Flattener {
       e.lhs = subst_lhs(e.lhs, formal_map);
       e.rhs = subst(e.rhs);
       out.equations.push_back(e);
+    }
+    for (WhenClause w : c.whens()) {
+      w.guard = subst(w.guard);
+      for (auto& r : w.resets) {
+        r.second = subst(r.second);
+      }
+      out.whens.push_back(std::move(w));
     }
     return out;
   }
@@ -372,6 +435,15 @@ class Flattener {
       q.rhs = qualify(e.rhs);
       q.loc = e.loc;
       equations_.push_back(q);
+    }
+    for (const WhenClause& w : mem.whens) {
+      FlatEvent ev;
+      ev.guard = qualify(w.guard);
+      ev.direction = w.direction;
+      for (const auto& [target, value] : w.resets) {
+        ev.resets.emplace_back(qualify_sym(target), qualify(value));
+      }
+      events_.push_back(std::move(ev));
     }
     for (const Part& p : mem.parts) {
       std::vector<expr::ExprId> part_args;
@@ -513,6 +585,7 @@ class Flattener {
   std::vector<VarDecl> var_decls_;
   std::vector<std::pair<SymbolId, expr::ExprId>> pending_params_;
   std::vector<Equation> equations_;
+  std::vector<FlatEvent> events_;
   expr::Env param_env_;
 };
 

@@ -51,6 +51,17 @@ struct Part {
   SourceLoc loc;
 };
 
+/// `when [up|down|cross] guard then v1 = e1, v2 = e2;` — a zero-crossing
+/// event: when `guard` crosses zero in the given direction (up = rising,
+/// down = falling, cross = either; the default), the listed state resets
+/// are applied at the localized event time.
+struct WhenClause {
+  expr::ExprId guard = expr::kNoExpr;
+  int direction = 0;  // +1 up, -1 down, 0 cross
+  std::vector<std::pair<SymbolId, expr::ExprId>> resets;
+  SourceLoc loc;
+};
+
 class ClassDef {
  public:
   explicit ClassDef(std::string name) : name_(std::move(name)) {}
@@ -71,11 +82,13 @@ class ClassDef {
   void add_parameter(Parameter p) { params_.push_back(p); }
   void add_part(Part p) { parts_.push_back(std::move(p)); }
   void add_equation(Equation e) { equations_.push_back(e); }
+  void add_when(WhenClause w) { whens_.push_back(std::move(w)); }
 
   const std::vector<Variable>& variables() const { return vars_; }
   const std::vector<Parameter>& parameters() const { return params_; }
   const std::vector<Part>& parts() const { return parts_; }
   const std::vector<Equation>& equations() const { return equations_; }
+  const std::vector<WhenClause>& whens() const { return whens_; }
 
  private:
   std::string name_;
@@ -86,6 +99,7 @@ class ClassDef {
   std::vector<Parameter> params_;
   std::vector<Part> parts_;
   std::vector<Equation> equations_;
+  std::vector<WhenClause> whens_;
 };
 
 struct Instance {

@@ -1,0 +1,34 @@
+// Coupled-oscillator network (Kuramoto model on a ring, after the
+// coupled-network studies around arXiv:1702.02207): n phase oscillators
+// with spread natural frequencies and nearest-neighbour sinusoidal
+// coupling. The optional synchronization event watches the Kuramoto
+// order parameter r(theta) and stops the run once the network locks —
+// scenarios with different coupling strengths desynchronize ensemble
+// lanes, which is exactly what the hybrid ensemble stress tests need.
+#pragma once
+
+#include "omx/ode/events.hpp"
+#include "omx/ode/problem.hpp"
+
+namespace omx::models {
+
+struct CoupledOscillators {
+  std::size_t n = 8;      // oscillators (state dimension)
+  double coupling = 1.5;  // ring coupling strength K
+  double spread = 0.5;    // natural frequencies omega_i spread over +-spread/2
+  double omega0 = 1.0;    // mean natural frequency
+  /// Order-parameter threshold for the sync event; <= 0 disables events.
+  double sync_threshold = 0.0;
+  bool sync_terminal = true;
+};
+
+/// Kuramoto order parameter r = |1/n sum exp(i theta_j)| in [0, 1].
+double kuramoto_order(std::span<const double> theta);
+
+/// theta_i' = omega_i + K (sin(theta_{i+1} - theta_i) +
+///                         sin(theta_{i-1} - theta_i)) on a ring, with
+/// deterministic initial phases and frequencies (no RNG: scenario
+/// variation comes from the caller perturbing y0).
+ode::Problem coupled_osc_problem(const CoupledOscillators& cfg, double tend);
+
+}  // namespace omx::models

@@ -1,0 +1,149 @@
+#include "omx/models/hybrid.hpp"
+
+#include <cmath>
+
+#include "omx/parser/parser.hpp"
+
+namespace omx::models {
+
+ode::Problem bouncing_ball_problem(const BouncingBall& cfg, double tend,
+                                   bool terminal) {
+  ode::Problem p;
+  p.n = 2;  // [h, v]
+  p.t0 = 0.0;
+  p.tend = tend;
+  p.y0 = {cfg.h0, 0.0};
+  const double g = cfg.g;
+  p.set_rhs([g](double, std::span<const double> y, std::span<double> ydot) {
+    ydot[0] = y[1];
+    ydot[1] = -g;
+  });
+
+  ode::EventSpec spec;
+  ode::EventFunction impact;
+  impact.name = "impact";
+  impact.direction = ode::EventDirection::kFalling;
+  impact.guard = [](double, std::span<const double> y) { return y[0]; };
+  const double e = cfg.e;
+  impact.reset = [e](double, std::span<double> y) {
+    y[0] = 0.0;
+    y[1] = -e * y[1];
+  };
+  impact.terminal = terminal;
+  spec.functions.push_back(std::move(impact));
+  p.events = std::make_shared<const ode::EventSpec>(std::move(spec));
+  return p;
+}
+
+std::vector<double> bouncing_ball_bounce_times(const BouncingBall& cfg,
+                                               double tend) {
+  std::vector<double> times;
+  double t = std::sqrt(2.0 * cfg.h0 / cfg.g);
+  // Rebound speed after the k-th impact decays by e per bounce; each
+  // flight lasts 2 v / g.
+  double v = cfg.e * std::sqrt(2.0 * cfg.g * cfg.h0);
+  while (t <= tend) {
+    times.push_back(t);
+    t += 2.0 * v / cfg.g;
+    v *= cfg.e;
+  }
+  return times;
+}
+
+std::string bouncing_ball_source() {
+  return R"(// Bouncing ball: free fall with an impact event (when clause).
+model BouncingBall
+  class Ball
+    param g = 9.81;
+    param e = 0.8;
+    var h start 1;
+    var v start 0;
+    eq der(h) == v;
+    eq der(v) == -g;
+    when down h then v = -e*v, h = 0;
+  end
+  instance ball : Ball;
+end
+)";
+}
+
+model::Model build_bouncing_ball(expr::Context& ctx) {
+  return parser::parse_model(bouncing_ball_source(), ctx);
+}
+
+ode::Problem coulomb_oscillator_problem(const CoulombOscillator& cfg,
+                                        double tend) {
+  ode::Problem p;
+  p.n = 3;  // [x, v, s]
+  p.t0 = 0.0;
+  p.tend = tend;
+  // x0 > 0 and v0 = 0: the mass starts moving left, so the initial
+  // friction mode is s = -1 (friction force +mu opposes v < 0).
+  p.y0 = {cfg.x0, 0.0, -1.0};
+  const double mu = cfg.mu;
+  p.set_rhs([mu](double, std::span<const double> y, std::span<double> ydot) {
+    ydot[0] = y[1];
+    ydot[1] = -y[0] - mu * y[2];
+    ydot[2] = 0.0;
+  });
+
+  ode::EventSpec spec;
+  ode::EventFunction turn;
+  turn.name = "velocity_reversal";
+  turn.direction = ode::EventDirection::kBoth;
+  turn.guard = [](double, std::span<const double> y) { return y[1]; };
+  turn.reset = [](double, std::span<double> y) { y[2] = -y[2]; };
+  spec.functions.push_back(std::move(turn));
+  p.events = std::make_shared<const ode::EventSpec>(std::move(spec));
+  return p;
+}
+
+std::vector<double> coulomb_event_times(const CoulombOscillator& cfg,
+                                        double tend) {
+  std::vector<double> times;
+  const double pi = 3.14159265358979323846;
+  double amplitude = cfg.x0;  // distance from the current arc's center
+  double t = pi;
+  // Each half-cycle is a harmonic arc about +-mu, so velocity zeros land
+  // at exactly k*pi; the amplitude shrinks by 2*mu per half-cycle and
+  // the mass sticks once it cannot overcome friction.
+  while (t <= tend && amplitude - 2.0 * cfg.mu > cfg.mu) {
+    times.push_back(t);
+    amplitude -= 2.0 * cfg.mu;
+    t += pi;
+  }
+  return times;
+}
+
+ode::Problem switching_chemistry_problem(const SwitchingChemistry& cfg,
+                                         double tend) {
+  ode::Problem p;
+  p.n = 2;  // [y, k]
+  p.t0 = 0.0;
+  p.tend = tend;
+  p.y0 = {cfg.y0, cfg.k_slow};
+  p.set_rhs([](double, std::span<const double> y, std::span<double> ydot) {
+    ydot[0] = -y[1] * y[0];
+    ydot[1] = 0.0;
+  });
+
+  ode::EventSpec spec;
+  ode::EventFunction ignite;
+  ignite.name = "rate_switch";
+  ignite.direction = ode::EventDirection::kFalling;
+  const double threshold = cfg.threshold;
+  ignite.guard = [threshold](double, std::span<const double> y) {
+    return y[0] - threshold;
+  };
+  const double k_fast = cfg.k_fast;
+  ignite.reset = [k_fast](double, std::span<double> y) { y[1] = k_fast; };
+  spec.functions.push_back(std::move(ignite));
+  p.events = std::make_shared<const ode::EventSpec>(std::move(spec));
+  return p;
+}
+
+double switching_chemistry_switch_time(const SwitchingChemistry& cfg) {
+  return std::log(cfg.y0 / cfg.threshold) / cfg.k_slow;
+}
+
+}  // namespace omx::models

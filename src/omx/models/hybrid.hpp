@@ -1,0 +1,81 @@
+// Hybrid (event-driven) workloads for the solver suite: models whose
+// dynamics switch at zero crossings. Each comes as a ready-made
+// ode::Problem with an attached ode::EventSpec plus the analytic event
+// times the differential tests pin against. The bouncing ball also has
+// an OMX-language source with a `when` clause for the parser/codegen
+// paths.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "omx/model/model.hpp"
+#include "omx/ode/events.hpp"
+#include "omx/ode/problem.hpp"
+
+namespace omx::models {
+
+// --------------------------------------------------------- bouncing ball
+// h' = v, v' = -g; impact when h crosses zero falling: v := -e v.
+
+struct BouncingBall {
+  double g = 9.81;  // gravity
+  double e = 0.8;   // coefficient of restitution
+  double h0 = 1.0;  // drop height (v0 = 0)
+};
+
+/// Problem over [0, tend] with the impact event attached
+/// (Problem::events). A `terminal` build stops at the first impact.
+ode::Problem bouncing_ball_problem(const BouncingBall& cfg, double tend,
+                                   bool terminal = false);
+
+/// Analytic impact times in (0, tend]: t1 = sqrt(2 h0 / g), then flight
+/// times scale by e per bounce.
+std::vector<double> bouncing_ball_bounce_times(const BouncingBall& cfg,
+                                               double tend);
+
+/// OMX-language source of the bouncing ball with a `when` clause.
+std::string bouncing_ball_source();
+
+/// Parses bouncing_ball_source().
+model::Model build_bouncing_ball(expr::Context& ctx);
+
+// --------------------------------------- Coulomb-friction oscillator
+// x' = v, v' = -x - mu * s with the friction mode s in {-1, +1} carried
+// as a constant state; the event flips s when v crosses zero. Velocity
+// zeros land at exactly k*pi regardless of mu (the half-period of the
+// shifted harmonic arcs), which gives exact analytic event times.
+
+struct CoulombOscillator {
+  double mu = 0.2;  // Coulomb friction level (x0 > 3*mu keeps it moving)
+  double x0 = 2.0;  // initial displacement (v0 = 0)
+};
+
+ode::Problem coulomb_oscillator_problem(const CoulombOscillator& cfg,
+                                        double tend);
+
+/// Analytic velocity-zero times k*pi in (0, tend], truncated before the
+/// stick regime (amplitude <= 3*mu).
+std::vector<double> coulomb_event_times(const CoulombOscillator& cfg,
+                                        double tend);
+
+// ------------------------------------------- switching stiff chemistry
+// y' = -k y with the rate carried as a state (k' = 0); when y falls
+// through `threshold` the event switches k_slow -> k_fast, turning the
+// problem stiff mid-run — the post-event restart must refresh the
+// BDF/LSODA Jacobian to survive it.
+
+struct SwitchingChemistry {
+  double k_slow = 1.0;
+  double k_fast = 1e4;
+  double threshold = 0.5;
+  double y0 = 1.0;
+};
+
+ode::Problem switching_chemistry_problem(const SwitchingChemistry& cfg,
+                                         double tend);
+
+/// Analytic switch time ln(y0 / threshold) / k_slow.
+double switching_chemistry_switch_time(const SwitchingChemistry& cfg);
+
+}  // namespace omx::models

@@ -23,6 +23,8 @@ const char* to_string(StepEventKind kind) {
     case StepEventKind::kLaneRefill: return "lane_refill";
     case StepEventKind::kLaneRetire: return "lane_retire";
     case StepEventKind::kLaneCancel: return "lane_cancel";
+    case StepEventKind::kEvent: return "event";
+    case StepEventKind::kLaneEventStop: return "lane_event_stop";
   }
   return "unknown";
 }

@@ -38,6 +38,9 @@ enum class StepEventKind : std::uint8_t {
   kLaneRefill,     // ensemble: scenario joined a batch mid-flight
   kLaneRetire,     // ensemble: scenario finished and left its batch
   kLaneCancel,     // ensemble: scenario abandoned by a cancellation flag
+  kEvent,          // zero-crossing event fired; order = event index,
+                   // t = localized event time
+  kLaneEventStop,  // ensemble: scenario retired early by a terminal event
 };
 
 /// Stable lowercase identifier ("step_accepted", ...) for exporters.

@@ -4,6 +4,7 @@
 
 #include "omx/obs/recorder.hpp"
 #include "omx/obs/trace.hpp"
+#include "omx/ode/events.hpp"
 #include "omx/ode/jacobian.hpp"
 
 namespace omx::ode {
@@ -18,6 +19,8 @@ void merge_stats(SolverStats& into, const SolverStats& from) {
   into.newton_iters += from.newton_iters;
   into.jac_factorizations += from.jac_factorizations;
   into.jac_reuse_hits += from.jac_reuse_hits;
+  into.events += from.events;
+  into.events_terminal += from.events_terminal;
 }
 
 }  // namespace
@@ -51,23 +54,55 @@ AutoSwitchRun auto_switch(const Problem& p_in, const AutoSwitchOptions& opts,
   std::size_t accepted = 0;
   std::size_t attempts = 0;
 
-  while (t < p.tend) {
+  // One handler for the whole run: cached guard signs survive method
+  // switches, so a crossing straddling a switch point still fires.
+  EventHandler events(p.events, p.n);
+  if (events.armed()) {
+    events.prime(t, y);
+  }
+  std::vector<double> yprev(p.n);
+  bool terminated = false;
+
+  while (!terminated && t < p.tend) {
     if (method == SwitchMethod::kAdams) {
       Problem sub = p;
       sub.t0 = t;
       sub.y0 = y;
       AdamsStepper stepper(sub, aopts);
-      // The stepper's startup advanced some RK4 substeps already.
+      auto make_dense = [&](double tp, const std::vector<double>& yp) {
+        return hermite_by_rhs(sub, tp, yp, stepper.t(), stepper.y(),
+                              stepper.stats());
+      };
+      // The stepper's startup advanced some RK4 substeps already —
+      // sweep that jump before the step loop.
+      if (events.armed()) {
+        yprev = y;
+        terminated = sweep_stepper_events(events, stepper, "lsoda_like", t,
+                                          yprev, rec, make_dense);
+      }
       bool stiff = false;
       std::size_t accepts_since_check = 0;
       std::size_t sigma_hits = 0;
       std::size_t accepts_total = 0;
-      while (stepper.t() < p.tend) {
+      while (!terminated && stepper.t() < p.tend) {
         poll_cancel(opts.cancel, "lsoda_like");
         if (++attempts > opts.max_steps) {
           throw omx::Error("lsoda_like: max_steps exceeded");
         }
+        const double tprev = stepper.t();
+        if (events.armed()) {
+          yprev.assign(stepper.y().begin(), stepper.y().end());
+        }
         const bool ok = stepper.step();
+        // Rejected Adams attempts still advance (shrink + history
+        // rebuild), so the sweep runs after every attempt, not just
+        // accepted ones.
+        if (events.armed() &&
+            sweep_stepper_events(events, stepper, "lsoda_like", tprev, yprev,
+                                 rec, make_dense)) {
+          terminated = true;
+          break;
+        }
         if (ok) {
           ++accepted;
           ++accepts_total;
@@ -102,6 +137,9 @@ AutoSwitchRun auto_switch(const Problem& p_in, const AutoSwitchOptions& opts,
       merge_stats(result.stats, stepper.stats());
       t = stepper.t();
       y.assign(stepper.y().begin(), stepper.y().end());
+      if (terminated) {
+        break;
+      }
       if (!stiff) {
         break;  // reached tend
       }
@@ -115,6 +153,9 @@ AutoSwitchRun auto_switch(const Problem& p_in, const AutoSwitchOptions& opts,
       sub.t0 = t;
       sub.y0 = y;
       BdfStepper stepper(sub, bopts);
+      auto make_dense = [&](double, const std::vector<double>&) {
+        return stepper.last_step_dense();
+      };
       std::size_t easy_streak = 0;
       bool relaxed = false;
       while (stepper.t() < p.tend) {
@@ -122,11 +163,22 @@ AutoSwitchRun auto_switch(const Problem& p_in, const AutoSwitchOptions& opts,
         if (++attempts > opts.max_steps) {
           throw omx::Error("lsoda_like: max_steps exceeded");
         }
+        const double tprev = stepper.t();
         const bool ok = stepper.step();
         if (ok) {
+          const std::size_t fired_before = events.events_fired();
+          if (events.armed() &&
+              sweep_stepper_events(events, stepper, "lsoda_like", tprev,
+                                   yprev, rec, make_dense)) {
+            terminated = true;
+            break;
+          }
           ++accepted;
-          if (accepted % opts.record_every == 0 ||
-              stepper.t() >= p.tend) {
+          // The BDF restart stays at the crossing; skip the cadence row
+          // after a fired event or it duplicates the event time.
+          if (events.events_fired() == fired_before &&
+              (accepted % opts.record_every == 0 ||
+               stepper.t() >= p.tend)) {
             rec.append(stepper.t(), stepper.y());
           }
           if (stepper.last_newton_iters() <= 2 &&
@@ -147,7 +199,7 @@ AutoSwitchRun auto_switch(const Problem& p_in, const AutoSwitchOptions& opts,
       merge_stats(result.stats, stepper.stats());
       t = stepper.t();
       y.assign(stepper.y().begin(), stepper.y().end());
-      if (!relaxed || t >= p.tend) {
+      if (terminated || !relaxed || t >= p.tend) {
         break;
       }
       method = SwitchMethod::kAdams;

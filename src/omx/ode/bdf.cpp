@@ -199,6 +199,8 @@ bool BdfStepper::step() {
     t_ = p_.tend;
     history_.insert(history_.begin(), ycur);
     ++stats_.steps;
+    last_node_h_ = h;
+    last_dense_points_ = 2;
     return true;
   }
   // Clipping the final step changes the grid spacing; drop to order 1
@@ -291,6 +293,17 @@ bool BdfStepper::step() {
         // prepare() refactor, reusing the still-fresh Jacobian values.
       }
     }
+    // Refresh the dense-output node geometry after any subsampling: the
+    // history is uniform at the CURRENT h_, and a clipped final step
+    // only guarantees its own two endpoints.
+    if (clipped) {
+      last_node_h_ = h;
+      last_dense_points_ = 2;
+    } else {
+      last_node_h_ = h_;
+      last_dense_points_ = std::min<std::size_t>(
+          static_cast<std::size_t>(k) + 1, history_.size());
+    }
     return true;
   }
 
@@ -317,16 +330,52 @@ SolverStats bdf(const Problem& p, const BdfOptions& opts,
   TrajectoryWriter rec(sink, scenario, p.n);
   rec.append(p.t0, p.y0);
 
+  EventHandler events(p.events, p.n);
+  std::vector<double> yprev(p.n);
+  // Localization interpolates the BDF history polynomial itself; the
+  // sweep's restart() truncates the history and invalidates the
+  // JacobianEngine, so the first post-event step re-evaluates rather
+  // than reusing a stale factorization.
+  auto make_dense = [&](double, const std::vector<double>&) {
+    return stepper.last_step_dense();
+  };
+  if (events.armed()) {
+    events.prime(p.t0, p.y0);
+    // The fixed-step bootstrap (fixed_h mode) advances RK4 substeps at
+    // construction; sweep that jump like any other.
+    yprev = p.y0;
+    if (sweep_stepper_events(events, stepper, "bdf", p.t0, yprev, rec,
+                             make_dense)) {
+      const SolverStats stats = stepper.stats();
+      publish_solver_stats(stats);
+      rec.finish(stats);
+      return stats;
+    }
+  }
+
   std::size_t accepted = 0;
   std::size_t attempts = 0;
-  while (stepper.t() < p.tend) {
+  bool terminated = false;
+  while (!terminated && stepper.t() < p.tend) {
     poll_cancel(opts.cancel, "bdf");
     if (++attempts > opts.max_steps) {
       throw omx::Error("bdf: max_steps exceeded");
     }
+    const double tprev = stepper.t();
     if (stepper.step()) {
+      const std::size_t fired_before = events.events_fired();
+      if (events.armed() &&
+          sweep_stepper_events(events, stepper, "bdf", tprev, yprev, rec,
+                               make_dense)) {
+        terminated = true;
+        break;
+      }
       ++accepted;
-      if (accepted % opts.record_every == 0 || stepper.t() >= p.tend) {
+      // An event rolled the stepper back to the crossing and recorded
+      // its pre/post rows; the step's original endpoint is void, so the
+      // cadence row would just duplicate the event time.
+      if (events.events_fired() == fired_before &&
+          (accepted % opts.record_every == 0 || stepper.t() >= p.tend)) {
         rec.append(stepper.t(), stepper.y());
       }
     }

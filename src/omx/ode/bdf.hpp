@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "omx/la/lu.hpp"
+#include "omx/ode/events.hpp"
 #include "omx/ode/jacobian.hpp"
 #include "omx/ode/sink.hpp"
 
@@ -57,6 +58,15 @@ class BdfStepper {
   /// signals the problem is no longer stiff — switch-back heuristic).
   std::size_t last_newton_iters() const { return last_newton_iters_; }
 
+  /// Dense output over the step just accepted: Lagrange evaluation of
+  /// the uniform history (the BDF interpolating polynomial the corrector
+  /// itself is built on). Valid immediately after step() returns true —
+  /// event localization is its consumer.
+  DenseOutput last_step_dense() const {
+    return DenseOutput::lagrange(t_, last_node_h_, history_,
+                                 last_dense_points_);
+  }
+
   SolverStats& stats() { return stats_; }
 
  private:
@@ -73,6 +83,10 @@ class BdfStepper {
   int order_ = 1;  // current ramped order
   // history_[0] = y_n, history_[1] = y_{n-1}, ...
   std::vector<std::vector<double>> history_;
+  // Node spacing / count for last_step_dense(), refreshed per accepted
+  // step (growth subsampling changes the spacing after the insert).
+  double last_node_h_ = 0.0;
+  std::size_t last_dense_points_ = 2;
   std::size_t last_newton_iters_ = 0;
   SolverStats stats_;
 };

@@ -5,6 +5,7 @@
 
 #include "omx/obs/recorder.hpp"
 #include "omx/obs/trace.hpp"
+#include "omx/ode/events.hpp"
 
 namespace omx::ode {
 
@@ -63,6 +64,11 @@ SolverStats dopri5(const Problem& p, const Dopri5Options& opts,
 
   double err_prev = 1.0;  // PI controller memory
   std::size_t recorded = 0;
+  EventHandler events(p.events, n);
+  if (events.armed()) {
+    events.prime(t, y);
+  }
+  bool terminated = false;
 
   for (std::size_t step = 0; step < opts.max_steps && t < p.tend; ++step) {
     poll_cancel(opts.cancel, "dopri5");
@@ -116,6 +122,33 @@ SolverStats dopri5(const Problem& p, const Dopri5Options& opts,
     if (err <= 1.0) {
       obs::record_step(obs::StepEventKind::kStepAccepted, "dopri5", 5, t,
                        h, err);
+      EventHandler::Hit hit;
+      if (events.armed()) {
+        hit = events.check(t, t + h, ytmp, "dopri5", stats, [&] {
+          return DenseOutput::dopri5(t, h, y, ytmp, k1, k3, k4, k5, k6, k7);
+        });
+      }
+      if (hit.fired) {
+        // The accepted step is truncated at the localized event time:
+        // commit the interpolated pre-event state, apply the reset, and
+        // restart with a fresh FSAL derivative and a conservative step.
+        t = hit.t;
+        ++stats.steps;
+        ++recorded;
+        rec.append(t, events.pre_state());
+        std::copy(events.post_state().begin(), events.post_state().end(),
+                  y.begin());
+        rec.append(t, y);
+        if (hit.terminal) {
+          terminated = true;
+          break;
+        }
+        p.rhs(t, y, k1);
+        ++stats.rhs_calls;
+        h = event_restart_step(y, k1, opts.tol, p.tend - p.t0, hmax, w);
+        err_prev = 1.0;
+        continue;
+      }
       t += h;
       y = ytmp;
       k1 = k7;  // FSAL
@@ -144,7 +177,7 @@ SolverStats dopri5(const Problem& p, const Dopri5Options& opts,
       }
     }
   }
-  if (t < p.tend) {
+  if (!terminated && t < p.tend) {
     throw omx::Error("dopri5: max_steps exceeded before reaching tend");
   }
   publish_solver_stats(stats);

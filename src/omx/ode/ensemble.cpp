@@ -15,6 +15,7 @@
 #include "omx/obs/recorder.hpp"
 #include "omx/obs/registry.hpp"
 #include "omx/obs/trace.hpp"
+#include "omx/ode/events.hpp"
 #include "omx/ode/jacobian.hpp"
 #include "omx/runtime/task_deque.hpp"
 #include "omx/sched/lpt.hpp"
@@ -66,6 +67,22 @@ obs::Counter& jac_plan_reuse_counter() {
 obs::Counter& lanes_cancelled_counter() {
   static obs::Counter& c =
       obs::Registry::global().counter("ensemble.lanes_cancelled");
+  return c;
+}
+
+// Lane-retire accounting keeps its reasons distinct: every finished lane
+// (tend reached OR stopped by a terminal event) counts as retired, the
+// event-stopped subset is counted again separately, and cancelled lanes
+// appear only under lanes_cancelled — the three never alias.
+obs::Counter& lanes_retired_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("ensemble.lanes_retired");
+  return c;
+}
+
+obs::Counter& lanes_event_stopped_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("ensemble.lanes_event_stopped");
   return c;
 }
 
@@ -160,11 +177,19 @@ struct StepperBase {
         active_count(active),
         rhs_total(total_rhs) {}
 
+  /// `at_event` marks a lane stopped early by a terminal event (t_stop
+  /// is its stop time); an ordinary retirement reached tend.
   void retire(std::uint32_t scenario, TrajectoryWriter& rec,
-              const SolverStats& stats) {
+              const SolverStats& stats, bool at_event = false,
+              double t_stop = 0.0) {
     publish_solver_stats(stats);
-    obs::record_lane(obs::StepEventKind::kLaneRetire, method_name,
-                     scenario, p.tend);
+    obs::record_lane(at_event ? obs::StepEventKind::kLaneEventStop
+                              : obs::StepEventKind::kLaneRetire,
+                     method_name, scenario, at_event ? t_stop : p.tend);
+    lanes_retired_counter().add();
+    if (at_event) {
+      lanes_event_stopped_counter().add();
+    }
     rec.finish(stats);
     rhs_total->fetch_add(stats.rhs_calls, std::memory_order_relaxed);
     active_count->fetch_sub(1, std::memory_order_relaxed);
@@ -398,6 +423,10 @@ class Dopri5Stepper : public StepperBase {
                     &L.ytmp, &L.yerr, &L.w}) {
       v->resize(n);
     }
+    L.events = EventHandler(p.events, n);
+    if (L.events.armed()) {
+      L.events.prime(L.t, L.y);
+    }
     L.rec = TrajectoryWriter(*sink, scenario, n);
     L.rec.append(L.t, L.y);
     lanes_.push_back(std::move(L));
@@ -481,9 +510,10 @@ class Dopri5Stepper : public StepperBase {
   struct Lane {
     std::uint32_t scenario = 0;
     double t = 0.0, h = 0.0, err_prev = 1.0;
-    bool fresh = true, done = false;
+    bool fresh = true, done = false, event_stopped = false;
     std::size_t recorded = 0, attempts = 0;
     std::vector<double> y, k1, k2, k3, k4, k5, k6, k7, ytmp, yerr, w;
+    EventHandler events;  // per-lane guard-sign cache
     TrajectoryWriter rec;
     SolverStats stats;
   };
@@ -564,21 +594,54 @@ class Dopri5Stepper : public StepperBase {
       throw_nonfinite("dopri5", L.t);
     }
     if (err <= 1.0) {
-      L.t += L.h;
-      L.y.swap(L.ytmp);
-      L.k1.swap(L.k7);  // FSAL
-      ++L.stats.steps;
-      ++L.recorded;
-      if (L.recorded % o.record_every == 0 || L.t >= p.tend) {
-        L.rec.append(L.t, L.y);
+      // Event check mirrors the scalar driver's accept branch exactly:
+      // at this point L.y/L.k1..L.k7 still hold the step's inputs and
+      // stages, L.ytmp the candidate new state — the dense-output
+      // construction and restart arithmetic are operation-for-operation
+      // identical, which preserves ensemble == scalar bitwise equality
+      // for hybrid scenarios.
+      EventHandler::Hit hit;
+      if (L.events.armed()) {
+        hit = L.events.check(L.t, L.t + L.h, L.ytmp, "dopri5", L.stats, [&] {
+          return DenseOutput::dopri5(L.t, L.h, L.y, L.ytmp, L.k1, L.k3,
+                                     L.k4, L.k5, L.k6, L.k7);
+        });
       }
-      // PI controller (Gustafsson), as in the scalar driver.
-      const double err_clamped = std::max(err, 1e-10);
-      double fac = 0.9 * std::pow(err_clamped, -0.7 / 5.0) *
-                   std::pow(L.err_prev, 0.4 / 5.0);
-      fac = std::clamp(fac, 0.2, 5.0);
-      L.h = std::min(L.h * fac, hmax_);
-      L.err_prev = err_clamped;
+      if (hit.fired) {
+        L.t = hit.t;
+        ++L.stats.steps;
+        ++L.recorded;
+        L.rec.append(L.t, L.events.pre_state());
+        std::copy(L.events.post_state().begin(),
+                  L.events.post_state().end(), L.y.begin());
+        L.rec.append(L.t, L.y);
+        if (hit.terminal) {
+          L.event_stopped = true;
+          L.done = true;
+        } else {
+          rhs(1, &L.t, L.y.data(), L.k1.data());
+          ++L.stats.rhs_calls;
+          L.h = event_restart_step(L.y, L.k1, o.tol, p.tend - p.t0, hmax_,
+                                   L.w);
+          L.err_prev = 1.0;
+        }
+      } else {
+        L.t += L.h;
+        L.y.swap(L.ytmp);
+        L.k1.swap(L.k7);  // FSAL
+        ++L.stats.steps;
+        ++L.recorded;
+        if (L.recorded % o.record_every == 0 || L.t >= p.tend) {
+          L.rec.append(L.t, L.y);
+        }
+        // PI controller (Gustafsson), as in the scalar driver.
+        const double err_clamped = std::max(err, 1e-10);
+        double fac = 0.9 * std::pow(err_clamped, -0.7 / 5.0) *
+                     std::pow(L.err_prev, 0.4 / 5.0);
+        fac = std::clamp(fac, 0.2, 5.0);
+        L.h = std::min(L.h * fac, hmax_);
+        L.err_prev = err_clamped;
+      }
     } else {
       ++L.stats.rejected;
       const double fac = std::max(0.2, 0.9 * std::pow(err, -1.0 / 5.0));
@@ -589,7 +652,7 @@ class Dopri5Stepper : public StepperBase {
       }
     }
     ++L.attempts;
-    if (L.t >= p.tend) {
+    if (L.t >= p.tend || L.done) {
       L.done = true;
     } else if (L.attempts >= o.max_steps) {
       throw omx::Error("dopri5: max_steps exceeded before reaching tend");
@@ -600,7 +663,8 @@ class Dopri5Stepper : public StepperBase {
     std::size_t w = 0;
     for (std::size_t j = 0; j < lanes_.size(); ++j) {
       if (lanes_[j].done) {
-        retire(lanes_[j].scenario, lanes_[j].rec, lanes_[j].stats);
+        retire(lanes_[j].scenario, lanes_[j].rec, lanes_[j].stats,
+               lanes_[j].event_stopped, lanes_[j].t);
       } else {
         if (w != j) {
           lanes_[w] = std::move(lanes_[j]);
@@ -797,9 +861,16 @@ void solve_ensemble(const Problem& p, Method method,
   std::mutex err_mutex;
   std::exception_ptr first_error;
 
-  const bool batched_method = method == Method::kExplicitEuler ||
-                              method == Method::kRk4 ||
-                              method == Method::kDopri5;
+  // Events shift a lane off the shared dt grid, which breaks the
+  // fixed-step lockstep assumption (all lanes share one step count) —
+  // hybrid euler/rk4 ensembles fall back to scenario-at-a-time. The
+  // dopri5 lanes already run per-lane step control and handle events
+  // natively.
+  const bool has_events = p.events != nullptr && !p.events->functions.empty();
+  const bool batched_method =
+      method == Method::kDopri5 ||
+      ((method == Method::kExplicitEuler || method == Method::kRk4) &&
+       !has_events);
 
   auto worker = [&](std::size_t w) {
     try {
@@ -831,8 +902,14 @@ void solve_ensemble(const Problem& p, Method method,
           lane_step_hist().observe(
               timer.seconds() /
               static_cast<double>(std::max<std::uint64_t>(1, st.steps)));
-          obs::record_lane(obs::StepEventKind::kLaneRetire,
+          const bool at_event = st.events_terminal > 0;
+          obs::record_lane(at_event ? obs::StepEventKind::kLaneEventStop
+                                    : obs::StepEventKind::kLaneRetire,
                            to_string(method), s, base.tend);
+          lanes_retired_counter().add();
+          if (at_event) {
+            lanes_event_stopped_counter().add();
+          }
         }
       }
     } catch (...) {

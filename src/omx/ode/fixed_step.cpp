@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "omx/obs/trace.hpp"
+#include "omx/ode/events.hpp"
 
 namespace omx::ode {
 
@@ -26,6 +27,61 @@ void check_finite(std::span<const double> y, const char* method, double t) {
   }
 }
 
+/// Event-armed fixed-step loop shared by euler and rk4: `advance` takes
+/// one step of size h from (t, y) in place and accounts its RHS calls.
+/// Events shift t off the dt grid, so the loop walks to tend instead of
+/// counting a precomputed number of steps; the smooth path below stays
+/// the untouched (bitwise-stable) step-counted loop.
+template <typename Advance>
+SolverStats fixed_step_with_events(const Problem& p,
+                                   const FixedStepOptions& opts,
+                                   TrajectorySink& sink,
+                                   std::uint32_t scenario,
+                                   const char* method, Advance advance) {
+  TrajectoryWriter rec(sink, scenario, p.n);
+  SolverStats stats;
+  std::vector<double> y = p.y0;
+  std::vector<double> yprev(p.n);
+  double t = p.t0;
+  rec.append(t, y);
+  EventHandler events(p.events, p.n);
+  events.prime(t, y);
+
+  std::size_t k = 0;
+  while (t < p.tend) {
+    poll_cancel(opts.cancel, method);
+    const double h = std::min(opts.dt, p.tend - t);
+    const double tprev = t;
+    yprev = y;
+    advance(t, y, h, stats);
+    t += h;
+    ++stats.steps;
+    check_finite(y, method, t);
+    const EventHandler::Hit hit =
+        events.check(tprev, t, y, method, stats, [&] {
+          return hermite_by_rhs(p, tprev, yprev, t, y, stats);
+        });
+    if (hit.fired) {
+      t = hit.t;
+      rec.append(t, events.pre_state());
+      std::copy(events.post_state().begin(), events.post_state().end(),
+                y.begin());
+      rec.append(t, y);
+      if (hit.terminal) {
+        break;
+      }
+      continue;  // resume on a grid anchored at the event time
+    }
+    if (k % opts.record_every == opts.record_every - 1 || t >= p.tend) {
+      rec.append(t, y);
+    }
+    ++k;
+  }
+  publish_solver_stats(stats);
+  rec.finish(stats);
+  return stats;
+}
+
 }  // namespace
 
 namespace detail {
@@ -34,6 +90,18 @@ SolverStats explicit_euler(const Problem& p, const FixedStepOptions& opts,
                            TrajectorySink& sink, std::uint32_t scenario) {
   p.validate();
   obs::Span solve_span("explicit_euler", "ode");
+  if (p.events != nullptr) {
+    std::vector<double> f(p.n);
+    return fixed_step_with_events(
+        p, opts, sink, scenario, "explicit_euler",
+        [&](double t, std::vector<double>& y, double h, SolverStats& stats) {
+          p.rhs(t, y, f);
+          ++stats.rhs_calls;
+          for (std::size_t i = 0; i < p.n; ++i) {
+            y[i] += h * f[i];
+          }
+        });
+  }
   const std::size_t steps = num_steps(p, opts.dt);
   TrajectoryWriter rec(sink, scenario, p.n);
   SolverStats stats;
@@ -72,6 +140,30 @@ SolverStats rk4(const Problem& p, const FixedStepOptions& opts,
                 TrajectorySink& sink, std::uint32_t scenario) {
   p.validate();
   obs::Span solve_span("rk4", "ode");
+  if (p.events != nullptr) {
+    std::vector<double> k1(p.n), k2(p.n), k3(p.n), k4(p.n), tmp(p.n);
+    return fixed_step_with_events(
+        p, opts, sink, scenario, "rk4",
+        [&](double t, std::vector<double>& y, double h, SolverStats& stats) {
+          p.rhs(t, y, k1);
+          for (std::size_t i = 0; i < p.n; ++i) {
+            tmp[i] = y[i] + 0.5 * h * k1[i];
+          }
+          p.rhs(t + 0.5 * h, tmp, k2);
+          for (std::size_t i = 0; i < p.n; ++i) {
+            tmp[i] = y[i] + 0.5 * h * k2[i];
+          }
+          p.rhs(t + 0.5 * h, tmp, k3);
+          for (std::size_t i = 0; i < p.n; ++i) {
+            tmp[i] = y[i] + h * k3[i];
+          }
+          p.rhs(t + h, tmp, k4);
+          stats.rhs_calls += 4;
+          for (std::size_t i = 0; i < p.n; ++i) {
+            y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+          }
+        });
+  }
   const std::size_t steps = num_steps(p, opts.dt);
   TrajectoryWriter rec(sink, scenario, p.n);
   SolverStats stats;

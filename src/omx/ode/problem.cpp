@@ -16,6 +16,8 @@ void publish_solver_stats(const SolverStats& stats) {
   static obs::Counter& jac_evals = reg.counter("ode.jac_evals");
   static obs::Counter& newton_iters = reg.counter("ode.newton_iters");
   static obs::Counter& switches = reg.counter("ode.method_switches");
+  static obs::Counter& events_fired = reg.counter("ode.events_fired");
+  static obs::Counter& events_terminal = reg.counter("ode.events_terminal");
   static obs::Counter& jac_evaluations = reg.counter("jac.evaluations");
   static obs::Counter& jac_factorizations = reg.counter("jac.factorizations");
   static obs::Counter& jac_reuse_hits = reg.counter("jac.reuse_hits");
@@ -26,6 +28,8 @@ void publish_solver_stats(const SolverStats& stats) {
   jac_evals.add(stats.jac_calls);
   newton_iters.add(stats.newton_iters);
   switches.add(stats.method_switches);
+  events_fired.add(stats.events);
+  events_terminal.add(stats.events_terminal);
   jac_evaluations.add(stats.jac_calls);
   jac_factorizations.add(stats.jac_factorizations);
   jac_reuse_hits.add(stats.jac_reuse_hits);

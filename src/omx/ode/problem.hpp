@@ -31,7 +31,8 @@ struct SparsityPattern;
 
 namespace omx::ode {
 
-struct JacPlan;  // ode/jacobian.hpp: pattern + coloring + backend choice
+struct JacPlan;    // ode/jacobian.hpp: pattern + coloring + backend choice
+struct EventSpec;  // ode/events.hpp: zero-crossing guards + resets
 
 using RhsFn = support::FunctionRef<void(double t, std::span<const double> y,
                                         std::span<double> ydot)>;
@@ -109,6 +110,14 @@ struct Problem {
   /// and share it across lanes / switch segments via Problem copies.
   std::shared_ptr<const JacPlan> jac_plan;
 
+  /// Optional hybrid-model events: zero-crossing guards with direction
+  /// filters and reset actions (see ode/events.hpp). Every driver —
+  /// including solve_ensemble lanes and auto_switch segments — detects
+  /// sign changes per accepted step, localizes the crossing with dense
+  /// output, applies the reset, and restarts cleanly. Null = smooth
+  /// problem, zero overhead.
+  std::shared_ptr<const EventSpec> events;
+
   /// Copies `f` into a keep-alive owned by this Problem and points `rhs`
   /// at it. Use for capturing lambdas and other short-lived callables;
   /// one allocation at setup time, none per evaluation.
@@ -167,6 +176,10 @@ struct SolverStats {
   /// Factorizations that reused previously evaluated Jacobian values
   /// (beta*h changed but the Jacobian was still fresh — LSODA-style).
   std::uint64_t jac_reuse_hits = 0;
+  /// Zero-crossing events fired (localized + reset applied).
+  std::uint64_t events = 0;
+  /// Events that terminated the integration before tend.
+  std::uint64_t events_terminal = 0;
 };
 
 /// Adds one completed solve's statistics to the process-wide telemetry

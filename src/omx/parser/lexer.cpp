@@ -21,6 +21,8 @@ const char* tok_kind_name(TokKind k) {
     case TokKind::kKwInstance: return "'instance'";
     case TokKind::kKwStart: return "'start'";
     case TokKind::kKwEnd: return "'end'";
+    case TokKind::kKwWhen: return "'when'";
+    case TokKind::kKwThen: return "'then'";
     case TokKind::kPlus: return "'+'";
     case TokKind::kMinus: return "'-'";
     case TokKind::kStar: return "'*'";
@@ -51,7 +53,8 @@ const std::unordered_map<std::string_view, TokKind>& keywords() {
       {"param", TokKind::kKwParam},     {"part", TokKind::kKwPart},
       {"eq", TokKind::kKwEq},           {"der", TokKind::kKwDer},
       {"instance", TokKind::kKwInstance}, {"start", TokKind::kKwStart},
-      {"end", TokKind::kKwEnd},
+      {"end", TokKind::kKwEnd},           {"when", TokKind::kKwWhen},
+      {"then", TokKind::kKwThen},
   };
   return kw;
 }

@@ -26,6 +26,8 @@ enum class TokKind : std::uint8_t {
   kKwInstance,
   kKwStart,
   kKwEnd,
+  kKwWhen,
+  kKwThen,
   kPlus,       // +
   kMinus,      // -
   kStar,       // *

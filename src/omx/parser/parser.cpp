@@ -175,8 +175,38 @@ class Parser {
       c.add_equation(e);
       return;
     }
+    if (accept(TokKind::kKwWhen)) {
+      model::WhenClause w;
+      w.loc = peek().loc;
+      // Optional direction marker. The words up/down/cross are ordinary
+      // identifiers elsewhere, but reserved in this leading position —
+      // a guard variable with one of these names needs an explicit
+      // marker first (e.g. `when cross up then ...`).
+      if (check(TokKind::kIdent)) {
+        if (peek().text == "up") {
+          w.direction = 1;
+          ++pos_;
+        } else if (peek().text == "down") {
+          w.direction = -1;
+          ++pos_;
+        } else if (peek().text == "cross") {
+          w.direction = 0;
+          ++pos_;
+        }
+      }
+      w.guard = expression();
+      expect(TokKind::kKwThen);
+      do {
+        const std::string target = qualified_name();
+        expect(TokKind::kEqual);
+        w.resets.emplace_back(ctx_.symbol(target), expression());
+      } while (accept(TokKind::kComma));
+      expect(TokKind::kSemicolon);
+      c.add_when(std::move(w));
+      return;
+    }
     throw omx::Error(
-        std::string("expected 'var', 'param', 'part' or 'eq', got ") +
+        std::string("expected 'var', 'param', 'part', 'eq' or 'when', got ") +
             tok_kind_name(peek().kind),
         peek().loc);
   }

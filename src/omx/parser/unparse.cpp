@@ -185,6 +185,22 @@ std::string unparse_model(const model::Model& m) {
       render(ctx, e.rhs, out);
       out += ";\n";
     }
+    for (const model::WhenClause& w : c.whens()) {
+      // The direction always prints explicitly, so a guard that *is* a
+      // variable named up/down/cross still round-trips.
+      out += "    when ";
+      out += w.direction > 0 ? "up " : w.direction < 0 ? "down " : "cross ";
+      render(ctx, w.guard, out);
+      out += " then ";
+      for (std::size_t i = 0; i < w.resets.size(); ++i) {
+        if (i > 0) {
+          out += ", ";
+        }
+        out += ctx.names.name(w.resets[i].first) + " = ";
+        render(ctx, w.resets[i].second, out);
+      }
+      out += ";\n";
+    }
     out += "  end\n";
   }
   for (const model::Instance& inst : m.instances()) {

@@ -5,6 +5,7 @@
 #include "omx/analysis/sparsity.hpp"
 #include "omx/obs/registry.hpp"
 #include "omx/obs/trace.hpp"
+#include "omx/ode/events.hpp"
 #include "omx/vm/interp.hpp"
 
 namespace omx::pipeline {
@@ -74,6 +75,31 @@ ode::Problem CompiledModel::make_problem(ode::RhsFn rhs, double t0,
     p.y0.push_back(s.start);
   }
   p.sparsity = sparsity;
+  if (!flat->events().empty()) {
+    // When-clause guards and resets evaluate through the expression pool
+    // rather than a compiled tape: deliberately backend-independent, so
+    // reference/interp/native all localize each event at the same time.
+    // Same lifetime contract as make_kernel: the CompiledModel must
+    // outlive the problems it produces.
+    const model::FlatSystem* fs = flat.get();
+    ode::EventSpec spec;
+    for (std::size_t k = 0; k < fs->events().size(); ++k) {
+      ode::EventFunction f;
+      const int dir = fs->events()[k].direction;
+      f.direction = dir > 0 ? ode::EventDirection::kRising
+                   : dir < 0 ? ode::EventDirection::kFalling
+                             : ode::EventDirection::kBoth;
+      f.guard = [fs, k](double t, std::span<const double> y) {
+        return fs->eval_event_guard(k, t, y);
+      };
+      f.reset = [fs, k](double t, std::span<double> y) {
+        fs->apply_event_resets(k, t, y);
+      };
+      f.name = "when_" + std::to_string(k);
+      spec.functions.push_back(std::move(f));
+    }
+    p.events = std::make_shared<const ode::EventSpec>(std::move(spec));
+  }
   return p;
 }
 

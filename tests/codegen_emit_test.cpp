@@ -13,6 +13,7 @@
 #include "omx/codegen/cpp_emit.hpp"
 #include "omx/codegen/fortran.hpp"
 #include "omx/models/bearing2d.hpp"
+#include "omx/models/hybrid.hpp"
 #include "omx/parser/parser.hpp"
 
 namespace omx::codegen {
@@ -297,6 +298,41 @@ TEST(Golden, OscillatorEmittersAreStable) {
 TEST(Golden, BearingEmittersAreStable) {
   expr::Context ctx;
   check_model_goldens("bearing", golden_bearing(ctx));
+}
+
+TEST(Golden, BouncingBallEmittersAreStable) {
+  // A model with a `when` clause: the serial surfaces additionally carry
+  // the num_events/event_direction/event_guard/event_apply block.
+  expr::Context ctx;
+  check_model_goldens(
+      "ball", model::flatten(models::build_bouncing_ball(ctx)));
+}
+
+TEST(CppEmit, EventSectionsOnlyForModelsWithWhens) {
+  expr::Context ctx;
+  model::FlatSystem smooth = flatten_src(ctx, kOscillator);
+  const Prepared ps = prepare(smooth);
+  EXPECT_EQ(emit_cpp_serial(smooth, ps.set).code.find("event_guard"),
+            std::string::npos);
+
+  expr::Context ctx2;
+  model::FlatSystem ball =
+      model::flatten(models::build_bouncing_ball(ctx2));
+  const Prepared pb = prepare(ball);
+  const EmitResult cpp = emit_cpp_serial(ball, pb.set);
+  EXPECT_NE(cpp.code.find("int num_events() { return 1; }"),
+            std::string::npos);
+  EXPECT_NE(cpp.code.find("double event_guard(int k, double t,"
+                          " const double* yin)"),
+            std::string::npos);
+  EXPECT_NE(cpp.code.find("void event_apply(int k, double t,"
+                          " double* yin)"),
+            std::string::npos);
+  const EmitResult f90 = emit_fortran_serial(ball, pb.set);
+  EXPECT_NE(f90.code.find("function event_guard(k, t, yin) result(g)"),
+            std::string::npos);
+  EXPECT_NE(f90.code.find("subroutine event_apply(k, t, yin)"),
+            std::string::npos);
 }
 
 TEST(Emit, GeneratedCppOscillatorCompilesConceptually) {

@@ -1,0 +1,219 @@
+// Hybrid-model ensemble suite: event-carrying scenarios through
+// solve_ensemble must reproduce the sequential per-scenario solves
+// bitwise, stay deterministic across worker counts and batch widths,
+// retire lanes independently at terminal events, and keep the lane
+// accounting metrics distinct. The *Stress suites run under TSan via
+// scripts/ci.sh (the Event|Hybrid filter) with event-desynchronized
+// lanes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "omx/models/coupled_osc.hpp"
+#include "omx/models/hybrid.hpp"
+#include "omx/obs/registry.hpp"
+#include "omx/ode/ensemble.hpp"
+
+namespace omx::ode {
+namespace {
+
+/// 64 drop heights — every lane bounces on its own schedule, so batches
+/// desynchronize immediately.
+EnsembleSpec ball_spec(std::size_t count, std::size_t workers,
+                       std::size_t max_batch) {
+  EnsembleSpec spec;
+  spec.workers = workers;
+  spec.max_batch = max_batch;
+  for (std::size_t i = 0; i < count; ++i) {
+    spec.initial_states.push_back(
+        {0.5 + 0.03 * static_cast<double>(i), 0.0});
+  }
+  return spec;
+}
+
+bool bitwise_equal(const Solution& a, const Solution& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double ta = a.time(i);
+    const double tb = b.time(i);
+    if (std::memcmp(&ta, &tb, sizeof(double)) != 0) {
+      return false;
+    }
+    const std::span<const double> ya = a.state(i);
+    const std::span<const double> yb = b.state(i);
+    if (std::memcmp(ya.data(), yb.data(), ya.size_bytes()) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void expect_ensemble_matches_sequential(Method method, double dt = 1e-3) {
+  const models::BouncingBall cfg;
+  const Problem base = models::bouncing_ball_problem(cfg, 1.8);
+  const EnsembleSpec spec = ball_spec(64, 4, 16);
+  SolverOptions o;
+  o.dt = dt;
+  const EnsembleResult r = solve_ensemble(base, method, o, spec);
+  ASSERT_EQ(r.solutions.size(), spec.initial_states.size());
+  for (std::size_t i = 0; i < spec.initial_states.size(); ++i) {
+    Problem p = base;
+    p.y0 = spec.initial_states[i];
+    const Solution want = solve(p, method, o);
+    EXPECT_TRUE(bitwise_equal(r.solutions[i], want))
+        << to_string(method) << " scenario " << i;
+    EXPECT_GT(r.solutions[i].stats.events, 0u) << "scenario " << i;
+  }
+}
+
+TEST(HybridEnsemble, Dopri5BitwiseMatchesSequentialSolves) {
+  expect_ensemble_matches_sequential(Method::kDopri5);
+}
+
+TEST(HybridEnsemble, FixedStepFallbackBitwiseMatchesSequentialSolves) {
+  // Events break the lockstep assumption of the batched fixed-step
+  // drivers; with events attached they take the scenario-at-a-time path,
+  // which must still reproduce plain solve bitwise.
+  expect_ensemble_matches_sequential(Method::kRk4, 2e-3);
+  expect_ensemble_matches_sequential(Method::kExplicitEuler, 2e-3);
+}
+
+TEST(HybridEnsemble, StiffMethodsMatchSequentialSolves) {
+  const models::SwitchingChemistry cfg;
+  const double ts = models::switching_chemistry_switch_time(cfg);
+  const Problem base = models::switching_chemistry_problem(cfg, ts + 0.3);
+  EnsembleSpec spec;
+  spec.workers = 4;
+  spec.max_batch = 8;
+  for (std::size_t i = 0; i < 16; ++i) {
+    spec.initial_states.push_back(
+        {cfg.y0 + 0.01 * static_cast<double>(i), cfg.k_slow});
+  }
+  SolverOptions o;
+  o.tol = {1e-8, 1e-10};
+  const EnsembleResult r = solve_ensemble(base, Method::kBdf, o, spec);
+  for (std::size_t i = 0; i < spec.initial_states.size(); ++i) {
+    Problem p = base;
+    p.y0 = spec.initial_states[i];
+    const Solution want = solve(p, Method::kBdf, o);
+    EXPECT_TRUE(bitwise_equal(r.solutions[i], want)) << "scenario " << i;
+    EXPECT_EQ(r.solutions[i].stats.events, 1u) << "scenario " << i;
+  }
+}
+
+TEST(HybridEnsemble, DeterministicAcrossWorkersAndBatchWidths) {
+  const models::BouncingBall cfg;
+  const Problem base = models::bouncing_ball_problem(cfg, 1.8);
+  SolverOptions o;
+  const EnsembleResult ref =
+      solve_ensemble(base, Method::kDopri5, o, ball_spec(64, 1, 1));
+  const std::size_t workers[] = {2, 4, 8};
+  const std::size_t widths[] = {4, 16, 64};
+  for (std::size_t c = 0; c < 3; ++c) {
+    const EnsembleResult got = solve_ensemble(
+        base, Method::kDopri5, o, ball_spec(64, workers[c], widths[c]));
+    for (std::size_t i = 0; i < 64; ++i) {
+      EXPECT_TRUE(bitwise_equal(got.solutions[i], ref.solutions[i]))
+          << workers[c] << " workers, batch " << widths[c] << ", scenario "
+          << i;
+    }
+  }
+}
+
+TEST(HybridEnsemble, TerminalEventsRetireLanesIndependently) {
+  obs::set_enabled(true);
+  obs::Registry& reg = obs::Registry::global();
+  const std::uint64_t retired0 =
+      reg.counter("ensemble.lanes_retired").value();
+  const std::uint64_t stopped0 =
+      reg.counter("ensemble.lanes_event_stopped").value();
+  const std::uint64_t cancelled0 =
+      reg.counter("ensemble.lanes_cancelled").value();
+
+  const models::BouncingBall cfg;
+  const Problem base =
+      models::bouncing_ball_problem(cfg, 5.0, /*terminal=*/true);
+  const EnsembleSpec spec = ball_spec(32, 4, 8);
+  const EnsembleResult r =
+      solve_ensemble(base, Method::kDopri5, {}, spec);
+  for (std::size_t i = 0; i < 32; ++i) {
+    const double h0 = spec.initial_states[i][0];
+    EXPECT_NEAR(r.solutions[i].final_time(),
+                std::sqrt(2.0 * h0 / cfg.g), 1e-6)
+        << "scenario " << i;
+    EXPECT_EQ(r.solutions[i].stats.events_terminal, 1u);
+  }
+  // Every lane retired, all of them at an event; none were cancelled —
+  // the three counters stay distinct (no aliasing).
+  EXPECT_EQ(reg.counter("ensemble.lanes_retired").value() - retired0, 32u);
+  EXPECT_EQ(reg.counter("ensemble.lanes_event_stopped").value() - stopped0,
+            32u);
+  EXPECT_EQ(reg.counter("ensemble.lanes_cancelled").value() - cancelled0,
+            0u);
+}
+
+TEST(HybridEnsemble, NonTerminalRunsRetireWithoutEventStops) {
+  obs::set_enabled(true);
+  obs::Registry& reg = obs::Registry::global();
+  const std::uint64_t retired0 =
+      reg.counter("ensemble.lanes_retired").value();
+  const std::uint64_t stopped0 =
+      reg.counter("ensemble.lanes_event_stopped").value();
+
+  const models::BouncingBall cfg;
+  const Problem base = models::bouncing_ball_problem(cfg, 1.0);
+  solve_ensemble(base, Method::kDopri5, {}, ball_spec(8, 2, 4));
+  EXPECT_EQ(reg.counter("ensemble.lanes_retired").value() - retired0, 8u);
+  EXPECT_EQ(reg.counter("ensemble.lanes_event_stopped").value() - stopped0,
+            0u);
+}
+
+TEST(HybridEnsembleStress, EventDesynchronizedLanesUnderContention) {
+  // Kuramoto ring with a terminal synchronization event: perturbed
+  // initial phases lock at different times, so lanes retire out of
+  // order while workers steal and repack batches — the TSan target.
+  models::CoupledOscillators cfg;
+  cfg.sync_threshold = 0.95;
+  const Problem base = models::coupled_osc_problem(cfg, 30.0);
+  EnsembleSpec spec;
+  spec.workers = 8;
+  spec.max_batch = 8;
+  for (std::size_t i = 0; i < 48; ++i) {
+    std::vector<double> y0 = base.y0;
+    for (std::size_t j = 0; j < y0.size(); ++j) {
+      y0[j] += 0.02 * static_cast<double>((i * 7 + j * 3) % 11);
+    }
+    spec.initial_states.push_back(std::move(y0));
+  }
+  SolverOptions o;
+  o.tol = {1e-7, 1e-9};
+  const EnsembleResult r = solve_ensemble(base, Method::kDopri5, o, spec);
+
+  std::size_t stopped_early = 0;
+  for (const Solution& s : r.solutions) {
+    ASSERT_GT(s.size(), 0u);
+    if (s.stats.events_terminal > 0) {
+      ++stopped_early;
+      EXPECT_LT(s.final_time(), 30.0);
+      EXPECT_GE(models::kuramoto_order(s.final_state()),
+                cfg.sync_threshold - 1e-6);
+    }
+  }
+  // Strong ring coupling locks the network well before tend.
+  EXPECT_GT(stopped_early, 0u);
+
+  // Determinism holds under contention too.
+  const EnsembleResult again =
+      solve_ensemble(base, Method::kDopri5, o, spec);
+  for (std::size_t i = 0; i < r.solutions.size(); ++i) {
+    EXPECT_TRUE(bitwise_equal(r.solutions[i], again.solutions[i]))
+        << "scenario " << i;
+  }
+}
+
+}  // namespace
+}  // namespace omx::ode

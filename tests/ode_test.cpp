@@ -8,10 +8,13 @@
 #include <limits>
 #include <string>
 
+#include <algorithm>
+
 #include "omx/obs/recorder.hpp"
 #include "omx/ode/adams.hpp"
 #include "omx/ode/dopri5.hpp"
 #include "omx/ode/ensemble.hpp"
+#include "omx/ode/events.hpp"
 #include "omx/ode/fixed_step.hpp"
 #include "omx/ode/solve.hpp"
 
@@ -430,6 +433,115 @@ TEST(Solution, RecordEveryThinsOutput) {
   const Solution st = solve(p, Method::kExplicitEuler, thin);
   EXPECT_GT(sa.size(), 50u * st.size());
   EXPECT_DOUBLE_EQ(sa.final_time(), st.final_time());
+}
+
+// ------------------------------------------------------ dense output
+// The public interpolants behind event localization (ode/events.hpp).
+
+/// One DOPRI5 step of y' = f from (t, y), returning the stages the
+/// continuous extension consumes. Standard Dormand–Prince tableau.
+struct DpStep {
+  double y1 = 0.0;
+  double k1 = 0.0, k3 = 0.0, k4 = 0.0, k5 = 0.0, k6 = 0.0, k7 = 0.0;
+};
+
+template <typename F>
+DpStep dopri5_step(F f, double t, double y, double h) {
+  DpStep s;
+  s.k1 = f(t, y);
+  const double k2 = f(t + h / 5.0, y + h * (s.k1 / 5.0));
+  s.k3 = f(t + 3.0 * h / 10.0, y + h * (3.0 / 40.0 * s.k1 + 9.0 / 40.0 * k2));
+  s.k4 = f(t + 4.0 * h / 5.0,
+           y + h * (44.0 / 45.0 * s.k1 - 56.0 / 15.0 * k2 + 32.0 / 9.0 * s.k3));
+  s.k5 = f(t + 8.0 * h / 9.0,
+           y + h * (19372.0 / 6561.0 * s.k1 - 25360.0 / 2187.0 * k2 +
+                    64448.0 / 6561.0 * s.k3 - 212.0 / 729.0 * s.k4));
+  s.k6 = f(t + h,
+           y + h * (9017.0 / 3168.0 * s.k1 - 355.0 / 33.0 * k2 +
+                    46732.0 / 5247.0 * s.k3 + 49.0 / 176.0 * s.k4 -
+                    5103.0 / 18656.0 * s.k5));
+  s.y1 = y + h * (35.0 / 384.0 * s.k1 + 500.0 / 1113.0 * s.k3 +
+                  125.0 / 192.0 * s.k4 - 2187.0 / 6784.0 * s.k5 +
+                  11.0 / 84.0 * s.k6);
+  s.k7 = f(t + h, s.y1);
+  return s;
+}
+
+/// Max interpolation error of the dopri5 continuous extension against
+/// exp(t) over one step of size h from t = 0.
+double dopri5_dense_error(double h) {
+  auto f = [](double, double y) { return y; };
+  const DpStep s = dopri5_step(f, 0.0, 1.0, h);
+  const double y0[] = {1.0};
+  const double y1[] = {s.y1};
+  const double k1[] = {s.k1}, k3[] = {s.k3}, k4[] = {s.k4}, k5[] = {s.k5},
+               k6[] = {s.k6}, k7[] = {s.k7};
+  const DenseOutput dense =
+      DenseOutput::dopri5(0.0, h, y0, y1, k1, k3, k4, k5, k6, k7);
+  double worst = 0.0;
+  double out[1];
+  for (int i = 1; i < 10; ++i) {
+    const double t = h * i / 10.0;
+    dense.eval(t, out);
+    worst = std::max(worst, std::fabs(out[0] - std::exp(t)));
+  }
+  return worst;
+}
+
+TEST(DenseOutput, Dopri5ContinuousExtensionIsFourthOrder) {
+  // A 4th-order interpolant has O(h^5) error: halving h must shrink the
+  // worst in-step error by ~2^5. Pin > 20 to allow endpoint effects.
+  const double e1 = dopri5_dense_error(0.4);
+  const double e2 = dopri5_dense_error(0.2);
+  const double e3 = dopri5_dense_error(0.1);
+  EXPECT_GT(e1 / e2, 20.0);
+  EXPECT_GT(e2 / e3, 20.0);
+  // Interpolation stays within a modest multiple of the step error.
+  EXPECT_LT(e3, 1e-8);
+  // Endpoints reproduce the step exactly.
+  const DpStep s = dopri5_step([](double, double y) { return y; },
+                               0.0, 1.0, 0.1);
+  const double y0[] = {1.0};
+  const double y1[] = {s.y1};
+  const double k1[] = {s.k1}, k3[] = {s.k3}, k4[] = {s.k4}, k5[] = {s.k5},
+               k6[] = {s.k6}, k7[] = {s.k7};
+  const DenseOutput d =
+      DenseOutput::dopri5(0.0, 0.1, y0, y1, k1, k3, k4, k5, k6, k7);
+  double out[1];
+  d.eval(0.0, out);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  d.eval(0.1, out);
+  EXPECT_DOUBLE_EQ(out[0], s.y1);
+  EXPECT_DOUBLE_EQ(d.t0(), 0.0);
+  EXPECT_DOUBLE_EQ(d.t1(), 0.1);
+}
+
+TEST(DenseOutput, HermiteReproducesCubicsExactly) {
+  // y = t^3 - 2t: cubic Hermite data at t=0 and t=2.
+  auto y = [](double t) { return t * t * t - 2.0 * t; };
+  auto dy = [](double t) { return 3.0 * t * t - 2.0; };
+  const double y0[] = {y(0.0)}, f0[] = {dy(0.0)};
+  const double y1[] = {y(2.0)}, f1[] = {dy(2.0)};
+  const DenseOutput d = DenseOutput::hermite(0.0, y0, f0, 2.0, y1, f1);
+  double out[1];
+  for (double t : {0.0, 0.37, 1.0, 1.73, 2.0}) {
+    d.eval(t, out);
+    EXPECT_NEAR(out[0], y(t), 1e-13) << "t=" << t;
+  }
+}
+
+TEST(DenseOutput, LagrangeReproducesHistoryPolynomial) {
+  // Three uniform nodes (newest first at t=1, spacing 0.25) of a
+  // quadratic: the 3-point Lagrange form is exact everywhere between.
+  auto y = [](double t) { return 2.0 * t * t - t + 0.5; };
+  std::vector<std::vector<double>> hist = {
+      {y(1.0)}, {y(0.75)}, {y(0.5)}};
+  const DenseOutput d = DenseOutput::lagrange(1.0, 0.25, hist, 3);
+  double out[1];
+  for (double t : {0.5, 0.6, 0.75, 0.9, 1.0}) {
+    d.eval(t, out);
+    EXPECT_NEAR(out[0], y(t), 1e-13) << "t=" << t;
+  }
 }
 
 }  // namespace

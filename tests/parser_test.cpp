@@ -3,6 +3,7 @@
 #include "omx/expr/eval.hpp"
 #include "omx/parser/lexer.hpp"
 #include "omx/parser/parser.hpp"
+#include "omx/parser/unparse.hpp"
 
 namespace omx::parser {
 namespace {
@@ -242,6 +243,114 @@ end
   ASSERT_EQ(eqs.size(), 2u);
   EXPECT_EQ(ctx.pool.node(eqs[0].lhs).op, expr::Op::kDer);
   EXPECT_EQ(ctx.pool.node(eqs[1].lhs).op, expr::Op::kSym);
+}
+
+// ---------------------------------------------------------------------------
+// when clauses
+// ---------------------------------------------------------------------------
+
+TEST(ModelParse, WhenClauseDirectionsAndResets) {
+  expr::Context ctx;
+  const auto m = parse_model(R"(
+model M
+  class A
+    param e = 0.8;
+    var h start 1;
+    var v start 0;
+    eq der(h) == v;
+    eq der(v) == -9.81;
+    when down h then v = -e*v, h = 0;
+    when up v then h = h;
+    when v - 1 then v = 0;
+    when cross h - 2 then v = -v;
+  end
+  instance ball : A;
+end
+)", ctx);
+  const auto& whens = m.find_class("A").whens();
+  ASSERT_EQ(whens.size(), 4u);
+  EXPECT_EQ(whens[0].direction, -1);
+  ASSERT_EQ(whens[0].resets.size(), 2u);
+  EXPECT_EQ(ctx.names.name(whens[0].resets[0].first), "v");
+  EXPECT_EQ(ctx.names.name(whens[0].resets[1].first), "h");
+  EXPECT_EQ(whens[1].direction, 1);
+  EXPECT_EQ(whens[2].direction, 0);  // bare guard defaults to cross
+  EXPECT_EQ(whens[3].direction, 0);
+}
+
+TEST(ModelParse, WhenDirectionWordsStayOrdinaryIdentifiers) {
+  // up/down/cross are contextual: only the leading position of a when
+  // guard treats them as direction markers.
+  expr::Context ctx;
+  const auto m = parse_model(R"(
+model M
+  class A
+    var up start 1;
+    var down start 0;
+    eq der(up) == down;
+    eq der(down) == -up;
+    when cross up - down then down = 0;
+  end
+  instance i : A;
+end
+)", ctx);
+  const auto& c = m.find_class("A");
+  ASSERT_EQ(c.variables().size(), 2u);
+  ASSERT_EQ(c.whens().size(), 1u);
+  EXPECT_EQ(c.whens()[0].direction, 0);
+}
+
+TEST(ModelParse, WhenClauseDiagnostics) {
+  expr::Context ctx;
+  // Missing then.
+  EXPECT_THROW(parse_model(R"(
+model M
+  class A
+    var x;
+    eq der(x) == -x;
+    when x x = 0;
+  end
+  instance i : A;
+end)", ctx),
+               omx::Error);
+  // Missing reset list.
+  EXPECT_THROW(parse_model(R"(
+model M
+  class A
+    var x;
+    eq der(x) == -x;
+    when x then;
+  end
+  instance i : A;
+end)", ctx),
+               omx::Error);
+}
+
+TEST(ModelParse, WhenClauseRoundTripsThroughUnparse) {
+  expr::Context ctx;
+  const std::string src = R"(
+model M
+  class A
+    param e = 0.8;
+    var h start 1;
+    var v start 0;
+    eq der(h) == v;
+    eq der(v) == -9.81;
+    when down h then v = -e*v, h = 0;
+    when up v - 1 then v = 0;
+  end
+  instance ball : A;
+end
+)";
+  const auto m1 = parse_model(src, ctx);
+  const std::string s1 = unparse_model(m1);
+  EXPECT_NE(s1.find("when down h then v = -e * v, h = 0;"),
+            std::string::npos);
+  EXPECT_NE(s1.find("when up v - 1 then v = 0;"), std::string::npos);
+  expr::Context ctx2;
+  const auto m2 = parse_model(s1, ctx2);
+  EXPECT_EQ(unparse_model(m2), s1);
+  ASSERT_EQ(m2.find_class("A").whens().size(), 2u);
 }
 
 }  // namespace
