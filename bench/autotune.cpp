@@ -1,0 +1,383 @@
+// Auto-tuning shootout: does the fitted cost model pick a configuration
+// competitive with exhaustive search, at a fraction of the cost?
+//
+// Two workloads, the same protocol for each:
+//
+//   1. calibrate — a handful of cheap probe runs (a scenario subset for
+//      the ensemble, a truncated time window for the stiff solve) under
+//      OMX_TUNE=calibrate feed the tune::AutoTuner cost models;
+//   2. exhaustive — every configuration on the candidate grid is
+//      measured at full size (min over repetitions), tuning off;
+//   3. compare — the tuner's pick is looked up IN the exhaustive table:
+//      auto_over_best = measured(picked) / min(measured). The gate bar
+//      is <= 1.10 ("within 10% of the best exhaustive config"), checked
+//      by scripts/bench_gate.py gate_autotune.
+//
+// Workload A: the bearing ensemble (dopri5, interp) over a
+// workers x batch-width grid — the knobs solve_ensemble's LPT-style
+// deal actually has. Workload B: the n=128 heat-PDE stiff solve (BDF)
+// over backend (dense/sparse LU) x Jacobian build threads.
+//
+// Both workloads also run once end-to-end with OMX_TUNE=on and check
+// the tuned result is bitwise identical to the untuned one: tuning only
+// moves work between workers/batches/backends whose results are
+// bitwise-pinned by construction, so it can never change answers.
+//
+// Exports BENCH_autotune.json (gauges, gated) and
+// BENCH_autotune_model.json (fitted coefficients + residuals, rendered
+// by scripts/obs_report.py --tune).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "omx/models/bearing2d.hpp"
+#include "omx/models/heat1d.hpp"
+#include "omx/obs/export.hpp"
+#include "omx/obs/registry.hpp"
+#include "omx/ode/ensemble.hpp"
+#include "omx/ode/solve.hpp"
+#include "omx/pipeline/pipeline.hpp"
+#include "omx/tune/autotuner.hpp"
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+// Candidate grids. The tuner pick below is asked for exactly these caps,
+// so its answer is always one of the measured sweep entries (pow2_grid
+// inside tune::EnsembleModel::pick enumerates powers of two up to the
+// cap — the same sets as here).
+constexpr std::size_t kScenarios = 64;
+constexpr std::size_t kCalibScenarios = 24;
+constexpr double kTend = 0.005;
+const std::size_t kWorkerGrid[] = {1, 2};
+const std::size_t kBatchGrid[] = {1, 2, 4, 8, 16};
+
+constexpr int kHeatCells = 128;
+constexpr double kHeatTend = 0.05;
+constexpr double kHeatCalibTend = 0.01;
+const int kThreadGrid[] = {1, 2, 4};
+
+double seconds_since(clock_type::time_point t0) {
+  return std::chrono::duration<double>(clock_type::now() - t0).count();
+}
+
+bool bitwise_equal(const omx::ode::Solution& a, const omx::ode::Solution& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double ta = a.time(i);
+    const double tb = b.time(i);
+    if (std::memcmp(&ta, &tb, sizeof(double)) != 0) {
+      return false;
+    }
+    const std::span<const double> ya = a.state(i);
+    const std::span<const double> yb = b.state(i);
+    if (ya.size() != yb.size() ||
+        std::memcmp(ya.data(), yb.data(), ya.size_bytes()) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  using namespace omx;
+
+  obs::set_enabled(true);
+  obs::Registry metrics;
+  const unsigned hw = std::thread::hardware_concurrency();
+  metrics.gauge("autotune.hardware_concurrency").set(static_cast<double>(hw));
+
+  // ================================================== bearing ensemble
+  models::BearingConfig cfg;  // 10 rollers as in the paper
+  pipeline::CompiledModel cm = pipeline::compile_model(
+      [&](expr::Context& ctx) { return models::build_bearing(ctx, cfg); });
+  pipeline::KernelOptions ko;
+  ko.lanes = kWorkerGrid[sizeof kWorkerGrid / sizeof kWorkerGrid[0] - 1];
+  const exec::KernelInstance kernel =
+      cm.make_kernel(exec::Backend::kInterp, ko);
+  const ode::Problem bearing = cm.make_problem(kernel, 0.0, kTend);
+
+  std::vector<std::vector<double>> starts;
+  for (std::size_t s = 0; s < kScenarios; ++s) {
+    std::vector<double> y(cm.n());
+    for (std::size_t i = 0; i < cm.n(); ++i) {
+      y[i] = cm.flat->states()[i].start +
+             1e-4 * static_cast<double>((i + 7 * s) % 13);
+    }
+    starts.push_back(std::move(y));
+  }
+
+  ode::SolverOptions eo;
+  eo.record_every = 1u << 30;  // final state only
+
+  auto run_ensemble = [&](std::size_t workers, std::size_t batch,
+                          std::size_t scenarios) {
+    ode::EnsembleSpec spec;
+    spec.initial_states.assign(starts.begin(), starts.begin() + scenarios);
+    spec.workers = workers;
+    spec.max_batch = batch;
+    ode::StatsOnlySink sink(scenarios);
+    const auto t0 = clock_type::now();
+    ode::solve_ensemble(bearing, ode::Method::kDopri5, eo, spec, sink);
+    return seconds_since(t0);
+  };
+
+  std::printf("Auto-tuning: bearing ensemble (%zu states), %zu scenarios, "
+              "dopri5 to t=%g, %u hardware threads\n\n",
+              cm.n(), kScenarios, kTend, hw);
+
+  // Calibration: a few probe configs on a scenario subset, recorded into
+  // the tuner (OMX_TUNE=calibrate semantics, set programmatically so the
+  // surrounding sweep stays untuned).
+  tune::AutoTuner::global().reset();
+  tune::set_mode(tune::Mode::kCalibrate);
+  const struct {
+    std::size_t w, b;
+  } kProbes[] = {{1, 1}, {1, 16}, {2, 4}, {2, 16}, {1, 4}};
+  const auto calib0 = clock_type::now();
+  for (const auto& probe : kProbes) {
+    run_ensemble(probe.w, probe.b, kCalibScenarios);
+  }
+  const double ens_calib_s = seconds_since(calib0);
+  tune::set_mode(tune::Mode::kOff);
+
+  // Exhaustive sweep at full size, tuning off: min of 2 reps per config.
+  std::map<std::pair<std::size_t, std::size_t>, double> sweep;
+  const auto sweep0 = clock_type::now();
+  for (const std::size_t w : kWorkerGrid) {
+    for (const std::size_t b : kBatchGrid) {
+      double best = 1e300;
+      for (int rep = 0; rep < 2; ++rep) {
+        best = std::min(best, run_ensemble(w, b, kScenarios));
+      }
+      sweep[{w, b}] = best;
+    }
+  }
+  const double ens_sweep_s = seconds_since(sweep0);
+
+  std::size_t best_w = 0, best_b = 0;
+  double best_s = 1e300;
+  std::printf("%-10s %-8s %s\n", "workers", "batch", "seconds");
+  for (const auto& [cfg_wb, secs] : sweep) {
+    std::printf("%-10zu %-8zu %.4f\n", cfg_wb.first, cfg_wb.second, secs);
+    if (secs < best_s) {
+      best_s = secs;
+      best_w = cfg_wb.first;
+      best_b = cfg_wb.second;
+    }
+  }
+
+  const std::optional<tune::EnsembleConfig> pick =
+      tune::AutoTuner::global().pick_ensemble(
+          bearing.n, kScenarios,
+          kWorkerGrid[sizeof kWorkerGrid / sizeof kWorkerGrid[0] - 1],
+          kBatchGrid[sizeof kBatchGrid / sizeof kBatchGrid[0] - 1]);
+  if (!pick) {
+    std::fprintf(stderr, "autotune: ensemble model never became ready\n");
+    return 1;
+  }
+  const double picked_s = sweep.at({pick->workers, pick->max_batch});
+  const double ens_ratio = picked_s / best_s;
+  std::printf(
+      "\nbest exhaustive: W=%zu B=%zu (%.4f s)\n"
+      "tuner pick:      W=%zu B=%zu (%.4f s measured, %.4f s predicted)\n"
+      "auto/best: %.3fx   calibration cost: %.2f s vs %.2f s sweep\n",
+      best_w, best_b, best_s, pick->workers, pick->max_batch, picked_s,
+      pick->predicted_seconds, ens_ratio, ens_calib_s, ens_sweep_s);
+
+  // End-to-end OMX_TUNE=on run: solve_ensemble consults the tuner itself
+  // and must produce bitwise-identical trajectories to the untuned run.
+  ode::EnsembleSpec dspec;
+  dspec.initial_states = starts;
+  dspec.workers = 1;
+  dspec.max_batch = 1;
+  const ode::EnsembleResult untuned =
+      ode::solve_ensemble(bearing, ode::Method::kDopri5, eo, dspec);
+  tune::set_mode(tune::Mode::kOn);
+  const ode::EnsembleResult tuned =
+      ode::solve_ensemble(bearing, ode::Method::kDopri5, eo, dspec);
+  tune::set_mode(tune::Mode::kOff);
+  bool ens_bitwise = untuned.solutions.size() == tuned.solutions.size();
+  for (std::size_t i = 0; ens_bitwise && i < tuned.solutions.size(); ++i) {
+    ens_bitwise = bitwise_equal(untuned.solutions[i], tuned.solutions[i]);
+  }
+  std::printf("tuned run bitwise == untuned: %s\n\n",
+              ens_bitwise ? "yes [MATCH]" : "NO [MISMATCH]");
+
+  metrics.gauge("autotune.bearing.scenarios")
+      .set(static_cast<double>(kScenarios));
+  metrics.gauge("autotune.bearing.auto_over_best").set(ens_ratio);
+  metrics.gauge("autotune.bearing.best_workers")
+      .set(static_cast<double>(best_w));
+  metrics.gauge("autotune.bearing.best_batch")
+      .set(static_cast<double>(best_b));
+  metrics.gauge("autotune.bearing.picked_workers")
+      .set(static_cast<double>(pick->workers));
+  metrics.gauge("autotune.bearing.picked_batch")
+      .set(static_cast<double>(pick->max_batch));
+  metrics.gauge("autotune.bearing.best_seconds").set(best_s);
+  metrics.gauge("autotune.bearing.picked_seconds").set(picked_s);
+  metrics.gauge("autotune.bearing.predicted_seconds")
+      .set(pick->predicted_seconds);
+  metrics.gauge("autotune.bearing.calibration_seconds").set(ens_calib_s);
+  metrics.gauge("autotune.bearing.exhaustive_seconds").set(ens_sweep_s);
+  metrics.gauge("autotune.bearing.tuned_bitwise_equal")
+      .set(ens_bitwise ? 1.0 : 0.0);
+
+  // ================================================== heat-PDE stiff
+  models::Heat1dConfig hcfg;
+  hcfg.n_cells = kHeatCells;
+  pipeline::CompiledModel hcm = pipeline::compile_model(
+      [&hcfg](expr::Context& ctx) { return models::build_heat1d(ctx, hcfg); });
+  ode::SolverOptions so;
+  so.tol.rtol = 1e-6;
+  so.tol.atol = 1e-9;
+  so.record_every = 1u << 30;
+
+  // One solve under an explicit (backend, threads) config. Sub-ms solves
+  // are noise-dominated one at a time, so each measurement is the mean
+  // over a small inner loop.
+  auto run_heat = [&](bool sparse, int threads, double tend, int loops) {
+    ::setenv(sparse ? "OMX_SPARSE_FORCE" : "OMX_SPARSE_DISABLE", "1", 1);
+    ode::Problem p = hcm.make_problem(exec::Backend::kInterp, 0.0, tend);
+    ode::SolverOptions o = so;
+    o.jac_threads = threads;
+    const auto t0 = clock_type::now();
+    for (int i = 0; i < loops; ++i) {
+      ode::StatsOnlySink sink(1);
+      ode::solve(p, ode::Method::kBdf, o, sink);
+    }
+    const double secs = seconds_since(t0) / loops;
+    ::unsetenv("OMX_SPARSE_FORCE");
+    ::unsetenv("OMX_SPARSE_DISABLE");
+    return secs;
+  };
+
+  std::printf("Auto-tuning: heat PDE n=%d stiff solve (BDF), backend x "
+              "jac-threads grid\n\n",
+              kHeatCells);
+
+  // Calibration on the truncated window: absolute seconds shrink ~5x but
+  // the backend/thread ranking carries over, which is all pick() needs.
+  // Each probe records one observation per inner solve via ode::solve's
+  // tune hook.
+  tune::set_mode(tune::Mode::kCalibrate);
+  const auto hcalib0 = clock_type::now();
+  for (const bool sparse : {false, true}) {
+    for (const int t : kThreadGrid) {
+      run_heat(sparse, t, kHeatCalibTend, 6);
+    }
+  }
+  const double heat_calib_s = seconds_since(hcalib0);
+  tune::set_mode(tune::Mode::kOff);
+
+  // Exhaustive sweep on the full window, tuning off.
+  std::map<std::pair<bool, int>, double> hsweep;
+  const auto hsweep0 = clock_type::now();
+  for (const bool sparse : {false, true}) {
+    for (const int t : kThreadGrid) {
+      double best = 1e300;
+      for (int rep = 0; rep < 2; ++rep) {
+        best = std::min(best, run_heat(sparse, t, kHeatTend, 8));
+      }
+      hsweep[{sparse, t}] = best;
+    }
+  }
+  const double heat_sweep_s = seconds_since(hsweep0);
+
+  bool hbest_sparse = false;
+  int hbest_t = 0;
+  double hbest_s = 1e300;
+  std::printf("%-10s %-8s %s\n", "backend", "threads", "ms/solve");
+  for (const auto& [cfg_bt, secs] : hsweep) {
+    std::printf("%-10s %-8d %.3f\n", cfg_bt.first ? "sparse" : "dense",
+                cfg_bt.second, secs * 1e3);
+    if (secs < hbest_s) {
+      hbest_s = secs;
+      hbest_sparse = cfg_bt.first;
+      hbest_t = cfg_bt.second;
+    }
+  }
+
+  const std::optional<tune::StiffConfig> hpick =
+      tune::AutoTuner::global().pick_stiff(
+          static_cast<std::size_t>(kHeatCells),
+          kThreadGrid[sizeof kThreadGrid / sizeof kThreadGrid[0] - 1]);
+  if (!hpick) {
+    std::fprintf(stderr, "autotune: stiff model never became ready\n");
+    return 1;
+  }
+  const double hpicked_s = hsweep.at({hpick->sparse, hpick->jac_threads});
+  const double heat_ratio = hpicked_s / hbest_s;
+  std::printf(
+      "\nbest exhaustive: %s T=%d (%.3f ms)\n"
+      "tuner pick:      %s T=%d (%.3f ms measured)\n"
+      "auto/best: %.3fx   calibration cost: %.2f s vs %.2f s sweep\n",
+      hbest_sparse ? "sparse" : "dense", hbest_t, hbest_s * 1e3,
+      hpick->sparse ? "sparse" : "dense", hpick->jac_threads,
+      hpicked_s * 1e3, heat_ratio, heat_calib_s, heat_sweep_s);
+
+  // End-to-end OMX_TUNE=on stiff solve: make_jac_plan takes the backend
+  // verdict from the model, solve() takes jac_threads from it. Sparse LU
+  // (natural ordering), dense LU, and any thread count all produce
+  // bitwise-identical solutions, so tuning must not change the answer.
+  const ode::Problem href =
+      hcm.make_problem(exec::Backend::kInterp, 0.0, kHeatTend);
+  const ode::Solution huntuned = ode::solve(href, ode::Method::kBdf, so);
+  tune::set_mode(tune::Mode::kOn);
+  const ode::Solution htuned = ode::solve(href, ode::Method::kBdf, so);
+  tune::set_mode(tune::Mode::kOff);
+  const bool heat_bitwise = bitwise_equal(huntuned, htuned);
+  std::printf("tuned solve bitwise == untuned: %s\n\n",
+              heat_bitwise ? "yes [MATCH]" : "NO [MISMATCH]");
+
+  metrics.gauge("autotune.heat.n").set(static_cast<double>(kHeatCells));
+  metrics.gauge("autotune.heat.auto_over_best").set(heat_ratio);
+  metrics.gauge("autotune.heat.best_sparse").set(hbest_sparse ? 1.0 : 0.0);
+  metrics.gauge("autotune.heat.best_threads")
+      .set(static_cast<double>(hbest_t));
+  metrics.gauge("autotune.heat.picked_sparse")
+      .set(hpick->sparse ? 1.0 : 0.0);
+  metrics.gauge("autotune.heat.picked_threads")
+      .set(static_cast<double>(hpick->jac_threads));
+  metrics.gauge("autotune.heat.best_seconds").set(hbest_s);
+  metrics.gauge("autotune.heat.picked_seconds").set(hpicked_s);
+  metrics.gauge("autotune.heat.calibration_seconds").set(heat_calib_s);
+  metrics.gauge("autotune.heat.exhaustive_seconds").set(heat_sweep_s);
+  metrics.gauge("autotune.heat.tuned_bitwise_equal")
+      .set(heat_bitwise ? 1.0 : 0.0);
+
+  // Residual quality, report-only in the gate: r2 of the fitted models.
+  {
+    const std::string mj = tune::AutoTuner::global().model_json();
+    if (!obs::validate_json(mj)) {
+      std::fprintf(stderr, "autotune: model_json failed validation\n");
+      return 1;
+    }
+    if (!obs::write_file("BENCH_autotune_model.json", mj)) {
+      std::fprintf(stderr, "cannot write BENCH_autotune_model.json\n");
+      return 1;
+    }
+    std::printf("wrote BENCH_autotune_model.json\n");
+  }
+
+  const char* out_path = "BENCH_autotune.json";
+  if (!obs::write_file(out_path, obs::metrics_json(metrics.snapshot()))) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

@@ -48,6 +48,12 @@ struct Args {
   std::size_t executors = 2;
   std::size_t queue_cap = 8;
   std::string out = "BENCH_service.json";
+  // --autotune: submit multi-scenario jobs with "autotune": true so the
+  // daemon's cost model calibrates on the early jobs (which cycle
+  // through several worker/batch configs) and picks the configuration
+  // for the later ones.
+  bool autotune = false;
+  std::size_t job_scenarios = 4;  // scenarios per job in autotune mode
 };
 
 struct ClientResult {
@@ -80,21 +86,40 @@ void run_client(const Args& args, const std::string& host,
           ? client.compile_builtin("oscillator")
           : client.compile_builtin(args.model, args.rollers);
 
+  // Calibration diversity for --autotune: before the daemon's model is
+  // ready, jobs run with the explicit config they carry, so cycling a
+  // few distinct worker/batch shapes across jobs hands the model the
+  // spread of configurations it needs to fit.
+  static constexpr struct {
+    std::size_t workers, max_batch;
+  } kCalib[] = {{1, 1}, {2, 4}, {1, 8}, {2, 16}};
+
   for (std::size_t j = 0; j < args.scenarios; ++j) {
     svc::SubmitRequest req;
     req.model = model.model;
     req.method = args.method;
     req.tend = args.tend;
-    req.scenarios = 1;
+    req.scenarios = args.autotune ? args.job_scenarios : 1;
     req.record_every = args.record_every;
-    req.y0s = model.y0;
-    // Distinct initial condition per job, small against the bearing
+    if (args.autotune) {
+      req.autotune = true;
+      const auto& cfg = kCalib[j % (sizeof kCalib / sizeof kCalib[0])];
+      req.workers = cfg.workers;
+      req.max_batch = cfg.max_batch;
+    }
+    // Distinct initial condition per scenario, small against the bearing
     // clearance (same perturbation scheme as examples/param_sweep.cpp).
-    if (req.y0s.size() > 1) {
-      const double frac =
-          static_cast<double>(idx * args.scenarios + j + 1) /
-          static_cast<double>(args.clients * args.scenarios + 1);
-      req.y0s[1] += frac * 1e-5;
+    for (std::size_t s = 0; s < req.scenarios; ++s) {
+      std::vector<double> y0 = model.y0;
+      if (y0.size() > 1) {
+        const double frac =
+            static_cast<double>(
+                (idx * args.scenarios + j) * args.job_scenarios + s + 1) /
+            static_cast<double>(
+                args.clients * args.scenarios * args.job_scenarios + 1);
+        y0[1] += frac * 1e-5;
+      }
+      req.y0s.insert(req.y0s.end(), y0.begin(), y0.end());
     }
 
     Stopwatch timer;
@@ -177,6 +202,11 @@ int main(int argc, char** argv) {
       args.queue_cap = static_cast<std::size_t>(std::atol(next()));
     } else if (arg == "--out") {
       args.out = next();
+    } else if (arg == "--autotune") {
+      args.autotune = true;
+    } else if (arg == "--job-scenarios") {
+      args.job_scenarios =
+          std::max<std::size_t>(1, static_cast<std::size_t>(std::atol(next())));
     } else if (arg == "--connect") {
       const std::string hp = next();
       const std::size_t colon = hp.rfind(':');
@@ -282,6 +312,7 @@ int main(int argc, char** argv) {
   metrics.gauge("service.p99_over_p50").set(p50 > 0.0 ? p99 / p50 : 0.0);
   metrics.gauge("service.jobs_per_s").set(jobs_per_s);
   metrics.gauge("service.wall_seconds").set(wall_s);
+  metrics.gauge("service.autotune").set(args.autotune ? 1.0 : 0.0);
   metrics.gauge("service.hardware_concurrency")
       .set(static_cast<double>(std::thread::hardware_concurrency()));
   if (!obs::write_file(args.out, obs::metrics_json(metrics.snapshot()))) {
@@ -293,5 +324,7 @@ int main(int argc, char** argv) {
   if (server) {
     server->stop();
   }
-  return total.jobs_ok == jobs_total ? 0 : 1;
+  // Dropped rows are a streaming-integrity failure even when every job
+  // nominally succeeded — fail the run, not just the gate.
+  return (total.jobs_ok == jobs_total && dropped == 0) ? 0 : 1;
 }

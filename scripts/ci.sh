@@ -22,11 +22,12 @@
 # summary to <build-dir>/coverage.txt. Report-only: low coverage does not
 # fail the job, only missing coverage data does.
 # With --service the tree is built, a real omxd daemon is booted on an
-# ephemeral port, bench/loadgen drives it (8 clients x 32 bearing jobs
-# over TCP), and the resulting BENCH_service.json is gated with
-# scripts/bench_gate.py --only service. The daemon's shutdown artifacts
-# (metrics + per-session service report) stay in the build dir for the
-# CI upload step.
+# ephemeral port, bench/loadgen drives it twice (8 clients x 32 bearing
+# jobs over TCP, then a 4-client --autotune pass that exercises
+# daemon-side config selection), and the resulting BENCH_service.json
+# files are gated with scripts/bench_gate.py --only service. The
+# daemon's shutdown artifacts (metrics, per-session service report,
+# fitted cost model) stay in the build dir for the CI upload step.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -110,10 +111,12 @@ if [[ $MODE == tsan ]]; then
   # concurrent SUBMIT/CANCEL stress against a live in-process server.
   # Event|Hybrid covers the event-handling suites, including the
   # HybridEnsembleStress run where event-desynchronized lanes retire
-  # out of order while workers steal and repack batches.
+  # out of order while workers steal and repack batches. Tune covers
+  # the auto-tuner suites, including the concurrent record/pick stress
+  # against the shared AutoTuner singleton.
   OMX_POOL_STEALING=1 OMX_OBS_ENABLED=1 OMX_OBS_TRACE=1 \
     ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
-      -R 'RuntimeStress|WorkerPool|ParallelRhs|ParallelColoredFd|Svc|Event|Hybrid'
+      -R 'RuntimeStress|WorkerPool|ParallelRhs|ParallelColoredFd|Svc|Event|Hybrid|Tune'
   echo "CI OK (TSan)"
   exit 0
 fi
@@ -135,6 +138,7 @@ if [[ $MODE == service ]]; then
   "$BUILD_DIR"/src/omxd --port 0 --executors 2 --queue-cap 8 \
     --metrics "$BUILD_DIR"/svc_metrics.json \
     --service-json "$BUILD_DIR"/svc_service.json \
+    --tune-json "$BUILD_DIR"/svc_tune.json \
     >"$OMXD_LOG" 2>&1 &
   OMXD_PID=$!
   trap 'kill "$OMXD_PID" 2>/dev/null || true' EXIT
@@ -157,6 +161,16 @@ if [[ $MODE == service ]]; then
     --clients 8 --scenarios 32)
   test -s "$BUILD_DIR"/BENCH_service.json
 
+  echo "== service: loadgen autotune (daemon-side config selection) =="
+  # Exercises the SUBMIT autotune flag: early jobs calibrate the daemon's
+  # cost model with client-cycled configs, later jobs run on model picks.
+  # loadgen itself exits nonzero unless jobs_ok == jobs_total and no
+  # trajectory frames were dropped.
+  mkdir -p "$BUILD_DIR"/autotune-svc
+  (cd "$BUILD_DIR"/autotune-svc && ../bench/loadgen \
+    --connect 127.0.0.1:"$PORT" --clients 4 --scenarios 16 --autotune)
+  test -s "$BUILD_DIR"/autotune-svc/BENCH_service.json
+
   echo "== service: graceful daemon shutdown writes artifacts =="
   kill -TERM "$OMXD_PID"
   wait "$OMXD_PID"
@@ -164,6 +178,9 @@ if [[ $MODE == service ]]; then
   cat "$OMXD_LOG"
   test -s "$BUILD_DIR"/svc_metrics.json
   test -s "$BUILD_DIR"/svc_service.json
+  # The autotune loadgen pass raised the daemon's tune mode, so the
+  # shutdown dump must contain the fitted cost model.
+  test -s "$BUILD_DIR"/svc_tune.json
 
   echo "== service: per-session report =="
   python3 scripts/obs_report.py --service "$BUILD_DIR"/svc_service.json \
@@ -172,6 +189,8 @@ if [[ $MODE == service ]]; then
 
   echo "== service: bench gate =="
   python3 scripts/bench_gate.py --current "$BUILD_DIR" --only service
+  python3 scripts/bench_gate.py --current "$BUILD_DIR"/autotune-svc \
+    --only service
   echo "CI OK (service)"
   exit 0
 fi
@@ -227,6 +246,14 @@ test -s "$BUILD_DIR"/BENCH_sparse.json
 echo "== bench: SIMD lane throughput =="
 (cd "$BUILD_DIR" && ./bench/simd)
 test -s "$BUILD_DIR"/BENCH_simd.json
+
+echo "== bench: performance-model auto-tuning =="
+(cd "$BUILD_DIR" && ./bench/autotune)
+test -s "$BUILD_DIR"/BENCH_autotune.json
+test -s "$BUILD_DIR"/BENCH_autotune_model.json
+python3 scripts/obs_report.py --tune "$BUILD_DIR"/BENCH_autotune_model.json \
+  | tee "$BUILD_DIR"/tune_report.txt
+test -s "$BUILD_DIR"/tune_report.txt
 
 echo "== bench regression gate =="
 python3 scripts/bench_gate.py --current "$BUILD_DIR"

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "omx/sched/lpt.hpp"
 #include "omx/support/simd.hpp"
 #include "omx/support/timer.hpp"
+#include "omx/tune/autotuner.hpp"
 
 namespace omx::ode {
 
@@ -801,6 +803,11 @@ void run_batched_worker(Stepper& st, WorkSource& ws, std::size_t w,
   }
 }
 
+/// Largest batch width the auto-tuner may pick. The candidate grid is
+/// independent of the caller's spec.max_batch by design — overriding a
+/// bad caller guess is the point — but it must stop somewhere.
+constexpr std::size_t kTuneBatchCap = 64;
+
 }  // namespace
 
 void solve_ensemble(const Problem& p, Method method,
@@ -853,6 +860,28 @@ void solve_ensemble(const Problem& p, Method method,
   const std::size_t lw = simd::lane_width();
   if (max_batch > lw) {
     max_batch -= max_batch % lw;
+  }
+
+  // Auto-tuned configuration: with OMX_TUNE=on and a ready cost model
+  // for this problem size, the model's pick overrides the caller's
+  // workers/max_batch. Only the schedule shape changes — per-lane step
+  // control never depends on worker or batch assignment, so a tuned run
+  // produces bitwise-identical trajectories to an untuned one.
+  if (tune::mode() == tune::Mode::kOn) {
+    const std::size_t hw =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    if (const std::optional<tune::EnsembleConfig> cfg =
+            tune::AutoTuner::global().pick_ensemble(
+                p.n, ns, std::min(ns, hw), kTuneBatchCap)) {
+      nw = std::clamp<std::size_t>(cfg->workers, 1, ns);
+      if (p.batch_lanes > 0) {
+        nw = std::min(nw, p.batch_lanes);
+      }
+      max_batch = std::max<std::size_t>(1, cfg->max_batch);
+      if (max_batch > lw) {
+        max_batch -= max_batch % lw;
+      }
+    }
   }
 
   WorkSource ws(nw, ns);
@@ -946,6 +975,16 @@ void solve_ensemble(const Problem& p, Method method,
     rate_gauge().set(
         static_cast<double>(total_rhs.load(std::memory_order_relaxed)) /
         secs);
+  }
+
+  // Feed the cost model with what actually ran (post-clamp nw/max_batch,
+  // measured makespan, total lane-RHS work). calibrate and on both
+  // record; off leaves the tuner untouched.
+  if (tune::mode() != tune::Mode::kOff && secs > 0.0) {
+    tune::AutoTuner::global().record_ensemble(
+        {p.n, ns, nw, batched_method ? max_batch : 1,
+         static_cast<double>(total_rhs.load(std::memory_order_relaxed)),
+         secs});
   }
 }
 

@@ -217,6 +217,9 @@ SubmitResult Client::submit(const SubmitRequest& req) {
   if (req.max_batch > 0) {
     js << ", \"max_batch\": " << req.max_batch;
   }
+  if (req.autotune) {
+    js << ", \"autotune\": true";
+  }
   js << "}";
   m.json = js.str();
   if (!req.y0s.empty()) {

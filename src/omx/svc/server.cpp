@@ -18,6 +18,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -36,6 +37,7 @@
 #include "omx/runtime/admission.hpp"
 #include "omx/support/json.hpp"
 #include "omx/support/timer.hpp"
+#include "omx/tune/autotuner.hpp"
 
 namespace omx::svc {
 
@@ -70,6 +72,11 @@ obs::Counter& jobs_cancelled_total() {
 obs::Counter& jobs_rejected_total() {
   static obs::Counter& c =
       obs::Registry::global().counter("svc.jobs_rejected");
+  return c;
+}
+obs::Counter& jobs_autotuned_total() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("svc.jobs_autotuned");
   return c;
 }
 obs::Counter& frames_sent_total() {
@@ -188,6 +195,7 @@ struct Job {
   double t0 = 0.0;
   double tend = 1.0;
   bool stream = true;
+  bool autotune = false;  // let the daemon's cost model pick workers/batch
   bool queued = false;  // admitted into the wait queue (vs a free slot)
   std::atomic<bool> cancel{false};
   std::atomic<bool> finished{false};
@@ -814,6 +822,14 @@ void Server::Impl::handle_submit(const std::shared_ptr<Conn>& conn,
       "workers", static_cast<double>(opts.job_workers)));
   job->spec.max_batch = static_cast<std::size_t>(req.get_number(
       "max_batch", static_cast<double>(job->spec.max_batch)));
+  job->autotune = req.get_bool("autotune", false);
+  if (job->autotune && tune::mode() == tune::Mode::kOff) {
+    // Server-side tuning is requested per job, not through the daemon's
+    // environment: raise the process mode to calibrate so solve_ensemble
+    // feeds the cost model; the pick itself happens in run_job, so the
+    // global mode never needs to reach "on".
+    tune::set_mode(tune::Mode::kCalibrate);
+  }
 
   job->spec.initial_states.resize(scenarios);
   if (!m.binary.empty()) {
@@ -919,6 +935,22 @@ void Server::Impl::run_job(const std::shared_ptr<Job>& job) {
   try {
     const ode::Problem problem =
         job->model->cm.make_problem(job->model->kernel, job->t0, job->tend);
+    if (job->autotune) {
+      // Daemon-side configuration pick: once enough submitted jobs have
+      // calibrated the model for this problem size, override the
+      // client's workers/batch with the fitted pick. Until then the
+      // client's settings run as-is (and calibrate the model).
+      const std::size_t ns = job->spec.initial_states.size();
+      const std::size_t hw =
+          std::max<std::size_t>(1, std::thread::hardware_concurrency());
+      if (const std::optional<tune::EnsembleConfig> cfg =
+              tune::AutoTuner::global().pick_ensemble(
+                  problem.n, ns, std::min(ns, hw), 64)) {
+        job->spec.workers = cfg->workers;
+        job->spec.max_batch = cfg->max_batch;
+        jobs_autotuned_total().add();
+      }
+    }
     ode::solve_ensemble(problem, job->method, job->sopts, job->spec, sink);
   } catch (const ode::Cancelled&) {
     cancelled = true;

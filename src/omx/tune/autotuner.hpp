@@ -1,0 +1,101 @@
+// Performance-model-driven auto-tuning: the layer that turns the obs
+// telemetry into configuration choices.
+//
+// The paper's §3.2.3 semi-dynamic scheduler repartitions tasks from
+// measured times; the AutoTuner generalizes the idea to every runtime
+// knob the system has grown. It accumulates measured runs (calibration
+// probes or production solves), fits the tune/costmodel.hpp models per
+// problem size, and answers "which configuration should this run use?"
+// for the ode::solve / solve_ensemble entry points and the omxd daemon.
+//
+// Modes (OMX_TUNE, overridable in-process with set_mode):
+//   off        — default; the tuner is inert, zero behavior change.
+//   calibrate  — solves record observations and models refit, but the
+//                caller's configuration is never overridden. Use to
+//                gather a model before switching on.
+//   on         — solves record AND consult: ensemble worker/batch and
+//                stiff jac_threads / sparse-vs-dense come from the
+//                fitted model when one is ready (callers' explicit
+//                settings are the fallback while it warms up).
+//
+// Online drift handling: every recorded run is compared against the
+// model's prediction; a relative error above OMX_TUNE_DRIFT (default
+// 0.5) counts a drift event and forces an immediate refit, so the model
+// tracks machine load changes instead of fossilizing the calibration
+// conditions. Models also refit on a fixed cadence of new samples.
+//
+// Export: model_json() renders every fitted model — terms, coefficients,
+// r2, per-observation predicted-vs-measured residuals — in the same
+// spirit as the BENCH_*.json exports; bench/autotune and omxd write it
+// next to their metrics artifacts, and OMX_TUNE_EXPORT=path makes any
+// process write it at exit. scripts/obs_report.py --tune renders it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "omx/tune/costmodel.hpp"
+
+namespace omx::tune {
+
+enum class Mode { kOff, kCalibrate, kOn };
+
+/// Current mode: OMX_TUNE at first use, set_mode afterwards.
+Mode mode();
+void set_mode(Mode m);
+const char* to_string(Mode m);
+
+class AutoTuner {
+ public:
+  /// The process-wide tuner the solver entry points and the daemon
+  /// consult. Thread-safe (one mutex; record/pick are far off any inner
+  /// loop — once per solve, not per step).
+  static AutoTuner& global();
+
+  AutoTuner();
+  AutoTuner(const AutoTuner&) = delete;
+  AutoTuner& operator=(const AutoTuner&) = delete;
+
+  // --- ensemble ------------------------------------------------------
+  void record_ensemble(const EnsembleObservation& obs);
+  /// Fitted pick for an S-scenario ensemble of an n-state problem, or
+  /// nullopt while no ready model exists for that problem size.
+  std::optional<EnsembleConfig> pick_ensemble(std::size_t problem_n,
+                                              std::size_t scenarios,
+                                              std::size_t max_workers,
+                                              std::size_t max_batch);
+  bool ensemble_ready(std::size_t problem_n) const;
+  double predict_ensemble(std::size_t problem_n, std::size_t scenarios,
+                          std::size_t workers, std::size_t batch) const;
+
+  // --- stiff ---------------------------------------------------------
+  void record_stiff(const StiffObservation& obs);
+  std::optional<StiffConfig> pick_stiff(std::size_t problem_n,
+                                        int max_threads);
+  /// Backend-only verdict for make_jac_plan (nullopt = no opinion).
+  std::optional<bool> stiff_backend(std::size_t problem_n);
+
+  // --- export / lifecycle --------------------------------------------
+  /// Machine-readable model dump: coefficients + residuals per model.
+  std::string model_json() const;
+  bool export_json(const std::string& path) const;
+  /// Drops every model and observation (tests, daemon restart).
+  void reset();
+
+  std::uint64_t picks() const;
+  std::uint64_t drift_events() const;
+  std::uint64_t refits() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::size_t, EnsembleModel> ensembles_;
+  std::map<std::size_t, StiffModel> stiffs_;
+  std::map<std::size_t, std::size_t> ensemble_new_samples_;
+  std::map<std::size_t, std::size_t> stiff_new_samples_;
+  double drift_threshold_;
+};
+
+}  // namespace omx::tune

@@ -1,0 +1,240 @@
+#include "omx/tune/costmodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "omx/support/diagnostics.hpp"
+
+namespace omx::tune {
+
+namespace {
+
+/// Effective parallelism of an ensemble configuration: workers beyond
+/// the hardware thread count timeshare, and workers beyond the batch
+/// count idle (the LPT deal hands each worker at most ceil(S/B) full
+/// batches' worth of scenarios).
+std::size_t effective_workers(std::size_t workers, std::size_t scenarios,
+                              std::size_t batch, std::size_t hw) {
+  const std::size_t batches =
+      batch > 0 ? (scenarios + batch - 1) / batch : scenarios;
+  std::size_t w = std::max<std::size_t>(1, workers);
+  w = std::min(w, std::max<std::size_t>(1, hw));
+  w = std::min(w, std::max<std::size_t>(1, batches));
+  return w;
+}
+
+/// Candidate grid: powers of two up to `cap`, plus `cap` itself.
+std::vector<std::size_t> pow2_grid(std::size_t cap) {
+  std::vector<std::size_t> g;
+  for (std::size_t v = 1; v <= cap; v *= 2) {
+    g.push_back(v);
+  }
+  if (g.empty() || g.back() != cap) {
+    g.push_back(std::max<std::size_t>(1, cap));
+  }
+  return g;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- ensemble
+
+EnsembleModel::EnsembleModel(std::size_t hw_threads) : hw_(hw_threads) {
+  if (hw_ == 0) {
+    hw_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+}
+
+std::vector<double> EnsembleModel::features(std::size_t scenarios,
+                                            std::size_t workers,
+                                            std::size_t batch,
+                                            double lane_evals,
+                                            std::size_t hw) {
+  const std::size_t b = std::max<std::size_t>(1, batch);
+  const double weff = static_cast<double>(
+      effective_workers(workers, scenarios, b, hw));
+  return {lane_evals / static_cast<double>(b) / weff,  // dispatches/worker
+          lane_evals / weff,                           // lane evals/worker
+          static_cast<double>(workers)};               // spawn overhead
+}
+
+void EnsembleModel::add(const EnsembleObservation& obs) {
+  if (obs.scenarios == 0 || obs.seconds <= 0.0 || obs.lane_evals <= 0.0) {
+    return;
+  }
+  if (window_.size() >= kWindowCap) {
+    window_.erase(window_.begin());
+  }
+  window_.push_back(obs);
+}
+
+bool EnsembleModel::refit() {
+  if (window_.empty()) {
+    return false;
+  }
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  double evals = 0.0, scen = 0.0;
+  for (const EnsembleObservation& o : window_) {
+    rows.push_back(features(o.scenarios, o.workers, o.batch, o.lane_evals,
+                            hw_));
+    y.push_back(o.seconds);
+    evals += o.lane_evals;
+    scen += static_cast<double>(o.scenarios);
+  }
+  fit_ = fit_least_squares(rows, y);
+  evals_per_scenario_ = scen > 0.0 ? evals / scen : 0.0;
+  return ready();
+}
+
+bool EnsembleModel::ready() const {
+  if (fit_.coef.empty() || fit_.degenerate || evals_per_scenario_ <= 0.0) {
+    return false;
+  }
+  std::set<std::pair<std::size_t, std::size_t>> configs;
+  for (const EnsembleObservation& o : window_) {
+    configs.insert({o.workers, o.batch});
+  }
+  return configs.size() >= 3;
+}
+
+double EnsembleModel::predict(std::size_t scenarios, std::size_t workers,
+                              std::size_t batch) const {
+  OMX_REQUIRE(!fit_.coef.empty(), "EnsembleModel::predict before refit");
+  const double evals =
+      evals_per_scenario_ * static_cast<double>(scenarios);
+  const std::vector<double> row =
+      features(scenarios, workers, batch, evals, hw_);
+  // Cost surfaces are nonnegative; a tiny negative prediction from an
+  // imperfect fit must not outrank every real configuration.
+  return std::max(0.0, fit_.predict(row));
+}
+
+EnsembleConfig EnsembleModel::pick(std::size_t scenarios,
+                                   std::size_t max_workers,
+                                   std::size_t max_batch) const {
+  OMX_REQUIRE(ready(), "EnsembleModel::pick requires a ready model");
+  EnsembleConfig best;
+  bool first = true;
+  for (const std::size_t w : pow2_grid(std::max<std::size_t>(
+           1, std::min(max_workers, std::max<std::size_t>(1, scenarios))))) {
+    for (const std::size_t b :
+         pow2_grid(std::max<std::size_t>(1, max_batch))) {
+      const double pred = predict(scenarios, w, b);
+      if (first || pred < best.predicted_seconds) {
+        best = {w, b, pred};
+        first = false;
+      }
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------- stiff
+
+std::vector<double> StiffModel::features(int threads) {
+  const double t = static_cast<double>(std::max(1, threads));
+  return {1.0, 1.0 / t, t};
+}
+
+void StiffModel::add(const StiffObservation& obs) {
+  if (obs.seconds <= 0.0) {
+    return;
+  }
+  if (window_.size() >= kWindowCap) {
+    window_.erase(window_.begin());
+  }
+  window_.push_back(obs);
+}
+
+bool StiffModel::refit() {
+  for (const bool sparse : {false, true}) {
+    std::vector<std::vector<double>> rows;
+    std::vector<double> y;
+    for (const StiffObservation& o : window_) {
+      if (o.sparse == sparse) {
+        rows.push_back(features(o.jac_threads));
+        y.push_back(o.seconds);
+      }
+    }
+    (sparse ? sparse_fit_ : dense_fit_) = fit_least_squares(rows, y);
+  }
+  return has_backend(false) || has_backend(true);
+}
+
+bool StiffModel::has_backend(bool sparse) const {
+  for (const StiffObservation& o : window_) {
+    if (o.sparse == sparse) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double StiffModel::predict(bool sparse, int threads) const {
+  const FitResult& f = sparse ? sparse_fit_ : dense_fit_;
+  if (!f.coef.empty() && !f.degenerate) {
+    return std::max(0.0, f.predict(features(threads)));
+  }
+  // Degenerate fit (fewer than 3 distinct thread counts observed):
+  // predict the mean of the nearest observed thread count instead of
+  // extrapolating a singular curve.
+  double best_dist = 0.0, sum = 0.0;
+  std::size_t count = 0;
+  int nearest = -1;
+  for (const StiffObservation& o : window_) {
+    if (o.sparse != sparse) {
+      continue;
+    }
+    const double d = std::fabs(static_cast<double>(o.jac_threads - threads));
+    if (nearest < 0 || d < best_dist) {
+      best_dist = d;
+      nearest = o.jac_threads;
+      sum = 0.0;
+      count = 0;
+    }
+    if (o.jac_threads == nearest) {
+      sum += o.seconds;
+      ++count;
+    }
+  }
+  OMX_REQUIRE(count > 0, "StiffModel::predict: no observations for backend");
+  return sum / static_cast<double>(count);
+}
+
+std::optional<StiffConfig> StiffModel::pick(int max_threads) const {
+  std::optional<StiffConfig> best;
+  for (const bool sparse : {false, true}) {
+    if (!has_backend(sparse)) {
+      continue;
+    }
+    const FitResult& f = sparse ? sparse_fit_ : dense_fit_;
+    std::vector<int> candidates;
+    if (!f.coef.empty() && !f.degenerate) {
+      for (const std::size_t t :
+           pow2_grid(static_cast<std::size_t>(std::max(1, max_threads)))) {
+        candidates.push_back(static_cast<int>(t));
+      }
+    } else {
+      // Degenerate: only rank thread counts we actually measured.
+      std::set<int> seen;
+      for (const StiffObservation& o : window_) {
+        if (o.sparse == sparse && o.jac_threads <= max_threads) {
+          seen.insert(o.jac_threads);
+        }
+      }
+      candidates.assign(seen.begin(), seen.end());
+    }
+    for (const int t : candidates) {
+      const double pred = predict(sparse, t);
+      if (!best || pred < best->predicted_seconds) {
+        best = StiffConfig{sparse, t, pred};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace omx::tune

@@ -1,0 +1,156 @@
+// Analytical cost models for the runtime configuration knobs.
+//
+// The system has grown knobs the paper's semi-dynamic LPT never had to
+// pick: ensemble worker count and SoA batch width, Jacobian
+// color-group threads, sparse-vs-dense stiff backend. Each knob's cost
+// surface is simple enough that an Extra-P-style compositional model —
+// a linear combination of a few hand-chosen terms fitted by least
+// squares to a handful of measured calibration runs — predicts makespan
+// well enough to rank configurations. Two model families:
+//
+//  * EnsembleModel — solve_ensemble makespan as a function of
+//    (scenarios, workers, batch width). Work is measured in lane-RHS
+//    evaluations E (a machine-independent count: per-lane step control
+//    is bitwise identical across configurations, so E is a property of
+//    the scenario set alone). The LPT schedule shape enters through the
+//    effective worker count W_eff = min(W, hw_threads, ceil(S/B)):
+//    workers beyond the batch count or the core count add overhead but
+//    no throughput. Terms:
+//
+//      seconds ~ a * (E/B)/W_eff   batched dispatch count per worker
+//             + b *  E   /W_eff    per-lane marginal evaluation cost
+//             + c *  W             per-worker constant (spawn/handshake)
+//
+//  * StiffModel — one stiff solve's wall time as a function of the
+//    Jacobian build thread count T, per factorization backend
+//    (dense/sparse): seconds ~ s0 + s1/T + s2*T. The 1/T term is the
+//    parallelizable color-group build, the T term the spawn/join
+//    overhead that makes oversubscription lose. Backends fit
+//    independently; picking compares the two fitted curves.
+//
+// Models fit from as few as 3-4 observations and tolerate degenerate
+// inputs (see tune/fit.hpp); a degenerate fit refuses to rank
+// configurations rather than extrapolating garbage.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "omx/tune/fit.hpp"
+
+namespace omx::tune {
+
+// ------------------------------------------------------------- ensemble
+
+/// One measured solve_ensemble run (calibration probe or production).
+struct EnsembleObservation {
+  std::size_t problem_n = 0;  // state-vector size (the model key)
+  std::size_t scenarios = 0;
+  std::size_t workers = 0;    // effective workers the run used
+  std::size_t batch = 0;      // effective max batch width
+  double lane_evals = 0.0;    // total per-lane RHS evaluations
+  double seconds = 0.0;       // measured makespan
+};
+
+struct EnsembleConfig {
+  std::size_t workers = 1;
+  std::size_t max_batch = 1;
+  double predicted_seconds = 0.0;
+};
+
+class EnsembleModel {
+ public:
+  /// `hw_threads` caps the effective worker count in the feature map
+  /// (0 = query std::thread::hardware_concurrency at construction).
+  explicit EnsembleModel(std::size_t hw_threads = 0);
+
+  void add(const EnsembleObservation& obs);
+  /// Refits from the current observation window. Returns ready().
+  bool refit();
+  /// Fitted, non-degenerate, and trained on >= 3 distinct configs.
+  bool ready() const;
+
+  /// Predicted makespan for a hypothetical configuration; scenarios may
+  /// differ from any calibration run (work scales by evals/scenario).
+  double predict(std::size_t scenarios, std::size_t workers,
+                 std::size_t batch) const;
+
+  /// Argmin of predict() over a candidate grid: workers in powers of two
+  /// up to max_workers (plus max_workers itself), batch widths
+  /// {1,2,4,...} up to max_batch (plus max_batch). Requires ready().
+  EnsembleConfig pick(std::size_t scenarios, std::size_t max_workers,
+                      std::size_t max_batch) const;
+
+  const FitResult& fit_result() const { return fit_; }
+  double evals_per_scenario() const { return evals_per_scenario_; }
+  const std::vector<EnsembleObservation>& observations() const {
+    return window_;
+  }
+  std::size_t hw_threads() const { return hw_; }
+
+  /// Feature row for one observation: the three model terms above.
+  static std::vector<double> features(std::size_t scenarios,
+                                      std::size_t workers, std::size_t batch,
+                                      double lane_evals, std::size_t hw);
+
+ private:
+  std::size_t hw_ = 1;
+  std::vector<EnsembleObservation> window_;  // bounded (kWindowCap)
+  FitResult fit_;
+  double evals_per_scenario_ = 0.0;
+  static constexpr std::size_t kWindowCap = 64;
+};
+
+// ---------------------------------------------------------------- stiff
+
+/// One measured stiff solve (kBdf / kLsodaLike) under a known config.
+struct StiffObservation {
+  std::size_t problem_n = 0;  // state-vector size (the model key)
+  bool sparse = false;        // factorization backend used
+  int jac_threads = 1;
+  double seconds = 0.0;
+};
+
+struct StiffConfig {
+  bool sparse = false;
+  int jac_threads = 1;
+  double predicted_seconds = 0.0;
+};
+
+class StiffModel {
+ public:
+  void add(const StiffObservation& obs);
+  bool refit();
+  /// A backend is rankable once it has any observation; thread-count
+  /// extrapolation additionally needs a non-degenerate fit (>= 3
+  /// distinct thread counts observed for that backend).
+  bool has_backend(bool sparse) const;
+
+  /// Predicted seconds for (backend, threads). Falls back to the mean of
+  /// the nearest observed thread count when the fit is degenerate.
+  double predict(bool sparse, int threads) const;
+
+  /// Best (backend, threads) over backends with data and thread counts
+  /// {1,2,4,...} up to max_threads. Degenerate backends only compete at
+  /// their observed thread counts. nullopt when no data at all.
+  std::optional<StiffConfig> pick(int max_threads) const;
+
+  const FitResult& fit_result(bool sparse) const {
+    return sparse ? sparse_fit_ : dense_fit_;
+  }
+  const std::vector<StiffObservation>& observations() const {
+    return window_;
+  }
+
+ private:
+  std::vector<StiffObservation> window_;  // bounded (kWindowCap)
+  FitResult dense_fit_;
+  FitResult sparse_fit_;
+  static constexpr std::size_t kWindowCap = 64;
+
+  static std::vector<double> features(int threads);
+};
+
+}  // namespace omx::tune

@@ -1,0 +1,163 @@
+#include "omx/tune/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "omx/support/diagnostics.hpp"
+
+namespace omx::tune {
+
+double FitResult::predict(std::span<const double> row) const {
+  OMX_REQUIRE(row.size() == coef.size(),
+              "FitResult::predict: feature row size mismatch");
+  double acc = 0.0;
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    acc += coef[j] * row[j];
+  }
+  return acc;
+}
+
+FitResult fit_least_squares(const std::vector<std::vector<double>>& rows,
+                            const std::vector<double>& y) {
+  FitResult out;
+  out.samples = rows.size();
+  if (rows.empty() || y.size() != rows.size()) {
+    out.degenerate = true;
+    return out;
+  }
+  const std::size_t k = rows[0].size();
+  out.coef.assign(k, 0.0);
+  if (k == 0) {
+    out.degenerate = true;
+    return out;
+  }
+  for (const std::vector<double>& r : rows) {
+    OMX_REQUIRE(r.size() == k, "fit_least_squares: ragged feature rows");
+  }
+  if (rows.size() < k) {
+    out.degenerate = true;
+  }
+
+  // Column equilibration: scale each feature by its max magnitude so the
+  // normal equations stay well conditioned when terms span many orders
+  // of magnitude. All-zero columns are singular by construction; they
+  // keep scale 1 and fall out at the pivot stage.
+  std::vector<double> scale(k, 1.0);
+  for (std::size_t j = 0; j < k; ++j) {
+    double m = 0.0;
+    for (const std::vector<double>& r : rows) {
+      m = std::max(m, std::fabs(r[j]));
+    }
+    if (m > 0.0) {
+      scale[j] = m;
+    }
+  }
+
+  // Normal equations over the scaled columns: A = X~^T X~, b = X~^T y.
+  std::vector<double> a(k * k, 0.0);
+  std::vector<double> b(k, 0.0);
+  for (std::size_t s = 0; s < rows.size(); ++s) {
+    for (std::size_t i = 0; i < k; ++i) {
+      const double xi = rows[s][i] / scale[i];
+      b[i] += xi * y[s];
+      for (std::size_t j = i; j < k; ++j) {
+        a[i * k + j] += xi * rows[s][j] / scale[j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      a[i * k + j] = a[j * k + i];
+    }
+  }
+
+  // Gaussian elimination with partial pivoting. A vanishing pivot marks
+  // a singular direction (collinear or all-zero column after the
+  // eliminations so far): its coefficient is pinned to zero and the
+  // row/column is skipped rather than aborting the whole fit.
+  std::vector<std::size_t> perm(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    perm[i] = i;
+  }
+  std::vector<bool> dead(k, false);
+  // Pivot threshold relative to the largest diagonal magnitude.
+  double diag_max = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    diag_max = std::max(diag_max, std::fabs(a[i * k + i]));
+  }
+  const double tiny = std::max(diag_max, 1.0) * 1e-12;
+
+  for (std::size_t col = 0; col < k; ++col) {
+    std::size_t piv = col;
+    double best = std::fabs(a[perm[col] * k + col]);
+    for (std::size_t r = col + 1; r < k; ++r) {
+      const double v = std::fabs(a[perm[r] * k + col]);
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (best <= tiny) {
+      dead[col] = true;
+      out.degenerate = true;
+      continue;
+    }
+    std::swap(perm[col], perm[piv]);
+    const double d = a[perm[col] * k + col];
+    for (std::size_t r = 0; r < k; ++r) {
+      if (r == col) {
+        continue;
+      }
+      const double f = a[perm[r] * k + col] / d;
+      if (f == 0.0) {
+        continue;
+      }
+      for (std::size_t j = col; j < k; ++j) {
+        a[perm[r] * k + j] -= f * a[perm[col] * k + j];
+      }
+      b[perm[r]] -= f * b[perm[col]];
+    }
+  }
+  for (std::size_t col = 0; col < k; ++col) {
+    if (dead[col]) {
+      out.coef[col] = 0.0;
+    } else {
+      out.coef[col] = b[perm[col]] / a[perm[col] * k + col] / scale[col];
+    }
+  }
+
+  // Residual diagnostics on the unscaled model.
+  double mean = 0.0;
+  for (const double v : y) {
+    mean += v;
+  }
+  mean /= static_cast<double>(y.size());
+  double tss = 0.0;
+  for (std::size_t s = 0; s < rows.size(); ++s) {
+    const double r = y[s] - out.predict(rows[s]);
+    out.rss += r * r;
+    tss += (y[s] - mean) * (y[s] - mean);
+  }
+  out.r2 = tss > 0.0 ? std::max(0.0, 1.0 - out.rss / tss) : 0.0;
+  return out;
+}
+
+double lpt_makespan(std::vector<double> costs, std::size_t workers) {
+  if (workers == 0 || costs.empty()) {
+    return 0.0;
+  }
+  std::sort(costs.begin(), costs.end(), std::greater<>());
+  std::vector<double> load(workers, 0.0);
+  for (const double c : costs) {
+    std::size_t target = 0;
+    for (std::size_t w = 1; w < workers; ++w) {
+      if (load[w] < load[target]) {
+        target = w;
+      }
+    }
+    load[target] += c;
+  }
+  return *std::max_element(load.begin(), load.end());
+}
+
+}  // namespace omx::tune

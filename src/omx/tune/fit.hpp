@@ -1,0 +1,56 @@
+// Least-squares fitting substrate for the performance-model layer.
+//
+// The auto-tuner (tune/autotuner.hpp) predicts makespan as a linear
+// combination of hand-chosen feature terms (Extra-P style: small
+// compositional term sets like {1, 1/T, T} or {rounds, lane_evals,
+// workers}), fitted to a handful of measured calibration runs. The
+// fitter therefore optimizes for robustness on tiny, possibly
+// degenerate sample sets, not for big-data throughput:
+//
+//  * fewer samples than terms, exact collinearity, or zero-variance
+//    columns never throw — singular directions get a zero coefficient
+//    and the result is marked `degenerate`;
+//  * columns are equilibrated (scaled by their max magnitude) before
+//    the normal equations are formed, so terms of wildly different
+//    magnitude (a per-call overhead next to a total-work term) fit to
+//    full double precision.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace omx::tune {
+
+struct FitResult {
+  /// One coefficient per feature column (zero for singular directions).
+  std::vector<double> coef;
+  /// Residual sum of squares over the training samples.
+  double rss = 0.0;
+  /// Coefficient of determination; 0 when tss is 0 (constant target).
+  double r2 = 0.0;
+  std::size_t samples = 0;
+  /// Under-determined or singular normal equations: the fit is still
+  /// usable for interpolation near the samples, but callers should not
+  /// trust extrapolated predictions (AutoTuner refuses to pick from a
+  /// degenerate model).
+  bool degenerate = false;
+
+  /// Fitted prediction for one feature row (row.size() == coef.size()).
+  double predict(std::span<const double> row) const;
+};
+
+/// Ordinary least squares: rows[i] is the i-th sample's feature vector,
+/// y[i] its target. All rows must share one size; an empty input yields
+/// an all-zero degenerate result.
+FitResult fit_least_squares(const std::vector<std::vector<double>>& rows,
+                            const std::vector<double>& y);
+
+/// Greedy LPT makespan: sort costs descending, place each on the least
+/// loaded of `workers` bins (ties break toward the lowest index), return
+/// the maximum bin load. This is the schedule shape the paper's §3.2
+/// scheduler produces, so predicted per-task costs turn into a predicted
+/// makespan through it. workers == 0 returns 0.
+double lpt_makespan(std::vector<double> costs, std::size_t workers);
+
+}  // namespace omx::tune

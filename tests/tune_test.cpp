@@ -1,0 +1,493 @@
+// Performance-model layer suite: the least-squares substrate, the LPT
+// makespan predictor, the ensemble/stiff cost models on synthetic data
+// with known coefficients, and the AutoTuner's mode/drift/export
+// behavior. The integration test pins the determinism contract: tuning
+// only moves work (workers/batch), so an OMX_TUNE=on ensemble solve is
+// bitwise identical to the untuned one.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "omx/ode/ensemble.hpp"
+#include "omx/support/json.hpp"
+#include "omx/tune/autotuner.hpp"
+#include "omx/tune/costmodel.hpp"
+#include "omx/tune/fit.hpp"
+
+namespace omx::tune {
+namespace {
+
+// ------------------------------------------------------------- fitting
+
+TEST(TuneFit, RecoversExactCoefficientsFromNoiselessData) {
+  // y = 2*x0 + 0.5*x1 - 3*x2 over a full-rank sample set.
+  const std::vector<std::vector<double>> rows = {
+      {1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {0.0, 0.0, 1.0},
+      {1.0, 2.0, 3.0}, {4.0, 1.0, 2.0},
+  };
+  std::vector<double> y;
+  for (const auto& r : rows) {
+    y.push_back(2.0 * r[0] + 0.5 * r[1] - 3.0 * r[2]);
+  }
+  const FitResult f = fit_least_squares(rows, y);
+  ASSERT_EQ(f.coef.size(), 3u);
+  EXPECT_FALSE(f.degenerate);
+  EXPECT_NEAR(f.coef[0], 2.0, 1e-9);
+  EXPECT_NEAR(f.coef[1], 0.5, 1e-9);
+  EXPECT_NEAR(f.coef[2], -3.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+  EXPECT_NEAR(f.rss, 0.0, 1e-12);
+  const std::vector<double> probe = {2.0, 2.0, 2.0};
+  EXPECT_NEAR(f.predict(probe), 2.0 * 2.0 + 0.5 * 2.0 - 3.0 * 2.0, 1e-9);
+}
+
+TEST(TuneFit, EquilibrationHandlesWildlyScaledColumns) {
+  // A per-call overhead column (~1) next to a total-work column (~1e9).
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 1; i <= 6; ++i) {
+    const double work = 1e9 * i;
+    const double calls = 10.0 * i * i;
+    rows.push_back({calls, work});
+    y.push_back(3e-6 * calls + 2e-9 * work);
+  }
+  const FitResult f = fit_least_squares(rows, y);
+  ASSERT_EQ(f.coef.size(), 2u);
+  EXPECT_FALSE(f.degenerate);
+  EXPECT_NEAR(f.coef[0], 3e-6, 1e-12);
+  EXPECT_NEAR(f.coef[1], 2e-9, 1e-15);
+}
+
+TEST(TuneFit, DegenerateInputsNeverThrow) {
+  // Empty input.
+  FitResult f = fit_least_squares({}, {});
+  EXPECT_TRUE(f.degenerate);
+  EXPECT_TRUE(f.coef.empty());
+
+  // Fewer samples than terms.
+  f = fit_least_squares({{1.0, 2.0, 3.0}}, {6.0});
+  EXPECT_TRUE(f.degenerate);
+  ASSERT_EQ(f.coef.size(), 3u);
+
+  // Exact collinearity: second column is 2x the first.
+  f = fit_least_squares(
+      {{1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}, {4.0, 8.0}}, {1, 2, 3, 4});
+  EXPECT_TRUE(f.degenerate);
+
+  // Zero-variance (all-zero) column gets a zero coefficient; the live
+  // column still fits.
+  f = fit_least_squares({{0.0, 1.0}, {0.0, 2.0}, {0.0, 3.0}}, {2, 4, 6});
+  EXPECT_TRUE(f.degenerate);
+  ASSERT_EQ(f.coef.size(), 2u);
+  EXPECT_EQ(f.coef[0], 0.0);
+  EXPECT_NEAR(f.coef[1], 2.0, 1e-9);
+}
+
+// ---------------------------------------------------------------- LPT
+
+TEST(TuneLpt, HandComputableTwoWorkerSchedules) {
+  // Sorted desc: 5,4,3,2,1. Bins: 5 | 4; 5,3 | 4; 5,3 | 4,2; 5,3 | 4,2,1
+  // -> loads 8 and 7, makespan 8.
+  EXPECT_DOUBLE_EQ(lpt_makespan({5, 4, 3, 2, 1}, 2), 8.0);
+  // Sorted desc: 4,3,3,2. Bins: 4 | 3; 4,3(tie->lowest? no: bin1 has 3)
+  // 4 | 3,3; 4,2 | 3,3 -> loads 6 and 6, makespan 6.
+  EXPECT_DOUBLE_EQ(lpt_makespan({4, 3, 3, 2}, 2), 6.0);
+}
+
+TEST(TuneLpt, EdgeCases) {
+  EXPECT_DOUBLE_EQ(lpt_makespan({1, 2, 3}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(lpt_makespan({}, 4), 0.0);
+  // One worker serializes everything.
+  EXPECT_DOUBLE_EQ(lpt_makespan({1.5, 2.5, 3.0}, 1), 7.0);
+  // More workers than tasks: makespan is the largest task.
+  EXPECT_DOUBLE_EQ(lpt_makespan({1, 2, 3}, 8), 3.0);
+}
+
+// ------------------------------------------------------ ensemble model
+
+EnsembleObservation synth_ensemble(std::size_t scenarios,
+                                   std::size_t workers, std::size_t batch,
+                                   double evals_per_scenario,
+                                   std::size_t hw) {
+  EnsembleObservation o;
+  o.problem_n = 8;
+  o.scenarios = scenarios;
+  o.workers = workers;
+  o.batch = batch;
+  o.lane_evals = evals_per_scenario * static_cast<double>(scenarios);
+  // Generate seconds from the model's own feature map with known
+  // coefficients a=2e-6, b=1e-7, c=5e-3.
+  const std::vector<double> x =
+      EnsembleModel::features(scenarios, workers, batch, o.lane_evals, hw);
+  o.seconds = 2e-6 * x[0] + 1e-7 * x[1] + 5e-3 * x[2];
+  return o;
+}
+
+TEST(TuneEnsembleModel, RecoversSyntheticCoefficientsAndPicksArgmin) {
+  constexpr std::size_t kHw = 4;
+  EnsembleModel m(kHw);
+  for (const auto& [w, b] : {std::pair<std::size_t, std::size_t>{1, 1},
+                            {2, 4},
+                            {4, 8},
+                            {1, 16},
+                            {4, 2}}) {
+    m.add(synth_ensemble(32, w, b, 500.0, kHw));
+  }
+  ASSERT_TRUE(m.refit());
+  ASSERT_TRUE(m.ready());
+  const FitResult& f = m.fit_result();
+  ASSERT_EQ(f.coef.size(), 3u);
+  EXPECT_NEAR(f.coef[0], 2e-6, 1e-10);
+  EXPECT_NEAR(f.coef[1], 1e-7, 1e-11);
+  EXPECT_NEAR(f.coef[2], 5e-3, 1e-7);
+
+  // Exhaustively evaluate the same candidate grid the picker scans and
+  // confirm pick() lands on the argmin.
+  const EnsembleConfig best = m.pick(32, 4, 16);
+  double best_seen = 1e300;
+  for (const std::size_t w : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    for (const std::size_t b : {std::size_t{1}, std::size_t{2},
+                                std::size_t{4}, std::size_t{8},
+                                std::size_t{16}}) {
+      best_seen = std::min(best_seen, m.predict(32, w, b));
+    }
+  }
+  EXPECT_NEAR(best.predicted_seconds, best_seen, 1e-12);
+  EXPECT_NEAR(m.predict(32, best.workers, best.max_batch), best_seen, 1e-12);
+}
+
+TEST(TuneEnsembleModel, NotReadyUntilThreeDistinctConfigs) {
+  EnsembleModel m(4);
+  m.add(synth_ensemble(16, 1, 1, 100.0, 4));
+  m.refit();
+  EXPECT_FALSE(m.ready());
+  // Re-observing the same config adds samples but no rank.
+  m.add(synth_ensemble(16, 1, 1, 100.0, 4));
+  m.refit();
+  EXPECT_FALSE(m.ready());
+  m.add(synth_ensemble(16, 2, 4, 100.0, 4));
+  m.refit();
+  EXPECT_FALSE(m.ready());
+  m.add(synth_ensemble(16, 4, 8, 100.0, 4));
+  m.refit();
+  EXPECT_TRUE(m.ready());
+}
+
+TEST(TuneEnsembleModel, PredictionScalesWithScenarioCount) {
+  constexpr std::size_t kHw = 2;
+  EnsembleModel m(kHw);
+  for (const auto& [w, b] : {std::pair<std::size_t, std::size_t>{1, 1},
+                            {2, 2},
+                            {1, 4},
+                            {2, 8}}) {
+    m.add(synth_ensemble(16, w, b, 200.0, kHw));
+  }
+  ASSERT_TRUE(m.refit());
+  // Doubling the scenarios doubles lane_evals through evals/scenario, so
+  // the work terms double; only the per-worker constant stays fixed.
+  const double at16 = m.predict(16, 1, 4);
+  const double at32 = m.predict(32, 1, 4);
+  const double c = m.fit_result().coef[2];
+  EXPECT_NEAR(at32 - c, 2.0 * (at16 - c), 1e-9);
+}
+
+// --------------------------------------------------------- stiff model
+
+StiffObservation synth_stiff(bool sparse, int threads) {
+  // dense: 1e-3 + 4e-4/T + 1e-5*T; sparse: 2e-4 + 6e-4/T + 8e-5*T.
+  StiffObservation o;
+  o.problem_n = 128;
+  o.sparse = sparse;
+  o.jac_threads = threads;
+  const double t = threads;
+  o.seconds = sparse ? 2e-4 + 6e-4 / t + 8e-5 * t
+                     : 1e-3 + 4e-4 / t + 1e-5 * t;
+  return o;
+}
+
+TEST(TuneStiffModel, RecoversSyntheticCurvesAndPicksBestBackend) {
+  StiffModel m;
+  for (const int t : {1, 2, 4, 8}) {
+    m.add(synth_stiff(false, t));
+    m.add(synth_stiff(true, t));
+  }
+  m.refit();
+  ASSERT_TRUE(m.has_backend(false));
+  ASSERT_TRUE(m.has_backend(true));
+  const FitResult& dense = m.fit_result(false);
+  ASSERT_EQ(dense.coef.size(), 3u);
+  EXPECT_NEAR(dense.coef[0], 1e-3, 1e-9);
+  EXPECT_NEAR(dense.coef[1], 4e-4, 1e-9);
+  EXPECT_NEAR(dense.coef[2], 1e-5, 1e-9);
+
+  // Sparse at its best thread count beats every dense configuration on
+  // the synthetic surface, so the pick must be sparse.
+  const std::optional<StiffConfig> best = m.pick(8);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_TRUE(best->sparse);
+  double best_seen = 1e300;
+  int best_t = 0;
+  for (const int t : {1, 2, 4, 8}) {
+    const double s = m.predict(true, t);
+    if (s < best_seen) {
+      best_seen = s;
+      best_t = t;
+    }
+  }
+  EXPECT_EQ(best->jac_threads, best_t);
+  EXPECT_NEAR(best->predicted_seconds, best_seen, 1e-12);
+}
+
+TEST(TuneStiffModel, DegenerateBackendFallsBackToObservedMean) {
+  StiffModel m;
+  // Only one thread count observed: the per-backend fit cannot rank T,
+  // so predict() must return the observed mean instead of extrapolating.
+  m.add({64, false, 2, 1.0e-3});
+  m.add({64, false, 2, 3.0e-3});
+  m.refit();
+  ASSERT_TRUE(m.has_backend(false));
+  EXPECT_NEAR(m.predict(false, 2), 2.0e-3, 1e-12);
+  // Asking about an unobserved thread count still answers (nearest
+  // observed count), and pick() only competes at observed counts.
+  const std::optional<StiffConfig> best = m.pick(8);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_FALSE(best->sparse);
+  EXPECT_EQ(best->jac_threads, 2);
+}
+
+// ------------------------------------------------------------ AutoTuner
+
+TEST(TuneAutoTuner, PickIsNulloptWithoutAModel) {
+  AutoTuner t;
+  EXPECT_FALSE(t.pick_ensemble(8, 32, 4, 16).has_value());
+  EXPECT_FALSE(t.pick_stiff(128, 4).has_value());
+  EXPECT_FALSE(t.stiff_backend(128).has_value());
+  EXPECT_FALSE(t.ensemble_ready(8));
+}
+
+TEST(TuneAutoTuner, CalibrationEnablesPicksAndResetDropsThem) {
+  AutoTuner t;
+  for (const auto& [w, b] : {std::pair<std::size_t, std::size_t>{1, 1},
+                            {2, 4},
+                            {4, 8},
+                            {1, 16}}) {
+    t.record_ensemble(synth_ensemble(32, w, b, 500.0, 4));
+  }
+  EXPECT_TRUE(t.ensemble_ready(8));
+  const std::optional<EnsembleConfig> pick = t.pick_ensemble(8, 32, 4, 16);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_GE(pick->workers, 1u);
+  EXPECT_GE(pick->max_batch, 1u);
+  // Unknown problem size stays unpicked.
+  EXPECT_FALSE(t.pick_ensemble(99, 32, 4, 16).has_value());
+  t.reset();
+  EXPECT_FALSE(t.ensemble_ready(8));
+  EXPECT_FALSE(t.pick_ensemble(8, 32, 4, 16).has_value());
+}
+
+TEST(TuneAutoTuner, StiffBackendVerdictNeedsBothBackends) {
+  AutoTuner t;
+  for (const int th : {1, 2, 4}) {
+    t.record_stiff(synth_stiff(false, th));
+  }
+  // Dense-only data: no backend verdict (the static fill heuristic in
+  // make_jac_plan stays in charge), but thread picks within dense work.
+  EXPECT_FALSE(t.stiff_backend(128).has_value());
+  ASSERT_TRUE(t.pick_stiff(128, 4).has_value());
+  for (const int th : {1, 2, 4}) {
+    t.record_stiff(synth_stiff(true, th));
+  }
+  const std::optional<bool> verdict = t.stiff_backend(128);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_TRUE(*verdict);  // synthetic sparse curve is cheaper
+}
+
+TEST(TuneAutoTuner, DriftTriggersRefitAndCounter) {
+  AutoTuner t;
+  const std::uint64_t drift0 = t.drift_events();
+  // Warm the model on a consistent synthetic surface...
+  for (int rep = 0; rep < 5; ++rep) {
+    for (const auto& [w, b] : {std::pair<std::size_t, std::size_t>{1, 1},
+                              {2, 4},
+                              {4, 8},
+                              {1, 16}}) {
+      t.record_ensemble(synth_ensemble(32, w, b, 500.0, 4));
+    }
+  }
+  ASSERT_TRUE(t.ensemble_ready(8));
+  // ...then feed a run 10x slower than predicted (machine got loaded).
+  EnsembleObservation slow = synth_ensemble(32, 2, 4, 500.0, 4);
+  slow.seconds *= 10.0;
+  const std::uint64_t refits0 = t.refits();
+  t.record_ensemble(slow);
+  EXPECT_GT(t.drift_events(), drift0);
+  EXPECT_GT(t.refits(), refits0);
+}
+
+TEST(TuneAutoTuner, ModelJsonParsesAndCarriesCoefficients) {
+  AutoTuner t;
+  for (const auto& [w, b] : {std::pair<std::size_t, std::size_t>{1, 1},
+                            {2, 4},
+                            {4, 8}}) {
+    t.record_ensemble(synth_ensemble(32, w, b, 500.0, 4));
+  }
+  for (const int th : {1, 2, 4}) {
+    t.record_stiff(synth_stiff(false, th));
+  }
+  const std::string text = t.model_json();
+  const support::json::Value doc = support::json::parse(text);
+  const auto* ensembles = doc.find("ensemble");
+  ASSERT_NE(ensembles, nullptr);
+  ASSERT_EQ(ensembles->array.size(), 1u);
+  const auto& em = ensembles->array[0];
+  ASSERT_NE(em.find("fit"), nullptr);
+  EXPECT_EQ(em.find("fit")->find("coef")->array.size(), 3u);
+  ASSERT_NE(em.find("residuals"), nullptr);
+  EXPECT_EQ(em.find("residuals")->array.size(), 3u);
+  const auto* stiffs = doc.find("stiff");
+  ASSERT_NE(stiffs, nullptr);
+  ASSERT_EQ(stiffs->array.size(), 1u);
+  ASSERT_NE(stiffs->array[0].find("dense_fit"), nullptr);
+  ASSERT_NE(doc.find("counters"), nullptr);
+}
+
+// ------------------------------------------------ integration + stress
+
+ode::Problem oscillator() {
+  ode::Problem p;
+  p.n = 2;
+  p.set_rhs([](double, std::span<const double> y, std::span<double> f) {
+    f[0] = y[1];
+    f[1] = -y[0];
+  });
+  p.t0 = 0.0;
+  p.tend = 3.0;
+  p.y0 = {1.0, 0.0};
+  return p;
+}
+
+ode::EnsembleSpec perturbed_spec(std::size_t scenarios) {
+  ode::EnsembleSpec spec;
+  for (std::size_t s = 0; s < scenarios; ++s) {
+    spec.initial_states.push_back(
+        {1.0 + 0.05 * static_cast<double>(s),
+         0.02 * static_cast<double>(s)});
+  }
+  return spec;
+}
+
+/// RAII mode override so a failing assertion cannot leak kOn into the
+/// other suites in this binary.
+struct ModeGuard {
+  explicit ModeGuard(Mode m) { set_mode(m); }
+  ~ModeGuard() { set_mode(Mode::kOff); }
+};
+
+TEST(TuneIntegration, TunedEnsembleSolveIsBitwiseIdenticalToUntuned) {
+  const ode::Problem p = oscillator();
+  ode::EnsembleSpec spec = perturbed_spec(8);
+  spec.workers = 1;
+  spec.max_batch = 4;
+
+  set_mode(Mode::kOff);
+  AutoTuner::global().reset();
+  const ode::EnsembleResult untuned =
+      ode::solve_ensemble(p, ode::Method::kDopri5, {}, spec);
+
+  {
+    // Calibrate across a few configs, then let the model drive.
+    ModeGuard guard(Mode::kCalibrate);
+    for (const auto& [w, b] : {std::pair<std::size_t, std::size_t>{1, 1},
+                              {2, 2},
+                              {1, 4},
+                              {2, 4}}) {
+      ode::EnsembleSpec probe = perturbed_spec(8);
+      probe.workers = w;
+      probe.max_batch = b;
+      ode::solve_ensemble(p, ode::Method::kDopri5, {}, probe);
+    }
+    ASSERT_TRUE(AutoTuner::global().ensemble_ready(p.n));
+    set_mode(Mode::kOn);
+    const ode::EnsembleResult tuned =
+        ode::solve_ensemble(p, ode::Method::kDopri5, {}, spec);
+
+    ASSERT_EQ(tuned.solutions.size(), untuned.solutions.size());
+    for (std::size_t s = 0; s < tuned.solutions.size(); ++s) {
+      const ode::Solution& a = untuned.solutions[s];
+      const ode::Solution& b = tuned.solutions[s];
+      ASSERT_EQ(b.size(), a.size()) << "scenario " << s;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(b.time(i), a.time(i)) << "scenario " << s << " step " << i;
+        const auto ya = a.state(i);
+        const auto yb = b.state(i);
+        for (std::size_t q = 0; q < ya.size(); ++q) {
+          EXPECT_EQ(yb[q], ya[q]) << "scenario " << s << " step " << i;
+        }
+      }
+      EXPECT_EQ(b.stats.steps, a.stats.steps);
+      EXPECT_EQ(b.stats.rhs_calls, a.stats.rhs_calls);
+    }
+  }
+  AutoTuner::global().reset();
+}
+
+TEST(TuneIntegration, OffModeRecordsNothing) {
+  set_mode(Mode::kOff);
+  AutoTuner::global().reset();
+  const ode::Problem p = oscillator();
+  ode::EnsembleSpec spec = perturbed_spec(4);
+  ode::solve_ensemble(p, ode::Method::kDopri5, {}, spec);
+  EXPECT_FALSE(AutoTuner::global().ensemble_ready(p.n));
+  EXPECT_TRUE(AutoTuner::global().model_json().find("\"ensemble\":[]") !=
+              std::string::npos);
+}
+
+TEST(TuneStress, ConcurrentRecordPickExportIsRaceFree) {
+  // TSan target (ci.sh --tsan runs suites matching Tune): hammer one
+  // tuner from recorder, picker and exporter threads at once.
+  AutoTuner t;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&t, &stop, w] {
+      std::size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t cfg = (i + static_cast<std::size_t>(w)) % 4;
+        t.record_ensemble(synth_ensemble(32, 1u << cfg, 1u << (cfg + 1),
+                                         500.0, 4));
+        t.record_stiff(synth_stiff((i & 1) != 0, 1 << (i % 3)));
+        ++i;
+      }
+    });
+  }
+  threads.emplace_back([&t, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)t.pick_ensemble(8, 32, 4, 16);
+      (void)t.pick_stiff(128, 4);
+      (void)t.stiff_backend(128);
+    }
+  });
+  threads.emplace_back([&t, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string j = t.model_json();
+      EXPECT_FALSE(j.empty());
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop.store(true);
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  // The models stayed coherent through the contention.
+  EXPECT_TRUE(t.ensemble_ready(8));
+  EXPECT_TRUE(t.pick_stiff(128, 4).has_value());
+}
+
+}  // namespace
+}  // namespace omx::tune
